@@ -1,0 +1,107 @@
+//! Criterion benchmarks for the encoding-side kernels: k-means weight
+//! clustering, CSR and BitMask encode/decode, Hamming SEC-DED, and MLC
+//! cell packing — the per-layer work behind Table 2 and Fig. 6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use maxnvm_bits::BitBuffer;
+use maxnvm_dnn::network::LayerMatrix;
+use maxnvm_ecc::{BlockCodec, SecDed};
+use maxnvm_encoding::bitmask::BitMaskLayer;
+use maxnvm_encoding::cluster::{kmeans_1d, ClusteredLayer};
+use maxnvm_encoding::csr::CsrLayer;
+use maxnvm_encoding::storage::{StorageScheme, StoredLayer};
+use maxnvm_encoding::EncodingKind;
+use maxnvm_envm::MlcConfig;
+use rand::{Rng, SeedableRng};
+
+fn sample_matrix(rows: usize, cols: usize, sparsity: f64, seed: u64) -> LayerMatrix {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let data = (0..rows * cols)
+        .map(|_| {
+            if rng.gen::<f64>() < sparsity {
+                0.0
+            } else {
+                rng.gen::<f32>() - 0.5
+            }
+        })
+        .collect();
+    LayerMatrix::new("bench", rows, cols, data)
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_1d");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let values: Vec<f32> = (0..n).map(|_| rng.gen::<f32>() - 0.5).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, v| {
+            b.iter(|| kmeans_1d(v, 15, 25, 7));
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let m = sample_matrix(256, 1024, 0.8, 2);
+    let clustered = ClusteredLayer::from_matrix(&m, 6, 3);
+    let mut group = c.benchmark_group("sparse_encode");
+    group.throughput(Throughput::Elements((256 * 1024) as u64));
+    group.bench_function("csr_encode", |b| b.iter(|| CsrLayer::encode(&clustered)));
+    group.bench_function("bitmask_encode", |b| {
+        b.iter(|| BitMaskLayer::encode(&clustered, true))
+    });
+    let csr = CsrLayer::encode(&clustered);
+    group.bench_function("csr_reconstruct", |b| b.iter(|| csr.reconstruct_indices()));
+    let bm = BitMaskLayer::encode(&clustered, true);
+    group.bench_function("bitmask_reconstruct", |b| {
+        b.iter(|| bm.reconstruct_indices())
+    });
+    group.finish();
+}
+
+fn bench_storage_round_trip(c: &mut Criterion) {
+    let m = sample_matrix(128, 512, 0.7, 4);
+    let clustered = ClusteredLayer::from_matrix(&m, 4, 5);
+    let mut group = c.benchmark_group("mlc_storage");
+    for (label, scheme) in [
+        (
+            "bitmask_mlc3_idxsync",
+            StorageScheme::uniform(EncodingKind::BitMask, MlcConfig::MLC3).with_idx_sync(),
+        ),
+        (
+            "csr_mlc3_ecc",
+            StorageScheme::uniform(EncodingKind::Csr, MlcConfig::MLC3).with_ecc(),
+        ),
+    ] {
+        group.bench_function(format!("store/{label}"), |b| {
+            b.iter(|| StoredLayer::store(&clustered, &scheme))
+        });
+        let stored = StoredLayer::store(&clustered, &scheme);
+        group.bench_function(format!("decode_clean/{label}"), |b| {
+            b.iter(|| stored.decode_clean())
+        });
+    }
+    group.finish();
+}
+
+fn bench_secded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secded");
+    let code = SecDed::default_512b();
+    let codec = BlockCodec::new(code);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let data: BitBuffer = (0..64 * 1024).map(|_| rng.gen::<bool>()).collect();
+    group.throughput(Throughput::Bytes(64 * 1024 / 8));
+    group.bench_function("encode_64kib", |b| b.iter(|| codec.encode(&data)));
+    let encoded = codec.encode(&data);
+    group.bench_function("decode_64kib", |b| {
+        b.iter(|| codec.decode(&encoded, data.len()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kmeans, bench_encode_decode, bench_storage_round_trip, bench_secded
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the fault-injection path: Monte-Carlo cell
+//! sampling, full layer decode-under-faults, and the analytic damage
+//! model that replaces injection at ImageNet scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use maxnvm_dnn::network::LayerMatrix;
+use maxnvm_encoding::cluster::ClusteredLayer;
+use maxnvm_encoding::estimate::LayerGeometry;
+use maxnvm_encoding::storage::{StorageScheme, StoredLayer};
+use maxnvm_encoding::EncodingKind;
+use maxnvm_envm::{CellTechnology, FaultInjector, MlcConfig, SenseAmp};
+use maxnvm_faultsim::analytic::layer_damage;
+use maxnvm_faultsim::campaign::fault_maps;
+use rand::{Rng, SeedableRng};
+
+fn bench_cell_injection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cell_injection");
+    let cell = CellTechnology::MlcCtt.cell_model(MlcConfig::MLC3);
+    let injector = FaultInjector::from_cell(&cell);
+    for &n in &[10_000usize, 1_000_000] {
+        let cells: Vec<u8> = (0..n).map(|i| (i % 8) as u8).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cells, |b, base| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut work = base.clone();
+                injector.inject(&mut work, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode_with_faults(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let data: Vec<f32> = (0..128 * 1024)
+        .map(|_| {
+            if rng.gen::<f64>() < 0.7 {
+                0.0
+            } else {
+                rng.gen::<f32>() + 0.1
+            }
+        })
+        .collect();
+    let m = LayerMatrix::new("l", 128, 1024, data);
+    let clustered = ClusteredLayer::from_matrix(&m, 6, 3);
+    let scheme =
+        StorageScheme::uniform(EncodingKind::BitMask, MlcConfig::MLC3).with_idx_sync();
+    let stored = StoredLayer::store(&clustered, &scheme);
+    let sa = SenseAmp::paper_default();
+    let maps = fault_maps(CellTechnology::MlcCtt, &sa);
+    let mut group = c.benchmark_group("trial");
+    group.throughput(Throughput::Elements((128 * 1024) as u64));
+    group.bench_function("decode_with_faults_128k", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        b.iter(|| stored.decode_with_faults(&maps, &mut rng));
+    });
+    group.finish();
+}
+
+fn bench_analytic_damage(c: &mut Criterion) {
+    let sa = SenseAmp::paper_default();
+    let geom = LayerGeometry::from_sparsity(4096, 25088, 0.811); // VGG16 fc6
+    let scheme =
+        StorageScheme::uniform(EncodingKind::BitMask, MlcConfig::MLC3).with_idx_sync();
+    c.bench_function("analytic_layer_damage_fc6", |b| {
+        b.iter(|| layer_damage(geom, 6, &scheme, CellTechnology::MlcCtt, &sa))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cell_injection, bench_decode_with_faults, bench_analytic_damage
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks for the system-model layers: the NVSim-style
+//! array sweep, the NVDLA evaluation, the spec-level design-space
+//! exploration (the engine behind Fig. 6 / Table 4), and the hybrid
+//! partition sweep (Fig. 11).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maxnvm::{baseline_design, optimal_design, CellTechnology, NvdlaConfig};
+use maxnvm_dnn::zoo;
+use maxnvm_encoding::EncodingKind;
+use maxnvm_envm::SenseAmp;
+use maxnvm_faultsim::dse::explore_spec;
+use maxnvm_nvdla::hybrid::sweep_hybrid;
+use maxnvm_nvdla::perf::encoded_weight_bytes;
+use maxnvm_nvsim::{characterize, sweep, ArrayRequest, OptTarget};
+
+fn bench_nvsim(c: &mut Criterion) {
+    let req = ArrayRequest::new(CellTechnology::MlcCtt, 90_000_000, 3);
+    c.bench_function("nvsim_sweep_90M_cells", |b| b.iter(|| sweep(&req)));
+    c.bench_function("nvsim_characterize_edp", |b| {
+        b.iter(|| characterize(&req, OptTarget::ReadEdp))
+    });
+}
+
+fn bench_nvdla(c: &mut Criterion) {
+    let model = zoo::resnet50();
+    let cfg = NvdlaConfig::nvdla_1024();
+    c.bench_function("nvdla_evaluate_resnet50", |b| {
+        b.iter(|| baseline_design(&model, &cfg))
+    });
+}
+
+fn bench_dse(c: &mut Criterion) {
+    let spec = zoo::resnet50();
+    let sa = SenseAmp::paper_default();
+    c.bench_function("dse_explore_spec_resnet50", |b| {
+        b.iter(|| explore_spec(&spec, CellTechnology::MlcCtt, &sa, spec.paper.itn_bound))
+    });
+    c.bench_function("full_pipeline_resnet50_ctt", |b| {
+        b.iter(|| optimal_design(&spec, CellTechnology::MlcCtt))
+    });
+}
+
+fn bench_hybrid(c: &mut Criterion) {
+    let model = zoo::vgg16();
+    let bytes = encoded_weight_bytes(&model, EncodingKind::Csr, false);
+    c.bench_function("hybrid_sweep_vgg16_5pts", |b| {
+        b.iter(|| {
+            sweep_hybrid(
+                &model,
+                &NvdlaConfig::nvdla_1024(),
+                CellTechnology::MlcCtt,
+                3,
+                1.0,
+                &bytes,
+                &[0.0, 0.25, 0.5, 0.75, 0.9],
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_nvsim, bench_nvdla, bench_dse, bench_hybrid
+}
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! MaxNVM reproduction: benchmark harness binaries (one per paper table/figure).

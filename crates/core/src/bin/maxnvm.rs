@@ -1,0 +1,216 @@
+//! `maxnvm` — command-line front end to the co-design pipeline.
+//!
+//! ```text
+//! maxnvm design  <model> <tech>   full pipeline for one model/technology
+//! maxnvm compare <model>          all four technologies + DRAM baseline
+//! maxnvm dse     <model> <tech>   densest design-space points (pass/fail)
+//! maxnvm hybrid  <model> <tech>   the §6 fixed-area SRAM/eNVM split sweep
+//! maxnvm models                   list the model zoo
+//! ```
+//!
+//! Models: `lenet5 | vgg12 | vgg16 | resnet50`.
+//! Technologies: `ctt | rram | opt-rram | slc-rram`.
+
+use maxnvm::{baseline_design, optimal_design, CellTechnology, NvdlaConfig};
+use maxnvm_dnn::zoo::{self, ModelSpec};
+use maxnvm_envm::{SenseAmp, WriteModel};
+use maxnvm_encoding::EncodingKind;
+use maxnvm_faultsim::dse::explore_spec;
+use maxnvm_nvdla::hybrid::sweep_hybrid;
+use maxnvm_nvdla::perf::encoded_weight_bytes;
+use std::process::ExitCode;
+
+fn parse_model(name: &str) -> Option<ModelSpec> {
+    match name.to_ascii_lowercase().as_str() {
+        "lenet5" => Some(zoo::lenet5()),
+        "vgg12" => Some(zoo::vgg12()),
+        "vgg16" => Some(zoo::vgg16()),
+        "resnet50" => Some(zoo::resnet50()),
+        _ => None,
+    }
+}
+
+fn parse_tech(name: &str) -> Option<CellTechnology> {
+    match name.to_ascii_lowercase().as_str() {
+        "ctt" | "mlc-ctt" => Some(CellTechnology::MlcCtt),
+        "rram" | "mlc-rram" => Some(CellTechnology::MlcRram),
+        "opt-rram" | "opt" => Some(CellTechnology::OptMlcRram),
+        "slc-rram" | "slc" => Some(CellTechnology::SlcRram),
+        _ => None,
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  maxnvm design  <model> <tech>\n  maxnvm compare <model>\n  \
+         maxnvm dse     <model> <tech>\n  maxnvm hybrid  <model> <tech>\n  maxnvm models\n\n\
+         models: lenet5 | vgg12 | vgg16 | resnet50\n\
+         techs:  ctt | rram | opt-rram | slc-rram"
+    );
+    ExitCode::FAILURE
+}
+
+fn cmd_design(spec: &ModelSpec, tech: CellTechnology) {
+    let d = optimal_design(spec, tech);
+    println!("{} on {}", spec.name, tech.name());
+    println!("  encoding           {}", d.scheme_label);
+    println!("  max bits per cell  {}", d.max_bits_per_cell);
+    println!("  cells              {:.2}M", d.cells as f64 / 1e6);
+    println!("  capacity           {:.1} MB", d.capacity_mb);
+    println!("  est. error         {:.2}%", d.mean_error * 100.0);
+    println!("  macro area         {:.2} mm2", d.array.area_mm2);
+    println!("  read latency       {:.2} ns", d.array.read_latency_ns);
+    println!("  read energy        {:.2} pJ/access", d.array.read_energy_pj);
+    println!("  read bandwidth     {:.1} GB/s", d.array.read_bandwidth_gbps);
+    println!(
+        "  write time         {}",
+        WriteModel::format_duration(d.write_time_s)
+    );
+    println!(
+        "  NVDLA-64           {:.2} mJ/inf, {:.0} mW, {:.1} FPS",
+        d.system_64.energy_per_inference_mj, d.system_64.avg_power_mw, d.system_64.fps
+    );
+    println!(
+        "  NVDLA-1024         {:.2} mJ/inf, {:.0} mW, {:.1} FPS",
+        d.system_1024.energy_per_inference_mj, d.system_1024.avg_power_mw, d.system_1024.fps
+    );
+}
+
+fn cmd_compare(spec: &ModelSpec) {
+    println!(
+        "{} on NVDLA-64: DRAM baseline vs on-chip eNVM proposals\n",
+        spec.name
+    );
+    println!(
+        "{:<16} {:>10} {:>12} {:>10} {:>10} {:>12}",
+        "weight store", "area(mm2)", "E(mJ/inf)", "P(mW)", "FPS", "write"
+    );
+    let base = baseline_design(spec, &NvdlaConfig::nvdla_64());
+    println!(
+        "{:<16} {:>10} {:>12.2} {:>10.0} {:>10.1} {:>12}",
+        "LPDDR4 DRAM", "-", base.energy_per_inference_mj, base.avg_power_mw, base.fps, "-"
+    );
+    for tech in CellTechnology::ALL {
+        let d = optimal_design(spec, tech);
+        println!(
+            "{:<16} {:>10.2} {:>12.2} {:>10.0} {:>10.1} {:>12}",
+            tech.name(),
+            d.array.area_mm2,
+            d.system_64.energy_per_inference_mj,
+            d.system_64.avg_power_mw,
+            d.system_64.fps,
+            WriteModel::format_duration(d.write_time_s)
+        );
+    }
+}
+
+fn cmd_dse(spec: &ModelSpec, tech: CellTechnology) {
+    let points = explore_spec(spec, tech, &SenseAmp::paper_default(), spec.paper.itn_bound);
+    let mut sorted = points;
+    sorted.sort_by_key(|p| p.cells);
+    println!(
+        "{} on {}: densest 15 of {} design points (ITN bound {:.2}%)\n",
+        spec.name,
+        tech.name(),
+        sorted.len(),
+        spec.paper.itn_bound * 100.0
+    );
+    println!(
+        "{:<20} {:>12} {:>10} {:>6}",
+        "scheme", "cells(M)", "error", "pass"
+    );
+    for p in sorted.iter().take(15) {
+        println!(
+            "{:<20} {:>12.2} {:>9.2}% {:>6}",
+            p.scheme.label(),
+            p.cells as f64 / 1e6,
+            p.mean_error * 100.0,
+            if p.passes { "yes" } else { "NO" }
+        );
+    }
+}
+
+fn cmd_hybrid(spec: &ModelSpec, tech: CellTechnology) {
+    let bytes = encoded_weight_bytes(spec, EncodingKind::Csr, false);
+    let fractions: Vec<f64> = (0..=9).map(|i| i as f64 * 0.1).collect();
+    let points = sweep_hybrid(
+        spec,
+        &NvdlaConfig::nvdla_1024(),
+        tech,
+        tech.max_bits_per_cell(),
+        1.0,
+        &bytes,
+        &fractions,
+    );
+    println!(
+        "{} with 1mm2 on-chip memory split SRAM/eNVM ({}):
+",
+        spec.name,
+        tech.name()
+    );
+    println!("{:>6} {:>10} {:>10} {:>10}", "eNVM%", "cap(MB)", "rel perf", "rel E");
+    for p in &points {
+        println!(
+            "{:>5.0}% {:>10.1} {:>10.3} {:>10.3}",
+            p.envm_fraction * 100.0,
+            p.envm_capacity_bits as f64 / 8.0 / 1024.0 / 1024.0,
+            p.relative_performance,
+            p.relative_energy
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("models") => {
+            for spec in ModelSpec::paper_models() {
+                println!(
+                    "{:<10} {:<10} {:>3} layers {:>12} params  sparsity {:.1}%  {}b indices",
+                    spec.name.to_ascii_lowercase(),
+                    spec.dataset,
+                    spec.layers.len(),
+                    spec.params(),
+                    spec.paper.sparsity * 100.0,
+                    spec.paper.cluster_index_bits
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("design") if args.len() == 3 => {
+            match (parse_model(&args[1]), parse_tech(&args[2])) {
+                (Some(m), Some(t)) => {
+                    cmd_design(&m, t);
+                    ExitCode::SUCCESS
+                }
+                _ => usage(),
+            }
+        }
+        Some("compare") if args.len() == 2 => match parse_model(&args[1]) {
+            Some(m) => {
+                cmd_compare(&m);
+                ExitCode::SUCCESS
+            }
+            None => usage(),
+        },
+        Some("dse") if args.len() == 3 => {
+            match (parse_model(&args[1]), parse_tech(&args[2])) {
+                (Some(m), Some(t)) => {
+                    cmd_dse(&m, t);
+                    ExitCode::SUCCESS
+                }
+                _ => usage(),
+            }
+        }
+        Some("hybrid") if args.len() == 3 => {
+            match (parse_model(&args[1]), parse_tech(&args[2])) {
+                (Some(m), Some(t)) => {
+                    cmd_hybrid(&m, t);
+                    ExitCode::SUCCESS
+                }
+                _ => usage(),
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,236 @@
+//! **MaxNVM** — a principled co-design of sparse encodings, protective
+//! logic, and fault-prone MLC eNVM technologies for highly-efficient DNN
+//! inference. A from-scratch Rust reproduction of the MICRO-52 paper.
+//!
+//! The crate ties the subsystem crates into the paper's end-to-end flow
+//! (Fig. 3):
+//!
+//! ```text
+//! trained/spec'd DNN  ──►  prune + cluster      (maxnvm-dnn, maxnvm-encoding)
+//!                     ──►  sparse encode        (CSR / BitMask / P+C)
+//!                     ──►  fault-model DSE      (maxnvm-envm, maxnvm-faultsim)
+//!                     ──►  array characterization (maxnvm-nvsim)
+//!                     ──►  system evaluation    (maxnvm-nvdla)
+//! ```
+//!
+//! [`optimal_design`] runs the whole pipeline for one model × technology,
+//! producing the Table 4 quantities: optimal encoding, max bits-per-cell,
+//! capacity, macro area, read latency, and NVDLA frame rate — plus energy
+//! and power against the DRAM baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use maxnvm::{optimal_design, CellTechnology};
+//! use maxnvm_dnn::zoo;
+//!
+//! let design = optimal_design(&zoo::resnet50(), CellTechnology::MlcCtt);
+//! // ResNet50 fits on-chip in a couple of mm² of MLC-CTT (paper: 1.0mm²).
+//! assert!(design.array.area_mm2 < 5.0);
+//! assert!(design.scheme_label.contains("BitM") || design.scheme_label.contains("CSR"));
+//! ```
+
+pub use maxnvm_envm::{CellTechnology, MlcConfig, SenseAmp};
+pub use maxnvm_nvdla::{NvdlaConfig, SystemReport, WeightSource};
+pub use maxnvm_nvsim::{ArrayDesign, OptTarget};
+
+use maxnvm_dnn::zoo::ModelSpec;
+use maxnvm_encoding::storage::StorageScheme;
+use maxnvm_envm::WriteModel;
+use maxnvm_faultsim::dse::{explore_spec, minimal_cells, DsePoint};
+use maxnvm_nvdla::perf::{encoded_weight_bytes, evaluate};
+use maxnvm_nvsim::{characterize_min_width, ArrayRequest};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of the full co-design pipeline for one model on one
+/// technology: everything a Table 4 row reports, plus the baseline
+/// comparison behind Fig. 9.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Model name.
+    pub model: String,
+    /// Memory technology.
+    pub tech: CellTechnology,
+    /// Winning storage configuration ("BitM+IdxSync", "CSR+ECC", ...).
+    pub scheme_label: String,
+    /// The full winning scheme.
+    pub scheme: StorageScheme,
+    /// Maximum bits per cell used by any structure (Table 4 "BPC").
+    pub max_bits_per_cell: u8,
+    /// Total memory cells for all weights.
+    pub cells: u64,
+    /// Encoded capacity in MB (Table 4's capacity column).
+    pub capacity_mb: f64,
+    /// Estimated mean classification error under faults.
+    pub mean_error: f64,
+    /// The characterized eNVM macro.
+    pub array: ArrayDesign,
+    /// System evaluation on NVDLA-64 with this macro as weight store.
+    pub system_64: SystemReport,
+    /// System evaluation on NVDLA-1024.
+    pub system_1024: SystemReport,
+    /// Optimistic total time to (re)write all weights (seconds, Table 5).
+    pub write_time_s: f64,
+}
+
+/// Runs the complete pipeline for a model spec on a technology, selecting
+/// the minimal-cell accuracy-preserving storage configuration (§4.4) and
+/// characterizing the resulting system (§5).
+///
+/// # Panics
+///
+/// Panics if no storage configuration preserves accuracy (cannot happen
+/// for the supported technologies: SLC always passes).
+pub fn optimal_design(spec: &ModelSpec, tech: CellTechnology) -> DesignPoint {
+    let sa = SenseAmp::paper_default();
+    let points = explore_spec(spec, tech, &sa, spec.paper.itn_bound);
+    let best: &DsePoint = minimal_cells(&points).expect("SLC fallback always passes");
+    design_from_scheme(spec, tech, best.scheme.clone(), best.cells, best.mean_error)
+}
+
+/// Characterizes a specific (already chosen) scheme — used by the
+/// benchmark harness to pin the encodings the paper's Table 4 lists.
+pub fn design_from_scheme(
+    spec: &ModelSpec,
+    tech: CellTechnology,
+    scheme: StorageScheme,
+    cells: u64,
+    mean_error: f64,
+) -> DesignPoint {
+    let bpc = scheme.max_bpc().bits();
+    // The weight store feeds NVDLA's 128-bit read beats: require a wide
+    // access interface when picking the EDP-optimal organization.
+    let array = characterize_min_width(
+        &ArrayRequest::new(tech, cells, bpc),
+        OptTarget::ReadEdp,
+        96,
+    );
+    let weight_bytes = encoded_weight_bytes(spec, scheme.encoding, scheme.idx_sync);
+    let source = WeightSource::Envm(array);
+    let system_64 = evaluate(spec, &NvdlaConfig::nvdla_64(), &source, &weight_bytes);
+    let system_1024 = evaluate(spec, &NvdlaConfig::nvdla_1024(), &source, &weight_bytes);
+    let write_time_s = WriteModel::for_tech(tech).total_write_time_s(cells);
+    DesignPoint {
+        model: spec.name.clone(),
+        tech,
+        scheme_label: scheme.label(),
+        max_bits_per_cell: bpc,
+        cells,
+        capacity_mb: cells as f64 * bpc as f64 / 8.0 / 1024.0 / 1024.0,
+        mean_error,
+        scheme,
+        array,
+        system_64,
+        system_1024,
+        write_time_s,
+    }
+}
+
+/// The DRAM-baseline system evaluation for a model (Fig. 7a): weights
+/// stream from LPDDR4, encoded with the NVDLA-native BitMask format.
+pub fn baseline_design(spec: &ModelSpec, cfg: &NvdlaConfig) -> SystemReport {
+    let weight_bytes =
+        encoded_weight_bytes(spec, maxnvm_encoding::EncodingKind::BitMask, false);
+    evaluate(spec, cfg, &WeightSource::Dram, &weight_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxnvm_dnn::zoo;
+
+    #[test]
+    fn resnet50_ctt_matches_table4_shape() {
+        // Table 4, ResNet50 × MLC-CTT: BitM+IdxSync, 2 BPC, 12MB, 1.0mm².
+        let d = optimal_design(&zoo::resnet50(), CellTechnology::MlcCtt);
+        assert!(d.scheme_label.starts_with("BitM+IdxSync"), "{}", d.scheme_label);
+        assert!((0.3..4.0).contains(&d.array.area_mm2), "{}", d.array.area_mm2);
+        assert!((6.0..20.0).contains(&d.capacity_mb), "{} MB", d.capacity_mb);
+        assert!(d.system_1024.fps > 60.0, "fps {}", d.system_1024.fps);
+    }
+
+    #[test]
+    fn vgg16_fits_on_chip_in_a_few_mm2() {
+        // §5.1: VGG16's protected sparse weights fit in ~2mm² of MLC-CTT
+        // and ~1.3mm² of optimistic RRAM.
+        let ctt = optimal_design(&zoo::vgg16(), CellTechnology::MlcCtt);
+        assert!(ctt.array.area_mm2 < 6.0, "CTT {}", ctt.array.area_mm2);
+        let opt = optimal_design(&zoo::vgg16(), CellTechnology::OptMlcRram);
+        assert!(opt.array.area_mm2 < ctt.array.area_mm2);
+    }
+
+    #[test]
+    fn slc_baseline_needs_an_order_more_area() {
+        // §1: optimized MLC designs provide up to 29x area reduction
+        // relative to SLC eNVM (best case, CiFar10-VGG12).
+        let slc = optimal_design(&zoo::vgg12(), CellTechnology::SlcRram);
+        let opt = optimal_design(&zoo::vgg12(), CellTechnology::OptMlcRram);
+        let ratio = slc.array.area_mm2 / opt.array.area_mm2;
+        assert!((8.0..40.0).contains(&ratio), "area reduction {ratio} (paper up to 29x)");
+    }
+
+    #[test]
+    fn ctt_is_the_energy_champion() {
+        // §5.2: of the MLC proposals, MLC-CTT achieves the lowest energy
+        // per inference. On NVDLA-1024 the contrast comes through the
+        // higher read bandwidth (shorter runtime); on the compute-bound
+        // NVDLA-64 the proposals converge, so CTT must merely not lose.
+        let model = zoo::resnet50();
+        let ctt = optimal_design(&model, CellTechnology::MlcCtt);
+        let opt = optimal_design(&model, CellTechnology::OptMlcRram);
+        let rram = optimal_design(&model, CellTechnology::MlcRram);
+        assert!(
+            ctt.system_1024.energy_per_inference_mj
+                < opt.system_1024.energy_per_inference_mj
+        );
+        assert!(
+            ctt.system_1024.energy_per_inference_mj
+                < rram.system_1024.energy_per_inference_mj
+        );
+        assert!(
+            ctt.system_64.energy_per_inference_mj
+                < 1.05 * opt.system_64.energy_per_inference_mj
+        );
+    }
+
+    #[test]
+    fn envm_beats_dram_baseline_on_power_and_energy() {
+        // Headline: up to 3.5x lower energy per inference, 3.2x lower
+        // power vs the DRAM baseline.
+        let model = zoo::resnet50();
+        let cfg = NvdlaConfig::nvdla_64();
+        let base = baseline_design(&model, &cfg);
+        let ctt = optimal_design(&model, CellTechnology::MlcCtt);
+        let e_ratio = base.energy_per_inference_mj / ctt.system_64.energy_per_inference_mj;
+        let p_ratio = base.avg_power_mw / ctt.system_64.avg_power_mw;
+        assert!((2.0..5.0).contains(&e_ratio), "energy ratio {e_ratio} (paper 3.5x)");
+        assert!((2.0..5.0).contains(&p_ratio), "power ratio {p_ratio} (paper 3.2x)");
+    }
+
+    #[test]
+    fn write_times_span_ms_to_minutes() {
+        // Table 5: RRAM rewrites in milliseconds, CTT in minutes.
+        let model = zoo::vgg16();
+        let ctt = optimal_design(&model, CellTechnology::MlcCtt);
+        let rram = optimal_design(&model, CellTechnology::MlcRram);
+        assert!(ctt.write_time_s > 60.0, "CTT write {}s", ctt.write_time_s);
+        assert!(rram.write_time_s < 10.0, "RRAM write {}s", rram.write_time_s);
+    }
+
+    #[test]
+    fn rram_trades_write_speed_for_energy() {
+        // §1: RRAM writes orders of magnitude faster while giving up
+        // roughly 20% energy efficiency vs CTT.
+        let model = zoo::resnet50();
+        let ctt = optimal_design(&model, CellTechnology::MlcCtt);
+        let rram = optimal_design(&model, CellTechnology::MlcRram);
+        assert!(ctt.write_time_s / rram.write_time_s > 100.0);
+        let penalty = rram.system_1024.energy_per_inference_mj
+            / ctt.system_1024.energy_per_inference_mj;
+        assert!(
+            (1.0..2.5).contains(&penalty),
+            "RRAM energy penalty {penalty} (paper ~1.2x; ours is larger because\
+             the RRAM macro's lower read bandwidth stretches the runtime)"
+        );
+    }
+}

@@ -1,0 +1,349 @@
+//! Network layers with single-sample forward inference.
+//!
+//! Weights are kept in the 2-D layout the paper's sparse encodings consume
+//! (§3.2.1): convolution kernels `[out_ch, in_ch*kh*kw]` (the NVDLA-
+//! compatible 2-D mapping of the 3-D filters) and linear weights
+//! `[out, in]`.
+
+use crate::tensor::{im2col, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// One layer of a [`Network`](crate::Network).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// 2-D convolution. `weight` is `[out_ch, in_ch*kh*kw]`.
+    Conv2d {
+        /// Layer name (used to label weight matrices).
+        name: String,
+        /// Kernel matrix, `[out_ch, in_ch*kh*kw]`.
+        weight: Tensor,
+        /// Per-output-channel bias.
+        bias: Vec<f32>,
+        /// Input channels.
+        in_ch: usize,
+        /// Kernel height.
+        kh: usize,
+        /// Kernel width.
+        kw: usize,
+        /// Stride (same in both dimensions).
+        stride: usize,
+        /// Zero padding (same on all sides).
+        pad: usize,
+    },
+    /// Fully connected layer. `weight` is `[out, in]`.
+    Linear {
+        /// Layer name.
+        name: String,
+        /// Weight matrix, `[out, in]`.
+        weight: Tensor,
+        /// Per-output bias.
+        bias: Vec<f32>,
+    },
+    /// Rectified linear unit.
+    ReLU,
+    /// 2×2 max pooling with stride 2. Requires even spatial dimensions.
+    MaxPool2,
+    /// Global average pooling, `[c,h,w] -> [c]`.
+    AvgPoolGlobal,
+    /// Flattens `[c,h,w] -> [c*h*w]`.
+    Flatten,
+    /// Batch normalization (inference form, per-channel affine).
+    BatchNorm2d {
+        /// Scale per channel.
+        gamma: Vec<f32>,
+        /// Shift per channel.
+        beta: Vec<f32>,
+        /// Running mean per channel.
+        mean: Vec<f32>,
+        /// Running variance per channel.
+        var: Vec<f32>,
+    },
+    /// Residual block: `out = body(x) + shortcut(x)` (empty shortcut =
+    /// identity). Forward-only.
+    Residual {
+        /// Main path.
+        body: Vec<Layer>,
+        /// Shortcut path (empty = identity).
+        shortcut: Vec<Layer>,
+    },
+}
+
+impl Layer {
+    /// Convenience constructor for a convolution with zero-initialized
+    /// parameters.
+    pub fn conv2d(
+        name: &str,
+        out_ch: usize,
+        in_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        Layer::Conv2d {
+            name: name.to_string(),
+            weight: Tensor::zeros(&[out_ch, in_ch * k * k]),
+            bias: vec![0.0; out_ch],
+            in_ch,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        }
+    }
+
+    /// Convenience constructor for a linear layer with zero-initialized
+    /// parameters.
+    pub fn linear(name: &str, out: usize, inp: usize) -> Self {
+        Layer::Linear {
+            name: name.to_string(),
+            weight: Tensor::zeros(&[out, inp]),
+            bias: vec![0.0; out],
+        }
+    }
+
+    /// Runs the layer on a single sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape is incompatible with the layer.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        match self {
+            Layer::Conv2d {
+                weight,
+                bias,
+                in_ch,
+                kh,
+                kw,
+                stride,
+                pad,
+                ..
+            } => {
+                assert_eq!(x.shape().len(), 3, "conv input must be [c,h,w]");
+                assert_eq!(x.shape()[0], *in_ch, "conv input channels");
+                let (cols, oh, ow) = im2col(x, *kh, *kw, *stride, *pad);
+                let mut out = weight.matmul(&cols);
+                let out_ch = weight.shape()[0];
+                for (ci, row) in out.data_mut().chunks_mut(oh * ow).enumerate() {
+                    for v in row.iter_mut() {
+                        *v += bias[ci];
+                    }
+                }
+                out.reshape(&[out_ch, oh, ow])
+            }
+            Layer::Linear { weight, bias, .. } => {
+                assert_eq!(x.shape().len(), 1, "linear input must be flat");
+                let (out, inp) = (weight.shape()[0], weight.shape()[1]);
+                assert_eq!(x.len(), inp, "linear input size");
+                let mut y = vec![0.0f32; out];
+                for (o, yo) in y.iter_mut().enumerate() {
+                    let row = &weight.data()[o * inp..(o + 1) * inp];
+                    *yo = bias[o]
+                        + row
+                            .iter()
+                            .zip(x.data())
+                            .map(|(w, v)| w * v)
+                            .sum::<f32>();
+                }
+                Tensor::from_vec(&[out], y)
+            }
+            Layer::ReLU => Tensor::from_vec(
+                x.shape(),
+                x.data().iter().map(|&v| v.max(0.0)).collect(),
+            ),
+            Layer::MaxPool2 => {
+                assert_eq!(x.shape().len(), 3, "pool input must be [c,h,w]");
+                let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+                assert!(h % 2 == 0 && w % 2 == 0, "pool needs even dims, got {h}x{w}");
+                let (oh, ow) = (h / 2, w / 2);
+                let mut out = vec![0.0f32; c * oh * ow];
+                for ci in 0..c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut m = f32::NEG_INFINITY;
+                            for dy in 0..2 {
+                                for dx in 0..2 {
+                                    let v = x.data()
+                                        [(ci * h + oy * 2 + dy) * w + ox * 2 + dx];
+                                    m = m.max(v);
+                                }
+                            }
+                            out[(ci * oh + oy) * ow + ox] = m;
+                        }
+                    }
+                }
+                Tensor::from_vec(&[c, oh, ow], out)
+            }
+            Layer::AvgPoolGlobal => {
+                assert_eq!(x.shape().len(), 3, "pool input must be [c,h,w]");
+                let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+                let hw = (h * w) as f32;
+                let out = (0..c)
+                    .map(|ci| {
+                        x.data()[ci * h * w..(ci + 1) * h * w].iter().sum::<f32>() / hw
+                    })
+                    .collect();
+                Tensor::from_vec(&[c], out)
+            }
+            Layer::Flatten => {
+                let n = x.len();
+                x.clone().reshape(&[n])
+            }
+            Layer::BatchNorm2d {
+                gamma,
+                beta,
+                mean,
+                var,
+            } => {
+                assert_eq!(x.shape().len(), 3, "batchnorm input must be [c,h,w]");
+                let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+                assert_eq!(c, gamma.len(), "batchnorm channels");
+                let mut out = x.data().to_vec();
+                for ci in 0..c {
+                    let inv = 1.0 / (var[ci] + 1e-5).sqrt();
+                    for v in &mut out[ci * h * w..(ci + 1) * h * w] {
+                        *v = gamma[ci] * (*v - mean[ci]) * inv + beta[ci];
+                    }
+                }
+                Tensor::from_vec(x.shape(), out)
+            }
+            Layer::Residual { body, shortcut } => {
+                let mut main = x.clone();
+                for l in body {
+                    main = l.forward(&main);
+                }
+                let mut sc = x.clone();
+                for l in shortcut {
+                    sc = l.forward(&sc);
+                }
+                assert_eq!(main.shape(), sc.shape(), "residual shape mismatch");
+                let data = main
+                    .data()
+                    .iter()
+                    .zip(sc.data())
+                    .map(|(a, b)| a + b)
+                    .collect();
+                Tensor::from_vec(main.shape(), data)
+            }
+        }
+    }
+
+    /// Number of stored weights (excluding biases and batch-norm
+    /// parameters) — what the paper counts as DNN "parameters" for storage.
+    pub fn weight_count(&self) -> usize {
+        match self {
+            Layer::Conv2d { weight, .. } | Layer::Linear { weight, .. } => weight.len(),
+            Layer::Residual { body, shortcut } => body
+                .iter()
+                .chain(shortcut)
+                .map(Layer::weight_count)
+                .sum(),
+            _ => 0,
+        }
+    }
+
+    /// Whether this layer participates in backprop training (residual and
+    /// batch-norm layers are forward-only in this substrate).
+    pub fn supports_backprop(&self) -> bool {
+        !matches!(self, Layer::Residual { .. } | Layer::BatchNorm2d { .. } | Layer::AvgPoolGlobal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.0, 2.0, -0.5]);
+        let y = Layer::ReLU.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn linear_computes_affine() {
+        let l = Layer::Linear {
+            name: "fc".into(),
+            weight: Tensor::from_vec(&[2, 3], vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5]),
+            bias: vec![1.0, -1.0],
+        };
+        let y = l.forward(&Tensor::from_vec(&[3], vec![2.0, 4.0, 6.0]));
+        assert_eq!(y.data(), &[2.0 - 6.0 + 1.0, 6.0 - 1.0]);
+    }
+
+    #[test]
+    fn conv_geometry_and_bias() {
+        let mut l = Layer::conv2d("c1", 2, 1, 3, 1, 1);
+        if let Layer::Conv2d { bias, .. } = &mut l {
+            bias[1] = 5.0;
+        }
+        let y = l.forward(&Tensor::zeros(&[1, 8, 8]));
+        assert_eq!(y.shape(), &[2, 8, 8]);
+        // Zero weights: channel 0 all zero, channel 1 all bias.
+        assert!(y.data()[..64].iter().all(|&v| v == 0.0));
+        assert!(y.data()[64..].iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    fn maxpool_takes_window_max() {
+        let x = Tensor::from_vec(
+            &[1, 2, 4],
+            vec![1.0, 2.0, 5.0, 0.0, 3.0, 4.0, -1.0, 6.0],
+        );
+        let y = Layer::MaxPool2.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2]);
+        assert_eq!(y.data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn global_avg_pool() {
+        let x = Tensor::from_vec(&[2, 1, 2], vec![1.0, 3.0, 10.0, 20.0]);
+        let y = Layer::AvgPoolGlobal.forward(&x);
+        assert_eq!(y.data(), &[2.0, 15.0]);
+    }
+
+    #[test]
+    fn flatten_reshapes() {
+        let x = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(Layer::Flatten.forward(&x).shape(), &[24]);
+    }
+
+    #[test]
+    fn batchnorm_normalizes_channel() {
+        let l = Layer::BatchNorm2d {
+            gamma: vec![2.0],
+            beta: vec![1.0],
+            mean: vec![3.0],
+            var: vec![4.0],
+        };
+        let x = Tensor::from_vec(&[1, 1, 2], vec![3.0, 7.0]);
+        let y = l.forward(&x);
+        assert!((y.data()[0] - 1.0).abs() < 1e-4); // (3-3)/2*2+1
+        assert!((y.data()[1] - 5.0).abs() < 1e-3); // (7-3)/2*2+1
+    }
+
+    #[test]
+    fn residual_identity_shortcut_adds_input() {
+        let block = Layer::Residual {
+            body: vec![Layer::ReLU],
+            shortcut: vec![],
+        };
+        let x = Tensor::from_vec(&[3], vec![-2.0, 0.0, 3.0]);
+        let y = block.forward(&x);
+        assert_eq!(y.data(), &[-2.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn weight_count_recurses_residual() {
+        let block = Layer::Residual {
+            body: vec![Layer::conv2d("a", 4, 4, 3, 1, 1), Layer::ReLU],
+            shortcut: vec![Layer::conv2d("b", 4, 4, 1, 1, 0)],
+        };
+        assert_eq!(block.weight_count(), 4 * 4 * 9 + 4 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "even dims")]
+    fn maxpool_rejects_odd_dims() {
+        Layer::MaxPool2.forward(&Tensor::zeros(&[1, 3, 4]));
+    }
+}

@@ -1,0 +1,45 @@
+//! DNN substrate for the MaxNVM reproduction.
+//!
+//! The paper evaluates four image-classification networks (Table 2):
+//! LeNet5/MNIST, VGG12/CiFar10, VGG16/ImageNet and ResNet50/ImageNet. This
+//! crate provides everything the co-design pipeline needs from the DNN
+//! side, built from scratch:
+//!
+//! - [`tensor`]: a minimal row-major f32 tensor with matmul and im2col;
+//! - [`layer`] / [`network`]: runnable networks (conv, linear, pooling,
+//!   batch-norm, residual blocks) with forward inference and — for the
+//!   architectures used in fault-injection experiments — SGD backprop;
+//! - [`train`]: SGD with momentum and softmax cross-entropy;
+//! - [`data`]: procedurally generated datasets standing in for
+//!   MNIST/CiFar10/ImageNet (see `DESIGN.md` for the substitution
+//!   argument);
+//! - [`zoo`]: topology specifications of the paper's four models with
+//!   parameter counts matching Table 2, plus small *trainable* stand-ins
+//!   used for end-to-end accuracy-under-fault measurements.
+//!
+//! # Example
+//!
+//! ```
+//! use maxnvm_dnn::data::SyntheticDigits;
+//! use maxnvm_dnn::zoo;
+//! use maxnvm_dnn::train::{sgd_train, TrainConfig};
+//!
+//! let data = SyntheticDigits::generate(200, 42);
+//! let mut net = zoo::lenet_mini(7);
+//! let cfg = TrainConfig { epochs: 1, ..TrainConfig::default() };
+//! let report = sgd_train(&mut net, &data.train, &cfg).unwrap();
+//! assert!(report.final_loss.is_finite());
+//! ```
+
+pub mod data;
+pub mod layer;
+pub mod network;
+pub mod rnn;
+pub mod tensor;
+pub mod train;
+pub mod zoo;
+
+pub use layer::Layer;
+pub use network::Network;
+pub use tensor::Tensor;
+pub use zoo::{LayerSpec, ModelSpec};

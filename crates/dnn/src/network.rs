@@ -1,0 +1,277 @@
+//! A runnable network: an ordered list of layers with weight-matrix
+//! extraction for the storage pipeline.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A 2-D-mapped weight matrix extracted from (or written back to) a layer —
+/// the unit of storage the paper's encodings operate on (§3.2.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerMatrix {
+    /// Originating layer name.
+    pub name: String,
+    /// Matrix rows (output channels / neurons).
+    pub rows: usize,
+    /// Matrix columns (fan-in).
+    pub cols: usize,
+    /// Row-major values, `rows * cols` long.
+    pub data: Vec<f32>,
+}
+
+impl LayerMatrix {
+    /// Creates a matrix, validating dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn new(name: &str, rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length");
+        Self {
+            name: name.to_string(),
+            rows,
+            cols,
+            data,
+        }
+    }
+
+    /// Fraction of zero-valued entries.
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().filter(|&&v| v == 0.0).count() as f64 / self.data.len() as f64
+    }
+
+    /// Number of non-zero entries.
+    pub fn nonzeros(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+}
+
+/// An ordered stack of layers forming a classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    /// Model name.
+    pub name: String,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Creates a network from layers.
+    pub fn new(name: &str, layers: Vec<Layer>) -> Self {
+        Self {
+            name: name.to_string(),
+            layers,
+        }
+    }
+
+    /// The layers, in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers.
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Runs a single sample through the network, returning the logits.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        for l in &self.layers {
+            cur = l.forward(&cur);
+        }
+        cur
+    }
+
+    /// Predicted class (argmax of logits).
+    pub fn predict(&self, x: &Tensor) -> usize {
+        let logits = self.forward(x);
+        logits
+            .data()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN logit"))
+            .map(|(i, _)| i)
+            .expect("empty logits")
+    }
+
+    /// Classification error rate (fraction wrong) on labelled samples.
+    pub fn error_rate(&self, samples: &[(Tensor, usize)]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let wrong = samples
+            .iter()
+            .filter(|(x, y)| self.predict(x) != *y)
+            .count();
+        wrong as f64 / samples.len() as f64
+    }
+
+    /// Total stored weight count (conv + linear weights; the paper's
+    /// "parameters" for storage purposes).
+    pub fn weight_count(&self) -> usize {
+        self.layers.iter().map(Layer::weight_count).sum()
+    }
+
+    /// Whether every layer supports the substrate's backprop (true for the
+    /// small trainable models, false e.g. for residual networks).
+    pub fn supports_backprop(&self) -> bool {
+        self.layers.iter().all(Layer::supports_backprop)
+    }
+
+    /// Extracts every weight-bearing layer as a 2-D matrix, in order.
+    pub fn weight_matrices(&self) -> Vec<LayerMatrix> {
+        fn collect(layers: &[Layer], out: &mut Vec<LayerMatrix>) {
+            for l in layers {
+                match l {
+                    Layer::Conv2d { name, weight, .. } | Layer::Linear { name, weight, .. } => {
+                        out.push(LayerMatrix::new(
+                            name,
+                            weight.shape()[0],
+                            weight.shape()[1],
+                            weight.data().to_vec(),
+                        ));
+                    }
+                    Layer::Residual { body, shortcut } => {
+                        collect(body, out);
+                        collect(shortcut, out);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        collect(&self.layers, &mut out);
+        out
+    }
+
+    /// Writes weight matrices back into the network (e.g. after an
+    /// encode → store → fault → decode round trip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count or shapes do not match
+    /// [`Network::weight_matrices`].
+    pub fn set_weight_matrices(&mut self, mats: &[LayerMatrix]) {
+        fn apply(layers: &mut [Layer], mats: &[LayerMatrix], idx: &mut usize) {
+            for l in layers {
+                match l {
+                    Layer::Conv2d { weight, .. } | Layer::Linear { weight, .. } => {
+                        let m = mats.get(*idx).expect("matrix count mismatch");
+                        assert_eq!(
+                            weight.shape(),
+                            &[m.rows, m.cols],
+                            "matrix shape mismatch at index {}",
+                            *idx
+                        );
+                        weight.data_mut().copy_from_slice(&m.data);
+                        *idx += 1;
+                    }
+                    Layer::Residual { body, shortcut } => {
+                        apply(body, mats, idx);
+                        apply(shortcut, mats, idx);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut idx = 0;
+        apply(&mut self.layers, mats, &mut idx);
+        assert_eq!(idx, mats.len(), "matrix count mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net() -> Network {
+        let mut fc1 = Layer::linear("fc1", 4, 3);
+        if let Layer::Linear { weight, .. } = &mut fc1 {
+            for (i, v) in weight.data_mut().iter_mut().enumerate() {
+                *v = (i as f32 - 5.0) * 0.1;
+            }
+        }
+        let fc2 = Layer::linear("fc2", 2, 4);
+        Network::new("tiny", vec![fc1, Layer::ReLU, fc2])
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let net = tiny_net();
+        let y = net.forward(&Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]));
+        assert_eq!(y.shape(), &[2]);
+    }
+
+    #[test]
+    fn predict_is_argmax() {
+        let mut net = tiny_net();
+        if let Layer::Linear { bias, .. } = &mut net.layers_mut()[2] {
+            bias[1] = 100.0;
+        }
+        assert_eq!(net.predict(&Tensor::from_vec(&[3], vec![0.0, 0.0, 0.0])), 1);
+    }
+
+    #[test]
+    fn error_rate_counts_mistakes() {
+        let mut net = tiny_net();
+        if let Layer::Linear { bias, .. } = &mut net.layers_mut()[2] {
+            bias[0] = 100.0;
+        }
+        let samples = vec![
+            (Tensor::from_vec(&[3], vec![0.0; 3]), 0),
+            (Tensor::from_vec(&[3], vec![0.0; 3]), 1),
+        ];
+        assert!((net.error_rate(&samples) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_matrix_round_trip() {
+        let mut net = tiny_net();
+        let mut mats = net.weight_matrices();
+        assert_eq!(mats.len(), 2);
+        assert_eq!(mats[0].rows, 4);
+        assert_eq!(mats[0].cols, 3);
+        mats[0].data[0] = 42.0;
+        net.set_weight_matrices(&mats);
+        assert_eq!(net.weight_matrices()[0].data[0], 42.0);
+    }
+
+    #[test]
+    fn weight_count_sums_layers() {
+        let net = tiny_net();
+        assert_eq!(net.weight_count(), 4 * 3 + 2 * 4);
+    }
+
+    #[test]
+    fn residual_matrices_are_collected() {
+        let net = Network::new(
+            "res",
+            vec![Layer::Residual {
+                body: vec![Layer::conv2d("c", 2, 2, 3, 1, 1)],
+                shortcut: vec![Layer::conv2d("s", 2, 2, 1, 1, 0)],
+            }],
+        );
+        let mats = net.weight_matrices();
+        assert_eq!(mats.len(), 2);
+        assert_eq!(mats[0].name, "c");
+        assert_eq!(mats[1].name, "s");
+        assert!(!net.supports_backprop());
+    }
+
+    #[test]
+    fn layer_matrix_sparsity() {
+        let m = LayerMatrix::new("x", 1, 4, vec![0.0, 1.0, 0.0, 2.0]);
+        assert!((m.sparsity() - 0.5).abs() < 1e-12);
+        assert_eq!(m.nonzeros(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix count mismatch")]
+    fn set_matrices_validates_count() {
+        let mut net = tiny_net();
+        net.set_weight_matrices(&[]);
+    }
+}

@@ -1,0 +1,388 @@
+//! A minimal row-major `f32` tensor with the handful of operations the
+//! substrate needs: matmul, transpose, im2col/col2im for convolutions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense row-major tensor of `f32` values.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={:?}, len={})", self.shape, self.data.len())
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::filled(shape, 0.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn filled(shape: &[usize], value: f32) -> Self {
+        assert!(!shape.is_empty(), "empty shape");
+        assert!(shape.iter().all(|&d| d > 0), "zero dimension in {shape:?}");
+        let n: usize = shape.iter().product();
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; n],
+        }
+    }
+
+    /// Wraps existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the product of `shape`.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(data.len(), n, "data length vs shape {shape:?}");
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshape to {shape:?}");
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// 2-D element access for matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or indices are out of bounds.
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        assert_eq!(self.shape.len(), 2, "at2 on non-matrix");
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Matrix multiply: `self (m×k) · rhs (k×n) = (m×n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are 2-D with matching inner dimension.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "lhs not a matrix");
+        assert_eq!(rhs.shape.len(), 2, "rhs not a matrix");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        // ikj loop order keeps the inner loop contiguous in both rhs and out.
+        for i in 0..m {
+            for kk in 0..k {
+                let a = self.data[i * k + kk];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[kk * n..(kk + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// Matrix transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose on non-matrix");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(&[n, m], out)
+    }
+}
+
+/// Unfolds an input image `[c, h, w]` into the im2col matrix
+/// `[c*kh*kw, out_h*out_w]` for a convolution with the given kernel,
+/// stride and zero padding.
+///
+/// # Panics
+///
+/// Panics if the input is not 3-D or the output would be empty.
+pub fn im2col(
+    input: &Tensor,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> (Tensor, usize, usize) {
+    assert_eq!(input.shape().len(), 3, "im2col expects [c,h,w]");
+    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let out_h = (h + 2 * pad - kh) / stride + 1;
+    let out_w = (w + 2 * pad - kw) / stride + 1;
+    assert!(out_h > 0 && out_w > 0, "empty convolution output");
+    let rows = c * kh * kw;
+    let cols = out_h * out_w;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = input.data();
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                for oy in 0..out_h {
+                    let iy = (oy * stride + ki) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..out_w {
+                        let ix = (ox * stride + kj) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out[row * cols + oy * out_w + ox] =
+                            data[(ci * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    (Tensor::from_vec(&[rows, cols], out), out_h, out_w)
+}
+
+/// Folds an im2col-shaped gradient back onto the input image — the adjoint
+/// of [`im2col`], used by convolution backprop.
+///
+/// # Panics
+///
+/// Panics if `cols`' shape is inconsistent with the geometry.
+pub fn col2im(
+    cols: &Tensor,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let out_h = (h + 2 * pad - kh) / stride + 1;
+    let out_w = (w + 2 * pad - kw) / stride + 1;
+    assert_eq!(cols.shape(), &[c * kh * kw, out_h * out_w], "col2im shape");
+    let mut out = vec![0.0f32; c * h * w];
+    let data = cols.data();
+    let ncols = out_h * out_w;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                for oy in 0..out_h {
+                    let iy = (oy * stride + ki) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..out_w {
+                        let ix = (ox * stride + kj) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out[(ci * h + iy as usize) * w + ix as usize] +=
+                            data[row * ncols + oy * out_w + ox];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(&[c, h, w], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(&[3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().at2(2, 1), 6.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0; 6]);
+        let b = a.clone().reshape(&[3, 2]);
+        assert_eq!(b.shape(), &[3, 2]);
+        assert_eq!(b.data(), a.data());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: im2col is just a reshape.
+        let input = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let (cols, oh, ow) = im2col(&input, 1, 1, 1, 0);
+        assert_eq!((oh, ow), (2, 2));
+        assert_eq!(cols.shape(), &[1, 4]);
+        assert_eq!(cols.data(), input.data());
+    }
+
+    #[test]
+    fn im2col_3x3_geometry() {
+        let input = Tensor::zeros(&[3, 8, 8]);
+        let (cols, oh, ow) = im2col(&input, 3, 3, 1, 1);
+        assert_eq!((oh, ow), (8, 8));
+        assert_eq!(cols.shape(), &[3 * 9, 64]);
+    }
+
+    #[test]
+    fn im2col_convolution_matches_direct() {
+        // Convolve a 1x3x3 input with a single 2x2 kernel by both im2col
+        // matmul and direct summation.
+        let input = Tensor::from_vec(
+            &[1, 3, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+        );
+        let kernel = Tensor::from_vec(&[1, 4], vec![1.0, 0.5, -1.0, 2.0]);
+        let (cols, oh, ow) = im2col(&input, 2, 2, 1, 0);
+        let out = kernel.matmul(&cols);
+        assert_eq!((oh, ow), (2, 2));
+        // Direct: out[0,0] = 1*1 + 2*0.5 + 4*(-1) + 5*2 = 8
+        assert!((out.data()[0] - 8.0).abs() < 1e-6);
+        // out[1,1] (oy=1,ox=1) = 5*1 + 6*0.5 + 8*(-1) + 9*2 = 18
+        assert!((out.data()[3] - 18.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of the adjoint, which is exactly what backprop needs.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let (c, h, w, kh, kw, stride, pad) = (2, 5, 5, 3, 3, 2, 1);
+        let x = Tensor::from_vec(
+            &[c, h, w],
+            (0..c * h * w).map(|_| rng.gen::<f32>() - 0.5).collect(),
+        );
+        let (cols, oh, ow) = im2col(&x, kh, kw, stride, pad);
+        let y = Tensor::from_vec(
+            cols.shape(),
+            (0..cols.len()).map(|_| rng.gen::<f32>() - 0.5).collect(),
+        );
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let xt = col2im(&y, c, h, w, kh, kw, stride, pad);
+        let rhs: f32 = x.data().iter().zip(xt.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch {lhs} vs {rhs}");
+        let _ = (oh, ow);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_matmul_distributes_over_addition(
+            m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in any::<u64>()
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut gen = |r: usize, c: usize| {
+                Tensor::from_vec(&[r, c], (0..r * c).map(|_| rng.gen::<f32>() - 0.5).collect())
+            };
+            let a = gen(m, k);
+            let b1 = gen(k, n);
+            let b2 = gen(k, n);
+            let sum = Tensor::from_vec(
+                &[k, n],
+                b1.data().iter().zip(b2.data()).map(|(x, y)| x + y).collect(),
+            );
+            let lhs = a.matmul(&sum);
+            let r1 = a.matmul(&b1);
+            let r2 = a.matmul(&b2);
+            for i in 0..lhs.len() {
+                prop_assert!((lhs.data()[i] - (r1.data()[i] + r2.data()[i])).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! SGD training with softmax cross-entropy for the substrate's trainable
+//! architectures (stacks of conv / linear / ReLU / max-pool / flatten).
+//!
+//! The paper's iso-training-noise (ITN) bound (§3.1.1) comes from training
+//! the same topology repeatedly with identical hyper-parameters and using
+//! the run-to-run accuracy spread as the tolerance for any model
+//! alteration. [`itn_bound`] reproduces that procedure on the substrate's
+//! trainable models.
+
+use crate::layer::Layer;
+use crate::network::Network;
+use crate::tensor::{col2im, im2col, Tensor};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// RNG seed for shuffling and (re)initialization.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 5,
+            lr: 0.05,
+            momentum: 0.9,
+            seed: 0,
+        }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean cross-entropy loss over the final epoch.
+    pub final_loss: f32,
+    /// Training-set error rate after the final epoch.
+    pub train_error: f64,
+}
+
+/// Error returned when a network contains layers without backprop support.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedBackprop(pub String);
+
+impl fmt::Display for UnsupportedBackprop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "network '{}' contains layers without backprop support",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedBackprop {}
+
+/// Per-layer parameter gradients (only weight-bearing layers have entries).
+struct ParamGrad {
+    weight: Tensor,
+    bias: Vec<f32>,
+}
+
+/// Initializes conv/linear weights with He-style scaled Gaussians.
+pub fn he_init(net: &mut Network, seed: u64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    fn init_layers<R: Rng>(layers: &mut [Layer], rng: &mut R) {
+        for l in layers {
+            match l {
+                Layer::Conv2d { weight, .. } | Layer::Linear { weight, .. } => {
+                    let fan_in = weight.shape()[1] as f32;
+                    let std = (2.0 / fan_in).sqrt();
+                    for v in weight.data_mut() {
+                        // Box–Muller on f32.
+                        let u1: f32 = 1.0 - rng.gen::<f32>();
+                        let u2: f32 = rng.gen();
+                        *v = std
+                            * (-2.0 * u1.ln()).sqrt()
+                            * (2.0 * std::f32::consts::PI * u2).cos();
+                    }
+                }
+                Layer::Residual { body, shortcut } => {
+                    init_layers(body, rng);
+                    init_layers(shortcut, rng);
+                }
+                _ => {}
+            }
+        }
+    }
+    init_layers(net.layers_mut(), &mut rng);
+}
+
+/// Softmax cross-entropy loss and gradient w.r.t. the logits.
+fn softmax_ce(logits: &Tensor, label: usize) -> (f32, Tensor) {
+    let max = logits.data().iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let exps: Vec<f32> = logits.data().iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let probs: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+    let loss = -(probs[label].max(1e-12)).ln();
+    let grad = probs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| if i == label { p - 1.0 } else { p })
+        .collect();
+    (loss, Tensor::from_vec(logits.shape(), grad))
+}
+
+/// Forward + backward for one sample. Returns the loss and per-layer
+/// parameter gradients (None for parameter-free layers).
+fn forward_backward(
+    net: &Network,
+    x: &Tensor,
+    label: usize,
+) -> (f32, Vec<Option<ParamGrad>>) {
+    // Forward, caching each layer's input.
+    let mut inputs: Vec<Tensor> = Vec::with_capacity(net.layers().len());
+    let mut cur = x.clone();
+    for l in net.layers() {
+        inputs.push(cur.clone());
+        cur = l.forward(&cur);
+    }
+    let (loss, mut grad) = softmax_ce(&cur, label);
+
+    let mut grads: Vec<Option<ParamGrad>> = (0..net.layers().len()).map(|_| None).collect();
+    for (li, l) in net.layers().iter().enumerate().rev() {
+        let input = &inputs[li];
+        match l {
+            Layer::Linear { weight, .. } => {
+                let (out, inp) = (weight.shape()[0], weight.shape()[1]);
+                let mut dw = Tensor::zeros(&[out, inp]);
+                let mut db = vec![0.0f32; out];
+                let mut dx = vec![0.0f32; inp];
+                for o in 0..out {
+                    let g = grad.data()[o];
+                    db[o] = g;
+                    let wrow = &weight.data()[o * inp..(o + 1) * inp];
+                    let dwrow = &mut dw.data_mut()[o * inp..(o + 1) * inp];
+                    for i in 0..inp {
+                        dwrow[i] = g * input.data()[i];
+                        dx[i] += g * wrow[i];
+                    }
+                }
+                grads[li] = Some(ParamGrad { weight: dw, bias: db });
+                grad = Tensor::from_vec(&[inp], dx);
+            }
+            Layer::Conv2d {
+                weight,
+                in_ch,
+                kh,
+                kw,
+                stride,
+                pad,
+                ..
+            } => {
+                let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+                debug_assert_eq!(c, *in_ch);
+                let (cols, oh, ow) = im2col(input, *kh, *kw, *stride, *pad);
+                let out_ch = weight.shape()[0];
+                // grad is [out_ch, oh, ow] -> matrix [out_ch, oh*ow]
+                let gmat = grad.clone().reshape(&[out_ch, oh * ow]);
+                let dw = gmat.matmul(&cols.transpose());
+                let db: Vec<f32> = (0..out_ch)
+                    .map(|o| gmat.data()[o * oh * ow..(o + 1) * oh * ow].iter().sum())
+                    .collect();
+                // dX_cols = W^T · gmat, then fold back.
+                let dcols = weight.transpose().matmul(&gmat);
+                let dx = col2im(&dcols, c, h, w, *kh, *kw, *stride, *pad);
+                grads[li] = Some(ParamGrad { weight: dw, bias: db });
+                grad = dx;
+            }
+            Layer::ReLU => {
+                let data = grad
+                    .data()
+                    .iter()
+                    .zip(input.data())
+                    .map(|(&g, &v)| if v > 0.0 { g } else { 0.0 })
+                    .collect();
+                grad = Tensor::from_vec(input.shape(), data);
+            }
+            Layer::MaxPool2 => {
+                let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+                let (oh, ow) = (h / 2, w / 2);
+                let mut dx = vec![0.0f32; c * h * w];
+                for ci in 0..c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            // Recompute the argmax.
+                            let (mut best, mut by, mut bx) = (f32::NEG_INFINITY, 0, 0);
+                            for dy in 0..2 {
+                                for dx_ in 0..2 {
+                                    let v = input.data()
+                                        [(ci * h + oy * 2 + dy) * w + ox * 2 + dx_];
+                                    if v > best {
+                                        best = v;
+                                        by = dy;
+                                        bx = dx_;
+                                    }
+                                }
+                            }
+                            dx[(ci * h + oy * 2 + by) * w + ox * 2 + bx] +=
+                                grad.data()[(ci * oh + oy) * ow + ox];
+                        }
+                    }
+                }
+                grad = Tensor::from_vec(&[c, h, w], dx);
+            }
+            Layer::Flatten => {
+                grad = grad.clone().reshape(input.shape());
+            }
+            other => {
+                unreachable!("backprop on unsupported layer {other:?}");
+            }
+        }
+    }
+    (loss, grads)
+}
+
+/// Trains `net` in place with SGD + momentum.
+///
+/// # Errors
+///
+/// Returns [`UnsupportedBackprop`] if the network contains layers without
+/// backprop support (residual blocks, batch norm, global average pooling).
+pub fn sgd_train(
+    net: &mut Network,
+    samples: &[(Tensor, usize)],
+    cfg: &TrainConfig,
+) -> Result<TrainReport, UnsupportedBackprop> {
+    if !net.supports_backprop() {
+        return Err(UnsupportedBackprop(net.name.clone()));
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    // Momentum buffers per weight-bearing layer.
+    let mut vel: Vec<Option<(Tensor, Vec<f32>)>> = net
+        .layers()
+        .iter()
+        .map(|l| match l {
+            Layer::Conv2d { weight, bias, .. } | Layer::Linear { weight, bias, .. } => {
+                Some((Tensor::zeros(weight.shape()), vec![0.0; bias.len()]))
+            }
+            _ => None,
+        })
+        .collect();
+
+    let mut final_loss = 0.0f32;
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f32;
+        for &si in &order {
+            let (x, y) = &samples[si];
+            let (loss, grads) = forward_backward(net, x, *y);
+            epoch_loss += loss;
+            for (li, g) in grads.into_iter().enumerate() {
+                let Some(g) = g else { continue };
+                let (vw, vb) = vel[li].as_mut().expect("velocity buffer");
+                for (v, dg) in vw.data_mut().iter_mut().zip(g.weight.data()) {
+                    *v = cfg.momentum * *v - cfg.lr * dg;
+                }
+                for (v, dg) in vb.iter_mut().zip(&g.bias) {
+                    *v = cfg.momentum * *v - cfg.lr * dg;
+                }
+                match &mut net.layers_mut()[li] {
+                    Layer::Conv2d { weight, bias, .. } | Layer::Linear { weight, bias, .. } => {
+                        for (w, v) in weight.data_mut().iter_mut().zip(vw.data()) {
+                            *w += v;
+                        }
+                        for (b, v) in bias.iter_mut().zip(vb.iter()) {
+                            *b += v;
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+        final_loss = epoch_loss / samples.len().max(1) as f32;
+    }
+    Ok(TrainReport {
+        final_loss,
+        train_error: net.error_rate(samples),
+    })
+}
+
+/// Reproduces the paper's iso-training-noise procedure (§3.1.1): trains the
+/// topology `runs` times from different seeds and returns
+/// `(mean_error, bound)` where the bound is the peak-to-peak spread of the
+/// test error across runs.
+pub fn itn_bound<F>(
+    make_net: F,
+    train: &[(Tensor, usize)],
+    test: &[(Tensor, usize)],
+    cfg: &TrainConfig,
+    runs: usize,
+) -> (f64, f64)
+where
+    F: Fn(u64) -> Network,
+{
+    assert!(runs >= 2, "need at least two runs for a spread");
+    let mut errors = Vec::with_capacity(runs);
+    for r in 0..runs {
+        let mut net = make_net(cfg.seed + r as u64 * 1000 + 1);
+        let cfg_r = TrainConfig {
+            seed: cfg.seed + r as u64 * 7919 + 13,
+            ..cfg.clone()
+        };
+        sgd_train(&mut net, train, &cfg_r).expect("trainable topology");
+        errors.push(net.error_rate(test));
+    }
+    let mean = errors.iter().sum::<f64>() / runs as f64;
+    let min = errors.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = errors.iter().cloned().fold(0.0f64, f64::max);
+    (mean, (max - min).max(0.005))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::gaussian_clusters;
+
+    fn mlp(seed: u64) -> Network {
+        let mut net = Network::new(
+            "mlp",
+            vec![
+                Layer::linear("fc1", 16, 8),
+                Layer::ReLU,
+                Layer::linear("fc2", 3, 16),
+            ],
+        );
+        he_init(&mut net, seed);
+        net
+    }
+
+    #[test]
+    fn mlp_learns_gaussian_clusters() {
+        let data = gaussian_clusters(8, 3, 300, 1.8, 99);
+        let mut net = mlp(1);
+        let before = net.error_rate(&data);
+        let cfg = TrainConfig {
+            epochs: 20,
+            lr: 0.02,
+            momentum: 0.9,
+            seed: 2,
+        };
+        let report = sgd_train(&mut net, &data, &cfg).unwrap();
+        assert!(
+            report.train_error < 0.1,
+            "train error {} (before {before})",
+            report.train_error
+        );
+        assert!(report.final_loss < 0.5);
+    }
+
+    #[test]
+    fn cnn_learns_simple_patterns() {
+        // Classify which quadrant of an 8x8 image contains a bright blob.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut samples = Vec::new();
+        for _ in 0..240 {
+            let label = rng.gen_range(0..4usize);
+            let (cy, cx) = ((label / 2) * 4 + 2, (label % 2) * 4 + 2);
+            let mut img = vec![0.0f32; 64];
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    img[(cy + dy - 1) * 8 + (cx + dx - 1)] = 1.0 + rng.gen::<f32>() * 0.2;
+                }
+            }
+            for v in &mut img {
+                *v += (rng.gen::<f32>() - 0.5) * 0.1;
+            }
+            samples.push((Tensor::from_vec(&[1, 8, 8], img), label));
+        }
+        let mut net = Network::new(
+            "quadrant",
+            vec![
+                Layer::conv2d("c1", 4, 1, 3, 1, 1),
+                Layer::ReLU,
+                Layer::MaxPool2,
+                Layer::Flatten,
+                Layer::linear("fc", 4, 4 * 4 * 4),
+            ],
+        );
+        he_init(&mut net, 3);
+        let cfg = TrainConfig {
+            epochs: 10,
+            lr: 0.02,
+            momentum: 0.9,
+            seed: 4,
+        };
+        let report = sgd_train(&mut net, &samples, &cfg).unwrap();
+        assert!(report.train_error < 0.15, "error {}", report.train_error);
+    }
+
+    #[test]
+    fn conv_gradient_matches_finite_difference() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut net = Network::new(
+            "gradcheck",
+            vec![
+                Layer::conv2d("c", 2, 1, 3, 1, 0),
+                Layer::Flatten,
+                Layer::linear("fc", 2, 2 * 4 * 4),
+            ],
+        );
+        he_init(&mut net, 8);
+        let x = Tensor::from_vec(&[1, 6, 6], (0..36).map(|_| rng.gen::<f32>()).collect());
+        let (_, grads) = forward_backward(&net, &x, 1);
+        let g = grads[0].as_ref().unwrap();
+        // Check a few weight entries against central differences.
+        for &wi in &[0usize, 5, 11] {
+            let eps = 1e-3f32;
+            let orig = match &net.layers()[0] {
+                Layer::Conv2d { weight, .. } => weight.data()[wi],
+                _ => unreachable!(),
+            };
+            let loss_at = |net: &mut Network, v: f32| {
+                if let Layer::Conv2d { weight, .. } = &mut net.layers_mut()[0] {
+                    weight.data_mut()[wi] = v;
+                }
+                let (l, _) = forward_backward(net, &x, 1);
+                l
+            };
+            let mut net2 = net.clone();
+            let lp = loss_at(&mut net2, orig + eps);
+            let lm = loss_at(&mut net2, orig - eps);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = g.weight.data()[wi];
+            assert!(
+                (numeric - analytic).abs() < 2e-2_f32.max(0.2 * numeric.abs()),
+                "w[{wi}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn training_rejects_residual_networks() {
+        let mut net = Network::new(
+            "res",
+            vec![Layer::Residual {
+                body: vec![Layer::ReLU],
+                shortcut: vec![],
+            }],
+        );
+        let err = sgd_train(&mut net, &[], &TrainConfig::default());
+        assert!(err.is_err());
+        assert!(err.unwrap_err().to_string().contains("res"));
+    }
+
+    #[test]
+    fn itn_bound_is_positive_and_small() {
+        // Train and test splits must come from the *same* generated task
+        // (same cluster centers), so draw one dataset and split it.
+        let all = gaussian_clusters(8, 3, 450, 2.2, 10);
+        let (train, test) = all.split_at(300);
+        let cfg = TrainConfig {
+            epochs: 15,
+            lr: 0.02,
+            momentum: 0.9,
+            seed: 1,
+        };
+        let (mean, bound) = itn_bound(mlp, train, test, &cfg, 3);
+        assert!(mean < 0.2, "mean error {mean}");
+        assert!(bound >= 0.005 && bound < 0.2, "bound {bound}");
+    }
+}

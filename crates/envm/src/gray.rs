@@ -1,0 +1,119 @@
+//! Gray coding for MLC level assignment (§3.3).
+//!
+//! When a binary value is stored directly across the levels of an MLC, an
+//! adjacent-level misread can flip several bits at once (e.g. level 3
+//! `011` ↔ level 4 `100` flips three bits), which a single-error-correcting
+//! Hamming code cannot repair. Storing values in **Gray code** guarantees
+//! an adjacent-level fault is exactly one bit flip, making level faults
+//! correctable by SEC-DED ECC.
+
+/// Converts a binary value to its reflected Gray code.
+pub fn to_gray(value: u64) -> u64 {
+    value ^ (value >> 1)
+}
+
+/// Converts a reflected Gray code back to binary.
+pub fn from_gray(gray: u64) -> u64 {
+    let mut v = gray;
+    let mut shift = 1;
+    while shift < 64 {
+        v ^= v >> shift;
+        shift <<= 1;
+    }
+    v
+}
+
+/// Maps a binary field of `bits` bits to the MLC level it should be
+/// programmed to, using Gray ordering (level index = position of the Gray
+/// codeword in level order).
+///
+/// The stored level is chosen so that adjacent levels differ in exactly one
+/// bit of the *binary* payload.
+///
+/// # Panics
+///
+/// Panics if `value` does not fit in `bits` or `bits` is 0 or > 8.
+pub fn binary_to_level(value: u64, bits: u8) -> u8 {
+    assert!(bits >= 1 && bits <= 8, "bits out of range");
+    assert!(value < (1u64 << bits), "value does not fit");
+    // Level i holds Gray codeword to_gray(i); to store `value`, find the
+    // level whose Gray codeword equals it: level = from_gray(value).
+    from_gray(value) as u8
+}
+
+/// Inverse of [`binary_to_level`]: decodes the binary payload from a level.
+///
+/// # Panics
+///
+/// Panics if `level` does not fit in `bits` or `bits` is 0 or > 8.
+pub fn level_to_binary(level: u8, bits: u8) -> u64 {
+    assert!(bits >= 1 && bits <= 8, "bits out of range");
+    assert!((level as u64) < (1u64 << bits), "level does not fit");
+    to_gray(level as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_3bit_sequence() {
+        let seq: Vec<u64> = (0..8).map(to_gray).collect();
+        assert_eq!(seq, vec![0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]);
+    }
+
+    #[test]
+    fn round_trip_small() {
+        for v in 0..256u64 {
+            assert_eq!(from_gray(to_gray(v)), v);
+        }
+    }
+
+    #[test]
+    fn adjacent_levels_differ_in_one_bit() {
+        for bits in 1..=8u8 {
+            let n = 1u64 << bits;
+            for lvl in 0..n - 1 {
+                let a = level_to_binary(lvl as u8, bits);
+                let b = level_to_binary((lvl + 1) as u8, bits);
+                assert_eq!((a ^ b).count_ones(), 1, "levels {lvl},{} bits {bits}", lvl + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_to_level_is_inverse() {
+        for bits in 1..=8u8 {
+            for v in 0..(1u64 << bits) {
+                assert_eq!(level_to_binary(binary_to_level(v, bits), bits), v);
+            }
+        }
+    }
+
+    #[test]
+    fn level_mapping_is_a_permutation() {
+        let mut seen = [false; 8];
+        for v in 0..8u64 {
+            let l = binary_to_level(v, 3);
+            assert!(!seen[l as usize], "duplicate level {l}");
+            seen[l as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gray_round_trip(v in any::<u64>()) {
+            prop_assert_eq!(from_gray(to_gray(v)), v);
+        }
+
+        #[test]
+        fn prop_gray_adjacency(v in 0u64..u64::MAX) {
+            // Consecutive integers map to Gray codes differing in one bit.
+            let a = to_gray(v);
+            let b = to_gray(v + 1);
+            prop_assert_eq!((a ^ b).count_ones(), 1);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Ares-style fault-injection campaigns and design-space exploration
+//! (paper §4).
+//!
+//! The paper's methodology, reimplemented:
+//!
+//! 1. Convert weights to their MLC representation, sample each cell's read
+//!    distribution, flag threshold crossings as adjacent-level faults, and
+//!    run inference on the corrupted model ([`campaign`]). Experiments are
+//!    repeated over many randomly seeded trials.
+//! 2. Quantify the resulting classification error either **end-to-end** on
+//!    a trainable network ([`evaluate::NetworkEval`]) or through a
+//!    calibrated weight-corruption sensitivity model for ImageNet-scale
+//!    specs that cannot be trained in this substrate
+//!    ([`evaluate::ProxyEval`], see `DESIGN.md`).
+//! 3. Exhaustively sweep encodings × per-structure bits-per-cell ×
+//!    protection schemes and keep the **minimal-cell** configuration whose
+//!    error stays within the iso-training-noise bound ([`dse`], Fig. 6).
+//!
+//! [`analytic`] computes expected corruption closed-form from the fault
+//! maps and structure geometry — used for the big four models, validated
+//! against the Monte-Carlo path on small layers.
+
+pub mod analytic;
+pub mod campaign;
+pub mod dse;
+pub mod evaluate;
+pub mod vulnerability;
+
+pub use campaign::{Campaign, CampaignResult};
+pub use dse::{minimal_cells, DseConfig, DsePoint};
+pub use evaluate::{AccuracyEval, NetworkEval, ProxyEval};
+pub use vulnerability::{VulnerabilityRow, VulnerabilityStudy};

@@ -1,0 +1,83 @@
+//! Property tests for the accelerator model: roofline monotonicity and
+//! accounting invariants across random workloads.
+
+use maxnvm_dnn::zoo::{LayerKind, LayerSpec, ModelSpec, PaperModelInfo};
+use maxnvm_nvdla::perf::evaluate;
+use maxnvm_nvdla::{NvdlaConfig, WeightSource};
+use proptest::prelude::*;
+
+fn random_model(layers: Vec<(usize, usize, u64)>) -> ModelSpec {
+    let layers = layers
+        .into_iter()
+        .enumerate()
+        .map(|(i, (rows, cols, macs_mult))| LayerSpec {
+            name: format!("l{i}"),
+            kind: LayerKind::FullyConnected,
+            rows,
+            cols,
+            macs: (rows * cols) as u64 * macs_mult,
+            in_elems: cols as u64,
+            out_elems: rows as u64,
+            fetch_passes: 1,
+        })
+        .collect();
+    ModelSpec {
+        name: "prop".into(),
+        dataset: "prop".into(),
+        layers,
+        paper: PaperModelInfo {
+            reported_params: 0,
+            classification_error: 0.1,
+            itn_bound: 0.01,
+            cluster_index_bits: 4,
+            sparsity: 0.5,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn more_weight_bytes_never_speed_things_up(
+        shape in prop::collection::vec((8usize..256, 8usize..256, 1u64..4), 1..6),
+        extra in 1u64..1_000_000,
+    ) {
+        let model = random_model(shape);
+        let cfg = NvdlaConfig::nvdla_64();
+        let light: Vec<u64> = model.layers.iter().map(|l| l.weights() / 2).collect();
+        let heavy: Vec<u64> = light.iter().map(|b| b + extra).collect();
+        let a = evaluate(&model, &cfg, &WeightSource::Dram, &light);
+        let b = evaluate(&model, &cfg, &WeightSource::Dram, &heavy);
+        prop_assert!(b.cycles_per_inference >= a.cycles_per_inference);
+        prop_assert!(b.weight_energy_mj > a.weight_energy_mj);
+    }
+
+    #[test]
+    fn energy_accounting_always_balances(
+        shape in prop::collection::vec((8usize..512, 8usize..512, 1u64..8), 1..8),
+    ) {
+        let model = random_model(shape);
+        let cfg = NvdlaConfig::nvdla_1024();
+        let bytes: Vec<u64> = model.layers.iter().map(|l| l.weights()).collect();
+        let r = evaluate(&model, &cfg, &WeightSource::Dram, &bytes);
+        let sum = r.weight_energy_mj
+            + r.activation_energy_mj
+            + r.datapath_energy_mj
+            + r.background_energy_mj;
+        prop_assert!((sum / r.energy_per_inference_mj - 1.0).abs() < 1e-9);
+        prop_assert!(r.fps > 0.0 && r.fps.is_finite());
+        prop_assert!(r.avg_power_mw > 0.0);
+    }
+
+    #[test]
+    fn bigger_datapath_is_never_slower(
+        shape in prop::collection::vec((16usize..512, 16usize..512, 1u64..8), 1..6),
+    ) {
+        let model = random_model(shape);
+        let bytes: Vec<u64> = model.layers.iter().map(|l| l.weights()).collect();
+        let small = evaluate(&model, &NvdlaConfig::nvdla_64(), &WeightSource::Dram, &bytes);
+        let big = evaluate(&model, &NvdlaConfig::nvdla_1024(), &WeightSource::Dram, &bytes);
+        prop_assert!(big.fps >= small.fps * 0.999);
+    }
+}

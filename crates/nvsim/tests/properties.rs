@@ -1,0 +1,72 @@
+//! Property tests for the array characterizer: physical sanity must hold
+//! across the whole request space, not just the calibrated points.
+
+use maxnvm_envm::CellTechnology;
+use maxnvm_nvsim::{characterize, characterize_config, ArrayRequest, OptTarget};
+use proptest::prelude::*;
+
+fn any_tech() -> impl Strategy<Value = CellTechnology> {
+    prop_oneof![
+        Just(CellTechnology::MlcCtt),
+        Just(CellTechnology::MlcRram),
+        Just(CellTechnology::OptMlcRram),
+        Just(CellTechnology::SlcRram),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn area_grows_with_cells(tech in any_tech(), cells in 1_000_000u64..200_000_000) {
+        let bpc = tech.max_bits_per_cell();
+        let small = characterize(&ArrayRequest::new(tech, cells, bpc), OptTarget::Area);
+        let big = characterize(&ArrayRequest::new(tech, cells * 2, bpc), OptTarget::Area);
+        prop_assert!(big.area_mm2 > small.area_mm2);
+        // And roughly proportionally: doubling cells less than triples area.
+        prop_assert!(big.area_mm2 < small.area_mm2 * 3.0);
+    }
+
+    #[test]
+    fn all_metrics_are_positive_and_finite(
+        tech in any_tech(),
+        cells in 100_000u64..50_000_000,
+        target_idx in 0usize..5,
+    ) {
+        let bpc = tech.max_bits_per_cell();
+        let d = characterize(&ArrayRequest::new(tech, cells, bpc), OptTarget::ALL[target_idx]);
+        prop_assert!(d.area_mm2.is_finite() && d.area_mm2 > 0.0);
+        prop_assert!(d.read_latency_ns.is_finite() && d.read_latency_ns > 0.0);
+        prop_assert!(d.read_energy_pj.is_finite() && d.read_energy_pj > 0.0);
+        prop_assert!(d.read_bandwidth_gbps.is_finite() && d.read_bandwidth_gbps > 0.0);
+        prop_assert!(d.leakage_mw.is_finite() && d.leakage_mw >= 0.0);
+        prop_assert!(d.write_energy_per_cell_pj > 0.0);
+        prop_assert!((8..=128).contains(&d.access_bits));
+    }
+
+    #[test]
+    fn capacity_is_preserved(tech in any_tech(), mb in 1u64..64) {
+        let bpc = tech.max_bits_per_cell();
+        let bits = mb * 1024 * 1024 * 8;
+        let req = ArrayRequest::with_capacity_bits(tech, bits, bpc);
+        prop_assert!(req.capacity_bits() >= bits);
+        prop_assert!(req.capacity_bits() < bits + bpc as u64);
+    }
+
+    #[test]
+    fn explicit_configs_cover_requested_cells(
+        cells in 100_000u64..10_000_000,
+        rows_pow in 6u32..11,
+        cols_pow in 6u32..10,
+        mux_pow in 0u32..5,
+    ) {
+        let rows = 1u32 << rows_pow;
+        let cols = 1u32 << cols_pow;
+        let mux = 1u32 << mux_pow.min(cols_pow);
+        let req = ArrayRequest::new(CellTechnology::MlcCtt, cells, 3);
+        if let Some(d) = characterize_config(&req, rows, cols, mux) {
+            let provided = d.config.subarrays as u64 * rows as u64 * cols as u64;
+            prop_assert!(provided >= cells, "{provided} < {cells}");
+        }
+    }
+}

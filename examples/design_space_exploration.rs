@@ -1,0 +1,73 @@
+//! Exhaustive design-space exploration (paper §4.4): sweep every encoding
+//! × per-structure bits-per-cell × protection combination for a model and
+//! print the landscape — which configurations preserve accuracy, which
+//! minimize cells, and where the interesting tensions live.
+//!
+//! ```sh
+//! cargo run --example design_space_exploration
+//! ```
+
+use maxnvm_dnn::zoo;
+use maxnvm_envm::{CellTechnology, SenseAmp};
+use maxnvm_faultsim::dse::{explore_spec, minimal_cells, DsePoint};
+
+fn main() {
+    let spec = zoo::vgg16();
+    let tech = CellTechnology::MlcCtt;
+    let sa = SenseAmp::paper_default();
+    println!(
+        "Design space for {} on {} (ITN bound {:.2}%):\n",
+        spec.name,
+        tech.name(),
+        spec.paper.itn_bound * 100.0
+    );
+    let mut points = explore_spec(&spec, tech, &sa, spec.paper.itn_bound);
+    points.sort_by_key(|p| p.cells);
+    println!(
+        "{:<20} {:>5} {:>5} {:>12} {:>10} {:>6}",
+        "scheme", "v-bpc", "m-bpc", "cells(M)", "error", "pass"
+    );
+    let show = |p: &DsePoint| {
+        println!(
+            "{:<20} {:>5} {:>5} {:>12.1} {:>9.2}% {:>6}",
+            p.scheme.label(),
+            p.scheme.bpc.values.bits(),
+            p.scheme.bpc.mask.max(p.scheme.bpc.col_index).bits(),
+            p.cells as f64 / 1e6,
+            p.mean_error * 100.0,
+            if p.passes { "yes" } else { "NO" }
+        );
+    };
+    println!("-- ten densest configurations (several fail accuracy!) --");
+    for p in points.iter().take(10) {
+        show(p);
+    }
+    println!("\n-- the winner --");
+    let best = minimal_cells(&points).expect("something passes");
+    show(best);
+    let total = points.len();
+    let passing = points.iter().filter(|p| p.passes).count();
+    println!(
+        "\n{passing}/{total} configurations preserve accuracy; the minimal-cell one\n\
+         needs {:.1}M cells — {:.1}x fewer than the safest all-SLC dense layout\n\
+         ({:.1}M cells).",
+        best.cells as f64 / 1e6,
+        points
+            .iter()
+            .filter(|p| p.passes)
+            .map(|p| p.cells)
+            .max()
+            .unwrap() as f64
+            / best.cells as f64,
+        points
+            .iter()
+            .filter(|p| p.passes)
+            .map(|p| p.cells)
+            .max()
+            .unwrap() as f64
+            / 1e6
+    );
+    println!("\nKey §4.2 tension on display: the densest configurations store the");
+    println!("bitmask or CSR counters in MLC3 *without* protection and fail; adding");
+    println!("IdxSync or ECC makes the same densities safe for ~1% extra cells.");
+}

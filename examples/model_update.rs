@@ -1,0 +1,81 @@
+//! Over-the-air model updates on an eNVM-backed edge device — the §7.1
+//! discussion turned into a deployment planner: for each technology, is a
+//! given update cadence feasible on write time, endurance, *and* retention?
+//!
+//! ```sh
+//! cargo run --example model_update
+//! ```
+
+use maxnvm::{optimal_design, CellTechnology};
+use maxnvm_dnn::zoo;
+use maxnvm_envm::retention::{years_to_rate, RetentionParams};
+use maxnvm_envm::{EnduranceModel, MlcConfig, WriteModel};
+
+fn main() {
+    let model = zoo::resnet50();
+    println!(
+        "Deployment planner: {} on an eNVM-backed edge accelerator\n",
+        model.name
+    );
+    let target_lifetime_years = 5.0;
+    let cadences: [(&str, f64); 4] = [
+        ("hourly", 3600.0),
+        ("daily", 24.0 * 3600.0),
+        ("weekly", 7.0 * 24.0 * 3600.0),
+        ("monthly", 30.44 * 24.0 * 3600.0),
+    ];
+
+    for tech in CellTechnology::ALL {
+        let design = optimal_design(&model, tech);
+        let write = WriteModel::for_tech(tech);
+        let endurance = EnduranceModel::for_tech(tech);
+        let write_s = write.total_write_time_s(design.cells);
+        println!(
+            "== {} ({} @ {} bits/cell, {:.1}M cells, {:.2}mm2) ==",
+            tech.name(),
+            design.scheme_label,
+            design.max_bits_per_cell,
+            design.cells as f64 / 1e6,
+            design.array.area_mm2
+        );
+        println!(
+            "  full-model rewrite: {}   downtime per update",
+            WriteModel::format_duration(write_s)
+        );
+        let cfg = MlcConfig::new(design.max_bits_per_cell).expect("valid bpc");
+        let retention_horizon = years_to_rate(tech, &tech.cell_model(cfg), 1e-3);
+        println!(
+            "  retention horizon:  {:.1} years until MLC misread rates reach 1e-3",
+            retention_horizon
+        );
+        print!("  update cadences ({}y life):", target_lifetime_years);
+        for (label, interval) in cadences {
+            let ok = endurance.rewrite_feasible(design.cells, interval, target_lifetime_years);
+            // An update also refreshes the stored levels, resetting drift:
+            // cadence must also beat the retention horizon.
+            let refreshed = interval / (365.25 * 24.0 * 3600.0) < retention_horizon;
+            print!(
+                "  {label}:{}",
+                if ok && refreshed { "yes" } else { "NO" }
+            );
+        }
+        println!("\n");
+    }
+    println!("Takeaways (§7.1): RRAM variants accept any practical cadence; CTT's");
+    println!("minutes-long, endurance-limited writes suit weekly/monthly updates —");
+    println!("and its superior retention is what makes those long gaps safe. The");
+    println!("drift-refresh coupling is this reproduction's extension: an update");
+    println!("doubles as a retention refresh, so slow-retaining cells *want* the");
+    println!("frequent updates their endurance permits.");
+
+    // Show the retention-vs-update tension concretely for Opt MLC-RRAM.
+    let tech = CellTechnology::OptMlcRram;
+    let cell = tech.cell_model(MlcConfig::MLC3);
+    let p = RetentionParams::for_tech(tech);
+    println!("\nOpt MLC-RRAM MLC3 misread rate vs time since last write:");
+    for months in [1u32, 6, 12, 24, 60] {
+        let years = months as f64 / 12.0;
+        let rate = p.age(&cell, years).fault_map().worst_adjacent_rate();
+        println!("  {months:>3} months: {rate:.2e}");
+    }
+}

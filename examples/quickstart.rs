@@ -1,0 +1,65 @@
+//! Quickstart: run the full MaxNVM co-design pipeline for one model and
+//! technology and print the resulting design point.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use maxnvm::{baseline_design, optimal_design, CellTechnology, NvdlaConfig};
+use maxnvm_dnn::zoo;
+
+fn main() {
+    // 1. Pick a model from the paper's zoo (Table 2) and a technology.
+    let model = zoo::resnet50();
+    let tech = CellTechnology::MlcCtt;
+    println!(
+        "Model: {} ({}, {} weight layers, {:.1}M parameters)",
+        model.name,
+        model.dataset,
+        model.layers.len(),
+        model.params() as f64 / 1e6
+    );
+
+    // 2. Run the pipeline: prune/cluster targets from Table 2, exhaustive
+    //    encoding x bits-per-cell x protection exploration under the
+    //    calibrated fault model, then array + system characterization.
+    let design = optimal_design(&model, tech);
+    println!("\nOptimal on-chip storage ({}):", tech.name());
+    println!("  encoding            {}", design.scheme_label);
+    println!("  max bits per cell   {}", design.max_bits_per_cell);
+    println!("  memory cells        {:.1}M", design.cells as f64 / 1e6);
+    println!("  capacity            {:.1} MB", design.capacity_mb);
+    println!("  macro area          {:.2} mm2", design.array.area_mm2);
+    println!("  read latency        {:.2} ns", design.array.read_latency_ns);
+    println!(
+        "  est. error          {:.2}% (bound {:.2}%)",
+        design.mean_error * 100.0,
+        (model.paper.classification_error + model.paper.itn_bound) * 100.0
+    );
+
+    // 3. Compare the resulting system against the DRAM baseline (Fig. 9).
+    let base = baseline_design(&model, &NvdlaConfig::nvdla_64());
+    let ours = &design.system_64;
+    println!("\nNVDLA-64 system comparison (DRAM baseline vs on-chip eNVM):");
+    println!(
+        "  energy/inference    {:.2} mJ -> {:.2} mJ  ({:.1}x)",
+        base.energy_per_inference_mj,
+        ours.energy_per_inference_mj,
+        base.energy_per_inference_mj / ours.energy_per_inference_mj
+    );
+    println!(
+        "  average power       {:.0} mW -> {:.0} mW  ({:.1}x)",
+        base.avg_power_mw,
+        ours.avg_power_mw,
+        base.avg_power_mw / ours.avg_power_mw
+    );
+    println!(
+        "  frames per second   {:.1} -> {:.1}",
+        base.fps, ours.fps
+    );
+    println!(
+        "\nRewriting all weights would take {:.1} minutes of {} programming.",
+        design.write_time_s / 60.0,
+        tech.name()
+    );
+}

@@ -1,0 +1,14 @@
+//! Workspace facade for the MaxNVM reproduction: re-exports every
+//! subsystem crate so the examples and integration tests have one import
+//! surface. See the `maxnvm` crate for the pipeline API and `DESIGN.md`
+//! for the system inventory.
+
+pub use maxnvm;
+pub use maxnvm_bits;
+pub use maxnvm_dnn;
+pub use maxnvm_ecc;
+pub use maxnvm_encoding;
+pub use maxnvm_envm;
+pub use maxnvm_faultsim;
+pub use maxnvm_nvdla;
+pub use maxnvm_nvsim;

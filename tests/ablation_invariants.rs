@@ -1,0 +1,102 @@
+//! The ablation binary's claims, held as invariants: each design knob's
+//! direction of effect must not silently flip.
+
+use maxnvm_encoding::estimate::LayerGeometry;
+use maxnvm_encoding::storage::StorageScheme;
+use maxnvm_encoding::EncodingKind;
+use maxnvm_envm::level::{CellModel, LevelDistribution};
+use maxnvm_envm::{CellTechnology, MlcConfig, SenseAmp};
+use maxnvm_faultsim::analytic::layer_damage;
+
+#[test]
+fn guard_gap_is_load_bearing() {
+    // Removing the CTT guard gap must blow up the unprogrammed pair's
+    // misread rate by orders of magnitude.
+    let with_gap = CellTechnology::MlcCtt.cell_model(MlcConfig::MLC3);
+    let s0 = with_gap.levels()[0].sigma;
+    let sp = with_gap.levels()[1].sigma;
+    let no_gap = CellModel::new(
+        (0..8)
+            .map(|i| LevelDistribution::new(i as f64 / 7.0, if i == 0 { s0 } else { sp }))
+            .collect(),
+    );
+    let ratio = no_gap.fault_map().p_up(0) / with_gap.fault_map().p_up(0);
+    assert!(ratio > 100.0, "guard gap only buys {ratio}x");
+}
+
+#[test]
+fn sense_amp_area_offset_tradeoff_is_monotone() {
+    let cell = CellTechnology::MlcCtt.cell_model(MlcConfig::MLC3);
+    let base = cell.fault_map().worst_adjacent_rate();
+    let mut last_inflation = f64::INFINITY;
+    for size in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let sa = SenseAmp::with_size_factor(size);
+        let inflation = cell.with_sense_amp(&sa).fault_map().worst_adjacent_rate() / base;
+        assert!(
+            inflation < last_inflation,
+            "bigger SA must reduce inflation: {inflation} at {size}x"
+        );
+        assert!((sa.relative_area() - size).abs() < 1e-9);
+        last_inflation = inflation;
+    }
+}
+
+#[test]
+fn smaller_ecc_codewords_leave_less_residual_damage() {
+    use maxnvm_ecc::SecDed;
+    let geom = LayerGeometry::from_sparsity(4096, 25088, 0.811);
+    let sa = SenseAmp::paper_default();
+    let mut last = 0.0f64;
+    for data_bits in [64usize * 8, 512 * 8, 4096 * 8] {
+        let mut scheme = StorageScheme::uniform(EncodingKind::Csr, MlcConfig::MLC3).with_ecc();
+        scheme.ecc_code = SecDed::new(data_bits);
+        let d = layer_damage(geom, 6, &scheme, CellTechnology::MlcCtt, &sa);
+        assert!(
+            d.relative_mse > last,
+            "bigger codewords must leave more residual: {} at {data_bits}",
+            d.relative_mse
+        );
+        last = d.relative_mse;
+    }
+}
+
+#[test]
+fn smaller_idxsync_blocks_confine_more_damage() {
+    let geom = LayerGeometry::from_sparsity(4096, 25088, 0.811);
+    let sa = SenseAmp::paper_default();
+    let mut last = 0.0f64;
+    for block in [256usize, 1024, 4096, 16384] {
+        let mut scheme = StorageScheme::uniform(EncodingKind::BitMask, MlcConfig::MLC3)
+            .with_idx_sync()
+            .with_sync_block_bits(block);
+        scheme.bpc.sync_counter = MlcConfig::SLC;
+        let d = layer_damage(geom, 6, &scheme, CellTechnology::MlcCtt, &sa);
+        assert!(
+            d.relative_mse > last,
+            "bigger blocks must hurt more: {} at {block}",
+            d.relative_mse
+        );
+        last = d.relative_mse;
+    }
+}
+
+#[test]
+fn endurance_and_retention_rank_technologies_consistently() {
+    use maxnvm_envm::retention::years_to_rate;
+    use maxnvm_envm::EnduranceModel;
+    // CTT: best retention, worst endurance+write; RRAM: the reverse.
+    let ctt_ret = years_to_rate(
+        CellTechnology::MlcCtt,
+        &CellTechnology::MlcCtt.cell_model(MlcConfig::MLC3),
+        1e-3,
+    );
+    let rram_ret = years_to_rate(
+        CellTechnology::MlcRram,
+        &CellTechnology::MlcRram.cell_model(MlcConfig::MLC3),
+        1e-3,
+    );
+    assert!(ctt_ret > rram_ret);
+    let ctt_end = EnduranceModel::for_tech(CellTechnology::MlcCtt).lifetime_years(3600.0);
+    let rram_end = EnduranceModel::for_tech(CellTechnology::MlcRram).lifetime_years(3600.0);
+    assert!(rram_end > ctt_end);
+}

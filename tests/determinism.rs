@@ -1,0 +1,88 @@
+//! Determinism guarantees: every stochastic stage is seeded, so the whole
+//! pipeline — training, clustering, storage, injection, DSE, system
+//! evaluation — must be bit-reproducible run to run. This is what makes
+//! the regression locks and `EXPERIMENTS.md` meaningful.
+
+use maxnvm::{optimal_design, CellTechnology};
+use maxnvm_dnn::data::SyntheticDigits;
+use maxnvm_dnn::train::{sgd_train, TrainConfig};
+use maxnvm_dnn::zoo::{self, lenet_mini};
+use maxnvm_encoding::cluster::ClusteredLayer;
+use maxnvm_encoding::storage::{StorageScheme, StoredLayer};
+use maxnvm_encoding::EncodingKind;
+use maxnvm_envm::{MlcConfig, SenseAmp};
+use maxnvm_faultsim::campaign::Campaign;
+use maxnvm_faultsim::evaluate::ProxyEval;
+
+#[test]
+fn training_is_deterministic() {
+    let data = SyntheticDigits::generate(300, 42);
+    let run = || {
+        let mut net = lenet_mini(7);
+        sgd_train(
+            &mut net,
+            &data.train,
+            &TrainConfig {
+                epochs: 2,
+                lr: 0.005,
+                momentum: 0.9,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        net
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn clustering_and_storage_are_deterministic() {
+    let spec = zoo::vgg12();
+    let m = spec.layers[3].sample_matrix(spec.paper.sparsity, 9, 64, 256);
+    let run = || {
+        let c = ClusteredLayer::from_matrix(&m, 4, 5);
+        StoredLayer::store(
+            &c,
+            &StorageScheme::uniform(EncodingKind::BitMask, MlcConfig::MLC3).with_idx_sync(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn campaigns_are_deterministic_across_thread_schedules() {
+    // Trials are seeded per trial id, so the parallel campaign's result
+    // must not depend on thread interleaving.
+    let spec = zoo::vgg12();
+    let m = spec.layers[5].sample_matrix(spec.paper.sparsity, 11, 64, 256);
+    let c = ClusteredLayer::from_matrix(&m, 4, 5);
+    let stored = StoredLayer::store(
+        &c,
+        &StorageScheme::uniform(EncodingKind::Csr, MlcConfig::MLC3),
+    );
+    let eval = ProxyEval::new(vec![c.reconstruct()], 0.1, 0.9);
+    let campaign = Campaign {
+        trials: 16,
+        seed: 3,
+        rate_scale: 100.0,
+    };
+    let run = || {
+        campaign.run(
+            std::slice::from_ref(&stored),
+            CellTechnology::MlcCtt,
+            &SenseAmp::paper_default(),
+            &eval,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.errors, b.errors);
+    assert_eq!(a.mean_cell_faults, b.mean_cell_faults);
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let a = optimal_design(&zoo::resnet50(), CellTechnology::MlcCtt);
+    let b = optimal_design(&zoo::resnet50(), CellTechnology::MlcCtt);
+    assert_eq!(a, b);
+}

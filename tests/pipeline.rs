@@ -1,0 +1,147 @@
+//! End-to-end pipeline integration tests: every paper model through the
+//! full co-design flow on every technology, asserting the paper's
+//! headline orderings and factors.
+
+use maxnvm::{baseline_design, optimal_design, CellTechnology, NvdlaConfig};
+use maxnvm_dnn::zoo::ModelSpec;
+
+#[test]
+fn every_model_finds_an_on_chip_design_on_every_technology() {
+    for spec in ModelSpec::paper_models() {
+        for tech in CellTechnology::ALL {
+            let d = maxnvm::optimal_design(&spec, tech);
+            assert!(d.cells > 0, "{} on {}", spec.name, tech.name());
+            assert!(
+                d.mean_error <= spec.paper.classification_error + spec.paper.itn_bound + 1e-9,
+                "{} on {}: error {} breaches ITN",
+                spec.name,
+                tech.name(),
+                d.mean_error
+            );
+            assert!(
+                d.array.area_mm2 < 40.0,
+                "{} on {}: absurd area {}",
+                spec.name,
+                tech.name(),
+                d.array.area_mm2
+            );
+        }
+    }
+}
+
+#[test]
+fn area_ordering_holds_for_every_model() {
+    // Fig. 8 / Table 4: Opt MLC-RRAM < MLC-CTT < MLC-RRAM < SLC-RRAM.
+    for spec in ModelSpec::paper_models() {
+        let areas: Vec<f64> = [
+            CellTechnology::OptMlcRram,
+            CellTechnology::MlcCtt,
+            CellTechnology::MlcRram,
+            CellTechnology::SlcRram,
+        ]
+        .iter()
+        .map(|&t| optimal_design(&spec, t).array.area_mm2)
+        .collect();
+        for w in areas.windows(2) {
+            assert!(
+                w[0] < w[1],
+                "{}: area ordering violated: {areas:?}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn mlc_beats_slc_by_an_order_of_magnitude() {
+    // §1: up to 29x area reduction relative to SLC eNVM.
+    let mut best_ratio = 0.0f64;
+    for spec in ModelSpec::paper_models() {
+        let slc = optimal_design(&spec, CellTechnology::SlcRram).array.area_mm2;
+        let opt = optimal_design(&spec, CellTechnology::OptMlcRram).array.area_mm2;
+        best_ratio = best_ratio.max(slc / opt);
+    }
+    assert!(
+        (10.0..60.0).contains(&best_ratio),
+        "best MLC/SLC area reduction {best_ratio} (paper: up to 29x)"
+    );
+}
+
+#[test]
+fn headline_power_and_energy_reductions() {
+    // Abstract: up to 3.2x reduced power and up to 3.5x reduced energy per
+    // ResNet50 inference vs the NVDLA DRAM baseline.
+    let spec = maxnvm_dnn::zoo::resnet50();
+    let base = baseline_design(&spec, &NvdlaConfig::nvdla_64());
+    let ctt = optimal_design(&spec, CellTechnology::MlcCtt);
+    let p = base.avg_power_mw / ctt.system_64.avg_power_mw;
+    let e = base.energy_per_inference_mj / ctt.system_64.energy_per_inference_mj;
+    assert!((2.5..4.2).contains(&p), "power reduction {p} (paper 3.2x)");
+    assert!((2.5..4.5).contains(&e), "energy reduction {e} (paper 3.5x)");
+}
+
+#[test]
+fn nvdla_1024_power_reduction_is_smaller() {
+    // §5.2: the bigger datapath dilutes the DRAM savings — total power
+    // reduction drops to ~1.6x on NVDLA-1024.
+    let spec = maxnvm_dnn::zoo::resnet50();
+    let base = baseline_design(&spec, &NvdlaConfig::nvdla_1024());
+    let ctt = optimal_design(&spec, CellTechnology::MlcCtt);
+    let p1024 = base.avg_power_mw / ctt.system_1024.avg_power_mw;
+    let base64 = baseline_design(&spec, &NvdlaConfig::nvdla_64());
+    let p64 = base64.avg_power_mw / ctt.system_64.avg_power_mw;
+    assert!(
+        p1024 < p64,
+        "NVDLA-1024 reduction {p1024} should be below NVDLA-64's {p64}"
+    );
+    assert!((1.1..2.5).contains(&p1024), "{p1024} (paper ~1.6x)");
+}
+
+#[test]
+fn frame_rates_exceed_sixty_on_the_big_config() {
+    // §5.2: best performance per model consistently exceeds 60 FPS with
+    // NVDLA-1024.
+    for spec in ModelSpec::paper_models() {
+        let best = CellTechnology::ALL
+            .iter()
+            .map(|&t| optimal_design(&spec, t).system_1024.fps)
+            .fold(0.0f64, f64::max);
+        assert!(best > 60.0, "{}: best eNVM FPS {best}", spec.name);
+    }
+}
+
+#[test]
+fn capacities_track_table4() {
+    // Table 4 capacity column: VGG12 ~4MB, VGG16 ~32MB, ResNet50 ~12MB
+    // (ours differ where our DSE found denser encodings; stay within 2.5x).
+    for (spec, paper_mb) in [
+        (maxnvm_dnn::zoo::vgg12(), 4.0),
+        (maxnvm_dnn::zoo::vgg16(), 32.0),
+        (maxnvm_dnn::zoo::resnet50(), 12.0),
+    ] {
+        let d = optimal_design(&spec, CellTechnology::MlcCtt);
+        let ratio = d.capacity_mb / paper_mb;
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "{}: capacity {}MB vs paper {paper_mb}MB",
+            spec.name,
+            d.capacity_mb
+        );
+    }
+}
+
+#[test]
+fn writes_are_the_envm_achilles_heel() {
+    // Table 5 orders of magnitude: CTT minutes (seconds for the tiny
+    // LeNet5), RRAM sub-second — always >1000x apart.
+    for spec in ModelSpec::paper_models() {
+        let ctt = optimal_design(&spec, CellTechnology::MlcCtt).write_time_s;
+        let slc = optimal_design(&spec, CellTechnology::SlcRram).write_time_s;
+        assert!(ctt > 1.0, "{}: CTT write {}s", spec.name, ctt);
+        assert!(slc < 1.0, "{}: SLC write {}s", spec.name, slc);
+        assert!(ctt / slc > 1000.0);
+        if spec.total_weights() > 5_000_000 {
+            assert!(ctt > 60.0, "{}: CTT write should take minutes: {}s", spec.name, ctt);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! End-to-end recurrent-workload integration: a trained Elman RNN's
+//! weights through the full eNVM storage pipeline, plus the §5.2
+//! system-level claim that low-reuse (recurrent) workloads benefit most
+//! from on-chip weights.
+
+use maxnvm::{baseline_design, optimal_design, CellTechnology, NvdlaConfig};
+use maxnvm_dnn::rnn::{synthetic_sequences, ElmanRnn};
+use maxnvm_dnn::zoo;
+use maxnvm_encoding::cluster::ClusteredLayer;
+use maxnvm_encoding::storage::{StorageScheme, StoredLayer};
+use maxnvm_encoding::EncodingKind;
+use maxnvm_envm::{CellTechnology as Tech, MlcConfig, SenseAmp};
+use maxnvm_faultsim::campaign::fault_maps;
+use rand::SeedableRng;
+
+#[test]
+fn trained_rnn_survives_envm_storage_end_to_end() {
+    // Train.
+    let train = synthetic_sequences(300, 12, 4, 3, 1);
+    let test = synthetic_sequences(90, 12, 4, 3, 2);
+    let mut rnn = ElmanRnn::new(4, 24, 3, 7);
+    rnn.train(&train, 12, 0.01, 3);
+    let baseline = rnn.error_rate(&test);
+    assert!(baseline < 0.15, "RNN failed to train: {baseline}");
+
+    // Cluster + store in MLC3 CTT with full protection.
+    let mats = rnn.weight_matrices();
+    let clustered: Vec<ClusteredLayer> = mats
+        .iter()
+        .map(|m| ClusteredLayer::from_matrix(m, 6, 5))
+        .collect();
+    let scheme = StorageScheme::uniform(EncodingKind::BitMask, MlcConfig::MLC3)
+        .with_idx_sync()
+        .with_sync_block_bits(64)
+        .with_ecc();
+    let stored: Vec<StoredLayer> = clustered
+        .iter()
+        .map(|c| StoredLayer::store(c, &scheme))
+        .collect();
+
+    // Clean decode: the 6-bit clustering must not break the classifier.
+    let decoded: Vec<_> = stored.iter().map(|s| s.decode_clean().0).collect();
+    let mut stored_rnn = rnn.clone();
+    stored_rnn.set_weight_matrices(&decoded);
+    let clean_err = stored_rnn.error_rate(&test);
+    assert!(
+        clean_err <= baseline + 0.05,
+        "clustered {clean_err} vs trained {baseline}"
+    );
+
+    // Faulted decode at realistic rates: protected MLC3 must stay close.
+    let sa = SenseAmp::paper_default();
+    let base_maps = fault_maps(Tech::MlcCtt, &sa);
+    let fault_for = move |cfg: MlcConfig| base_maps(cfg).scaled(150.0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut worst: f64 = 0.0;
+    for _ in 0..10 {
+        let mats: Vec<_> = stored
+            .iter()
+            .map(|s| s.decode_with_faults(&fault_for, &mut rng).0)
+            .collect();
+        let mut faulted = rnn.clone();
+        faulted.set_weight_matrices(&mats);
+        worst = worst.max(faulted.error_rate(&test));
+    }
+    assert!(
+        worst <= clean_err + 0.12,
+        "protected MLC3 worst-trial error {worst} vs clean {clean_err}"
+    );
+}
+
+#[test]
+fn recurrent_spec_pipeline_produces_a_design() {
+    // The keyword-spotting spec runs through the same pipeline as the
+    // paper models.
+    let spec = zoo::keyword_lstm();
+    let d = optimal_design(&spec, CellTechnology::MlcCtt);
+    assert!(d.cells > 1_000_000);
+    assert!(d.array.area_mm2 < 1.0, "tiny model: {}", d.array.area_mm2);
+    assert!(d.system_64.fps > 100.0, "{}", d.system_64.fps);
+}
+
+#[test]
+fn rnn_weight_fetch_dominates_its_dram_baseline() {
+    // §5.2: with 16 fetch passes per inference, weight traffic is a far
+    // larger slice of the RNN's energy than of ResNet50's — so eliminating
+    // DRAM helps it disproportionately.
+    let cfg = NvdlaConfig::nvdla_64();
+    let rnn_base = baseline_design(&zoo::keyword_lstm(), &cfg);
+    let cnn_base = baseline_design(&zoo::resnet50(), &cfg);
+    let rnn_share = rnn_base.weight_energy_mj / rnn_base.energy_per_inference_mj;
+    let cnn_share = cnn_base.weight_energy_mj / cnn_base.energy_per_inference_mj;
+    assert!(
+        rnn_share > 2.0 * cnn_share,
+        "RNN weight share {rnn_share:.3} vs CNN {cnn_share:.3}"
+    );
+    // And the eNVM design recovers nearly all of it.
+    let d = optimal_design(&zoo::keyword_lstm(), CellTechnology::MlcCtt);
+    assert!(
+        d.system_64.weight_energy_mj < rnn_base.weight_energy_mj / 50.0,
+        "on-chip fetch energy {} vs DRAM {}",
+        d.system_64.weight_energy_mj,
+        rnn_base.weight_energy_mj
+    );
+}

@@ -1,0 +1,134 @@
+//! Regression locks: the key quantitative results recorded in
+//! `EXPERIMENTS.md`, pinned with tolerances so refactors cannot silently
+//! drift the reproduction away from the paper's shape.
+
+use maxnvm::{baseline_design, optimal_design, CellTechnology, NvdlaConfig};
+use maxnvm_dnn::zoo;
+use maxnvm_encoding::estimate::model_bits;
+use maxnvm_encoding::EncodingKind;
+use maxnvm_envm::{MlcConfig, SenseAmp};
+use maxnvm_faultsim::dse::{explore_spec, minimal_cells_for_encoding};
+
+fn within(value: f64, expected: f64, rel_tol: f64) -> bool {
+    (value - expected).abs() <= expected.abs() * rel_tol
+}
+
+#[test]
+fn lock_table2_bitmask_sizes() {
+    // BitMask footprints (MB), ours as recorded in EXPERIMENTS.md; paper's
+    // values in comments.
+    let mb = |bits: u64| bits as f64 / 8.0 / 1024.0 / 1024.0;
+    let cases = [
+        (zoo::lenet5(), 0.101, 0.10),  // paper 107KB
+        (zoo::vgg12(), 3.2, 0.10),     // paper 3.23MB
+        (zoo::vgg16(), 35.2, 0.05),    // paper 35.5MB
+        (zoo::resnet50(), 10.5, 0.10), // paper 11.2MB
+    ];
+    for (spec, expected, tol) in cases {
+        let got = mb(model_bits(&spec, EncodingKind::BitMask, false));
+        assert!(
+            within(got, expected, tol),
+            "{}: BitMask {got}MB vs locked {expected}MB",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn lock_vgg16_idxsync_saving() {
+    // EXPERIMENTS.md: IdxSync cuts VGG16's minimal BitMask cells by
+    // 17.6% (paper: 22%).
+    let spec = zoo::vgg16();
+    let points = explore_spec(
+        &spec,
+        CellTechnology::MlcCtt,
+        &SenseAmp::paper_default(),
+        spec.paper.itn_bound,
+    );
+    let plain = minimal_cells_for_encoding(&points, EncodingKind::BitMask, Some(false))
+        .unwrap()
+        .cells;
+    let synced = minimal_cells_for_encoding(&points, EncodingKind::BitMask, Some(true))
+        .unwrap()
+        .cells;
+    let saving = 1.0 - synced as f64 / plain as f64;
+    assert!(
+        (0.12..0.28).contains(&saving),
+        "IdxSync saving {saving} drifted from the locked ~0.176"
+    );
+}
+
+#[test]
+fn lock_resnet50_headline_factors() {
+    // EXPERIMENTS.md Fig. 9: 3.2x energy / 3.2x power on NVDLA-64.
+    let spec = zoo::resnet50();
+    let base = baseline_design(&spec, &NvdlaConfig::nvdla_64());
+    let ctt = optimal_design(&spec, CellTechnology::MlcCtt);
+    let e = base.energy_per_inference_mj / ctt.system_64.energy_per_inference_mj;
+    let p = base.avg_power_mw / ctt.system_64.avg_power_mw;
+    assert!(within(e, 3.2, 0.20), "energy factor {e} vs locked 3.2");
+    assert!(within(p, 3.2, 0.20), "power factor {p} vs locked 3.2");
+}
+
+#[test]
+fn lock_fault_rate_calibration() {
+    // EXPERIMENTS.md Fig. 2b: worst MLC3 adjacent rates per technology.
+    let cases = [
+        (CellTechnology::MlcCtt, 1.04e-5),
+        (CellTechnology::MlcRram, 8.14e-6),
+        (CellTechnology::OptMlcRram, 2.92e-6),
+    ];
+    for (tech, expected) in cases {
+        let got = tech
+            .cell_model(MlcConfig::MLC3)
+            .fault_map()
+            .worst_adjacent_rate();
+        assert!(
+            within(got, expected, 0.05),
+            "{tech}: worst MLC3 rate {got:.3e} vs locked {expected:.3e}"
+        );
+    }
+}
+
+#[test]
+fn lock_table4_areas() {
+    // EXPERIMENTS.md Table 4 areas (mm², ours); paper's in comments.
+    let cases = [
+        (zoo::vgg16(), CellTechnology::MlcCtt, 2.64),     // paper 2.0
+        (zoo::vgg16(), CellTechnology::SlcRram, 17.48),   // paper 19.2
+        (zoo::resnet50(), CellTechnology::MlcCtt, 0.78),  // paper 1.0
+        (zoo::resnet50(), CellTechnology::SlcRram, 5.70), // paper 9.6
+        (zoo::vgg12(), CellTechnology::OptMlcRram, 0.09), // paper 0.12
+    ];
+    for (spec, tech, expected) in cases {
+        let got = optimal_design(&spec, tech).array.area_mm2;
+        assert!(
+            within(got, expected, 0.15),
+            "{} on {}: area {got} vs locked {expected}",
+            spec.name,
+            tech.name()
+        );
+    }
+}
+
+#[test]
+fn lock_write_times() {
+    // EXPERIMENTS.md Table 5: VGG16 CTT 13.6 minutes, VGG16 SLC 26ms.
+    let vgg16 = zoo::vgg16();
+    let ctt = optimal_design(&vgg16, CellTechnology::MlcCtt).write_time_s;
+    assert!(within(ctt, 13.6 * 60.0, 0.15), "CTT write {ctt}s");
+    let slc = optimal_design(&vgg16, CellTechnology::SlcRram).write_time_s;
+    assert!(within(slc, 0.026, 0.20), "SLC write {slc}s");
+}
+
+#[test]
+fn lock_fig10_crossover() {
+    // EXPERIMENTS.md Fig. 10: always-on/wake-up crossover at ~30 FPS.
+    use maxnvm_nvdla::nonvolatility::always_on_crossover_fps;
+    use maxnvm_nvdla::perf::encoded_weight_bytes;
+    let total: u64 = encoded_weight_bytes(&zoo::resnet50(), EncodingKind::BitMask, false)
+        .iter()
+        .sum();
+    let cross = always_on_crossover_fps(&NvdlaConfig::nvdla_1024(), total);
+    assert!(within(cross, 30.2, 0.10), "crossover {cross} FPS");
+}
