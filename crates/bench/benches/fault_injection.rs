@@ -44,8 +44,7 @@ fn bench_decode_with_faults(c: &mut Criterion) {
         .collect();
     let m = LayerMatrix::new("l", 128, 1024, data);
     let clustered = ClusteredLayer::from_matrix(&m, 6, 3);
-    let scheme =
-        StorageScheme::uniform(EncodingKind::BitMask, MlcConfig::MLC3).with_idx_sync();
+    let scheme = StorageScheme::uniform(EncodingKind::BitMask, MlcConfig::MLC3).with_idx_sync();
     let stored = StoredLayer::store(&clustered, &scheme);
     let sa = SenseAmp::paper_default();
     let maps = fault_maps(CellTechnology::MlcCtt, &sa);
@@ -61,8 +60,7 @@ fn bench_decode_with_faults(c: &mut Criterion) {
 fn bench_analytic_damage(c: &mut Criterion) {
     let sa = SenseAmp::paper_default();
     let geom = LayerGeometry::from_sparsity(4096, 25088, 0.811); // VGG16 fc6
-    let scheme =
-        StorageScheme::uniform(EncodingKind::BitMask, MlcConfig::MLC3).with_idx_sync();
+    let scheme = StorageScheme::uniform(EncodingKind::BitMask, MlcConfig::MLC3).with_idx_sync();
     c.bench_function("analytic_layer_damage_fc6", |b| {
         b.iter(|| layer_damage(geom, 6, &scheme, CellTechnology::MlcCtt, &sa))
     });

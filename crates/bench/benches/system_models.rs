@@ -36,7 +36,7 @@ fn bench_dse(c: &mut Criterion) {
         b.iter(|| explore_spec(&spec, CellTechnology::MlcCtt, &sa, spec.paper.itn_bound))
     });
     c.bench_function("full_pipeline_resnet50_ctt", |b| {
-        b.iter(|| optimal_design(&spec, CellTechnology::MlcCtt))
+        b.iter(|| optimal_design(&spec, CellTechnology::MlcCtt).expect("design"))
     });
 }
 

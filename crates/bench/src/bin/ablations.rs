@@ -40,9 +40,7 @@ fn guard_gap() {
     let sp = with_gap.levels()[1].sigma;
     let no_gap = CellModel::new(
         (0..8)
-            .map(|i| {
-                LevelDistribution::new(i as f64 / 7.0, if i == 0 { s0 } else { sp })
-            })
+            .map(|i| LevelDistribution::new(i as f64 / 7.0, if i == 0 { s0 } else { sp }))
             .collect(),
     );
     let a = with_gap.fault_map();
@@ -98,8 +96,7 @@ fn ecc_codeword_size() {
         ("4KB (paper)", 4096 * 8),
     ] {
         let code = SecDed::new(data_bits);
-        let mut scheme =
-            StorageScheme::uniform(EncodingKind::Csr, MlcConfig::MLC3).with_ecc();
+        let mut scheme = StorageScheme::uniform(EncodingKind::Csr, MlcConfig::MLC3).with_ecc();
         scheme.ecc_code = code;
         let d = layer_damage(geom, 6, &scheme, CellTechnology::MlcCtt, &sa);
         println!(
@@ -132,11 +129,7 @@ fn idxsync_block_size() {
         let d = layer_damage(geom, 6, &scheme, CellTechnology::MlcCtt, &sa);
         let counters = (geom.rows * geom.cols).div_ceil(block as u64)
             * maxnvm_encoding::bitmask::sync_counter_bits_for(block) as u64;
-        println!(
-            "  {block:>9}b {:>14} {:>18.3e}",
-            counters,
-            d.relative_mse
-        );
+        println!("  {block:>9}b {:>14} {:>18.3e}", counters, d.relative_mse);
     }
     println!("  (smaller blocks confine damage better but cost more counter bits)\n");
 }
@@ -157,8 +150,8 @@ fn csr_index_modes() {
     let c = ClusteredLayer::from_matrix(&LayerMatrix::new("l", 16, 1024, data), 6, 1);
     let rel = CsrLayer::encode(&c);
     let abs = CsrLayer::encode_absolute(&c);
-    let ecc_bits = BlockCodec::new(SecDed::default_512b())
-        .overhead_bits(rel.total_bits() as usize) as u64;
+    let ecc_bits =
+        BlockCodec::new(SecDed::default_512b()).overhead_bits(rel.total_bits() as usize) as u64;
     println!(
         "  relative:        {:>8} bits ({}-bit fields, blast radius: rest of row)",
         rel.total_bits(),
@@ -190,7 +183,10 @@ fn clustering_vs_fixed_point() {
         })
         .collect();
     let m = LayerMatrix::new("l", 128, 128, data);
-    println!("  {:>13} {:>12} {:>16}", "cluster bits", "k-means MSE", "fixed-pt bits");
+    println!(
+        "  {:>13} {:>12} {:>16}",
+        "cluster bits", "k-means MSE", "fixed-pt bits"
+    );
     for bits in [3u8, 4, 5, 6] {
         let c = ClusteredLayer::from_matrix(&m, bits, 3);
         let mse = c.quantization_mse(&m);

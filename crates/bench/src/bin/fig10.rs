@@ -14,8 +14,8 @@ fn main() {
     let model = zoo::resnet50();
     let cfg = NvdlaConfig::nvdla_1024();
     let base = baseline_design(&model, &cfg);
-    let ctt = optimal_design(&model, CellTechnology::MlcCtt);
-    let rram = optimal_design(&model, CellTechnology::MlcRram);
+    let ctt = optimal_design(&model, CellTechnology::MlcCtt).expect("design");
+    let rram = optimal_design(&model, CellTechnology::MlcRram).expect("design");
     let total_bytes: u64 = encoded_weight_bytes(&model, EncodingKind::BitMask, false)
         .iter()
         .sum();
@@ -29,7 +29,8 @@ fn main() {
         if fps > base.fps {
             break;
         }
-        let on = average_energy_per_inference_mj(&base, &cfg, IdlePolicy::AlwaysOn, fps, total_bytes);
+        let on =
+            average_energy_per_inference_mj(&base, &cfg, IdlePolicy::AlwaysOn, fps, total_bytes);
         let wake =
             average_energy_per_inference_mj(&base, &cfg, IdlePolicy::WakeUp, fps, total_bytes);
         let e_ctt = average_energy_per_inference_mj(

@@ -9,12 +9,19 @@ use rand::SeedableRng;
 fn main() {
     let cell = CellTechnology::MlcCtt.cell_model(MlcConfig::MLC3);
     println!("Fig. 2b: MLC3-programmed CTT level distributions (normalized signal)");
-    println!("{:<8} {:>10} {:>10} {:>12} {:>12}", "Level", "mean", "sigma", "P(up)", "P(down)");
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>12}",
+        "Level", "mean", "sigma", "P(up)", "P(down)"
+    );
     let fm = cell.fault_map();
     for (i, l) in cell.levels().iter().enumerate() {
         println!(
             "{:<8} {:>10.4} {:>10.4} {:>12.3e} {:>12.3e}",
-            i, l.mean, l.sigma, fm.p_up(i), fm.p_down(i)
+            i,
+            l.mean,
+            l.sigma,
+            fm.p_up(i),
+            fm.p_down(i)
         );
     }
     println!();

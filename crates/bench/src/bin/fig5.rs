@@ -86,7 +86,7 @@ fn main() {
         "{:<28} {:>8} {:>8} {:>8}",
         "structure [+protection]", "SLC", "MLC2", "MLC3"
     );
-    for row in study.run_fig5(&clustered, &eval) {
+    for row in study.run_fig5(&clustered, &eval).expect("study") {
         println!(
             "{:<28} {:>7.2}% {:>7.2}% {:>7.2}%",
             row.label(),

@@ -6,7 +6,9 @@
 use maxnvm_dnn::zoo::ModelSpec;
 use maxnvm_encoding::EncodingKind;
 use maxnvm_envm::{CellTechnology, SenseAmp};
-use maxnvm_faultsim::dse::{explore_spec, explore_spec_per_layer, minimal_cells, minimal_cells_for_encoding};
+use maxnvm_faultsim::dse::{
+    explore_spec, explore_spec_per_layer, minimal_cells, minimal_cells_for_encoding,
+};
 
 fn main() {
     let sa = SenseAmp::paper_default();
@@ -63,7 +65,8 @@ fn main() {
         // Extension: per-layer mixed encodings ("CSR applied per layer
         // where worthwhile", §3.2.1).
         let (mixed, mixed_cells) =
-            explore_spec_per_layer(&spec, CellTechnology::MlcCtt, &sa, spec.paper.itn_bound);
+            explore_spec_per_layer(&spec, CellTechnology::MlcCtt, &sa, spec.paper.itn_bound)
+                .expect("SLC always passes");
         let distinct: std::collections::BTreeSet<String> =
             mixed.iter().map(|s| s.label()).collect();
         println!(

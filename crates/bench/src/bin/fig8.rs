@@ -11,10 +11,17 @@ fn main() {
         println!("== {} ==", spec.name);
         println!(
             "{:<16} {:<18} {:>4} {:>9} {:>11} {:>10} {:>12} {:>9}",
-            "Technology", "Encoding", "BPC", "Cap(MB)", "Area(mm2)", "Read(ns)", "Energy(pJ)", "BW(GB/s)"
+            "Technology",
+            "Encoding",
+            "BPC",
+            "Cap(MB)",
+            "Area(mm2)",
+            "Read(ns)",
+            "Energy(pJ)",
+            "BW(GB/s)"
         );
         for tech in CellTechnology::ALL {
-            let d = optimal_design(&spec, tech);
+            let d = optimal_design(&spec, tech).expect("design");
             println!(
                 "{:<16} {:<18} {:>4} {:>9.1} {:>11.2} {:>10.2} {:>12.2} {:>9.1}",
                 tech.name(),

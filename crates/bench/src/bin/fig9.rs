@@ -20,8 +20,12 @@ fn main() {
             "LPDDR4 DRAM", base.energy_per_inference_mj, base.avg_power_mw, base.fps
         );
         for tech in CellTechnology::ALL {
-            let d = optimal_design(&model, tech);
-            let r = if cfg.macs == 64 { &d.system_64 } else { &d.system_1024 };
+            let d = optimal_design(&model, tech).expect("design");
+            let r = if cfg.macs == 64 {
+                &d.system_64
+            } else {
+                &d.system_1024
+            };
             println!(
                 "{:<18} {:>14.3} {:>12.1} {:>10.1}",
                 tech.name(),
@@ -31,8 +35,12 @@ fn main() {
             );
         }
         // Headline ratios for this configuration.
-        let ctt = optimal_design(&model, CellTechnology::MlcCtt);
-        let r = if cfg.macs == 64 { &ctt.system_64 } else { &ctt.system_1024 };
+        let ctt = optimal_design(&model, CellTechnology::MlcCtt).expect("design");
+        let r = if cfg.macs == 64 {
+            &ctt.system_64
+        } else {
+            &ctt.system_1024
+        };
         println!(
             "-> MLC-CTT vs DRAM: {:.1}x energy, {:.1}x power (paper: 3.5x / 3.2x at NVDLA-64; ~1.6x power at NVDLA-1024)",
             base.energy_per_inference_mj / r.energy_per_inference_mj,

@@ -32,7 +32,10 @@ fn main() {
         );
     };
     row("Dataset", specs.iter().map(|s| s.dataset.clone()).collect());
-    row("Layers", specs.iter().map(|s| s.layers.len().to_string()).collect());
+    row(
+        "Layers",
+        specs.iter().map(|s| s.layers.len().to_string()).collect(),
+    );
     row(
         "Parameters (ours)",
         specs.iter().map(|s| s.params().to_string()).collect(),

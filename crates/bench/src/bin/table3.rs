@@ -19,19 +19,28 @@ fn main() {
     }
     println!("\n");
     println!("Table 3 (right): NVDLA baselines");
-    println!(
-        "{:<28} {:>12} {:>12}",
-        "", "NVDLA-64", "NVDLA-1024"
-    );
+    println!("{:<28} {:>12} {:>12}", "", "NVDLA-64", "NVDLA-1024");
     let a = NvdlaConfig::nvdla_64();
     let b = NvdlaConfig::nvdla_1024();
     let row = |label: &str, va: String, vb: String| {
         println!("{label:<28} {va:>12} {vb:>12}");
     };
-    row("Conv buffer", format!("{}KB", a.conv_buffer_kb), format!("{}KB", b.conv_buffer_kb));
+    row(
+        "Conv buffer",
+        format!("{}KB", a.conv_buffer_kb),
+        format!("{}KB", b.conv_buffer_kb),
+    );
     row("Number of MACs", a.macs.to_string(), b.macs.to_string());
-    row("SRAM capacity", format!("{}KB", a.sram_kb), format!("{}KB", b.sram_kb));
-    row("Frequency", format!("{}GHz", a.freq_ghz), format!("{}GHz", b.freq_ghz));
+    row(
+        "SRAM capacity",
+        format!("{}KB", a.sram_kb),
+        format!("{}KB", b.sram_kb),
+    );
+    row(
+        "Frequency",
+        format!("{}GHz", a.freq_ghz),
+        format!("{}GHz", b.freq_ghz),
+    );
     row(
         "Datapath area",
         format!("{}mm2", a.datapath_area_mm2),

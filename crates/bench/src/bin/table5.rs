@@ -27,7 +27,7 @@ fn main() {
     );
     for spec in [zoo::vgg12(), zoo::resnet50(), zoo::vgg16()] {
         for tech in CellTechnology::ALL {
-            let d = optimal_design(&spec, tech);
+            let d = optimal_design(&spec, tech).expect("design");
             let p = paper
                 .iter()
                 .find(|(m, t, _)| *m == spec.name && *t == tech.name())

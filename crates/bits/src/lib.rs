@@ -84,7 +84,11 @@ impl BitBuffer {
                 self.words.push(0);
             }
             let take = remaining.min(64 - bit);
-            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             self.words[word] |= (v & mask) << bit;
             v = if take == 64 { 0 } else { v >> take };
             self.len += take;
@@ -111,7 +115,11 @@ impl BitBuffer {
     ///
     /// Panics if `index >= self.len()`.
     pub fn set(&mut self, index: usize, bit: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let mask = 1u64 << (index % 64);
         if bit {
             self.words[index / 64] |= mask;
@@ -126,7 +134,11 @@ impl BitBuffer {
     ///
     /// Panics if `index >= self.len()`.
     pub fn toggle(&mut self, index: usize) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         self.words[index / 64] ^= 1u64 << (index % 64);
     }
 
@@ -144,7 +156,11 @@ impl BitBuffer {
             let word = (start + got) / 64;
             let bit = (start + got) % 64;
             let take = (width - got).min(64 - bit);
-            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             out |= ((self.words[word] >> bit) & mask) << got;
             got += take;
         }
@@ -182,7 +198,10 @@ impl BitBuffer {
     ///
     /// Panics if `bytes` is too short for `len` bits.
     pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
-        assert!(bytes.len() * 8 >= len, "byte slice too short for {len} bits");
+        assert!(
+            bytes.len() * 8 >= len,
+            "byte slice too short for {len} bits"
+        );
         let mut buf = Self::with_capacity(len);
         for i in 0..len {
             buf.push_bit((bytes[i / 8] >> (i % 8)) & 1 == 1);

@@ -13,8 +13,8 @@
 
 use maxnvm::{baseline_design, optimal_design, CellTechnology, NvdlaConfig};
 use maxnvm_dnn::zoo::{self, ModelSpec};
-use maxnvm_envm::{SenseAmp, WriteModel};
 use maxnvm_encoding::EncodingKind;
+use maxnvm_envm::{SenseAmp, WriteModel};
 use maxnvm_faultsim::dse::explore_spec;
 use maxnvm_nvdla::hybrid::sweep_hybrid;
 use maxnvm_nvdla::perf::encoded_weight_bytes;
@@ -51,7 +51,7 @@ fn usage() -> ExitCode {
 }
 
 fn cmd_design(spec: &ModelSpec, tech: CellTechnology) {
-    let d = optimal_design(spec, tech);
+    let d = optimal_design(spec, tech).expect("design");
     println!("{} on {}", spec.name, tech.name());
     println!("  encoding           {}", d.scheme_label);
     println!("  max bits per cell  {}", d.max_bits_per_cell);
@@ -60,8 +60,14 @@ fn cmd_design(spec: &ModelSpec, tech: CellTechnology) {
     println!("  est. error         {:.2}%", d.mean_error * 100.0);
     println!("  macro area         {:.2} mm2", d.array.area_mm2);
     println!("  read latency       {:.2} ns", d.array.read_latency_ns);
-    println!("  read energy        {:.2} pJ/access", d.array.read_energy_pj);
-    println!("  read bandwidth     {:.1} GB/s", d.array.read_bandwidth_gbps);
+    println!(
+        "  read energy        {:.2} pJ/access",
+        d.array.read_energy_pj
+    );
+    println!(
+        "  read bandwidth     {:.1} GB/s",
+        d.array.read_bandwidth_gbps
+    );
     println!(
         "  write time         {}",
         WriteModel::format_duration(d.write_time_s)
@@ -91,7 +97,7 @@ fn cmd_compare(spec: &ModelSpec) {
         "LPDDR4 DRAM", "-", base.energy_per_inference_mj, base.avg_power_mw, base.fps, "-"
     );
     for tech in CellTechnology::ALL {
-        let d = optimal_design(spec, tech);
+        let d = optimal_design(spec, tech).expect("design");
         println!(
             "{:<16} {:>10.2} {:>12.2} {:>10.0} {:>10.1} {:>12}",
             tech.name(),
@@ -148,7 +154,10 @@ fn cmd_hybrid(spec: &ModelSpec, tech: CellTechnology) {
         spec.name,
         tech.name()
     );
-    println!("{:>6} {:>10} {:>10} {:>10}", "eNVM%", "cap(MB)", "rel perf", "rel E");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "eNVM%", "cap(MB)", "rel perf", "rel E"
+    );
     for p in &points {
         println!(
             "{:>5.0}% {:>10.1} {:>10.3} {:>10.3}",
@@ -177,15 +186,13 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Some("design") if args.len() == 3 => {
-            match (parse_model(&args[1]), parse_tech(&args[2])) {
-                (Some(m), Some(t)) => {
-                    cmd_design(&m, t);
-                    ExitCode::SUCCESS
-                }
-                _ => usage(),
+        Some("design") if args.len() == 3 => match (parse_model(&args[1]), parse_tech(&args[2])) {
+            (Some(m), Some(t)) => {
+                cmd_design(&m, t);
+                ExitCode::SUCCESS
             }
-        }
+            _ => usage(),
+        },
         Some("compare") if args.len() == 2 => match parse_model(&args[1]) {
             Some(m) => {
                 cmd_compare(&m);
@@ -193,24 +200,20 @@ fn main() -> ExitCode {
             }
             None => usage(),
         },
-        Some("dse") if args.len() == 3 => {
-            match (parse_model(&args[1]), parse_tech(&args[2])) {
-                (Some(m), Some(t)) => {
-                    cmd_dse(&m, t);
-                    ExitCode::SUCCESS
-                }
-                _ => usage(),
+        Some("dse") if args.len() == 3 => match (parse_model(&args[1]), parse_tech(&args[2])) {
+            (Some(m), Some(t)) => {
+                cmd_dse(&m, t);
+                ExitCode::SUCCESS
             }
-        }
-        Some("hybrid") if args.len() == 3 => {
-            match (parse_model(&args[1]), parse_tech(&args[2])) {
-                (Some(m), Some(t)) => {
-                    cmd_hybrid(&m, t);
-                    ExitCode::SUCCESS
-                }
-                _ => usage(),
+            _ => usage(),
+        },
+        Some("hybrid") if args.len() == 3 => match (parse_model(&args[1]), parse_tech(&args[2])) {
+            (Some(m), Some(t)) => {
+                cmd_hybrid(&m, t);
+                ExitCode::SUCCESS
             }
-        }
+            _ => usage(),
+        },
         _ => usage(),
     }
 }

@@ -24,13 +24,15 @@
 //! use maxnvm::{optimal_design, CellTechnology};
 //! use maxnvm_dnn::zoo;
 //!
-//! let design = optimal_design(&zoo::resnet50(), CellTechnology::MlcCtt);
+//! let design = optimal_design(&zoo::resnet50(), CellTechnology::MlcCtt)
+//!     .expect("SLC fallback always passes");
 //! // ResNet50 fits on-chip in a couple of mm² of MLC-CTT (paper: 1.0mm²).
 //! assert!(design.array.area_mm2 < 5.0);
 //! assert!(design.scheme_label.contains("BitM") || design.scheme_label.contains("CSR"));
 //! ```
 
 pub use maxnvm_envm::{CellTechnology, MlcConfig, SenseAmp};
+pub use maxnvm_faultsim::engine::EngineError;
 pub use maxnvm_nvdla::{NvdlaConfig, SystemReport, WeightSource};
 pub use maxnvm_nvsim::{ArrayDesign, OptTarget};
 
@@ -77,15 +79,20 @@ pub struct DesignPoint {
 /// the minimal-cell accuracy-preserving storage configuration (§4.4) and
 /// characterizing the resulting system (§5).
 ///
-/// # Panics
-///
-/// Panics if no storage configuration preserves accuracy (cannot happen
-/// for the supported technologies: SLC always passes).
-pub fn optimal_design(spec: &ModelSpec, tech: CellTechnology) -> DesignPoint {
+/// Errors with [`EngineError::NoPassingScheme`] if no storage
+/// configuration preserves accuracy (cannot happen for the supported
+/// technologies: SLC always passes).
+pub fn optimal_design(spec: &ModelSpec, tech: CellTechnology) -> Result<DesignPoint, EngineError> {
     let sa = SenseAmp::paper_default();
     let points = explore_spec(spec, tech, &sa, spec.paper.itn_bound);
-    let best: &DsePoint = minimal_cells(&points).expect("SLC fallback always passes");
-    design_from_scheme(spec, tech, best.scheme.clone(), best.cells, best.mean_error)
+    let best: &DsePoint = minimal_cells(&points).ok_or(EngineError::NoPassingScheme)?;
+    Ok(design_from_scheme(
+        spec,
+        tech,
+        best.scheme.clone(),
+        best.cells,
+        best.mean_error,
+    ))
 }
 
 /// Characterizes a specific (already chosen) scheme — used by the
@@ -100,11 +107,8 @@ pub fn design_from_scheme(
     let bpc = scheme.max_bpc().bits();
     // The weight store feeds NVDLA's 128-bit read beats: require a wide
     // access interface when picking the EDP-optimal organization.
-    let array = characterize_min_width(
-        &ArrayRequest::new(tech, cells, bpc),
-        OptTarget::ReadEdp,
-        96,
-    );
+    let array =
+        characterize_min_width(&ArrayRequest::new(tech, cells, bpc), OptTarget::ReadEdp, 96);
     let weight_bytes = encoded_weight_bytes(spec, scheme.encoding, scheme.idx_sync);
     let source = WeightSource::Envm(array);
     let system_64 = evaluate(spec, &NvdlaConfig::nvdla_64(), &source, &weight_bytes);
@@ -129,8 +133,7 @@ pub fn design_from_scheme(
 /// The DRAM-baseline system evaluation for a model (Fig. 7a): weights
 /// stream from LPDDR4, encoded with the NVDLA-native BitMask format.
 pub fn baseline_design(spec: &ModelSpec, cfg: &NvdlaConfig) -> SystemReport {
-    let weight_bytes =
-        encoded_weight_bytes(spec, maxnvm_encoding::EncodingKind::BitMask, false);
+    let weight_bytes = encoded_weight_bytes(spec, maxnvm_encoding::EncodingKind::BitMask, false);
     evaluate(spec, cfg, &WeightSource::Dram, &weight_bytes)
 }
 
@@ -142,9 +145,17 @@ mod tests {
     #[test]
     fn resnet50_ctt_matches_table4_shape() {
         // Table 4, ResNet50 × MLC-CTT: BitM+IdxSync, 2 BPC, 12MB, 1.0mm².
-        let d = optimal_design(&zoo::resnet50(), CellTechnology::MlcCtt);
-        assert!(d.scheme_label.starts_with("BitM+IdxSync"), "{}", d.scheme_label);
-        assert!((0.3..4.0).contains(&d.array.area_mm2), "{}", d.array.area_mm2);
+        let d = optimal_design(&zoo::resnet50(), CellTechnology::MlcCtt).expect("design");
+        assert!(
+            d.scheme_label.starts_with("BitM+IdxSync"),
+            "{}",
+            d.scheme_label
+        );
+        assert!(
+            (0.3..4.0).contains(&d.array.area_mm2),
+            "{}",
+            d.array.area_mm2
+        );
         assert!((6.0..20.0).contains(&d.capacity_mb), "{} MB", d.capacity_mb);
         assert!(d.system_1024.fps > 60.0, "fps {}", d.system_1024.fps);
     }
@@ -153,9 +164,9 @@ mod tests {
     fn vgg16_fits_on_chip_in_a_few_mm2() {
         // §5.1: VGG16's protected sparse weights fit in ~2mm² of MLC-CTT
         // and ~1.3mm² of optimistic RRAM.
-        let ctt = optimal_design(&zoo::vgg16(), CellTechnology::MlcCtt);
+        let ctt = optimal_design(&zoo::vgg16(), CellTechnology::MlcCtt).expect("design");
         assert!(ctt.array.area_mm2 < 6.0, "CTT {}", ctt.array.area_mm2);
-        let opt = optimal_design(&zoo::vgg16(), CellTechnology::OptMlcRram);
+        let opt = optimal_design(&zoo::vgg16(), CellTechnology::OptMlcRram).expect("design");
         assert!(opt.array.area_mm2 < ctt.array.area_mm2);
     }
 
@@ -163,10 +174,13 @@ mod tests {
     fn slc_baseline_needs_an_order_more_area() {
         // §1: optimized MLC designs provide up to 29x area reduction
         // relative to SLC eNVM (best case, CiFar10-VGG12).
-        let slc = optimal_design(&zoo::vgg12(), CellTechnology::SlcRram);
-        let opt = optimal_design(&zoo::vgg12(), CellTechnology::OptMlcRram);
+        let slc = optimal_design(&zoo::vgg12(), CellTechnology::SlcRram).expect("design");
+        let opt = optimal_design(&zoo::vgg12(), CellTechnology::OptMlcRram).expect("design");
         let ratio = slc.array.area_mm2 / opt.array.area_mm2;
-        assert!((8.0..40.0).contains(&ratio), "area reduction {ratio} (paper up to 29x)");
+        assert!(
+            (8.0..40.0).contains(&ratio),
+            "area reduction {ratio} (paper up to 29x)"
+        );
     }
 
     #[test]
@@ -176,20 +190,13 @@ mod tests {
         // higher read bandwidth (shorter runtime); on the compute-bound
         // NVDLA-64 the proposals converge, so CTT must merely not lose.
         let model = zoo::resnet50();
-        let ctt = optimal_design(&model, CellTechnology::MlcCtt);
-        let opt = optimal_design(&model, CellTechnology::OptMlcRram);
-        let rram = optimal_design(&model, CellTechnology::MlcRram);
+        let ctt = optimal_design(&model, CellTechnology::MlcCtt).expect("design");
+        let opt = optimal_design(&model, CellTechnology::OptMlcRram).expect("design");
+        let rram = optimal_design(&model, CellTechnology::MlcRram).expect("design");
+        assert!(ctt.system_1024.energy_per_inference_mj < opt.system_1024.energy_per_inference_mj);
+        assert!(ctt.system_1024.energy_per_inference_mj < rram.system_1024.energy_per_inference_mj);
         assert!(
-            ctt.system_1024.energy_per_inference_mj
-                < opt.system_1024.energy_per_inference_mj
-        );
-        assert!(
-            ctt.system_1024.energy_per_inference_mj
-                < rram.system_1024.energy_per_inference_mj
-        );
-        assert!(
-            ctt.system_64.energy_per_inference_mj
-                < 1.05 * opt.system_64.energy_per_inference_mj
+            ctt.system_64.energy_per_inference_mj < 1.05 * opt.system_64.energy_per_inference_mj
         );
     }
 
@@ -200,21 +207,31 @@ mod tests {
         let model = zoo::resnet50();
         let cfg = NvdlaConfig::nvdla_64();
         let base = baseline_design(&model, &cfg);
-        let ctt = optimal_design(&model, CellTechnology::MlcCtt);
+        let ctt = optimal_design(&model, CellTechnology::MlcCtt).expect("design");
         let e_ratio = base.energy_per_inference_mj / ctt.system_64.energy_per_inference_mj;
         let p_ratio = base.avg_power_mw / ctt.system_64.avg_power_mw;
-        assert!((2.0..5.0).contains(&e_ratio), "energy ratio {e_ratio} (paper 3.5x)");
-        assert!((2.0..5.0).contains(&p_ratio), "power ratio {p_ratio} (paper 3.2x)");
+        assert!(
+            (2.0..5.0).contains(&e_ratio),
+            "energy ratio {e_ratio} (paper 3.5x)"
+        );
+        assert!(
+            (2.0..5.0).contains(&p_ratio),
+            "power ratio {p_ratio} (paper 3.2x)"
+        );
     }
 
     #[test]
     fn write_times_span_ms_to_minutes() {
         // Table 5: RRAM rewrites in milliseconds, CTT in minutes.
         let model = zoo::vgg16();
-        let ctt = optimal_design(&model, CellTechnology::MlcCtt);
-        let rram = optimal_design(&model, CellTechnology::MlcRram);
+        let ctt = optimal_design(&model, CellTechnology::MlcCtt).expect("design");
+        let rram = optimal_design(&model, CellTechnology::MlcRram).expect("design");
         assert!(ctt.write_time_s > 60.0, "CTT write {}s", ctt.write_time_s);
-        assert!(rram.write_time_s < 10.0, "RRAM write {}s", rram.write_time_s);
+        assert!(
+            rram.write_time_s < 10.0,
+            "RRAM write {}s",
+            rram.write_time_s
+        );
     }
 
     #[test]
@@ -222,11 +239,11 @@ mod tests {
         // §1: RRAM writes orders of magnitude faster while giving up
         // roughly 20% energy efficiency vs CTT.
         let model = zoo::resnet50();
-        let ctt = optimal_design(&model, CellTechnology::MlcCtt);
-        let rram = optimal_design(&model, CellTechnology::MlcRram);
+        let ctt = optimal_design(&model, CellTechnology::MlcCtt).expect("design");
+        let rram = optimal_design(&model, CellTechnology::MlcRram).expect("design");
         assert!(ctt.write_time_s / rram.write_time_s > 100.0);
-        let penalty = rram.system_1024.energy_per_inference_mj
-            / ctt.system_1024.energy_per_inference_mj;
+        let penalty =
+            rram.system_1024.energy_per_inference_mj / ctt.system_1024.energy_per_inference_mj;
         assert!(
             (1.0..2.5).contains(&penalty),
             "RRAM energy penalty {penalty} (paper ~1.2x; ours is larger because\

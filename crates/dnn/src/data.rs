@@ -153,7 +153,9 @@ impl SyntheticDigits {
         assert!(n_train >= 10, "need at least one sample per class");
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let make = |n: usize, rng: &mut rand::rngs::StdRng| -> Samples {
-            (0..n).map(|i| (render_digit(i % 10, rng), i % 10)).collect()
+            (0..n)
+                .map(|i| (render_digit(i % 10, rng), i % 10))
+                .collect()
         };
         let train = make(n_train, &mut rng);
         let test = make((n_train / 4).max(10), &mut rng);
@@ -179,8 +181,8 @@ pub fn synthetic_textures(n: usize, classes: usize, seed: u64) -> Samples {
                 for y in 0..side {
                     for x in 0..side {
                         let u = theta.cos() * x as f32 + theta.sin() * y as f32;
-                        img[(c * side + y) * side + x] = gain * (freq * u + phase).sin()
-                            + (rng.gen::<f32>() - 0.5) * 0.4;
+                        img[(c * side + y) * side + x] =
+                            gain * (freq * u + phase).sin() + (rng.gen::<f32>() - 0.5) * 0.4;
                     }
                 }
             }

@@ -137,23 +137,20 @@ impl Layer {
                 let mut y = vec![0.0f32; out];
                 for (o, yo) in y.iter_mut().enumerate() {
                     let row = &weight.data()[o * inp..(o + 1) * inp];
-                    *yo = bias[o]
-                        + row
-                            .iter()
-                            .zip(x.data())
-                            .map(|(w, v)| w * v)
-                            .sum::<f32>();
+                    *yo = bias[o] + row.iter().zip(x.data()).map(|(w, v)| w * v).sum::<f32>();
                 }
                 Tensor::from_vec(&[out], y)
             }
-            Layer::ReLU => Tensor::from_vec(
-                x.shape(),
-                x.data().iter().map(|&v| v.max(0.0)).collect(),
-            ),
+            Layer::ReLU => {
+                Tensor::from_vec(x.shape(), x.data().iter().map(|&v| v.max(0.0)).collect())
+            }
             Layer::MaxPool2 => {
                 assert_eq!(x.shape().len(), 3, "pool input must be [c,h,w]");
                 let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
-                assert!(h % 2 == 0 && w % 2 == 0, "pool needs even dims, got {h}x{w}");
+                assert!(
+                    h % 2 == 0 && w % 2 == 0,
+                    "pool needs even dims, got {h}x{w}"
+                );
                 let (oh, ow) = (h / 2, w / 2);
                 let mut out = vec![0.0f32; c * oh * ow];
                 for ci in 0..c {
@@ -162,8 +159,7 @@ impl Layer {
                             let mut m = f32::NEG_INFINITY;
                             for dy in 0..2 {
                                 for dx in 0..2 {
-                                    let v = x.data()
-                                        [(ci * h + oy * 2 + dy) * w + ox * 2 + dx];
+                                    let v = x.data()[(ci * h + oy * 2 + dy) * w + ox * 2 + dx];
                                     m = m.max(v);
                                 }
                             }
@@ -178,9 +174,7 @@ impl Layer {
                 let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
                 let hw = (h * w) as f32;
                 let out = (0..c)
-                    .map(|ci| {
-                        x.data()[ci * h * w..(ci + 1) * h * w].iter().sum::<f32>() / hw
-                    })
+                    .map(|ci| x.data()[ci * h * w..(ci + 1) * h * w].iter().sum::<f32>() / hw)
                     .collect();
                 Tensor::from_vec(&[c], out)
             }
@@ -232,11 +226,9 @@ impl Layer {
     pub fn weight_count(&self) -> usize {
         match self {
             Layer::Conv2d { weight, .. } | Layer::Linear { weight, .. } => weight.len(),
-            Layer::Residual { body, shortcut } => body
-                .iter()
-                .chain(shortcut)
-                .map(Layer::weight_count)
-                .sum(),
+            Layer::Residual { body, shortcut } => {
+                body.iter().chain(shortcut).map(Layer::weight_count).sum()
+            }
             _ => 0,
         }
     }
@@ -244,7 +236,10 @@ impl Layer {
     /// Whether this layer participates in backprop training (residual and
     /// batch-norm layers are forward-only in this substrate).
     pub fn supports_backprop(&self) -> bool {
-        !matches!(self, Layer::Residual { .. } | Layer::BatchNorm2d { .. } | Layer::AvgPoolGlobal)
+        !matches!(
+            self,
+            Layer::Residual { .. } | Layer::BatchNorm2d { .. } | Layer::AvgPoolGlobal
+        )
     }
 }
 
@@ -285,10 +280,7 @@ mod tests {
 
     #[test]
     fn maxpool_takes_window_max() {
-        let x = Tensor::from_vec(
-            &[1, 2, 4],
-            vec![1.0, 2.0, 5.0, 0.0, 3.0, 4.0, -1.0, 6.0],
-        );
+        let x = Tensor::from_vec(&[1, 2, 4], vec![1.0, 2.0, 5.0, 0.0, 3.0, 4.0, -1.0, 6.0]);
         let y = Layer::MaxPool2.forward(&x);
         assert_eq!(y.shape(), &[1, 1, 2]);
         assert_eq!(y.data(), &[4.0, 6.0]);

@@ -49,8 +49,7 @@ impl ElmanRnn {
                     .map(|_| {
                         let u1: f32 = 1.0 - rng.gen::<f32>();
                         let u2: f32 = rng.gen();
-                        std * (-2.0 * u1.ln()).sqrt()
-                            * (2.0 * std::f32::consts::PI * u2).cos()
+                        std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
                     })
                     .collect(),
             )
@@ -101,7 +100,10 @@ impl ElmanRnn {
     /// Logits from the final hidden state.
     pub fn forward(&self, seq: &[Vec<f32>]) -> Vec<f32> {
         let states = self.run(seq);
-        let h = states.last().cloned().unwrap_or_else(|| vec![0.0; self.hidden]);
+        let h = states
+            .last()
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; self.hidden]);
         (0..self.classes)
             .map(|c| {
                 let row = &self.wo.data()[c * self.hidden..(c + 1) * self.hidden];
@@ -316,7 +318,11 @@ mod tests {
                 // Class = whether the FIRST frame was positive; last frames
                 // are identical noise.
                 let class = i % 2;
-                let first = if class == 0 { vec![1.0, 1.0] } else { vec![-1.0, -1.0] };
+                let first = if class == 0 {
+                    vec![1.0, 1.0]
+                } else {
+                    vec![-1.0, -1.0]
+                };
                 let mut seq = vec![first];
                 for t in 0..6 {
                     seq.push(vec![0.1 * (t as f32), 0.0]);

@@ -208,6 +208,7 @@ pub fn im2col(
 /// # Panics
 ///
 /// Panics if `cols`' shape is inconsistent with the geometry.
+#[allow(clippy::too_many_arguments)]
 pub fn col2im(
     cols: &Tensor,
     c: usize,

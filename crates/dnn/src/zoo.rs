@@ -185,6 +185,7 @@ impl ModelSpec {
 }
 
 /// Helper: build a conv `LayerSpec` given spatial geometry.
+#[allow(clippy::too_many_arguments)]
 fn conv(
     name: &str,
     out_ch: usize,
@@ -398,9 +399,27 @@ pub fn resnet50() -> ModelSpec {
         for b in 0..blocks {
             let tag = format!("s{}b{}", s + 1, b);
             // Bottleneck: 1x1 reduce, 3x3, 1x1 expand (x4).
-            layers.push(conv(&format!("{tag}_c1"), w, in_ch, 1, side, side, side, side));
+            layers.push(conv(
+                &format!("{tag}_c1"),
+                w,
+                in_ch,
+                1,
+                side,
+                side,
+                side,
+                side,
+            ));
             layers.push(conv(&format!("{tag}_c2"), w, w, 3, side, side, side, side));
-            layers.push(conv(&format!("{tag}_c3"), w * 4, w, 1, side, side, side, side));
+            layers.push(conv(
+                &format!("{tag}_c3"),
+                w * 4,
+                w,
+                1,
+                side,
+                side,
+                side,
+                side,
+            ));
             if b == 0 {
                 layers.push(conv(
                     &format!("{tag}_down"),
@@ -439,7 +458,7 @@ pub fn lenet_mini(seed: u64) -> Network {
         vec![
             Layer::conv2d("conv1", 8, 1, 5, 1, 0), // 16 -> 12
             Layer::ReLU,
-            Layer::MaxPool2, // -> 6
+            Layer::MaxPool2,                        // -> 6
             Layer::conv2d("conv2", 16, 8, 3, 1, 0), // -> 4
             Layer::ReLU,
             Layer::MaxPool2, // -> 2
@@ -499,27 +518,42 @@ mod tests {
     #[test]
     fn lenet5_params_match_paper_within_tolerance() {
         let m = lenet5();
-        let delta =
-            (m.params() as f64 - m.paper.reported_params as f64).abs() / m.paper.reported_params as f64;
-        assert!(delta < 0.005, "LeNet5 params {} vs paper {}", m.params(), m.paper.reported_params);
+        let delta = (m.params() as f64 - m.paper.reported_params as f64).abs()
+            / m.paper.reported_params as f64;
+        assert!(
+            delta < 0.005,
+            "LeNet5 params {} vs paper {}",
+            m.params(),
+            m.paper.reported_params
+        );
         assert_eq!(m.layers.len(), 4, "paper: 4 layers");
     }
 
     #[test]
     fn vgg12_params_match_paper_within_tolerance() {
         let m = vgg12();
-        let delta =
-            (m.params() as f64 - m.paper.reported_params as f64).abs() / m.paper.reported_params as f64;
-        assert!(delta < 0.005, "VGG12 params {} vs paper {}", m.params(), m.paper.reported_params);
+        let delta = (m.params() as f64 - m.paper.reported_params as f64).abs()
+            / m.paper.reported_params as f64;
+        assert!(
+            delta < 0.005,
+            "VGG12 params {} vs paper {}",
+            m.params(),
+            m.paper.reported_params
+        );
         assert_eq!(m.layers.len(), 12, "paper: 12 layers");
     }
 
     #[test]
     fn vgg16_params_match_paper_within_tolerance() {
         let m = vgg16();
-        let delta =
-            (m.params() as f64 - m.paper.reported_params as f64).abs() / m.paper.reported_params as f64;
-        assert!(delta < 0.01, "VGG16 params {} vs paper {}", m.params(), m.paper.reported_params);
+        let delta = (m.params() as f64 - m.paper.reported_params as f64).abs()
+            / m.paper.reported_params as f64;
+        assert!(
+            delta < 0.01,
+            "VGG16 params {} vs paper {}",
+            m.params(),
+            m.paper.reported_params
+        );
         assert_eq!(m.layers.len(), 16, "paper: 16 layers");
     }
 
@@ -527,9 +561,14 @@ mod tests {
     fn resnet50_matches_paper_shape() {
         let m = resnet50();
         assert_eq!(m.layers.len(), 54, "paper: 54 layers");
-        let delta =
-            (m.params() as f64 - m.paper.reported_params as f64).abs() / m.paper.reported_params as f64;
-        assert!(delta < 0.06, "ResNet50 params {} vs paper {}", m.params(), m.paper.reported_params);
+        let delta = (m.params() as f64 - m.paper.reported_params as f64).abs()
+            / m.paper.reported_params as f64;
+        assert!(
+            delta < 0.06,
+            "ResNet50 params {} vs paper {}",
+            m.params(),
+            m.paper.reported_params
+        );
     }
 
     #[test]
@@ -578,7 +617,11 @@ mod tests {
         let m = fc6.sample_matrix(0.811, 42, 256, 2048);
         assert_eq!(m.rows, 256);
         assert_eq!(m.cols, 2048);
-        assert!((m.sparsity() - 0.811).abs() < 0.01, "sparsity {}", m.sparsity());
+        assert!(
+            (m.sparsity() - 0.811).abs() < 0.01,
+            "sparsity {}",
+            m.sparsity()
+        );
     }
 
     #[test]

@@ -287,7 +287,7 @@ impl BlockCodec {
             return 0;
         }
         let full = data_len / self.code.data_bits();
-        let tail = if data_len % self.code.data_bits() == 0 {
+        let tail = if data_len.is_multiple_of(self.code.data_bits()) {
             0
         } else {
             self.tail_code(data_len).codeword_bits()
@@ -310,7 +310,11 @@ impl BlockCodec {
         let mut pos = 0usize;
         while pos < data.len() {
             let take = (data.len() - pos).min(db);
-            let code = if take == db { self.code } else { SecDed::new(take) };
+            let code = if take == db {
+                self.code
+            } else {
+                SecDed::new(take)
+            };
             let mut block = BitBuffer::with_capacity(take);
             for i in 0..take {
                 block.push_bit(data.get(pos + i).expect("in range"));
@@ -341,7 +345,11 @@ impl BlockCodec {
         let mut produced = 0usize;
         while produced < data_len {
             let take = (data_len - produced).min(db);
-            let code = if take == db { self.code } else { SecDed::new(take) };
+            let code = if take == db {
+                self.code
+            } else {
+                SecDed::new(take)
+            };
             let cb = code.codeword_bits();
             let mut cw = BitBuffer::with_capacity(cb);
             for i in 0..cb {

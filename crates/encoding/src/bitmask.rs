@@ -73,9 +73,7 @@ impl BitMaskLayer {
                 .map(|b| {
                     let start = b * block_bits;
                     let end = (start + block_bits).min(total);
-                    (start..end)
-                        .filter(|&i| mask.get(i) == Some(true))
-                        .count() as u16
+                    (start..end).filter(|&i| mask.get(i) == Some(true)).count() as u16
                 })
                 .collect()
         });
@@ -122,6 +120,7 @@ impl BitMaskLayer {
 
     /// Rebuilds from (possibly fault-corrupted) streams. `nonzeros` is the
     /// true stored value count (fixed by array sizing).
+    #[allow(clippy::too_many_arguments)]
     pub fn from_streams(
         rows: usize,
         cols: usize,
@@ -171,6 +170,7 @@ impl BitMaskLayer {
         match &self.counters {
             None => {
                 let mut ptr = 0usize;
+                #[allow(clippy::needless_range_loop)]
                 for i in 0..total {
                     if self.mask.get(i) == Some(true) {
                         out[i] = self.values.get(ptr).copied().unwrap_or(0);
@@ -187,6 +187,7 @@ impl BitMaskLayer {
                     let start = b * self.block_bits;
                     let end = (start + self.block_bits).min(total);
                     let mut ptr = base;
+                    #[allow(clippy::needless_range_loop)]
                     for i in start..end {
                         if self.mask.get(i) == Some(true) {
                             out[i] = self.values.get(ptr).copied().unwrap_or(0);
@@ -258,7 +259,13 @@ mod tests {
     fn counters_sum_to_nonzeros() {
         let c = clustered(30, 70, 0.5, 3);
         let enc = BitMaskLayer::encode(&c, true);
-        let total: usize = enc.counters.as_ref().unwrap().iter().map(|&x| x as usize).sum();
+        let total: usize = enc
+            .counters
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|&x| x as usize)
+            .sum();
         assert_eq!(total, enc.nonzeros());
         assert_eq!(enc.counters.as_ref().unwrap().len(), enc.num_blocks());
     }

@@ -46,12 +46,18 @@ pub fn kmeans_1d(values: &[f32], k: usize, iters: usize, seed: u64) -> Vec<f32> 
             .iter()
             .copied()
             .max_by(|&a, &b| {
-                let da = centroids.iter().map(|&c| (a - c).abs()).fold(f32::MAX, f32::min);
-                let db = centroids.iter().map(|&c| (b - c).abs()).fold(f32::MAX, f32::min);
+                let da = centroids
+                    .iter()
+                    .map(|&c| (a - c).abs())
+                    .fold(f32::MAX, f32::min);
+                let db = centroids
+                    .iter()
+                    .map(|&c| (b - c).abs())
+                    .fold(f32::MAX, f32::min);
                 da.partial_cmp(&db).expect("NaN distance")
             })
             .expect("non-empty");
-        if centroids.iter().any(|&c| c == far) {
+        if centroids.contains(&far) {
             break; // fewer distinct values than k
         }
         centroids.push(far);
@@ -344,7 +350,9 @@ mod tests {
             "s",
             4,
             64,
-            (0..256).map(|i| if i % 2 == 0 { 0.5 } else { -0.5 }).collect(),
+            (0..256)
+                .map(|i| if i % 2 == 0 { 0.5 } else { -0.5 })
+                .collect(),
         );
         assert_eq!(min_index_bits(&simple, 2, 7, 1e-3, 1), 2);
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);

@@ -192,6 +192,7 @@ impl CsrLayer {
     ///
     /// `entries` is the true entry count (a property of the array sizing,
     /// not of the stored bits, so faults cannot change it).
+    #[allow(clippy::too_many_arguments)]
     pub fn from_streams(
         rows: usize,
         cols: usize,
@@ -460,7 +461,10 @@ mod tests {
         enc.gaps[3] = enc.gaps[3].wrapping_add(1) % 64;
         let bad = enc.reconstruct_indices();
         let diffs = clean.iter().zip(&bad).filter(|(a, b)| a != b).count();
-        assert!(diffs <= 2, "at most the old and new position change: {diffs}");
+        assert!(
+            diffs <= 2,
+            "at most the old and new position change: {diffs}"
+        );
     }
 
     #[test]

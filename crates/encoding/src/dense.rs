@@ -68,12 +68,7 @@ mod tests {
     use maxnvm_dnn::network::LayerMatrix;
 
     fn clustered() -> ClusteredLayer {
-        let m = LayerMatrix::new(
-            "t",
-            2,
-            4,
-            vec![0.0, 0.5, 0.0, 1.0, -0.5, 0.0, 0.0, 0.25],
-        );
+        let m = LayerMatrix::new("t", 2, 4, vec![0.0, 0.5, 0.0, 1.0, -0.5, 0.0, 0.0, 0.25]);
         ClusteredLayer::from_matrix(&m, 3, 1)
     }
 

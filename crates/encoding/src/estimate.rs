@@ -190,7 +190,13 @@ mod tests {
 
     /// A clustered layer whose centroid table is full (all 2^bits values
     /// used) so the estimator's centroid accounting matches exactly.
-    fn full_clustered(rows: usize, cols: usize, sparsity: f64, bits: u8, seed: u64) -> ClusteredLayer {
+    fn full_clustered(
+        rows: usize,
+        cols: usize,
+        sparsity: f64,
+        bits: u8,
+        seed: u64,
+    ) -> ClusteredLayer {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let k = (1usize << bits) - 1;
         let data = (0..rows * cols)
@@ -229,8 +235,7 @@ mod tests {
                             let concrete = StoredLayer::store(&c, &scheme).total_cells();
                             let est = estimate_cells(geom, 4, &scheme);
                             if enc == EncodingKind::Csr {
-                                let rel = (est as f64 - concrete as f64).abs()
-                                    / concrete as f64;
+                                let rel = (est as f64 - concrete as f64).abs() / concrete as f64;
                                 assert!(
                                     rel < 0.01,
                                     "{enc} {bpc} ecc={ecc:?} seed={seed}: est {est} vs {concrete}"
@@ -261,7 +266,10 @@ mod tests {
         let bm = mb(model_bits(&lenet, EncodingKind::BitMask, false));
         // LeNet5: CSR smallest, P+C largest.
         assert!(csr < bm && bm < pc, "LeNet5: {csr} {bm} {pc}");
-        assert!((pc - 316.0 / 1024.0).abs() / (316.0 / 1024.0) < 0.15, "P+C {pc}MB");
+        assert!(
+            (pc - 316.0 / 1024.0).abs() / (316.0 / 1024.0) < 0.15,
+            "P+C {pc}MB"
+        );
 
         let vgg16 = zoo::vgg16();
         let pc = mb(model_bits(&vgg16, EncodingKind::DenseClustered, false));
@@ -285,7 +293,10 @@ mod tests {
         let with = encoded_bits(geom, 6, EncodingKind::BitMask, true).total_bits();
         let without = encoded_bits(geom, 6, EncodingKind::BitMask, false).total_bits();
         let overhead = with as f64 / without as f64 - 1.0;
-        assert!(overhead > 0.0 && overhead < 0.01, "IdxSync overhead {overhead}");
+        assert!(
+            overhead > 0.0 && overhead < 0.01,
+            "IdxSync overhead {overhead}"
+        );
     }
 
     #[test]
@@ -301,12 +312,17 @@ mod tests {
         let dense_geom = LayerGeometry::from_sparsity(256, 256, 0.2);
         let sparse_geom = LayerGeometry::from_sparsity(256, 256, 0.9);
         let csr_low = encoded_bits(dense_geom, 6, EncodingKind::Csr, false).total_bits();
-        let pc_low =
-            encoded_bits(dense_geom, 6, EncodingKind::DenseClustered, false).total_bits();
-        assert!(csr_low > pc_low, "low sparsity: CSR {csr_low} vs P+C {pc_low}");
+        let pc_low = encoded_bits(dense_geom, 6, EncodingKind::DenseClustered, false).total_bits();
+        assert!(
+            csr_low > pc_low,
+            "low sparsity: CSR {csr_low} vs P+C {pc_low}"
+        );
         let csr_high = encoded_bits(sparse_geom, 6, EncodingKind::Csr, false).total_bits();
         let pc_high =
             encoded_bits(sparse_geom, 6, EncodingKind::DenseClustered, false).total_bits();
-        assert!(csr_high < pc_high, "high sparsity: CSR {csr_high} vs P+C {pc_high}");
+        assert!(
+            csr_high < pc_high,
+            "high sparsity: CSR {csr_high} vs P+C {pc_high}"
+        );
     }
 }

@@ -52,7 +52,9 @@ impl FixedPoint {
     pub fn quantize(&self, v: f32) -> f32 {
         let scale = (1u32 << self.frac_bits) as f32;
         let max_q = (1i32 << (self.int_bits + self.frac_bits)) - 1;
-        let q = (v * scale).round().clamp(-(max_q as f32) - 1.0, max_q as f32);
+        let q = (v * scale)
+            .round()
+            .clamp(-(max_q as f32) - 1.0, max_q as f32);
         q / scale
     }
 
@@ -118,9 +120,7 @@ mod tests {
                 if rng.gen::<f64>() < 0.5 {
                     0.0
                 } else {
-                    (rng.gen::<f32>() - 0.5)
-                        + (rng.gen::<f32>() - 0.5)
-                        + (rng.gen::<f32>() - 0.5)
+                    (rng.gen::<f32>() - 0.5) + (rng.gen::<f32>() - 0.5) + (rng.gen::<f32>() - 0.5)
                 }
             })
             .collect();

@@ -1,0 +1,42 @@
+//! A stored layer as one manufactured-and-programmed chip sees it.
+
+use super::codec::FixedReadCodec;
+use super::layer::StoredLayer;
+use super::structure::DecodeStats;
+use maxnvm_dnn::network::LayerMatrix;
+
+/// A [`StoredLayer`] as one manufactured-and-programmed chip sees it:
+/// the analog outcome of programming is fixed, so decoding is
+/// deterministic and repeated reads agree — the paper's per-trial fault
+/// map semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgrammedLayer {
+    stored: StoredLayer,
+    read_cells: Vec<Vec<u8>>,
+}
+
+impl ProgrammedLayer {
+    pub(crate) fn new(stored: StoredLayer, read_cells: Vec<Vec<u8>>) -> Self {
+        Self { stored, read_cells }
+    }
+
+    /// Number of cells whose programmed level reads back wrong on this
+    /// chip instance.
+    pub fn fault_count(&self) -> usize {
+        self.stored
+            .structures
+            .iter()
+            .zip(&self.read_cells)
+            .map(|(s, reads)| s.cells.iter().zip(reads).filter(|(a, b)| a != b).count())
+            .sum()
+    }
+
+    /// Decodes the chip's (fixed) read values.
+    pub fn decode(&self) -> (LayerMatrix, DecodeStats) {
+        let (m, mut stats) = self
+            .stored
+            .decode_with_codec(&mut FixedReadCodec::new(&self.read_cells));
+        stats.cell_faults = self.fault_count();
+        (m, stats)
+    }
+}

@@ -1,0 +1,125 @@
+//! The [`StructureCodec`] seam: every decode path — clean control arm,
+//! Monte-Carlo fault injection, Fig. 5 isolated injection, and
+//! programmed-chip readback — supplies read cell levels through this one
+//! trait, so alignment recovery, ECC, and centroid mapping live in a
+//! single core ([`super::StoredLayer::decode_with_codec`]).
+
+use super::structure::StoredStructure;
+use crate::StructureKind;
+use maxnvm_envm::{FaultMap, MlcConfig};
+use rand::Rng;
+use std::borrow::Cow;
+use std::sync::Arc;
+
+/// Supplies the cell levels "read back" for each stored structure.
+///
+/// `read` is called once per structure, in storage order. The returned
+/// count is the number of cells whose read level differs from the
+/// programmed level (fault accounting for
+/// [`super::DecodeStats::cell_faults`]). Borrowing fault-free reads via
+/// [`Cow::Borrowed`] keeps the clean path allocation-free.
+pub trait StructureCodec {
+    /// Produce the read levels for structure number `index`.
+    fn read<'s>(&mut self, index: usize, structure: &'s StoredStructure) -> (Cow<'s, [u8]>, usize);
+}
+
+/// Reads every cell back exactly as programmed (sanity/control arm).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CleanCodec;
+
+impl StructureCodec for CleanCodec {
+    fn read<'s>(
+        &mut self,
+        _index: usize,
+        structure: &'s StoredStructure,
+    ) -> (Cow<'s, [u8]>, usize) {
+        (Cow::Borrowed(&structure.cells), 0)
+    }
+}
+
+/// Samples per-cell faults from the structure's fault map — the
+/// Monte-Carlo arm. With a `target`, only structures of that kind are
+/// injected and everything else reads back perfectly (the isolation
+/// methodology of Fig. 5).
+///
+/// RNG discipline: cells are sampled in storage order, exactly one draw
+/// per injected cell, so a given `(seed, layer, scheme)` triple yields
+/// the same fault pattern no matter which code path drives the decode.
+pub struct FaultInjectionCodec<'a, R: Rng + ?Sized> {
+    target: Option<StructureKind>,
+    fault_for: &'a dyn Fn(MlcConfig) -> Arc<FaultMap>,
+    rng: &'a mut R,
+}
+
+impl<'a, R: Rng + ?Sized> FaultInjectionCodec<'a, R> {
+    /// Inject into every structure.
+    pub fn all(fault_for: &'a dyn Fn(MlcConfig) -> Arc<FaultMap>, rng: &'a mut R) -> Self {
+        Self {
+            target: None,
+            fault_for,
+            rng,
+        }
+    }
+
+    /// Inject only into structures of `target` kind.
+    pub fn isolated(
+        target: StructureKind,
+        fault_for: &'a dyn Fn(MlcConfig) -> Arc<FaultMap>,
+        rng: &'a mut R,
+    ) -> Self {
+        Self {
+            target: Some(target),
+            fault_for,
+            rng,
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> StructureCodec for FaultInjectionCodec<'_, R> {
+    fn read<'s>(
+        &mut self,
+        _index: usize,
+        structure: &'s StoredStructure,
+    ) -> (Cow<'s, [u8]>, usize) {
+        if self.target.is_some_and(|t| t != structure.kind) {
+            return (Cow::Borrowed(&structure.cells), 0);
+        }
+        let map = (self.fault_for)(structure.bpc);
+        let mut cells = structure.cells.clone();
+        let mut faults = 0;
+        for c in cells.iter_mut() {
+            let read = map.sample(*c as usize, &mut *self.rng);
+            if read != *c as usize {
+                *c = read as u8;
+                faults += 1;
+            }
+        }
+        (Cow::Owned(cells), faults)
+    }
+}
+
+/// Replays pre-recorded read levels — the programmed-chip arm, where
+/// faults are permanent programming outcomes rather than per-read noise.
+///
+/// Reports zero faults per structure; [`super::ProgrammedLayer::decode`]
+/// substitutes the chip-level fault count afterwards.
+pub struct FixedReadCodec<'a> {
+    reads: &'a [Vec<u8>],
+}
+
+impl<'a> FixedReadCodec<'a> {
+    /// Replay `reads`, one entry per stored structure.
+    pub fn new(reads: &'a [Vec<u8>]) -> Self {
+        Self { reads }
+    }
+}
+
+impl StructureCodec for FixedReadCodec<'_> {
+    fn read<'s>(
+        &mut self,
+        index: usize,
+        _structure: &'s StoredStructure,
+    ) -> (Cow<'s, [u8]>, usize) {
+        (Cow::Owned(self.reads[index].clone()), 0)
+    }
+}

@@ -1,0 +1,73 @@
+//! Whole-model storage aggregation.
+
+use super::layer::StoredLayer;
+use super::scheme::StorageScheme;
+use super::structure::DecodeStats;
+use crate::cluster::ClusteredLayer;
+use maxnvm_dnn::network::LayerMatrix;
+use maxnvm_envm::{FaultMap, MlcConfig};
+use rand::Rng;
+use std::sync::Arc;
+
+/// A whole model committed to simulated eNVM: one [`StoredLayer`] per
+/// weight layer under a single scheme, with aggregate accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelStorage {
+    layers: Vec<StoredLayer>,
+}
+
+impl ModelStorage {
+    /// Stores every clustered layer under `scheme`.
+    pub fn store(layers: &[ClusteredLayer], scheme: &StorageScheme) -> Self {
+        Self {
+            layers: layers
+                .iter()
+                .map(|l| StoredLayer::store(l, scheme))
+                .collect(),
+        }
+    }
+
+    /// The per-layer stores.
+    pub fn layers(&self) -> &[StoredLayer] {
+        &self.layers
+    }
+
+    /// Total memory cells across all layers.
+    pub fn total_cells(&self) -> u64 {
+        self.layers.iter().map(StoredLayer::total_cells).sum()
+    }
+
+    /// Decodes every layer with no faults.
+    pub fn decode_clean(&self) -> (Vec<LayerMatrix>, DecodeStats) {
+        let mut stats = DecodeStats::default();
+        let mats = self
+            .layers
+            .iter()
+            .map(|l| {
+                let (m, s) = l.decode_clean();
+                stats.absorb(s);
+                m
+            })
+            .collect();
+        (mats, stats)
+    }
+
+    /// Injects faults into every layer and decodes.
+    pub fn decode_with_faults<R: Rng + ?Sized>(
+        &self,
+        fault_for: &dyn Fn(MlcConfig) -> Arc<FaultMap>,
+        rng: &mut R,
+    ) -> (Vec<LayerMatrix>, DecodeStats) {
+        let mut stats = DecodeStats::default();
+        let mats = self
+            .layers
+            .iter()
+            .map(|l| {
+                let (m, s) = l.decode_with_faults(fault_for, rng);
+                stats.absorb(s);
+                m
+            })
+            .collect();
+        (mats, stats)
+    }
+}

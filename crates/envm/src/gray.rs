@@ -34,7 +34,7 @@ pub fn from_gray(gray: u64) -> u64 {
 ///
 /// Panics if `value` does not fit in `bits` or `bits` is 0 or > 8.
 pub fn binary_to_level(value: u64, bits: u8) -> u8 {
-    assert!(bits >= 1 && bits <= 8, "bits out of range");
+    assert!((1..=8).contains(&bits), "bits out of range");
     assert!(value < (1u64 << bits), "value does not fit");
     // Level i holds Gray codeword to_gray(i); to store `value`, find the
     // level whose Gray codeword equals it: level = from_gray(value).
@@ -47,7 +47,7 @@ pub fn binary_to_level(value: u64, bits: u8) -> u8 {
 ///
 /// Panics if `level` does not fit in `bits` or `bits` is 0 or > 8.
 pub fn level_to_binary(level: u8, bits: u8) -> u64 {
-    assert!(bits >= 1 && bits <= 8, "bits out of range");
+    assert!((1..=8).contains(&bits), "bits out of range");
     assert!((level as u64) < (1u64 << bits), "level does not fit");
     to_gray(level as u64)
 }
@@ -60,7 +60,10 @@ mod tests {
     #[test]
     fn classic_3bit_sequence() {
         let seq: Vec<u64> = (0..8).map(to_gray).collect();
-        assert_eq!(seq, vec![0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]);
+        assert_eq!(
+            seq,
+            vec![0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]
+        );
     }
 
     #[test]
@@ -77,7 +80,12 @@ mod tests {
             for lvl in 0..n - 1 {
                 let a = level_to_binary(lvl as u8, bits);
                 let b = level_to_binary((lvl + 1) as u8, bits);
-                assert_eq!((a ^ b).count_ones(), 1, "levels {lvl},{} bits {bits}", lvl + 1);
+                assert_eq!(
+                    (a ^ b).count_ones(),
+                    1,
+                    "levels {lvl},{} bits {bits}",
+                    lvl + 1
+                );
             }
         }
     }

@@ -8,8 +8,8 @@
 
 use crate::fault::FaultMap;
 use crate::math::{normal_cdf, q_function, sample_normal};
-use rand::Rng;
 use crate::sense::SenseAmp;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 

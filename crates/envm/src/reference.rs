@@ -144,8 +144,7 @@ pub fn table1_chips() -> Vec<ReferenceChip> {
 impl ReferenceChip {
     /// Bits of storage per mm² of macro area, if area is published.
     pub fn density_bits_per_mm2(&self) -> Option<f64> {
-        self.macro_area_mm2
-            .map(|a| self.capacity_bits as f64 / a)
+        self.macro_area_mm2.map(|a| self.capacity_bits as f64 / a)
     }
 }
 
@@ -167,10 +166,7 @@ mod tests {
             .iter()
             .find(|c| c.access == AccessDevice::Diode)
             .unwrap();
-        let cmos_rram = chips
-            .iter()
-            .find(|c| c.reference == "[8]")
-            .unwrap();
+        let cmos_rram = chips.iter().find(|c| c.reference == "[8]").unwrap();
         assert!(crossbar.cell_area_f2.unwrap() < cmos_rram.cell_area_f2.unwrap());
         assert!(crossbar.read_latency_ns.unwrap() > 100.0 * cmos_rram.read_latency_ns.unwrap());
     }

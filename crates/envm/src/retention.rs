@@ -84,11 +84,7 @@ impl RetentionParams {
 /// Years until the worst adjacent-level misread rate of an aged cell
 /// crosses `rate_limit` (bisection over a 0–50-year window; returns 50.0
 /// if it never crosses).
-pub fn years_to_rate(
-    tech: CellTechnology,
-    cell: &CellModel,
-    rate_limit: f64,
-) -> f64 {
+pub fn years_to_rate(tech: CellTechnology, cell: &CellModel, rate_limit: f64) -> f64 {
     let params = RetentionParams::for_tech(tech);
     let rate_at = |y: f64| params.age(cell, y).fault_map().worst_adjacent_rate();
     if rate_at(50.0) <= rate_limit {

@@ -100,10 +100,10 @@ mod tests {
     fn pelgrom_scaling() {
         let big = SenseAmp::with_size_factor(4.0);
         let small = SenseAmp::with_size_factor(1.0);
-        assert!((big.input_referred_offset_sigma() * 2.0
-            - small.input_referred_offset_sigma())
-        .abs()
-            < 1e-12);
+        assert!(
+            (big.input_referred_offset_sigma() * 2.0 - small.input_referred_offset_sigma()).abs()
+                < 1e-12
+        );
         assert!((big.relative_area() - 4.0).abs() < 1e-9);
     }
 

@@ -142,8 +142,8 @@ impl CellTechnology {
                 };
                 let mut levels = vec![LevelDistribution::new(0.0, sigma_unprog)];
                 for i in 1..n {
-                    let mean = first_prog
-                        + (1.0 - first_prog) * (i - 1) as f64 / ((n - 2).max(1)) as f64;
+                    let mean =
+                        first_prog + (1.0 - first_prog) * (i - 1) as f64 / ((n - 2).max(1)) as f64;
                     levels.push(LevelDistribution::new(mean, sigma_prog));
                 }
                 CellModel::new(levels)
@@ -233,10 +233,7 @@ mod tests {
             for cfg in tech.available_configs() {
                 let cell = tech.cell_model(cfg);
                 let bound = cell.non_adjacent_bound();
-                assert!(
-                    bound <= 1.5e-10,
-                    "{tech} {cfg}: non-adjacent bound {bound}"
-                );
+                assert!(bound <= 1.5e-10, "{tech} {cfg}: non-adjacent bound {bound}");
             }
         }
     }

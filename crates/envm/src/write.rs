@@ -128,12 +128,7 @@ impl EnduranceModel {
     /// seconds is write-time feasible *and* survives `lifetime_years`:
     /// the §7.1 judgment call ("periodic down-time for synchronization
     /// and charging may be permissible").
-    pub fn rewrite_feasible(
-        &self,
-        cells: u64,
-        interval_s: f64,
-        lifetime_years: f64,
-    ) -> bool {
+    pub fn rewrite_feasible(&self, cells: u64, interval_s: f64, lifetime_years: f64) -> bool {
         let write = WriteModel::for_tech(self.tech).total_write_time_s(cells);
         write < interval_s && self.lifetime_years(interval_s) >= lifetime_years
     }

@@ -43,7 +43,10 @@ pub fn mean_rate(tech: CellTechnology, bpc: MlcConfig, sa: &SenseAmp) -> f64 {
     if bpc.bits() > tech.max_bits_per_cell() {
         return f64::INFINITY; // unusable configuration
     }
-    tech.cell_model(bpc).with_sense_amp(sa).fault_map().mean_fault_rate()
+    tech.cell_model(bpc)
+        .with_sense_amp(sa)
+        .fault_map()
+        .mean_fault_rate()
 }
 
 /// Expected uncorrectable fault events after SEC-DED, given raw expected
@@ -93,8 +96,7 @@ pub fn layer_damage(
         let raw_lambda = cells * rate;
         expected_cell_faults += raw_lambda;
         let lambda = if scheme.ecc.covers(kind) {
-            let cw_cells =
-                (scheme.ecc_code.data_bits() as f64 / bpc.bits() as f64).max(1.0);
+            let cw_cells = (scheme.ecc_code.data_bits() as f64 / bpc.bits() as f64).max(1.0);
             ecc_residual(raw_lambda, cells, cw_cells)
         } else {
             raw_lambda
@@ -171,7 +173,13 @@ mod tests {
     #[test]
     fn slc_everything_is_essentially_fault_free() {
         let scheme = StorageScheme::uniform(EncodingKind::BitMask, MlcConfig::SLC);
-        let d = layer_damage(geom(), 6, &scheme, CellTechnology::SlcRram, &SenseAmp::default());
+        let d = layer_damage(
+            geom(),
+            6,
+            &scheme,
+            CellTechnology::SlcRram,
+            &SenseAmp::default(),
+        );
         assert!(d.relative_mse < 1e-9, "{d:?}");
     }
 
@@ -262,7 +270,7 @@ mod tests {
         let sa = SenseAmp::new(0.0);
         let scale = 200.0;
         let base_for = fault_maps(tech, &sa);
-        let fault_for = move |bpc: MlcConfig| base_for(bpc).scaled(scale);
+        let fault_for = move |bpc: MlcConfig| std::sync::Arc::new(base_for(bpc).scaled(scale));
         let proxy = ProxyEval::new(vec![c.reconstruct()], 0.0, 1.0);
         let trials = 60;
         let mut mc_mse = 0.0;
@@ -315,8 +323,16 @@ mod tests {
 
     #[test]
     fn aggregate_weights_by_layer_size() {
-        let g1 = LayerGeometry { rows: 1, cols: 10, nnz: 10 };
-        let g2 = LayerGeometry { rows: 1, cols: 10, nnz: 90 };
+        let g1 = LayerGeometry {
+            rows: 1,
+            cols: 10,
+            nnz: 10,
+        };
+        let g2 = LayerGeometry {
+            rows: 1,
+            cols: 10,
+            nnz: 90,
+        };
         let d = |m| DamageReport {
             expected_cell_faults: 0.0,
             corrupted_weight_fraction: 0.0,
@@ -328,7 +344,11 @@ mod tests {
 
     #[test]
     fn infeasible_bpc_is_marked_unusable() {
-        assert!(mean_rate(CellTechnology::SlcRram, MlcConfig::MLC3, &SenseAmp::default())
-            .is_infinite());
+        assert!(mean_rate(
+            CellTechnology::SlcRram,
+            MlcConfig::MLC3,
+            &SenseAmp::default()
+        )
+        .is_infinite());
     }
 }

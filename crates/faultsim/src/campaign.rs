@@ -1,12 +1,20 @@
 //! Monte-Carlo injection campaigns: repeat (inject → decode → evaluate)
 //! over many seeded trials and aggregate, exactly the Ares flow of §4.1.
+//!
+//! The heavy lifting lives in [`crate::engine`]: `Campaign` is the
+//! serializable configuration, and its `run*` methods build a transient
+//! [`EvalContext`] on the process-wide worker pool. The pre-engine
+//! scoped-thread implementation is retained as
+//! [`Campaign::run_reference`] for parity tests and benchmarks.
 
+use crate::engine::{EngineError, EvalContext};
 use crate::evaluate::AccuracyEval;
 use maxnvm_encoding::storage::{DecodeStats, StoredLayer};
 use maxnvm_encoding::StructureKind;
-use maxnvm_envm::{CellModel, CellTechnology, FaultMap, MlcConfig, SenseAmp};
+use maxnvm_envm::{CellTechnology, FaultMap, MlcConfig, SenseAmp};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Campaign configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -50,14 +58,21 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
-    fn from_trials(trials: Vec<(f64, DecodeStats)>) -> Self {
+    pub(crate) fn from_trials(trials: Vec<(f64, DecodeStats)>) -> Self {
         let n = trials.len().max(1) as f64;
         let errors: Vec<f64> = trials.iter().map(|(e, _)| *e).collect();
         let mean_error = errors.iter().sum::<f64>() / n;
         let max_error = errors.iter().cloned().fold(0.0, f64::max);
-        let mean_cell_faults = trials.iter().map(|(_, s)| s.cell_faults as f64).sum::<f64>() / n;
-        let mean_ecc_corrected =
-            trials.iter().map(|(_, s)| s.ecc_corrected as f64).sum::<f64>() / n;
+        let mean_cell_faults = trials
+            .iter()
+            .map(|(_, s)| s.cell_faults as f64)
+            .sum::<f64>()
+            / n;
+        let mean_ecc_corrected = trials
+            .iter()
+            .map(|(_, s)| s.ecc_corrected as f64)
+            .sum::<f64>()
+            / n;
         let mean_ecc_uncorrectable = trials
             .iter()
             .map(|(_, s)| s.ecc_uncorrectable as f64)
@@ -81,32 +96,38 @@ impl CampaignResult {
 }
 
 /// Builds the per-bits-per-cell fault maps for a technology (including the
-/// sense-amp offset, §2.3).
-pub fn fault_maps(tech: CellTechnology, sa: &SenseAmp) -> impl Fn(MlcConfig) -> FaultMap + '_ {
-    let maps: Vec<FaultMap> = (1..=3u8)
+/// sense-amp offset, §2.3). The maps are built once and handed out by
+/// `Arc`, so a hot per-cell lookup loop never copies probability tables.
+pub fn fault_maps(tech: CellTechnology, sa: &SenseAmp) -> impl Fn(MlcConfig) -> Arc<FaultMap> + '_ {
+    let maps: Vec<Arc<FaultMap>> = (1..=3u8)
         .map(|b| {
             let cfg = MlcConfig::new(b).expect("valid bits");
-            if b <= tech.max_bits_per_cell() {
+            Arc::new(if b <= tech.max_bits_per_cell() {
                 tech.cell_model(cfg).with_sense_amp(sa).fault_map()
             } else {
                 FaultMap::perfect(cfg.levels())
-            }
+            })
         })
         .collect();
-    move |cfg: MlcConfig| maps[(cfg.bits() - 1) as usize].clone()
+    move |cfg: MlcConfig| Arc::clone(&maps[(cfg.bits() - 1) as usize])
 }
 
 impl Campaign {
     /// Runs the full campaign: all structures of every layer are injected
-    /// each trial. Trials run in parallel across threads.
+    /// each trial. Trials run in parallel on the engine's worker pool;
+    /// results are deterministic per seed at any worker count.
+    ///
+    /// Errors with [`EngineError::InvalidRateScale`] if `rate_scale` is
+    /// not a positive finite number.
     pub fn run(
         &self,
         stored: &[StoredLayer],
         tech: CellTechnology,
         sa: &SenseAmp,
         eval: &(dyn AccuracyEval + Sync),
-    ) -> CampaignResult {
-        self.run_inner(stored, tech, sa, eval, None)
+    ) -> Result<CampaignResult, EngineError> {
+        let ctx = EvalContext::new(tech, sa, self.rate_scale)?;
+        Ok(ctx.run_campaign(self.trials, self.seed, stored, eval))
     }
 
     /// Runs a campaign injecting faults *only* into structures of `target`
@@ -118,8 +139,9 @@ impl Campaign {
         tech: CellTechnology,
         sa: &SenseAmp,
         eval: &(dyn AccuracyEval + Sync),
-    ) -> CampaignResult {
-        self.run_inner(stored, tech, sa, eval, Some(target))
+    ) -> Result<CampaignResult, EngineError> {
+        let ctx = EvalContext::new(tech, sa, self.rate_scale)?;
+        Ok(ctx.run_isolated(self.trials, self.seed, target, stored, eval))
     }
 
     /// Runs the campaign with the paper's exact chip semantics: each
@@ -129,62 +151,34 @@ impl Campaign {
     /// single decodes, but it also produces the rare non-adjacent misreads
     /// and models faults as permanent.
     ///
-    /// # Panics
-    ///
-    /// Panics if `rate_scale != 1.0` — analog programming outcomes cannot
-    /// be rate-scaled; use the fault-map path for scaled studies.
+    /// Errors with [`EngineError::ChipRateScale`] if `rate_scale != 1.0`
+    /// — analog programming outcomes cannot be rate-scaled; use the
+    /// fault-map path for scaled studies.
     pub fn run_chips(
         &self,
         stored: &[StoredLayer],
         tech: CellTechnology,
         sa: &SenseAmp,
         eval: &(dyn AccuracyEval + Sync),
-    ) -> CampaignResult {
-        assert!(
-            (self.rate_scale - 1.0).abs() < 1e-12,
-            "chip-instance campaigns use physical rates; rate_scale must be 1.0"
-        );
-        let cells: Vec<CellModel> = (1..=3u8)
-            .map(|b| {
-                let cfg = MlcConfig::new(b).expect("valid bits");
-                if b <= tech.max_bits_per_cell() {
-                    tech.cell_model(cfg).with_sense_amp(sa)
-                } else {
-                    // Never used (storage validated against the tech), but
-                    // keep the vector total.
-                    tech.cell_model(MlcConfig::SLC).with_sense_amp(sa)
-                }
-            })
-            .collect();
-        let cell_for = move |cfg: MlcConfig| cells[(cfg.bits() - 1) as usize].clone();
-        let mut trials = Vec::with_capacity(self.trials);
-        for t in 0..self.trials {
-            let mut rng =
-                rand::rngs::StdRng::seed_from_u64(self.seed.wrapping_add(t as u64));
-            let mut stats = DecodeStats::default();
-            let mats: Vec<_> = stored
-                .iter()
-                .map(|layer| {
-                    let chip = layer.program_chip(&cell_for, &mut rng);
-                    let (m, s) = chip.decode();
-                    stats.cell_faults += s.cell_faults;
-                    stats.ecc_corrected += s.ecc_corrected;
-                    stats.ecc_uncorrectable += s.ecc_uncorrectable;
-                    m
-                })
-                .collect();
-            trials.push((eval.eval(&mats), stats));
+    ) -> Result<CampaignResult, EngineError> {
+        if (self.rate_scale - 1.0).abs() > 1e-12 {
+            return Err(EngineError::ChipRateScale(self.rate_scale));
         }
-        CampaignResult::from_trials(trials)
+        let ctx = EvalContext::new(tech, sa, self.rate_scale)?;
+        ctx.run_chips(self.trials, self.seed, stored, eval)
     }
 
-    fn run_inner(
+    /// The pre-engine implementation: scoped threads spawned per call,
+    /// hard-capped at eight, fault maps rebuilt (and re-scaled per
+    /// lookup) on every thread. Retained unchanged as the reference arm
+    /// for determinism parity tests and the speedup benchmark; produces
+    /// bit-identical results to [`Campaign::run`].
+    pub fn run_reference(
         &self,
         stored: &[StoredLayer],
         tech: CellTechnology,
         sa: &SenseAmp,
         eval: &(dyn AccuracyEval + Sync),
-        target: Option<StructureKind>,
     ) -> CampaignResult {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -195,13 +189,13 @@ impl Campaign {
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
-                let trial_ids: Vec<usize> =
-                    (0..self.trials).filter(|i| i % threads == t).collect();
+                let trial_ids: Vec<usize> = (0..self.trials).filter(|i| i % threads == t).collect();
                 let seed = self.seed;
                 let rate_scale = self.rate_scale;
                 handles.push(scope.spawn(move |_| {
                     let base_maps = fault_maps(tech, sa);
-                    let fault_for = move |cfg: MlcConfig| base_maps(cfg).scaled(rate_scale);
+                    let fault_for =
+                        move |cfg: MlcConfig| Arc::new(base_maps(cfg).scaled(rate_scale));
                     let mut out = Vec::with_capacity(trial_ids.len());
                     for trial in trial_ids {
                         let mut rng =
@@ -210,15 +204,8 @@ impl Campaign {
                         let mats: Vec<_> = stored
                             .iter()
                             .map(|layer| {
-                                let (m, s) = match target {
-                                    Some(kind) => layer.decode_with_isolated_faults(
-                                        kind, &fault_for, &mut rng,
-                                    ),
-                                    None => layer.decode_with_faults(&fault_for, &mut rng),
-                                };
-                                stats.cell_faults += s.cell_faults;
-                                stats.ecc_corrected += s.ecc_corrected;
-                                stats.ecc_uncorrectable += s.ecc_uncorrectable;
+                                let (m, s) = layer.decode_with_faults(&fault_for, &mut rng);
+                                stats.absorb(s);
                                 m
                             })
                             .collect();
@@ -272,12 +259,18 @@ mod tests {
         let (c, stored) = stored_layer(1.0, MlcConfig::SLC);
         let eval = ProxyEval::new(vec![c.reconstruct()], 0.05, 0.9);
         // SLC RRAM fault rates are below 1e-10: effectively no faults.
-        let result = Campaign { trials: 5, seed: 1, rate_scale: 1.0 }.run(
+        let result = Campaign {
+            trials: 5,
+            seed: 1,
+            rate_scale: 1.0,
+        }
+        .run(
             std::slice::from_ref(&stored),
             CellTechnology::SlcRram,
             &SenseAmp::paper_default(),
             &eval,
-        );
+        )
+        .expect("campaign");
         assert!((result.mean_error - 0.05).abs() < 1e-9);
         assert_eq!(result.mean_cell_faults, 0.0);
     }
@@ -289,12 +282,18 @@ mod tests {
         // ~2700 mask cells -> use many trials and check the mean moved.
         let (c, stored) = stored_layer(1.0, MlcConfig::MLC3);
         let eval = ProxyEval::new(vec![c.reconstruct()], 0.05, 0.9);
-        let result = Campaign { trials: 60, seed: 2, rate_scale: 1.0 }.run(
+        let result = Campaign {
+            trials: 60,
+            seed: 2,
+            rate_scale: 1.0,
+        }
+        .run(
             std::slice::from_ref(&stored),
             CellTechnology::MlcRram,
             &SenseAmp::paper_default(),
             &eval,
-        );
+        )
+        .expect("campaign");
         // With per-cell rates ~1e-5 and ~15k cells total, a fair share of
         // trials see at least one fault; the worst trial must degrade.
         assert!(result.mean_cell_faults > 0.0, "no faults injected");
@@ -306,16 +305,67 @@ mod tests {
         let (c, stored) = stored_layer(1.0, MlcConfig::MLC3);
         let eval = ProxyEval::new(vec![c.reconstruct()], 0.05, 0.9);
         let run = |seed| {
-            Campaign { trials: 8, seed, rate_scale: 1.0 }.run(
+            Campaign {
+                trials: 8,
+                seed,
+                rate_scale: 1.0,
+            }
+            .run(
                 std::slice::from_ref(&stored),
                 CellTechnology::MlcRram,
                 &SenseAmp::paper_default(),
                 &eval,
             )
+            .expect("campaign")
         };
         let a = run(3);
         let b = run(3);
         assert_eq!(a.errors, b.errors);
+    }
+
+    #[test]
+    fn engine_run_matches_the_reference_implementation() {
+        let (c, stored) = stored_layer(1.0, MlcConfig::MLC3);
+        let eval = ProxyEval::new(vec![c.reconstruct()], 0.05, 0.9);
+        let campaign = Campaign {
+            trials: 10,
+            seed: 21,
+            rate_scale: 40.0,
+        };
+        let engine = campaign
+            .run(
+                std::slice::from_ref(&stored),
+                CellTechnology::MlcRram,
+                &SenseAmp::paper_default(),
+                &eval,
+            )
+            .expect("campaign");
+        let reference = campaign.run_reference(
+            std::slice::from_ref(&stored),
+            CellTechnology::MlcRram,
+            &SenseAmp::paper_default(),
+            &eval,
+        );
+        assert_eq!(engine, reference);
+    }
+
+    #[test]
+    fn invalid_rate_scale_is_a_typed_error() {
+        let (c, stored) = stored_layer(1.0, MlcConfig::SLC);
+        let eval = ProxyEval::new(vec![c.reconstruct()], 0.05, 0.9);
+        let err = Campaign {
+            trials: 1,
+            seed: 0,
+            rate_scale: -3.0,
+        }
+        .run(
+            std::slice::from_ref(&stored),
+            CellTechnology::SlcRram,
+            &SenseAmp::paper_default(),
+            &eval,
+        )
+        .expect_err("negative rate_scale must be rejected");
+        assert_eq!(err, EngineError::InvalidRateScale(-3.0));
     }
 
     #[test]
@@ -324,19 +374,27 @@ mod tests {
         // agree exactly; on MLC3 their mean fault counts must agree.
         let (c, stored) = stored_layer(1.0, MlcConfig::MLC3);
         let eval = ProxyEval::new(vec![c.reconstruct()], 0.05, 0.9);
-        let campaign = Campaign { trials: 40, seed: 7, rate_scale: 1.0 };
-        let maps = campaign.run(
-            std::slice::from_ref(&stored),
-            CellTechnology::MlcRram,
-            &SenseAmp::paper_default(),
-            &eval,
-        );
-        let chips = campaign.run_chips(
-            std::slice::from_ref(&stored),
-            CellTechnology::MlcRram,
-            &SenseAmp::paper_default(),
-            &eval,
-        );
+        let campaign = Campaign {
+            trials: 40,
+            seed: 7,
+            rate_scale: 1.0,
+        };
+        let maps = campaign
+            .run(
+                std::slice::from_ref(&stored),
+                CellTechnology::MlcRram,
+                &SenseAmp::paper_default(),
+                &eval,
+            )
+            .expect("campaign");
+        let chips = campaign
+            .run_chips(
+                std::slice::from_ref(&stored),
+                CellTechnology::MlcRram,
+                &SenseAmp::paper_default(),
+                &eval,
+            )
+            .expect("chip campaign");
         // Expected faults per trial are fractions of a fault at these
         // rates; mean counts must be within a fault of each other.
         assert!(
@@ -348,16 +406,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rate_scale must be 1.0")]
     fn chip_campaign_rejects_rate_scaling() {
         let (c, stored) = stored_layer(1.0, MlcConfig::SLC);
         let eval = ProxyEval::new(vec![c.reconstruct()], 0.05, 0.9);
-        Campaign { trials: 1, seed: 0, rate_scale: 2.0 }.run_chips(
+        let err = Campaign {
+            trials: 1,
+            seed: 0,
+            rate_scale: 2.0,
+        }
+        .run_chips(
             std::slice::from_ref(&stored),
             CellTechnology::SlcRram,
             &SenseAmp::paper_default(),
             &eval,
-        );
+        )
+        .expect_err("scaled chip campaign must be rejected");
+        assert_eq!(err, EngineError::ChipRateScale(2.0));
     }
 
     #[test]
@@ -380,13 +444,19 @@ mod tests {
         let eval = ProxyEval::new(vec![c.reconstruct()], 0.05, 0.9);
         // Isolate the (tiny) sync-counter structure of a non-IdxSync
         // layer: it does not exist, so no faults at all.
-        let result = Campaign { trials: 4, seed: 5, rate_scale: 1.0 }.run_isolated(
+        let result = Campaign {
+            trials: 4,
+            seed: 5,
+            rate_scale: 1.0,
+        }
+        .run_isolated(
             std::slice::from_ref(&stored),
             StructureKind::SyncCounter,
             CellTechnology::MlcRram,
             &SenseAmp::paper_default(),
             &eval,
-        );
+        )
+        .expect("campaign");
         assert_eq!(result.mean_cell_faults, 0.0);
         assert!((result.mean_error - 0.05).abs() < 1e-9);
     }

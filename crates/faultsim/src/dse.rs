@@ -5,6 +5,7 @@
 
 use crate::analytic::{aggregate_mse, layer_damage};
 use crate::campaign::{Campaign, CampaignResult};
+use crate::engine::{EngineError, EvalContext};
 use crate::evaluate::{AccuracyEval, ProxyEval};
 use maxnvm_dnn::zoo::ModelSpec;
 use maxnvm_encoding::cluster::ClusteredLayer;
@@ -105,9 +106,29 @@ pub fn candidate_schemes(tech: CellTechnology) -> Vec<StorageScheme> {
 }
 
 /// Concrete exploration: stores real clustered layers under every
-/// candidate scheme, runs a Monte-Carlo campaign, and records cells +
-/// error. Used for the trainable stand-in models.
+/// candidate scheme (raw encodes shared across schemes that differ only
+/// in protection), runs a Monte-Carlo campaign per scheme on the
+/// engine's worker pool, and records cells + error. Used for the
+/// trainable stand-in models.
+///
+/// Seeding is per-(scheme, trial), so the result is bit-identical to
+/// [`explore_concrete_reference`] at any worker count.
 pub fn explore_concrete(
+    layers: &[ClusteredLayer],
+    tech: CellTechnology,
+    sa: &SenseAmp,
+    eval: &(dyn AccuracyEval + Sync),
+    cfg: &DseConfig,
+) -> Result<Vec<DsePoint>, EngineError> {
+    EvalContext::new(tech, sa, cfg.campaign.rate_scale)?.run_dse(layers, eval, cfg)
+}
+
+/// The pre-engine sweep: schemes explored one at a time, each scheme
+/// freshly re-encoding every layer and running its campaign on ad-hoc
+/// scoped threads ([`Campaign::run_reference`]). Retained as the
+/// baseline arm for determinism parity tests and the speedup benchmark;
+/// produces bit-identical points to [`explore_concrete`].
+pub fn explore_concrete_reference(
     layers: &[ClusteredLayer],
     tech: CellTechnology,
     sa: &SenseAmp,
@@ -118,10 +139,12 @@ pub fn explore_concrete(
     candidate_schemes(tech)
         .into_iter()
         .map(|scheme| {
-            let stored: Vec<StoredLayer> =
-                layers.iter().map(|l| StoredLayer::store(l, &scheme)).collect();
+            let stored: Vec<StoredLayer> = layers
+                .iter()
+                .map(|l| StoredLayer::store(l, &scheme))
+                .collect();
             let cells = stored.iter().map(StoredLayer::total_cells).sum();
-            let result: CampaignResult = cfg.campaign.run(&stored, tech, sa, eval);
+            let result: CampaignResult = cfg.campaign.run_reference(&stored, tech, sa, eval);
             DsePoint {
                 scheme,
                 cells,
@@ -178,14 +201,11 @@ pub fn explore_spec(
 /// The minimal-cell passing point (Fig. 6's per-bar answer); ties broken
 /// by lower error. Returns `None` if nothing passes.
 pub fn minimal_cells(points: &[DsePoint]) -> Option<&DsePoint> {
-    points
-        .iter()
-        .filter(|p| p.passes)
-        .min_by(|a, b| {
-            a.cells
-                .cmp(&b.cells)
-                .then(a.mean_error.partial_cmp(&b.mean_error).expect("NaN error"))
-        })
+    points.iter().filter(|p| p.passes).min_by(|a, b| {
+        a.cells
+            .cmp(&b.cells)
+            .then(a.mean_error.total_cmp(&b.mean_error))
+    })
 }
 
 /// Per-layer mixed-encoding exploration: the paper applies CSR "on a
@@ -193,13 +213,15 @@ pub fn minimal_cells(points: &[DsePoint]) -> Option<&DsePoint> {
 /// minimal-cell scheme whose *layer-local* error contribution keeps the
 /// model within the ITN bound (conservatively: each layer gets an equal
 /// share of the damage budget). Returns the per-layer winning schemes and
-/// the total cells.
+/// the total cells, or [`EngineError::NoPassingScheme`] if some layer has
+/// no scheme within budget (cannot happen for supported technologies:
+/// SLC always passes).
 pub fn explore_spec_per_layer(
     spec: &ModelSpec,
     tech: CellTechnology,
     sa: &SenseAmp,
     itn_bound: f64,
-) -> (Vec<StorageScheme>, u64) {
+) -> Result<(Vec<StorageScheme>, u64), EngineError> {
     let baseline = spec.paper.classification_error;
     let proxy = ProxyEval::new(Vec::new(), baseline, 0.999);
     // Invert the sensitivity curve for the model-level m_rel budget, then
@@ -216,8 +238,7 @@ pub fn explore_spec_per_layer(
         .map(|l| (l.rows * l.cols) as f64 * (1.0 - spec.paper.sparsity))
         .sum();
     for l in &spec.layers {
-        let geom =
-            LayerGeometry::from_sparsity(l.rows as u64, l.cols as u64, spec.paper.sparsity);
+        let geom = LayerGeometry::from_sparsity(l.rows as u64, l.cols as u64, spec.paper.sparsity);
         // This layer's share of the model damage budget.
         let share = geom.nnz as f64 / total_nnz;
         let layer_budget = if share > 0.0 { m_budget } else { f64::INFINITY };
@@ -232,13 +253,13 @@ pub fn explore_spec_per_layer(
                         <= m_budget
             })
             .min_by_key(|s| estimate_cells(geom, spec.paper.cluster_index_bits, s))
-            .expect("SLC always passes")
+            .ok_or(EngineError::NoPassingScheme)?
             .clone();
         total_cells += estimate_cells(geom, spec.paper.cluster_index_bits, &best);
         chosen.push(best);
     }
     let _ = proxy;
-    (chosen, total_cells)
+    Ok((chosen, total_cells))
 }
 
 /// The minimal-cell passing point for a specific encoding (one bar of
@@ -256,7 +277,7 @@ pub fn minimal_cells_for_encoding(
         .min_by(|a, b| {
             a.cells
                 .cmp(&b.cells)
-                .then(a.mean_error.partial_cmp(&b.mean_error).expect("NaN error"))
+                .then(a.mean_error.total_cmp(&b.mean_error))
         })
 }
 
@@ -322,7 +343,11 @@ mod tests {
                     && p.scheme.bpc.values == MlcConfig::MLC3
             })
             .unwrap();
-        assert!(!plain_mlc3_mask.passes, "error {}", plain_mlc3_mask.mean_error);
+        assert!(
+            !plain_mlc3_mask.passes,
+            "error {}",
+            plain_mlc3_mask.mean_error
+        );
     }
 
     #[test]
@@ -361,12 +386,9 @@ mod tests {
             let sa = SenseAmp::default();
             let uniform = explore_spec(&spec, CellTechnology::MlcCtt, &sa, spec.paper.itn_bound);
             let best_uniform = minimal_cells(&uniform).unwrap().cells;
-            let (schemes, mixed_cells) = explore_spec_per_layer(
-                &spec,
-                CellTechnology::MlcCtt,
-                &sa,
-                spec.paper.itn_bound,
-            );
+            let (schemes, mixed_cells) =
+                explore_spec_per_layer(&spec, CellTechnology::MlcCtt, &sa, spec.paper.itn_bound)
+                    .expect("SLC always passes");
             assert_eq!(schemes.len(), spec.layers.len());
             // The per-layer budget is conservative (every layer must fit
             // the whole model budget individually, which is stricter than
@@ -389,7 +411,8 @@ mod tests {
             CellTechnology::MlcCtt,
             &SenseAmp::default(),
             spec.paper.itn_bound,
-        );
+        )
+        .expect("SLC always passes");
         let distinct: std::collections::BTreeSet<String> =
             schemes.iter().map(|s| s.label()).collect();
         assert!(
@@ -413,11 +436,7 @@ mod tests {
                 }
             })
             .collect();
-        let layer = ClusteredLayer::from_matrix(
-            &LayerMatrix::new("l", 32, 128, data),
-            4,
-            1,
-        );
+        let layer = ClusteredLayer::from_matrix(&LayerMatrix::new("l", 32, 128, data), 4, 1);
         let eval = ProxyEval::new(vec![layer.reconstruct()], 0.05, 0.9);
         let cfg = DseConfig {
             campaign: Campaign {
@@ -433,8 +452,12 @@ mod tests {
             &SenseAmp::default(),
             &eval,
             &cfg,
+        )
+        .expect("dse");
+        assert_eq!(
+            points.len(),
+            candidate_schemes(CellTechnology::MlcCtt).len()
         );
-        assert_eq!(points.len(), candidate_schemes(CellTechnology::MlcCtt).len());
         // At physical rates on a tiny layer, essentially everything passes
         // and the minimal point uses MLC3.
         let best = minimal_cells(&points).expect("passing point");

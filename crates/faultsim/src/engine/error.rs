@@ -1,0 +1,86 @@
+//! Structured errors for the evaluation engine.
+//!
+//! Public entry points of the campaign/DSE pipeline report invalid
+//! configurations as typed [`EngineError`]s instead of panicking, so
+//! callers (CLI binaries, benchmark harnesses) can surface the problem
+//! without unwinding through worker threads.
+
+use std::fmt;
+
+/// Everything that can go wrong when configuring or running an
+/// evaluation: invalid rate scaling, chip campaigns asked to scale
+/// physical rates, mismatched context/campaign settings, or a design
+/// sweep where no candidate preserves accuracy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineError {
+    /// `rate_scale` must be a positive, finite multiplier.
+    InvalidRateScale(f64),
+    /// Chip-instance campaigns draw analog programming outcomes, which
+    /// cannot be rate-scaled; only `rate_scale == 1.0` is meaningful.
+    ChipRateScale(f64),
+    /// A campaign configuration's `rate_scale` disagrees with the
+    /// evaluation context whose fault maps it would run against.
+    RateScaleMismatch {
+        /// The campaign's requested multiplier.
+        campaign: f64,
+        /// The multiplier the context precomputed its fault maps with.
+        context: f64,
+    },
+    /// An evaluation context was requested with zero workers.
+    NoWorkers,
+    /// A design sweep found no scheme within the iso-training-noise
+    /// bound (cannot happen for supported technologies: SLC always
+    /// passes).
+    NoPassingScheme,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidRateScale(s) => {
+                write!(f, "rate_scale must be positive and finite, got {s}")
+            }
+            Self::ChipRateScale(s) => write!(
+                f,
+                "chip-instance campaigns use physical rates; rate_scale must be 1.0, got {s}"
+            ),
+            Self::RateScaleMismatch { campaign, context } => write!(
+                f,
+                "campaign rate_scale {campaign} does not match the evaluation \
+                 context's precomputed {context}"
+            ),
+            Self::NoWorkers => {
+                write!(f, "an evaluation context requires at least one worker")
+            }
+            Self::NoPassingScheme => write!(
+                f,
+                "no storage configuration stays within the iso-training-noise bound"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = EngineError::ChipRateScale(2.0);
+        assert!(e.to_string().contains("rate_scale must be 1.0"));
+        assert!(e.to_string().contains('2'));
+        let m = EngineError::RateScaleMismatch {
+            campaign: 2.0,
+            context: 1.0,
+        };
+        assert!(m.to_string().contains("does not match"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(EngineError::NoPassingScheme);
+        assert!(e.to_string().contains("iso-training-noise"));
+    }
+}

@@ -1,0 +1,352 @@
+//! The evaluation engine: shared precomputed fault state plus a
+//! persistent worker pool behind every campaign and design-space sweep.
+//!
+//! A Monte-Carlo evaluation repeats three kinds of work: deriving fault
+//! maps from the cell models (identical for every trial of a
+//! technology), sparse-encoding the layers (identical for every scheme
+//! that only differs in protection), and the per-trial inject → decode
+//! → evaluate loop (embarrassingly parallel). [`EvalContext`] hoists
+//! the first out of the trial loop — one pre-scaled [`FaultMap`] per
+//! bits-per-cell, shared by `Arc` — and schedules the third onto a
+//! process-wide [`WorkerPool`]; [`EvalContext::run_dse`] additionally
+//! shares raw encodes across candidate schemes through an
+//! [`EncodeCache`].
+//!
+//! Determinism is preserved at any worker count: trial `t` always draws
+//! from `StdRng::seed_from_u64(seed.wrapping_add(t))` regardless of
+//! which worker runs it, and results are assembled in trial order, so
+//! the engine reproduces the serial sweep bit for bit.
+//!
+//! The default pool sizes itself to `std::thread::available_parallelism`
+//! and can be overridden with the `MAXNVM_THREADS` environment variable
+//! (the old implementation hard-capped at eight threads).
+
+mod error;
+mod pool;
+
+pub use error::EngineError;
+pub use pool::WorkerPool;
+
+use crate::campaign::CampaignResult;
+use crate::dse::{candidate_schemes, DseConfig, DsePoint};
+use crate::evaluate::AccuracyEval;
+use maxnvm_encoding::cluster::ClusteredLayer;
+use maxnvm_encoding::storage::{DecodeStats, EncodeCache, StoredLayer};
+use maxnvm_encoding::StructureKind;
+use maxnvm_envm::{CellModel, CellTechnology, FaultMap, MlcConfig, SenseAmp};
+use rand::SeedableRng;
+use std::sync::{Arc, OnceLock};
+
+/// Worker-thread count override from the environment, if set and valid.
+fn env_workers() -> Option<usize> {
+    std::env::var("MAXNVM_THREADS")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
+/// The worker count the process-wide pool is built with:
+/// `MAXNVM_THREADS` when set to a positive integer, otherwise
+/// `std::thread::available_parallelism()`.
+pub fn default_workers() -> usize {
+    env_workers().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    })
+}
+
+/// The process-wide evaluation pool, created on first use.
+pub fn global_pool() -> &'static Arc<WorkerPool> {
+    static POOL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+    POOL.get_or_init(|| Arc::new(WorkerPool::new(default_workers())))
+}
+
+/// Shared evaluation state for one (technology, sense-amp, rate-scale)
+/// configuration: the per-bits-per-cell fault maps (pre-scaled, behind
+/// `Arc` so trials share them without copying), the cell models for
+/// chip-instance campaigns, and the worker pool evaluations run on.
+pub struct EvalContext {
+    tech: CellTechnology,
+    rate_scale: f64,
+    fault_maps: Vec<Arc<FaultMap>>,
+    cell_models: Vec<CellModel>,
+    pool: Arc<WorkerPool>,
+}
+
+impl EvalContext {
+    /// A context running on the process-wide pool.
+    pub fn new(tech: CellTechnology, sa: &SenseAmp, rate_scale: f64) -> Result<Self, EngineError> {
+        Self::with_pool(tech, sa, rate_scale, Arc::clone(global_pool()))
+    }
+
+    /// A context with its own pool of exactly `workers` threads —
+    /// mostly for determinism tests pinning the worker count.
+    pub fn with_workers(
+        tech: CellTechnology,
+        sa: &SenseAmp,
+        rate_scale: f64,
+        workers: usize,
+    ) -> Result<Self, EngineError> {
+        if workers == 0 {
+            return Err(EngineError::NoWorkers);
+        }
+        Self::with_pool(tech, sa, rate_scale, Arc::new(WorkerPool::new(workers)))
+    }
+
+    fn with_pool(
+        tech: CellTechnology,
+        sa: &SenseAmp,
+        rate_scale: f64,
+        pool: Arc<WorkerPool>,
+    ) -> Result<Self, EngineError> {
+        if !rate_scale.is_finite() || rate_scale <= 0.0 {
+            return Err(EngineError::InvalidRateScale(rate_scale));
+        }
+        let mut fault_maps = Vec::with_capacity(3);
+        let mut cell_models = Vec::with_capacity(3);
+        for b in 1..=3u8 {
+            let cfg = MlcConfig::new(b).expect("1..=3 are valid bits");
+            if b <= tech.max_bits_per_cell() {
+                let cell = tech.cell_model(cfg).with_sense_amp(sa);
+                fault_maps.push(Arc::new(cell.fault_map().scaled(rate_scale)));
+                cell_models.push(cell);
+            } else {
+                // Storage is validated against the technology, so these
+                // entries are never exercised; they keep indexing total.
+                fault_maps.push(Arc::new(FaultMap::perfect(cfg.levels())));
+                cell_models.push(tech.cell_model(MlcConfig::SLC).with_sense_amp(sa));
+            }
+        }
+        Ok(Self {
+            tech,
+            rate_scale,
+            fault_maps,
+            cell_models,
+            pool,
+        })
+    }
+
+    /// The technology this context models.
+    pub fn tech(&self) -> CellTechnology {
+        self.tech
+    }
+
+    /// The fault-rate multiplier the fault maps were scaled with.
+    pub fn rate_scale(&self) -> f64 {
+        self.rate_scale
+    }
+
+    /// Worker threads in this context's pool.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The per-bits-per-cell fault-map provider (already rate-scaled).
+    pub fn fault_for(&self) -> impl Fn(MlcConfig) -> Arc<FaultMap> + '_ {
+        move |cfg: MlcConfig| Arc::clone(&self.fault_maps[(cfg.bits() - 1) as usize])
+    }
+
+    /// Runs a full-injection campaign: `trials` seeded trials, each
+    /// injecting every structure of every layer, in parallel on the
+    /// pool. Trial `t` seeds `seed.wrapping_add(t)`; results are in
+    /// trial order, identical at any worker count.
+    pub fn run_campaign(
+        &self,
+        trials: usize,
+        seed: u64,
+        stored: &[StoredLayer],
+        eval: &(dyn AccuracyEval + Sync),
+    ) -> CampaignResult {
+        self.run_trials(trials, seed, stored, eval, None)
+    }
+
+    /// Runs a campaign injecting faults only into structures of
+    /// `target` kind — Fig. 5's isolation methodology.
+    pub fn run_isolated(
+        &self,
+        trials: usize,
+        seed: u64,
+        target: StructureKind,
+        stored: &[StoredLayer],
+        eval: &(dyn AccuracyEval + Sync),
+    ) -> CampaignResult {
+        self.run_trials(trials, seed, stored, eval, Some(target))
+    }
+
+    fn run_trials(
+        &self,
+        trials: usize,
+        seed: u64,
+        stored: &[StoredLayer],
+        eval: &(dyn AccuracyEval + Sync),
+        target: Option<StructureKind>,
+    ) -> CampaignResult {
+        let fault_for = self.fault_for();
+        let results = self.pool.scope_map(trials, |trial| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(trial as u64));
+            let mut stats = DecodeStats::default();
+            let mats: Vec<_> = stored
+                .iter()
+                .map(|layer| {
+                    let (m, s) = match target {
+                        Some(kind) => layer.decode_with_isolated_faults(kind, &fault_for, &mut rng),
+                        None => layer.decode_with_faults(&fault_for, &mut rng),
+                    };
+                    stats.absorb(s);
+                    m
+                })
+                .collect();
+            (eval.eval(&mats), stats)
+        });
+        CampaignResult::from_trials(results)
+    }
+
+    /// Runs a campaign with the paper's exact chip semantics: each
+    /// trial programs a chip instance (every cell's analog outcome
+    /// drawn once, §4.1) and decodes it deterministically. Errors with
+    /// [`EngineError::ChipRateScale`] unless the context uses physical
+    /// rates (`rate_scale == 1.0`), since analog programming outcomes
+    /// cannot be rate-scaled.
+    pub fn run_chips(
+        &self,
+        trials: usize,
+        seed: u64,
+        stored: &[StoredLayer],
+        eval: &(dyn AccuracyEval + Sync),
+    ) -> Result<CampaignResult, EngineError> {
+        if (self.rate_scale - 1.0).abs() > 1e-12 {
+            return Err(EngineError::ChipRateScale(self.rate_scale));
+        }
+        let cell_for = |cfg: MlcConfig| self.cell_models[(cfg.bits() - 1) as usize].clone();
+        let results = self.pool.scope_map(trials, |trial| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(trial as u64));
+            let mut stats = DecodeStats::default();
+            let mats: Vec<_> = stored
+                .iter()
+                .map(|layer| {
+                    let chip = layer.program_chip(&cell_for, &mut rng);
+                    let (m, s) = chip.decode();
+                    stats.absorb(s);
+                    m
+                })
+                .collect();
+            (eval.eval(&mats), stats)
+        });
+        Ok(CampaignResult::from_trials(results))
+    }
+
+    /// Concrete design-space exploration on the engine: every candidate
+    /// scheme of the context's technology is stored (raw encodes shared
+    /// through an [`EncodeCache`]) and evaluated with a Monte-Carlo
+    /// campaign. The work is flattened to (scheme, trial) granularity so
+    /// the pool load-balances across the whole sweep rather than one
+    /// scheme at a time.
+    ///
+    /// Seeding is per-(scheme, trial) exactly as in the serial sweep —
+    /// trial `t` of every scheme uses `seed.wrapping_add(t)` — so the
+    /// returned points are bit-identical to
+    /// [`crate::dse::explore_concrete_reference`] at any worker count.
+    ///
+    /// Errors with [`EngineError::RateScaleMismatch`] if
+    /// `cfg.campaign.rate_scale` differs from this context's.
+    pub fn run_dse(
+        &self,
+        layers: &[ClusteredLayer],
+        eval: &(dyn AccuracyEval + Sync),
+        cfg: &DseConfig,
+    ) -> Result<Vec<DsePoint>, EngineError> {
+        if (cfg.campaign.rate_scale - self.rate_scale).abs() > 1e-12 {
+            return Err(EngineError::RateScaleMismatch {
+                campaign: cfg.campaign.rate_scale,
+                context: self.rate_scale,
+            });
+        }
+        let schemes = candidate_schemes(self.tech);
+        let cache = EncodeCache::new();
+        let stored: Vec<(Vec<StoredLayer>, u64)> = self.pool.scope_map(schemes.len(), |s| {
+            let layers: Vec<StoredLayer> = layers
+                .iter()
+                .enumerate()
+                .map(|(i, l)| cache.store_layer(i, l, &schemes[s]))
+                .collect();
+            let cells = layers.iter().map(StoredLayer::total_cells).sum();
+            (layers, cells)
+        });
+        let trials = cfg.campaign.trials;
+        let seed = cfg.campaign.seed;
+        let baseline = eval.baseline_error();
+        let fault_for = self.fault_for();
+        let flat: Vec<(f64, DecodeStats)> = self.pool.scope_map(schemes.len() * trials, |job| {
+            let (s, trial) = (job / trials, job % trials);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(trial as u64));
+            let mut stats = DecodeStats::default();
+            let mats: Vec<_> = stored[s]
+                .0
+                .iter()
+                .map(|layer| {
+                    let (m, st) = layer.decode_with_faults(&fault_for, &mut rng);
+                    stats.absorb(st);
+                    m
+                })
+                .collect();
+            (eval.eval(&mats), stats)
+        });
+        Ok(schemes
+            .into_iter()
+            .enumerate()
+            .map(|(s, scheme)| {
+                let result =
+                    CampaignResult::from_trials(flat[s * trials..(s + 1) * trials].to_vec());
+                DsePoint {
+                    scheme,
+                    cells: stored[s].1,
+                    mean_error: result.mean_error,
+                    passes: result.within_itn(baseline, cfg.itn_bound),
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_rate_scales() {
+        let sa = SenseAmp::paper_default();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = EvalContext::new(CellTechnology::MlcCtt, &sa, bad)
+                .err()
+                .expect("must reject");
+            assert!(matches!(err, EngineError::InvalidRateScale(_)));
+        }
+    }
+
+    #[test]
+    fn rejects_zero_workers() {
+        let sa = SenseAmp::paper_default();
+        let err = EvalContext::with_workers(CellTechnology::MlcCtt, &sa, 1.0, 0)
+            .err()
+            .expect("must reject");
+        assert_eq!(err, EngineError::NoWorkers);
+    }
+
+    #[test]
+    fn fault_maps_are_shared_not_cloned() {
+        let sa = SenseAmp::paper_default();
+        let ctx = EvalContext::with_workers(CellTechnology::MlcCtt, &sa, 1.0, 1).unwrap();
+        let fault_for = ctx.fault_for();
+        let a = fault_for(MlcConfig::MLC3);
+        let b = fault_for(MlcConfig::MLC3);
+        assert!(Arc::ptr_eq(&a, &b), "providers must hand out the same map");
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

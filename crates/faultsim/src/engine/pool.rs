@@ -1,0 +1,274 @@
+//! A persistent worker pool for evaluation fan-out.
+//!
+//! Campaign trials and design-space sweeps are embarrassingly parallel
+//! but were previously run on ad-hoc scoped threads spawned per call,
+//! capped at eight. This pool spawns its workers once and serves every
+//! evaluation in the process: jobs go into a shared queue that idle
+//! workers steal from, which load-balances trials of very different
+//! cost (a 105-scheme sweep mixes SLC layers that decode instantly with
+//! ECC-protected MLC3 layers that dominate the wall-clock).
+//!
+//! The scheduling is cooperative: the thread that calls
+//! [`WorkerPool::scope_map`] helps drain the queue while it waits, so a
+//! pool works at any size (even zero workers degenerates to the caller
+//! running everything serially) and nested scopes cannot deadlock — a
+//! blocked scope always has at least its own caller making progress.
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A fixed set of persistent worker threads draining a shared job queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `workers` persistent threads.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("maxnvm-eval-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn evaluation worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            handles,
+        }
+    }
+
+    /// Number of worker threads (the caller of [`Self::scope_map`] also
+    /// contributes while it waits).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Evaluates `f(0..n)` across the pool, returning results in index
+    /// order. Blocks until every job has finished; if any job panicked,
+    /// the first panic is re-raised on the calling thread.
+    ///
+    /// Results are independent of the worker count and of scheduling:
+    /// each index is computed by exactly one pure call of `f`, and the
+    /// output vector is assembled by index, so a 1-worker and a
+    /// 64-worker pool return byte-identical vectors.
+    pub fn scope_map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let state = ScopeState::new(n);
+        {
+            let mut queue = self.shared.queue.lock();
+            for i in 0..n {
+                let state_ref = &state;
+                let f_ref = &f;
+                let job: Box<dyn FnOnce() + Send + '_> =
+                    Box::new(move || state_ref.run_one(i, f_ref));
+                // SAFETY: this call does not return until `state.remaining`
+                // reaches zero, i.e. every queued job has run to completion
+                // (panics are caught and still count), so the borrows of
+                // `state` and `f` smuggled past the 'static bound outlive
+                // every job that uses them.
+                let job: Job = unsafe { std::mem::transmute(job) };
+                queue.push_back(job);
+            }
+        }
+        self.shared.work_ready.notify_all();
+        loop {
+            let job = self.shared.queue.lock().pop_front();
+            match job {
+                Some(job) => job(),
+                None => {
+                    let mut remaining = state.remaining.lock();
+                    if *remaining == 0 {
+                        break;
+                    }
+                    // Wait briefly rather than indefinitely: a job of ours
+                    // running on a worker may push nested work this caller
+                    // should help with.
+                    state
+                        .done
+                        .wait_for(&mut remaining, Duration::from_millis(1));
+                    if *remaining == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        state.finish()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut queue = shared.queue.lock();
+    loop {
+        if let Some(job) = queue.pop_front() {
+            drop(queue);
+            job();
+            queue = shared.queue.lock();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        shared.work_ready.wait(&mut queue);
+    }
+}
+
+/// Completion tracking for one `scope_map` call: per-index result slots,
+/// a countdown latch, and the first panic payload (if any).
+struct ScopeState<T> {
+    results: Mutex<Vec<Option<T>>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl<T: Send> ScopeState<T> {
+    fn new(n: usize) -> Self {
+        Self {
+            results: Mutex::new((0..n).map(|_| None).collect()),
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn run_one<F: Fn(usize) -> T + Sync>(&self, i: usize, f: &F) {
+        match panic::catch_unwind(AssertUnwindSafe(|| f(i))) {
+            Ok(value) => self.results.lock()[i] = Some(value),
+            Err(payload) => {
+                let mut slot = self.panic.lock();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        }
+        let mut remaining = self.remaining.lock();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn finish(self) -> Vec<T> {
+        if let Some(payload) = self.panic.into_inner() {
+            panic::resume_unwind(payload);
+        }
+        self.results
+            .into_inner()
+            .into_iter()
+            .map(|slot| slot.expect("completed scope job left no result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_index_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.scope_map(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_workers_still_completes_via_the_caller() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.scope_map(10, |i| i + 1), (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_scope_returns_immediately() {
+        let pool = WorkerPool::new(2);
+        assert!(pool.scope_map(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn results_do_not_depend_on_worker_count() {
+        let work = |i: usize| {
+            // Uneven job costs exercise the dynamic scheduling.
+            (0..(i % 7) * 1000).fold(i as u64, |acc, x| {
+                acc.wrapping_mul(31).wrapping_add(x as u64)
+            })
+        };
+        let serial = WorkerPool::new(0).scope_map(64, work);
+        for workers in [1, 2, 8] {
+            assert_eq!(WorkerPool::new(workers).scope_map(64, work), serial);
+        }
+    }
+
+    #[test]
+    fn borrows_caller_state() {
+        let pool = WorkerPool::new(3);
+        let data: Vec<u64> = (0..50).map(|i| i * 3).collect();
+        let out = pool.scope_map(data.len(), |i| data[i] + 1);
+        assert_eq!(out[49], 49 * 3 + 1);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let pool = WorkerPool::new(2);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope_map(8, |i| {
+                if i == 5 {
+                    panic!("job 5 exploded");
+                }
+                i
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "job 5 exploded");
+        // The pool survives and keeps serving work.
+        assert_eq!(pool.scope_map(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nested_scopes_make_progress() {
+        let pool = WorkerPool::new(1);
+        let out = pool.scope_map(4, |i| {
+            pool.scope_map(4, |j| i * 4 + j).iter().sum::<usize>()
+        });
+        assert_eq!(out.iter().sum::<usize>(), (0..16).sum());
+    }
+}

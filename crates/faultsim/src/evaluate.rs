@@ -195,7 +195,12 @@ mod tests {
 
     #[test]
     fn proxy_is_monotone_in_corruption() {
-        let refm = vec![LayerMatrix::new("l", 4, 4, (0..16).map(|i| i as f32).collect())];
+        let refm = vec![LayerMatrix::new(
+            "l",
+            4,
+            4,
+            (0..16).map(|i| i as f32).collect(),
+        )];
         let proxy = ProxyEval::new(refm.clone(), 0.1, 0.9);
         assert_eq!(proxy.eval(&refm), 0.1);
         let mut light = refm.clone();

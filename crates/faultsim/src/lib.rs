@@ -23,10 +23,12 @@
 pub mod analytic;
 pub mod campaign;
 pub mod dse;
+pub mod engine;
 pub mod evaluate;
 pub mod vulnerability;
 
 pub use campaign::{Campaign, CampaignResult};
 pub use dse::{minimal_cells, DseConfig, DsePoint};
+pub use engine::{EngineError, EvalContext};
 pub use evaluate::{AccuracyEval, NetworkEval, ProxyEval};
 pub use vulnerability::{VulnerabilityRow, VulnerabilityStudy};

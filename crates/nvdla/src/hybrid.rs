@@ -114,8 +114,7 @@ pub fn sweep_hybrid(
 ) -> Vec<HybridPoint> {
     let eval_at = |fraction: f64| -> (u64, usize, SystemReport) {
         let sram_area = area_budget_mm2 * (1.0 - fraction);
-        let sram = SramMacro::fit_in_area(sram_area)
-            .unwrap_or_else(|| SramMacro::new(64 * 1024));
+        let sram = SramMacro::fit_in_area(sram_area).unwrap_or_else(|| SramMacro::new(64 * 1024));
         let mut cfg = base_cfg.clone();
         cfg.sram_kb = (sram.bytes / 1024) as u32;
         cfg.sram_bw_gbps = sram.bandwidth_gbps;
@@ -146,8 +145,7 @@ pub fn sweep_hybrid(
                 envm_capacity_bits,
                 layers_on_chip,
                 relative_performance: report.fps / baseline.fps,
-                relative_energy: report.energy_per_inference_mj
-                    / baseline.energy_per_inference_mj,
+                relative_energy: report.energy_per_inference_mj / baseline.energy_per_inference_mj,
                 report,
             }
         })
@@ -192,7 +190,10 @@ mod tests {
         // DRAM-bottlenecked in VGG16).
         let placed = greedy_placement(&model, &cfg, &bytes, 20 * 8 * 1024 * 1024);
         let fc6_idx = model.layers.iter().position(|l| l.name == "fc6").unwrap();
-        assert!(placed[fc6_idx] > 0.0, "fc6 (most weight-bound) must be placed first");
+        assert!(
+            placed[fc6_idx] > 0.0,
+            "fc6 (most weight-bound) must be placed first"
+        );
         assert!(
             placed.iter().any(|&f| f < 1.0),
             "capacity should not fit everything"

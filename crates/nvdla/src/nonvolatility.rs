@@ -140,12 +140,10 @@ mod tests {
         let (base, _, _, _) = setup();
         let below = cross * 0.5;
         let above = (cross * 2.0).min(base.fps);
-        let on_b =
-            average_energy_per_inference_mj(&base, &cfg, IdlePolicy::AlwaysOn, below, total);
+        let on_b = average_energy_per_inference_mj(&base, &cfg, IdlePolicy::AlwaysOn, below, total);
         let wk_b = average_energy_per_inference_mj(&base, &cfg, IdlePolicy::WakeUp, below, total);
         assert!(wk_b < on_b, "below crossover: wake {wk_b} vs on {on_b}");
-        let on_a =
-            average_energy_per_inference_mj(&base, &cfg, IdlePolicy::AlwaysOn, above, total);
+        let on_a = average_energy_per_inference_mj(&base, &cfg, IdlePolicy::AlwaysOn, above, total);
         let wk_a = average_energy_per_inference_mj(&base, &cfg, IdlePolicy::WakeUp, above, total);
         assert!(wk_a > on_a, "above crossover: wake {wk_a} vs on {on_a}");
     }

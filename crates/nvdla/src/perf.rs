@@ -30,8 +30,7 @@ pub struct LayerPerf {
 impl LayerPerf {
     /// Whether the layer is weight-fetch bound.
     pub fn is_weight_bound(&self) -> bool {
-        self.weight_cycles >= self.compute_cycles
-            && self.weight_cycles >= self.activation_cycles
+        self.weight_cycles >= self.compute_cycles && self.weight_cycles >= self.activation_cycles
     }
 }
 
@@ -77,8 +76,7 @@ pub fn layer_perf(
     // bandwidth (shared with weights, modeled as serialized worst case).
     let sram_traffic = in_elems + out_elems;
     let act_cycles_sram = (sram_traffic as f64 / cfg.bytes_per_cycle(cfg.sram_bw_gbps)).ceil();
-    let act_cycles_dram =
-        (act_spill_bytes as f64 / cfg.bytes_per_cycle(cfg.dram_bw_gbps)).ceil();
+    let act_cycles_dram = (act_spill_bytes as f64 / cfg.bytes_per_cycle(cfg.dram_bw_gbps)).ceil();
     let activation_cycles = (act_cycles_sram + act_cycles_dram) as u64;
     let cycles = compute_cycles.max(weight_cycles).max(activation_cycles);
     LayerPerf {
@@ -128,8 +126,7 @@ pub fn evaluate(
         let passes = layer.fetch_passes.max(1) as u64;
         let on_bytes = (wbytes as f64 * f).round() as u64 * passes;
         let off_bytes = (wbytes - (wbytes as f64 * f).round() as u64) * passes;
-        let compute_cycles =
-            (layer.macs as f64 / cfg.effective_macs_per_cycle()).ceil() as u64;
+        let compute_cycles = (layer.macs as f64 / cfg.effective_macs_per_cycle()).ceil() as u64;
         let envm_cycles = if on_bytes > 0 {
             // weight_cycles() with a fully-on-chip request yields the eNVM
             // stream time for the on-chip share.
@@ -146,8 +143,8 @@ pub fn evaluate(
         } else {
             0
         };
-        let dram_cycles = ((off_bytes + spill) as f64 / cfg.bytes_per_cycle(cfg.dram_bw_gbps))
-            .ceil() as u64;
+        let dram_cycles =
+            ((off_bytes + spill) as f64 / cfg.bytes_per_cycle(cfg.dram_bw_gbps)).ceil() as u64;
         let sram_cycles = ((layer.in_elems + layer.out_elems) as f64
             / cfg.bytes_per_cycle(cfg.sram_bw_gbps))
         .ceil() as u64;
@@ -222,7 +219,11 @@ pub fn per_layer_report(
     source: &WeightSource,
     weight_bytes: &[u64],
 ) -> Vec<LayerReport> {
-    assert_eq!(weight_bytes.len(), model.layers.len(), "one entry per layer");
+    assert_eq!(
+        weight_bytes.len(),
+        model.layers.len(),
+        "one entry per layer"
+    );
     let sram_bytes = cfg.sram_kb as u64 * 1024;
     model
         .layers
@@ -235,8 +236,7 @@ pub fn per_layer_report(
             let passes = layer.fetch_passes.max(1) as u64;
             let on_bytes = (wbytes as f64 * f).round() as u64 * passes;
             let off_bytes = (wbytes - (wbytes as f64 * f).round() as u64) * passes;
-            let compute =
-                (layer.macs as f64 / cfg.effective_macs_per_cycle()).ceil() as u64;
+            let compute = (layer.macs as f64 / cfg.effective_macs_per_cycle()).ceil() as u64;
             let envm = if on_bytes > 0 {
                 let bw = match source {
                     WeightSource::Dram => cfg.dram_bw_gbps,
@@ -248,8 +248,8 @@ pub fn per_layer_report(
             } else {
                 0
             };
-            let dram = ((off_bytes + spill) as f64 / cfg.bytes_per_cycle(cfg.dram_bw_gbps))
-                .ceil() as u64;
+            let dram =
+                ((off_bytes + spill) as f64 / cfg.bytes_per_cycle(cfg.dram_bw_gbps)).ceil() as u64;
             let sram = ((layer.in_elems + layer.out_elems) as f64
                 / cfg.bytes_per_cycle(cfg.sram_bw_gbps))
             .ceil() as u64;
@@ -282,11 +282,8 @@ pub fn encoded_weight_bytes(model: &ModelSpec, encoding: EncodingKind, idx_sync:
         .layers
         .iter()
         .map(|l| {
-            let geom = LayerGeometry::from_sparsity(
-                l.rows as u64,
-                l.cols as u64,
-                model.paper.sparsity,
-            );
+            let geom =
+                LayerGeometry::from_sparsity(l.rows as u64, l.cols as u64, model.paper.sparsity);
             encoded_bits(geom, model.paper.cluster_index_bits, encoding, idx_sync)
                 .total_bits()
                 .div_ceil(8)
@@ -481,7 +478,12 @@ mod tests {
         assert_ne!(conv3.bottleneck, Bottleneck::Dram, "{conv3:?}");
         // Report cycles equal the evaluate() totals.
         let total: u64 = reports.iter().map(|r| r.cycles).sum();
-        let sys = evaluate(&model, &NvdlaConfig::nvdla_1024(), &WeightSource::Dram, &bytes);
+        let sys = evaluate(
+            &model,
+            &NvdlaConfig::nvdla_1024(),
+            &WeightSource::Dram,
+            &bytes,
+        );
         assert_eq!(total, sys.cycles_per_inference);
     }
 

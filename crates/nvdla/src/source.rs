@@ -31,9 +31,7 @@ impl WeightSource {
         match self {
             WeightSource::Dram => 0.0,
             WeightSource::Envm(_) => 1.0,
-            WeightSource::Hybrid { fractions, .. } => {
-                fractions.get(idx).copied().unwrap_or(0.0)
-            }
+            WeightSource::Hybrid { fractions, .. } => fractions.get(idx).copied().unwrap_or(0.0),
         }
     }
 
@@ -43,9 +41,7 @@ impl WeightSource {
     pub fn weight_cycles(&self, idx: usize, bytes: u64, cfg: &NvdlaConfig) -> u64 {
         let envm_bw = match self {
             WeightSource::Dram => 0.0,
-            WeightSource::Envm(d) | WeightSource::Hybrid { envm: d, .. } => {
-                d.read_bandwidth_gbps
-            }
+            WeightSource::Envm(d) | WeightSource::Hybrid { envm: d, .. } => d.read_bandwidth_gbps,
         };
         let f = self.on_chip_fraction(idx);
         let on_bytes = (bytes as f64 * f).round();
@@ -162,11 +158,7 @@ mod tests {
         // Half the DRAM traffic -> at most ~half the DRAM-side time (the
         // eNVM side streams concurrently).
         assert!(half <= whole / 2 + envm_side_slack(&envm, 500_000, &cfg));
-        fn envm_side_slack(
-            d: &maxnvm_nvsim::ArrayDesign,
-            bytes: u64,
-            cfg: &NvdlaConfig,
-        ) -> u64 {
+        fn envm_side_slack(d: &maxnvm_nvsim::ArrayDesign, bytes: u64, cfg: &NvdlaConfig) -> u64 {
             (bytes as f64 / cfg.bytes_per_cycle(d.read_bandwidth_gbps)).ceil() as u64
         }
     }

@@ -210,7 +210,12 @@ fn sa_energy_fj(tech: CellTechnology) -> f64 {
 
 /// Characterizes one specific organization. Returns `None` for infeasible
 /// combinations (output width out of the 8–128-bit NVSim range, Table 3).
-pub fn characterize_config(req: &ArrayRequest, rows: u32, cols: u32, mux: u32) -> Option<ArrayDesign> {
+pub fn characterize_config(
+    req: &ArrayRequest,
+    rows: u32,
+    cols: u32,
+    mux: u32,
+) -> Option<ArrayDesign> {
     let params: DeviceParams = req.tech.device_params();
     let levels = (1u32 << req.bits_per_cell) as f64;
     let access_bits = (cols / mux) * req.bits_per_cell as u32;
@@ -250,11 +255,8 @@ pub fn characterize_config(req: &ArrayRequest, rows: u32, cols: u32, mux: u32) -
 
     // Energy per access (pJ): bitline charging of one row's active columns,
     // flash-ADC sensing, wordline + decode.
-    let e_bl = (cols / mux) as f64
-        * params.cell_read_current_ua
-        * params.read_voltage
-        * t_sense
-        * 1e-3; // µA·V·ns = fJ -> pJ via 1e-3
+    let e_bl =
+        (cols / mux) as f64 * params.cell_read_current_ua * params.read_voltage * t_sense * 1e-3; // µA·V·ns = fJ -> pJ via 1e-3
     let e_sa = sa_per_sub * sa_energy_fj(req.tech) * 1e-3;
     let e_wl = cols as f64 * 0.05 * 1e-3;
     let e_dec = 0.08 + 0.01 * (subarrays as f64).log2().max(0.0);
@@ -267,8 +269,10 @@ pub fn characterize_config(req: &ArrayRequest, rows: u32, cols: u32, mux: u32) -
     // (~2x read) x pulse time. CTT's long HCI pulse makes each of its
     // cell-writes energetically expensive — another reason weights are
     // written rarely (§7.1).
-    let write_energy_per_cell_pj = params.cell_read_current_ua * 10.0
-        * params.read_voltage * 2.0
+    let write_energy_per_cell_pj = params.cell_read_current_ua
+        * 10.0
+        * params.read_voltage
+        * 2.0
         * (params.program_pulse_s * 1e9)
         * 1e-3; // µA·V·ns = fJ -> pJ
 
@@ -522,8 +526,16 @@ mod tests {
             &ArrayRequest::new(CellTechnology::OptMlcRram, mb_cells(32, 3), 3),
             OptTarget::ReadEdp,
         );
-        assert!((0.7..6.0).contains(&ctt.read_latency_ns), "{}", ctt.read_latency_ns);
-        assert!((0.7..8.0).contains(&opt.read_latency_ns), "{}", opt.read_latency_ns);
+        assert!(
+            (0.7..6.0).contains(&ctt.read_latency_ns),
+            "{}",
+            ctt.read_latency_ns
+        );
+        assert!(
+            (0.7..8.0).contains(&opt.read_latency_ns),
+            "{}",
+            opt.read_latency_ns
+        );
         assert!(ctt.read_latency_ns < opt.read_latency_ns);
     }
 

@@ -97,8 +97,16 @@ mod tests {
         // Table 3: SRAM BW 6 GB/s (NVDLA-64, 512KB) to 25 GB/s (2MB).
         let small = SramMacro::new(512 * 1024);
         let big = SramMacro::new(2 * 1024 * 1024);
-        assert!((4.0..15.0).contains(&small.bandwidth_gbps), "{}", small.bandwidth_gbps);
-        assert!((15.0..40.0).contains(&big.bandwidth_gbps), "{}", big.bandwidth_gbps);
+        assert!(
+            (4.0..15.0).contains(&small.bandwidth_gbps),
+            "{}",
+            small.bandwidth_gbps
+        );
+        assert!(
+            (15.0..40.0).contains(&big.bandwidth_gbps),
+            "{}",
+            big.bandwidth_gbps
+        );
     }
 
     #[test]

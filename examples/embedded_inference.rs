@@ -79,7 +79,11 @@ fn main() {
         seed: 3,
         rate_scale: 160.0,
     };
-    println!("\nFault-injection campaigns on {} ({} trials):", tech.name(), campaign.trials);
+    println!(
+        "\nFault-injection campaigns on {} ({} trials):",
+        tech.name(),
+        campaign.trials
+    );
     println!(
         "{:<34} {:>10} {:>12} {:>12}",
         "scheme", "cells", "mean error", "worst trial"
@@ -109,7 +113,7 @@ fn main() {
             .map(|c| StoredLayer::store(c, &scheme))
             .collect();
         let cells: u64 = stored.iter().map(StoredLayer::total_cells).sum();
-        let result = campaign.run(&stored, tech, &sa, &eval);
+        let result = campaign.run(&stored, tech, &sa, &eval).expect("campaign");
         println!(
             "{:<34} {:>10} {:>11.2}% {:>11.2}%",
             label,

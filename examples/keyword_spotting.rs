@@ -48,7 +48,7 @@ fn main() {
     let cells: u64 = stored.iter().map(StoredLayer::total_cells).sum();
     let sa = SenseAmp::paper_default();
     let maps = fault_maps(CellTechnology::MlcCtt, &sa);
-    let fault_for = move |cfg: MlcConfig| maps(cfg).scaled(150.0);
+    let fault_for = move |cfg: MlcConfig| std::sync::Arc::new(maps(cfg).scaled(150.0));
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     let mut errors = Vec::new();
     for _ in 0..15 {
@@ -72,7 +72,7 @@ fn main() {
     let spec = zoo::keyword_lstm();
     let cfg = NvdlaConfig::nvdla_64();
     let base = baseline_design(&spec, &cfg);
-    let design = optimal_design(&spec, CellTechnology::MlcCtt);
+    let design = optimal_design(&spec, CellTechnology::MlcCtt).expect("design");
     println!(
         "{} on NVDLA-64 ({} timesteps per inference):",
         spec.name, 16
@@ -95,7 +95,7 @@ fn main() {
         {
             let r = zoo::resnet50();
             let rb = baseline_design(&r, &cfg);
-            let rd = optimal_design(&r, CellTechnology::MlcCtt);
+            let rd = optimal_design(&r, CellTechnology::MlcCtt).expect("design");
             rb.energy_per_inference_mj / rd.system_64.energy_per_inference_mj
         }
     );

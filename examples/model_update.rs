@@ -26,7 +26,7 @@ fn main() {
     ];
 
     for tech in CellTechnology::ALL {
-        let design = optimal_design(&model, tech);
+        let design = optimal_design(&model, tech).expect("design");
         let write = WriteModel::for_tech(tech);
         let endurance = EnduranceModel::for_tech(tech);
         let write_s = write.total_write_time_s(design.cells);
@@ -54,10 +54,7 @@ fn main() {
             // An update also refreshes the stored levels, resetting drift:
             // cadence must also beat the retention horizon.
             let refreshed = interval / (365.25 * 24.0 * 3600.0) < retention_horizon;
-            print!(
-                "  {label}:{}",
-                if ok && refreshed { "yes" } else { "NO" }
-            );
+            print!("  {label}:{}", if ok && refreshed { "yes" } else { "NO" });
         }
         println!("\n");
     }

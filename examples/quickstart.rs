@@ -23,14 +23,17 @@ fn main() {
     // 2. Run the pipeline: prune/cluster targets from Table 2, exhaustive
     //    encoding x bits-per-cell x protection exploration under the
     //    calibrated fault model, then array + system characterization.
-    let design = optimal_design(&model, tech);
+    let design = optimal_design(&model, tech).expect("design");
     println!("\nOptimal on-chip storage ({}):", tech.name());
     println!("  encoding            {}", design.scheme_label);
     println!("  max bits per cell   {}", design.max_bits_per_cell);
     println!("  memory cells        {:.1}M", design.cells as f64 / 1e6);
     println!("  capacity            {:.1} MB", design.capacity_mb);
     println!("  macro area          {:.2} mm2", design.array.area_mm2);
-    println!("  read latency        {:.2} ns", design.array.read_latency_ns);
+    println!(
+        "  read latency        {:.2} ns",
+        design.array.read_latency_ns
+    );
     println!(
         "  est. error          {:.2}% (bound {:.2}%)",
         design.mean_error * 100.0,
@@ -53,10 +56,7 @@ fn main() {
         ours.avg_power_mw,
         base.avg_power_mw / ours.avg_power_mw
     );
-    println!(
-        "  frames per second   {:.1} -> {:.1}",
-        base.fps, ours.fps
-    );
+    println!("  frames per second   {:.1} -> {:.1}", base.fps, ours.fps);
     println!(
         "\nRewriting all weights would take {:.1} minutes of {} programming.",
         design.write_time_s / 60.0,

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_invariants-0fdb39ff15609b92.d: tests/ablation_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_invariants-0fdb39ff15609b92.rmeta: tests/ablation_invariants.rs Cargo.toml
+
+tests/ablation_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

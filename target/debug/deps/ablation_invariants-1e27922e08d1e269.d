@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_invariants-1e27922e08d1e269.d: tests/ablation_invariants.rs
+
+/root/repo/target/debug/deps/ablation_invariants-1e27922e08d1e269: tests/ablation_invariants.rs
+
+tests/ablation_invariants.rs:

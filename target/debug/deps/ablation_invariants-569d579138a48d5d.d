@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_invariants-569d579138a48d5d.d: tests/ablation_invariants.rs
+
+/root/repo/target/debug/deps/ablation_invariants-569d579138a48d5d: tests/ablation_invariants.rs
+
+tests/ablation_invariants.rs:

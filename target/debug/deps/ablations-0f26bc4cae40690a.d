@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-0f26bc4cae40690a.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-0f26bc4cae40690a: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

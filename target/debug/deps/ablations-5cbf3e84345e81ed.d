@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-5cbf3e84345e81ed.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-5cbf3e84345e81ed: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

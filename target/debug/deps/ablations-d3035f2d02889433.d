@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-d3035f2d02889433.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-d3035f2d02889433: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

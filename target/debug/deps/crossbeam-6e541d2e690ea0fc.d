@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-6e541d2e690ea0fc.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-6e541d2e690ea0fc.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-6e541d2e690ea0fc.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-a41393e6063f0fb8.d: vendor/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-a41393e6063f0fb8.rmeta: vendor/crossbeam/src/lib.rs Cargo.toml
+
+vendor/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-d818b27ac78e9e88.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-d818b27ac78e9e88: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crosscheck-20efb13d8339a43c.d: tests/crosscheck.rs
+
+/root/repo/target/debug/deps/crosscheck-20efb13d8339a43c: tests/crosscheck.rs
+
+tests/crosscheck.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crosscheck-8f54feb28b841d59.d: tests/crosscheck.rs
+
+/root/repo/target/debug/deps/crosscheck-8f54feb28b841d59: tests/crosscheck.rs
+
+tests/crosscheck.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crosscheck-e44d70994a829346.d: tests/crosscheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrosscheck-e44d70994a829346.rmeta: tests/crosscheck.rs Cargo.toml
+
+tests/crosscheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-725fc7831598a80c.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-725fc7831598a80c: tests/determinism.rs
+
+tests/determinism.rs:

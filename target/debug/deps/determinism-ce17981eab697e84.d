@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-ce17981eab697e84.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-ce17981eab697e84: tests/determinism.rs
+
+tests/determinism.rs:

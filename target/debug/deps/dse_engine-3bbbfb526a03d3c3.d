@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dse_engine-3bbbfb526a03d3c3.d: crates/bench/benches/dse_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdse_engine-3bbbfb526a03d3c3.rmeta: crates/bench/benches/dse_engine.rs Cargo.toml
+
+crates/bench/benches/dse_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

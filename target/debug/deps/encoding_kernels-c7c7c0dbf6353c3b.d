@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/encoding_kernels-c7c7c0dbf6353c3b.d: crates/bench/benches/encoding_kernels.rs
+
+/root/repo/target/debug/deps/encoding_kernels-c7c7c0dbf6353c3b: crates/bench/benches/encoding_kernels.rs
+
+crates/bench/benches/encoding_kernels.rs:

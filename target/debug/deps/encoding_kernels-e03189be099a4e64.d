@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/encoding_kernels-e03189be099a4e64.d: crates/bench/benches/encoding_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libencoding_kernels-e03189be099a4e64.rmeta: crates/bench/benches/encoding_kernels.rs Cargo.toml
+
+crates/bench/benches/encoding_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

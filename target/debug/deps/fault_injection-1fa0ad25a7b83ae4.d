@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_injection-1fa0ad25a7b83ae4.d: crates/bench/benches/fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_injection-1fa0ad25a7b83ae4.rmeta: crates/bench/benches/fault_injection.rs Cargo.toml
+
+crates/bench/benches/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-c5a251121b3f82ae.d: crates/bench/benches/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-c5a251121b3f82ae: crates/bench/benches/fault_injection.rs
+
+crates/bench/benches/fault_injection.rs:

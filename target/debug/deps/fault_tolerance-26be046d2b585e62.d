@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_tolerance-26be046d2b585e62.d: tests/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_tolerance-26be046d2b585e62.rmeta: tests/fault_tolerance.rs Cargo.toml
+
+tests/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

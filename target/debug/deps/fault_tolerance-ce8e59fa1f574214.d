@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-ce8e59fa1f574214.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-ce8e59fa1f574214: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

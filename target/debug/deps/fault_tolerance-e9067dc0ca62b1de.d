@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-e9067dc0ca62b1de.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-e9067dc0ca62b1de: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-0e99088daee2afde.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-0e99088daee2afde: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

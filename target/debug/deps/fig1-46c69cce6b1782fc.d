@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-46c69cce6b1782fc.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-46c69cce6b1782fc: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-c3ee5b9656460b1f.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-c3ee5b9656460b1f: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-32182a7f77eb5e5c.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-32182a7f77eb5e5c: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

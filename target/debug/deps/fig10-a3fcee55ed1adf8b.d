@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-a3fcee55ed1adf8b.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-a3fcee55ed1adf8b: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

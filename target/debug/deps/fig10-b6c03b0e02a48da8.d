@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-b6c03b0e02a48da8.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-b6c03b0e02a48da8: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

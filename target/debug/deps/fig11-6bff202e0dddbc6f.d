@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-6bff202e0dddbc6f.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-6bff202e0dddbc6f: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-9abde93d91577ba7.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-9abde93d91577ba7: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

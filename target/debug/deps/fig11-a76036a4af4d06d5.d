@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-a76036a4af4d06d5.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-a76036a4af4d06d5: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

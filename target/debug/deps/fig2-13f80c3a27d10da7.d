@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-13f80c3a27d10da7.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-13f80c3a27d10da7: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

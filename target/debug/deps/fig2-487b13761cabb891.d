@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2-487b13761cabb891.d: crates/bench/src/bin/fig2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2-487b13761cabb891.rmeta: crates/bench/src/bin/fig2.rs Cargo.toml
+
+crates/bench/src/bin/fig2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

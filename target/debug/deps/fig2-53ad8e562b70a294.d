@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-53ad8e562b70a294.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-53ad8e562b70a294: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2-6c950ef63c48a678.d: crates/bench/src/bin/fig2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2-6c950ef63c48a678.rmeta: crates/bench/src/bin/fig2.rs Cargo.toml
+
+crates/bench/src/bin/fig2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-eb4583cb86ff2415.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-eb4583cb86ff2415: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

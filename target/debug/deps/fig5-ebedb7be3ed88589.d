@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-ebedb7be3ed88589.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-ebedb7be3ed88589: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

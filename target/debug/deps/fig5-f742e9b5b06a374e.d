@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-f742e9b5b06a374e.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-f742e9b5b06a374e: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-f9c067b0f9965bde.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-f9c067b0f9965bde: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

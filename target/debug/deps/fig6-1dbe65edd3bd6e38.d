@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-1dbe65edd3bd6e38.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-1dbe65edd3bd6e38: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

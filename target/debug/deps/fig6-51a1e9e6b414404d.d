@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-51a1e9e6b414404d.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-51a1e9e6b414404d: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

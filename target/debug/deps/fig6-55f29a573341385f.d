@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-55f29a573341385f.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-55f29a573341385f: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-353848832f0c7dbe.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-353848832f0c7dbe: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

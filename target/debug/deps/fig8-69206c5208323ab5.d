@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-69206c5208323ab5.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-69206c5208323ab5: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-ffc1c3f23897bbf9.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-ffc1c3f23897bbf9: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

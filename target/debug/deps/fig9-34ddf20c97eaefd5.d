@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-34ddf20c97eaefd5.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-34ddf20c97eaefd5: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-5752d062f6d3588f.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-5752d062f6d3588f: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-bcbbf59a1ccc4b23.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-bcbbf59a1ccc4b23: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

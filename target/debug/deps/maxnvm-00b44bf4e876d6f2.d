@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maxnvm-00b44bf4e876d6f2.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/maxnvm-00b44bf4e876d6f2: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maxnvm-13a9390f54ed1aef.d: crates/core/src/bin/maxnvm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxnvm-13a9390f54ed1aef.rmeta: crates/core/src/bin/maxnvm.rs Cargo.toml
+
+crates/core/src/bin/maxnvm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

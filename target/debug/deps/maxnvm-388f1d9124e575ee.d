@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maxnvm-388f1d9124e575ee.d: crates/core/src/bin/maxnvm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxnvm-388f1d9124e575ee.rmeta: crates/core/src/bin/maxnvm.rs Cargo.toml
+
+crates/core/src/bin/maxnvm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maxnvm-42043b66e220e375.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxnvm-42043b66e220e375.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maxnvm-4817b820ed90ac80.d: crates/core/src/bin/maxnvm.rs
+
+/root/repo/target/debug/deps/maxnvm-4817b820ed90ac80: crates/core/src/bin/maxnvm.rs
+
+crates/core/src/bin/maxnvm.rs:

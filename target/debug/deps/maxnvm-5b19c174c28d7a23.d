@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/maxnvm-5b19c174c28d7a23.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libmaxnvm-5b19c174c28d7a23.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libmaxnvm-5b19c174c28d7a23.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

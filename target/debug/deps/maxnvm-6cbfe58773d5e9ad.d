@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maxnvm-6cbfe58773d5e9ad.d: crates/core/src/bin/maxnvm.rs
+
+/root/repo/target/debug/deps/maxnvm-6cbfe58773d5e9ad: crates/core/src/bin/maxnvm.rs
+
+crates/core/src/bin/maxnvm.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/maxnvm-86567cd891b767fe.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libmaxnvm-86567cd891b767fe.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libmaxnvm-86567cd891b767fe.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

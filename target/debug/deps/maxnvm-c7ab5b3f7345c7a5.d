@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maxnvm-c7ab5b3f7345c7a5.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/maxnvm-c7ab5b3f7345c7a5: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

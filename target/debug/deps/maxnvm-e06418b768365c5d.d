@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maxnvm-e06418b768365c5d.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxnvm-e06418b768365c5d.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

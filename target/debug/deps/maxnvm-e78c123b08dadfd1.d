@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maxnvm-e78c123b08dadfd1.d: crates/core/src/bin/maxnvm.rs
+
+/root/repo/target/debug/deps/maxnvm-e78c123b08dadfd1: crates/core/src/bin/maxnvm.rs
+
+crates/core/src/bin/maxnvm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maxnvm_bench-04289faacb61330c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/maxnvm_bench-04289faacb61330c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/maxnvm_bench-075f71a03201ebae.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmaxnvm_bench-075f71a03201ebae.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmaxnvm_bench-075f71a03201ebae.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

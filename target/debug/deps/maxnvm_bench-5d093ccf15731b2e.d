@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maxnvm_bench-5d093ccf15731b2e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxnvm_bench-5d093ccf15731b2e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

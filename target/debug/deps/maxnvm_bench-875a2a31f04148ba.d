@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/maxnvm_bench-875a2a31f04148ba.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmaxnvm_bench-875a2a31f04148ba.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmaxnvm_bench-875a2a31f04148ba.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maxnvm_bench-baedc8537c0c14d8.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxnvm_bench-baedc8537c0c14d8.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maxnvm_bench-d79a3585d407f05c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/maxnvm_bench-d79a3585d407f05c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

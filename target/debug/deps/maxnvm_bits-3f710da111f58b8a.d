@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maxnvm_bits-3f710da111f58b8a.d: crates/bits/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxnvm_bits-3f710da111f58b8a.rmeta: crates/bits/src/lib.rs Cargo.toml
+
+crates/bits/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maxnvm_bits-55955329e882c544.d: crates/bits/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxnvm_bits-55955329e882c544.rmeta: crates/bits/src/lib.rs Cargo.toml
+
+crates/bits/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

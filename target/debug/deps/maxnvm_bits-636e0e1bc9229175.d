@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/maxnvm_bits-636e0e1bc9229175.d: crates/bits/src/lib.rs
+
+/root/repo/target/debug/deps/libmaxnvm_bits-636e0e1bc9229175.rlib: crates/bits/src/lib.rs
+
+/root/repo/target/debug/deps/libmaxnvm_bits-636e0e1bc9229175.rmeta: crates/bits/src/lib.rs
+
+crates/bits/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maxnvm_bits-c5453b7e135823f3.d: crates/bits/src/lib.rs
+
+/root/repo/target/debug/deps/maxnvm_bits-c5453b7e135823f3: crates/bits/src/lib.rs
+
+crates/bits/src/lib.rs:

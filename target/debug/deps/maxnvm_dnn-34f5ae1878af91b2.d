@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/maxnvm_dnn-34f5ae1878af91b2.d: crates/dnn/src/lib.rs crates/dnn/src/data.rs crates/dnn/src/layer.rs crates/dnn/src/network.rs crates/dnn/src/rnn.rs crates/dnn/src/tensor.rs crates/dnn/src/train.rs crates/dnn/src/zoo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxnvm_dnn-34f5ae1878af91b2.rmeta: crates/dnn/src/lib.rs crates/dnn/src/data.rs crates/dnn/src/layer.rs crates/dnn/src/network.rs crates/dnn/src/rnn.rs crates/dnn/src/tensor.rs crates/dnn/src/train.rs crates/dnn/src/zoo.rs Cargo.toml
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/data.rs:
+crates/dnn/src/layer.rs:
+crates/dnn/src/network.rs:
+crates/dnn/src/rnn.rs:
+crates/dnn/src/tensor.rs:
+crates/dnn/src/train.rs:
+crates/dnn/src/zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/maxnvm_dnn-548091fc9b7fb85a.d: crates/dnn/src/lib.rs crates/dnn/src/data.rs crates/dnn/src/layer.rs crates/dnn/src/network.rs crates/dnn/src/rnn.rs crates/dnn/src/tensor.rs crates/dnn/src/train.rs crates/dnn/src/zoo.rs
+
+/root/repo/target/debug/deps/maxnvm_dnn-548091fc9b7fb85a: crates/dnn/src/lib.rs crates/dnn/src/data.rs crates/dnn/src/layer.rs crates/dnn/src/network.rs crates/dnn/src/rnn.rs crates/dnn/src/tensor.rs crates/dnn/src/train.rs crates/dnn/src/zoo.rs
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/data.rs:
+crates/dnn/src/layer.rs:
+crates/dnn/src/network.rs:
+crates/dnn/src/rnn.rs:
+crates/dnn/src/tensor.rs:
+crates/dnn/src/train.rs:
+crates/dnn/src/zoo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maxnvm_ecc-4e7f3d618d257357.d: crates/ecc/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxnvm_ecc-4e7f3d618d257357.rmeta: crates/ecc/src/lib.rs Cargo.toml
+
+crates/ecc/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/maxnvm_ecc-5875247a5b28cd96.d: crates/ecc/src/lib.rs
+
+/root/repo/target/debug/deps/libmaxnvm_ecc-5875247a5b28cd96.rlib: crates/ecc/src/lib.rs
+
+/root/repo/target/debug/deps/libmaxnvm_ecc-5875247a5b28cd96.rmeta: crates/ecc/src/lib.rs
+
+crates/ecc/src/lib.rs:

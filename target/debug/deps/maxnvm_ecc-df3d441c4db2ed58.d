@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maxnvm_ecc-df3d441c4db2ed58.d: crates/ecc/src/lib.rs
+
+/root/repo/target/debug/deps/maxnvm_ecc-df3d441c4db2ed58: crates/ecc/src/lib.rs
+
+crates/ecc/src/lib.rs:

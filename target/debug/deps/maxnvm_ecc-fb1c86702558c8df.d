@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maxnvm_ecc-fb1c86702558c8df.d: crates/ecc/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxnvm_ecc-fb1c86702558c8df.rmeta: crates/ecc/src/lib.rs Cargo.toml
+
+crates/ecc/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/maxnvm_encoding-3198fc04631ab650.d: crates/encoding/src/lib.rs crates/encoding/src/bitmask.rs crates/encoding/src/cluster.rs crates/encoding/src/csr.rs crates/encoding/src/dense.rs crates/encoding/src/estimate.rs crates/encoding/src/quantize.rs crates/encoding/src/storage/mod.rs crates/encoding/src/storage/cache.rs crates/encoding/src/storage/chip.rs crates/encoding/src/storage/codec.rs crates/encoding/src/storage/layer.rs crates/encoding/src/storage/model.rs crates/encoding/src/storage/scheme.rs crates/encoding/src/storage/structure.rs crates/encoding/src/storage/tests.rs
+
+/root/repo/target/debug/deps/maxnvm_encoding-3198fc04631ab650: crates/encoding/src/lib.rs crates/encoding/src/bitmask.rs crates/encoding/src/cluster.rs crates/encoding/src/csr.rs crates/encoding/src/dense.rs crates/encoding/src/estimate.rs crates/encoding/src/quantize.rs crates/encoding/src/storage/mod.rs crates/encoding/src/storage/cache.rs crates/encoding/src/storage/chip.rs crates/encoding/src/storage/codec.rs crates/encoding/src/storage/layer.rs crates/encoding/src/storage/model.rs crates/encoding/src/storage/scheme.rs crates/encoding/src/storage/structure.rs crates/encoding/src/storage/tests.rs
+
+crates/encoding/src/lib.rs:
+crates/encoding/src/bitmask.rs:
+crates/encoding/src/cluster.rs:
+crates/encoding/src/csr.rs:
+crates/encoding/src/dense.rs:
+crates/encoding/src/estimate.rs:
+crates/encoding/src/quantize.rs:
+crates/encoding/src/storage/mod.rs:
+crates/encoding/src/storage/cache.rs:
+crates/encoding/src/storage/chip.rs:
+crates/encoding/src/storage/codec.rs:
+crates/encoding/src/storage/layer.rs:
+crates/encoding/src/storage/model.rs:
+crates/encoding/src/storage/scheme.rs:
+crates/encoding/src/storage/structure.rs:
+crates/encoding/src/storage/tests.rs:

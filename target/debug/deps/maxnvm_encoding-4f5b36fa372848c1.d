@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/maxnvm_encoding-4f5b36fa372848c1.d: crates/encoding/src/lib.rs crates/encoding/src/bitmask.rs crates/encoding/src/cluster.rs crates/encoding/src/csr.rs crates/encoding/src/dense.rs crates/encoding/src/estimate.rs crates/encoding/src/quantize.rs crates/encoding/src/storage.rs
+
+/root/repo/target/debug/deps/libmaxnvm_encoding-4f5b36fa372848c1.rlib: crates/encoding/src/lib.rs crates/encoding/src/bitmask.rs crates/encoding/src/cluster.rs crates/encoding/src/csr.rs crates/encoding/src/dense.rs crates/encoding/src/estimate.rs crates/encoding/src/quantize.rs crates/encoding/src/storage.rs
+
+/root/repo/target/debug/deps/libmaxnvm_encoding-4f5b36fa372848c1.rmeta: crates/encoding/src/lib.rs crates/encoding/src/bitmask.rs crates/encoding/src/cluster.rs crates/encoding/src/csr.rs crates/encoding/src/dense.rs crates/encoding/src/estimate.rs crates/encoding/src/quantize.rs crates/encoding/src/storage.rs
+
+crates/encoding/src/lib.rs:
+crates/encoding/src/bitmask.rs:
+crates/encoding/src/cluster.rs:
+crates/encoding/src/csr.rs:
+crates/encoding/src/dense.rs:
+crates/encoding/src/estimate.rs:
+crates/encoding/src/quantize.rs:
+crates/encoding/src/storage.rs:

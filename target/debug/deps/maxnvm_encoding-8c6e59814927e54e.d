@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/maxnvm_encoding-8c6e59814927e54e.d: crates/encoding/src/lib.rs crates/encoding/src/bitmask.rs crates/encoding/src/cluster.rs crates/encoding/src/csr.rs crates/encoding/src/dense.rs crates/encoding/src/estimate.rs crates/encoding/src/quantize.rs crates/encoding/src/storage/mod.rs crates/encoding/src/storage/cache.rs crates/encoding/src/storage/chip.rs crates/encoding/src/storage/codec.rs crates/encoding/src/storage/layer.rs crates/encoding/src/storage/model.rs crates/encoding/src/storage/scheme.rs crates/encoding/src/storage/structure.rs crates/encoding/src/storage/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxnvm_encoding-8c6e59814927e54e.rmeta: crates/encoding/src/lib.rs crates/encoding/src/bitmask.rs crates/encoding/src/cluster.rs crates/encoding/src/csr.rs crates/encoding/src/dense.rs crates/encoding/src/estimate.rs crates/encoding/src/quantize.rs crates/encoding/src/storage/mod.rs crates/encoding/src/storage/cache.rs crates/encoding/src/storage/chip.rs crates/encoding/src/storage/codec.rs crates/encoding/src/storage/layer.rs crates/encoding/src/storage/model.rs crates/encoding/src/storage/scheme.rs crates/encoding/src/storage/structure.rs crates/encoding/src/storage/tests.rs Cargo.toml
+
+crates/encoding/src/lib.rs:
+crates/encoding/src/bitmask.rs:
+crates/encoding/src/cluster.rs:
+crates/encoding/src/csr.rs:
+crates/encoding/src/dense.rs:
+crates/encoding/src/estimate.rs:
+crates/encoding/src/quantize.rs:
+crates/encoding/src/storage/mod.rs:
+crates/encoding/src/storage/cache.rs:
+crates/encoding/src/storage/chip.rs:
+crates/encoding/src/storage/codec.rs:
+crates/encoding/src/storage/layer.rs:
+crates/encoding/src/storage/model.rs:
+crates/encoding/src/storage/scheme.rs:
+crates/encoding/src/storage/structure.rs:
+crates/encoding/src/storage/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

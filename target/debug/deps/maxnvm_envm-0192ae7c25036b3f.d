@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/maxnvm_envm-0192ae7c25036b3f.d: crates/envm/src/lib.rs crates/envm/src/fault.rs crates/envm/src/gray.rs crates/envm/src/level.rs crates/envm/src/math.rs crates/envm/src/reference.rs crates/envm/src/retention.rs crates/envm/src/sense.rs crates/envm/src/tech.rs crates/envm/src/write.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxnvm_envm-0192ae7c25036b3f.rmeta: crates/envm/src/lib.rs crates/envm/src/fault.rs crates/envm/src/gray.rs crates/envm/src/level.rs crates/envm/src/math.rs crates/envm/src/reference.rs crates/envm/src/retention.rs crates/envm/src/sense.rs crates/envm/src/tech.rs crates/envm/src/write.rs Cargo.toml
+
+crates/envm/src/lib.rs:
+crates/envm/src/fault.rs:
+crates/envm/src/gray.rs:
+crates/envm/src/level.rs:
+crates/envm/src/math.rs:
+crates/envm/src/reference.rs:
+crates/envm/src/retention.rs:
+crates/envm/src/sense.rs:
+crates/envm/src/tech.rs:
+crates/envm/src/write.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

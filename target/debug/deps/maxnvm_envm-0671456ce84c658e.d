@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/maxnvm_envm-0671456ce84c658e.d: crates/envm/src/lib.rs crates/envm/src/fault.rs crates/envm/src/gray.rs crates/envm/src/level.rs crates/envm/src/math.rs crates/envm/src/reference.rs crates/envm/src/retention.rs crates/envm/src/sense.rs crates/envm/src/tech.rs crates/envm/src/write.rs
+
+/root/repo/target/debug/deps/libmaxnvm_envm-0671456ce84c658e.rlib: crates/envm/src/lib.rs crates/envm/src/fault.rs crates/envm/src/gray.rs crates/envm/src/level.rs crates/envm/src/math.rs crates/envm/src/reference.rs crates/envm/src/retention.rs crates/envm/src/sense.rs crates/envm/src/tech.rs crates/envm/src/write.rs
+
+/root/repo/target/debug/deps/libmaxnvm_envm-0671456ce84c658e.rmeta: crates/envm/src/lib.rs crates/envm/src/fault.rs crates/envm/src/gray.rs crates/envm/src/level.rs crates/envm/src/math.rs crates/envm/src/reference.rs crates/envm/src/retention.rs crates/envm/src/sense.rs crates/envm/src/tech.rs crates/envm/src/write.rs
+
+crates/envm/src/lib.rs:
+crates/envm/src/fault.rs:
+crates/envm/src/gray.rs:
+crates/envm/src/level.rs:
+crates/envm/src/math.rs:
+crates/envm/src/reference.rs:
+crates/envm/src/retention.rs:
+crates/envm/src/sense.rs:
+crates/envm/src/tech.rs:
+crates/envm/src/write.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/maxnvm_envm-9d89249d8a682d01.d: crates/envm/src/lib.rs crates/envm/src/fault.rs crates/envm/src/gray.rs crates/envm/src/level.rs crates/envm/src/math.rs crates/envm/src/reference.rs crates/envm/src/retention.rs crates/envm/src/sense.rs crates/envm/src/tech.rs crates/envm/src/write.rs
+
+/root/repo/target/debug/deps/maxnvm_envm-9d89249d8a682d01: crates/envm/src/lib.rs crates/envm/src/fault.rs crates/envm/src/gray.rs crates/envm/src/level.rs crates/envm/src/math.rs crates/envm/src/reference.rs crates/envm/src/retention.rs crates/envm/src/sense.rs crates/envm/src/tech.rs crates/envm/src/write.rs
+
+crates/envm/src/lib.rs:
+crates/envm/src/fault.rs:
+crates/envm/src/gray.rs:
+crates/envm/src/level.rs:
+crates/envm/src/math.rs:
+crates/envm/src/reference.rs:
+crates/envm/src/retention.rs:
+crates/envm/src/sense.rs:
+crates/envm/src/tech.rs:
+crates/envm/src/write.rs:

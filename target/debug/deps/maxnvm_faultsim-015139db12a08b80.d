@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/maxnvm_faultsim-015139db12a08b80.d: crates/faultsim/src/lib.rs crates/faultsim/src/analytic.rs crates/faultsim/src/campaign.rs crates/faultsim/src/dse.rs crates/faultsim/src/evaluate.rs crates/faultsim/src/vulnerability.rs
+
+/root/repo/target/debug/deps/maxnvm_faultsim-015139db12a08b80: crates/faultsim/src/lib.rs crates/faultsim/src/analytic.rs crates/faultsim/src/campaign.rs crates/faultsim/src/dse.rs crates/faultsim/src/evaluate.rs crates/faultsim/src/vulnerability.rs
+
+crates/faultsim/src/lib.rs:
+crates/faultsim/src/analytic.rs:
+crates/faultsim/src/campaign.rs:
+crates/faultsim/src/dse.rs:
+crates/faultsim/src/evaluate.rs:
+crates/faultsim/src/vulnerability.rs:

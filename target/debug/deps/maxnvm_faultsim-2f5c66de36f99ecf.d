@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/maxnvm_faultsim-2f5c66de36f99ecf.d: crates/faultsim/src/lib.rs crates/faultsim/src/analytic.rs crates/faultsim/src/campaign.rs crates/faultsim/src/dse.rs crates/faultsim/src/engine/mod.rs crates/faultsim/src/engine/error.rs crates/faultsim/src/engine/pool.rs crates/faultsim/src/evaluate.rs crates/faultsim/src/vulnerability.rs
+
+/root/repo/target/debug/deps/maxnvm_faultsim-2f5c66de36f99ecf: crates/faultsim/src/lib.rs crates/faultsim/src/analytic.rs crates/faultsim/src/campaign.rs crates/faultsim/src/dse.rs crates/faultsim/src/engine/mod.rs crates/faultsim/src/engine/error.rs crates/faultsim/src/engine/pool.rs crates/faultsim/src/evaluate.rs crates/faultsim/src/vulnerability.rs
+
+crates/faultsim/src/lib.rs:
+crates/faultsim/src/analytic.rs:
+crates/faultsim/src/campaign.rs:
+crates/faultsim/src/dse.rs:
+crates/faultsim/src/engine/mod.rs:
+crates/faultsim/src/engine/error.rs:
+crates/faultsim/src/engine/pool.rs:
+crates/faultsim/src/evaluate.rs:
+crates/faultsim/src/vulnerability.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/maxnvm_faultsim-6f5cb242fa4aec16.d: crates/faultsim/src/lib.rs crates/faultsim/src/analytic.rs crates/faultsim/src/campaign.rs crates/faultsim/src/dse.rs crates/faultsim/src/engine/mod.rs crates/faultsim/src/engine/error.rs crates/faultsim/src/engine/pool.rs crates/faultsim/src/evaluate.rs crates/faultsim/src/vulnerability.rs
+
+/root/repo/target/debug/deps/libmaxnvm_faultsim-6f5cb242fa4aec16.rlib: crates/faultsim/src/lib.rs crates/faultsim/src/analytic.rs crates/faultsim/src/campaign.rs crates/faultsim/src/dse.rs crates/faultsim/src/engine/mod.rs crates/faultsim/src/engine/error.rs crates/faultsim/src/engine/pool.rs crates/faultsim/src/evaluate.rs crates/faultsim/src/vulnerability.rs
+
+/root/repo/target/debug/deps/libmaxnvm_faultsim-6f5cb242fa4aec16.rmeta: crates/faultsim/src/lib.rs crates/faultsim/src/analytic.rs crates/faultsim/src/campaign.rs crates/faultsim/src/dse.rs crates/faultsim/src/engine/mod.rs crates/faultsim/src/engine/error.rs crates/faultsim/src/engine/pool.rs crates/faultsim/src/evaluate.rs crates/faultsim/src/vulnerability.rs
+
+crates/faultsim/src/lib.rs:
+crates/faultsim/src/analytic.rs:
+crates/faultsim/src/campaign.rs:
+crates/faultsim/src/dse.rs:
+crates/faultsim/src/engine/mod.rs:
+crates/faultsim/src/engine/error.rs:
+crates/faultsim/src/engine/pool.rs:
+crates/faultsim/src/evaluate.rs:
+crates/faultsim/src/vulnerability.rs:

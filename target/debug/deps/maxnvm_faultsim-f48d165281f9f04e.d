@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/maxnvm_faultsim-f48d165281f9f04e.d: crates/faultsim/src/lib.rs crates/faultsim/src/analytic.rs crates/faultsim/src/campaign.rs crates/faultsim/src/dse.rs crates/faultsim/src/engine/mod.rs crates/faultsim/src/engine/error.rs crates/faultsim/src/engine/pool.rs crates/faultsim/src/evaluate.rs crates/faultsim/src/vulnerability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxnvm_faultsim-f48d165281f9f04e.rmeta: crates/faultsim/src/lib.rs crates/faultsim/src/analytic.rs crates/faultsim/src/campaign.rs crates/faultsim/src/dse.rs crates/faultsim/src/engine/mod.rs crates/faultsim/src/engine/error.rs crates/faultsim/src/engine/pool.rs crates/faultsim/src/evaluate.rs crates/faultsim/src/vulnerability.rs Cargo.toml
+
+crates/faultsim/src/lib.rs:
+crates/faultsim/src/analytic.rs:
+crates/faultsim/src/campaign.rs:
+crates/faultsim/src/dse.rs:
+crates/faultsim/src/engine/mod.rs:
+crates/faultsim/src/engine/error.rs:
+crates/faultsim/src/engine/pool.rs:
+crates/faultsim/src/evaluate.rs:
+crates/faultsim/src/vulnerability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/maxnvm_nvdla-29cc8318d06043a8.d: crates/nvdla/src/lib.rs crates/nvdla/src/config.rs crates/nvdla/src/hybrid.rs crates/nvdla/src/nonvolatility.rs crates/nvdla/src/perf.rs crates/nvdla/src/source.rs
+
+/root/repo/target/debug/deps/libmaxnvm_nvdla-29cc8318d06043a8.rlib: crates/nvdla/src/lib.rs crates/nvdla/src/config.rs crates/nvdla/src/hybrid.rs crates/nvdla/src/nonvolatility.rs crates/nvdla/src/perf.rs crates/nvdla/src/source.rs
+
+/root/repo/target/debug/deps/libmaxnvm_nvdla-29cc8318d06043a8.rmeta: crates/nvdla/src/lib.rs crates/nvdla/src/config.rs crates/nvdla/src/hybrid.rs crates/nvdla/src/nonvolatility.rs crates/nvdla/src/perf.rs crates/nvdla/src/source.rs
+
+crates/nvdla/src/lib.rs:
+crates/nvdla/src/config.rs:
+crates/nvdla/src/hybrid.rs:
+crates/nvdla/src/nonvolatility.rs:
+crates/nvdla/src/perf.rs:
+crates/nvdla/src/source.rs:

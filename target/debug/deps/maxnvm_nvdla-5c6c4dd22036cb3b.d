@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/maxnvm_nvdla-5c6c4dd22036cb3b.d: crates/nvdla/src/lib.rs crates/nvdla/src/config.rs crates/nvdla/src/hybrid.rs crates/nvdla/src/nonvolatility.rs crates/nvdla/src/perf.rs crates/nvdla/src/source.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxnvm_nvdla-5c6c4dd22036cb3b.rmeta: crates/nvdla/src/lib.rs crates/nvdla/src/config.rs crates/nvdla/src/hybrid.rs crates/nvdla/src/nonvolatility.rs crates/nvdla/src/perf.rs crates/nvdla/src/source.rs Cargo.toml
+
+crates/nvdla/src/lib.rs:
+crates/nvdla/src/config.rs:
+crates/nvdla/src/hybrid.rs:
+crates/nvdla/src/nonvolatility.rs:
+crates/nvdla/src/perf.rs:
+crates/nvdla/src/source.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

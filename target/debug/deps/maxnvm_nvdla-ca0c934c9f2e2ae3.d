@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/maxnvm_nvdla-ca0c934c9f2e2ae3.d: crates/nvdla/src/lib.rs crates/nvdla/src/config.rs crates/nvdla/src/hybrid.rs crates/nvdla/src/nonvolatility.rs crates/nvdla/src/perf.rs crates/nvdla/src/source.rs
+
+/root/repo/target/debug/deps/maxnvm_nvdla-ca0c934c9f2e2ae3: crates/nvdla/src/lib.rs crates/nvdla/src/config.rs crates/nvdla/src/hybrid.rs crates/nvdla/src/nonvolatility.rs crates/nvdla/src/perf.rs crates/nvdla/src/source.rs
+
+crates/nvdla/src/lib.rs:
+crates/nvdla/src/config.rs:
+crates/nvdla/src/hybrid.rs:
+crates/nvdla/src/nonvolatility.rs:
+crates/nvdla/src/perf.rs:
+crates/nvdla/src/source.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/maxnvm_nvsim-09f0b16acf42f914.d: crates/nvsim/src/lib.rs crates/nvsim/src/extrapolate.rs crates/nvsim/src/sram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxnvm_nvsim-09f0b16acf42f914.rmeta: crates/nvsim/src/lib.rs crates/nvsim/src/extrapolate.rs crates/nvsim/src/sram.rs Cargo.toml
+
+crates/nvsim/src/lib.rs:
+crates/nvsim/src/extrapolate.rs:
+crates/nvsim/src/sram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/maxnvm_nvsim-599f509cbf94a702.d: crates/nvsim/src/lib.rs crates/nvsim/src/extrapolate.rs crates/nvsim/src/sram.rs
+
+/root/repo/target/debug/deps/maxnvm_nvsim-599f509cbf94a702: crates/nvsim/src/lib.rs crates/nvsim/src/extrapolate.rs crates/nvsim/src/sram.rs
+
+crates/nvsim/src/lib.rs:
+crates/nvsim/src/extrapolate.rs:
+crates/nvsim/src/sram.rs:

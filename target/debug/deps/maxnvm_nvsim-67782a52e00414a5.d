@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maxnvm_nvsim-67782a52e00414a5.d: crates/nvsim/src/lib.rs crates/nvsim/src/extrapolate.rs crates/nvsim/src/sram.rs
+
+/root/repo/target/debug/deps/libmaxnvm_nvsim-67782a52e00414a5.rlib: crates/nvsim/src/lib.rs crates/nvsim/src/extrapolate.rs crates/nvsim/src/sram.rs
+
+/root/repo/target/debug/deps/libmaxnvm_nvsim-67782a52e00414a5.rmeta: crates/nvsim/src/lib.rs crates/nvsim/src/extrapolate.rs crates/nvsim/src/sram.rs
+
+crates/nvsim/src/lib.rs:
+crates/nvsim/src/extrapolate.rs:
+crates/nvsim/src/sram.rs:

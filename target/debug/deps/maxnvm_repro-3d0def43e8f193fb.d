@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/maxnvm_repro-3d0def43e8f193fb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmaxnvm_repro-3d0def43e8f193fb.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmaxnvm_repro-3d0def43e8f193fb.rmeta: src/lib.rs
+
+src/lib.rs:

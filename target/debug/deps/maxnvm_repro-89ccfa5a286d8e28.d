@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maxnvm_repro-89ccfa5a286d8e28.d: src/lib.rs
+
+/root/repo/target/debug/deps/maxnvm_repro-89ccfa5a286d8e28: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/maxnvm_repro-91fcca7fe99d011e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmaxnvm_repro-91fcca7fe99d011e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmaxnvm_repro-91fcca7fe99d011e.rmeta: src/lib.rs
+
+src/lib.rs:

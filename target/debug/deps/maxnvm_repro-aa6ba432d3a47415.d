@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maxnvm_repro-aa6ba432d3a47415.d: src/lib.rs
+
+/root/repo/target/debug/deps/maxnvm_repro-aa6ba432d3a47415: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maxnvm_repro-fb3cf2d866e0f97b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxnvm_repro-fb3cf2d866e0f97b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maxnvm_repro-ff15a0a9c445f6b2.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxnvm_repro-ff15a0a9c445f6b2.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-cd4017c3599f8fb1.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-cd4017c3599f8fb1.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-cd4017c3599f8fb1.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-d199c1235db418a4.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-d199c1235db418a4: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-1137c0f763fbbc50.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-1137c0f763fbbc50: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-7bb191d2bcaa3034.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-7bb191d2bcaa3034: tests/pipeline.rs
+
+tests/pipeline.rs:

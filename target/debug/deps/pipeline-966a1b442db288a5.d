@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-966a1b442db288a5.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-966a1b442db288a5.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

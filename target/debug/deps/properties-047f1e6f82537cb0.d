@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-047f1e6f82537cb0.d: crates/nvsim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-047f1e6f82537cb0.rmeta: crates/nvsim/tests/properties.rs Cargo.toml
+
+crates/nvsim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-42c531420c46c53d.d: crates/nvdla/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-42c531420c46c53d: crates/nvdla/tests/properties.rs
+
+crates/nvdla/tests/properties.rs:

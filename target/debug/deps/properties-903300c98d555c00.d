@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-903300c98d555c00.d: crates/nvdla/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-903300c98d555c00.rmeta: crates/nvdla/tests/properties.rs Cargo.toml
+
+crates/nvdla/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a990c9c72fdb445d.d: crates/nvsim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a990c9c72fdb445d: crates/nvsim/tests/properties.rs
+
+crates/nvsim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c13d218ad6b371ed.d: crates/nvdla/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c13d218ad6b371ed: crates/nvdla/tests/properties.rs
+
+crates/nvdla/tests/properties.rs:

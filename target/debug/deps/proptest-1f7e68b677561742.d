@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-1f7e68b677561742.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-1f7e68b677561742: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

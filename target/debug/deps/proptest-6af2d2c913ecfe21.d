@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-6af2d2c913ecfe21.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6af2d2c913ecfe21.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6af2d2c913ecfe21.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-cec2db056c7293e5.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-cec2db056c7293e5: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

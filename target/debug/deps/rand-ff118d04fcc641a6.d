@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-ff118d04fcc641a6.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ff118d04fcc641a6.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ff118d04fcc641a6.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recurrent-0c09b5ef4f360f51.d: tests/recurrent.rs
+
+/root/repo/target/debug/deps/recurrent-0c09b5ef4f360f51: tests/recurrent.rs
+
+tests/recurrent.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recurrent-622eff7b9705e54e.d: tests/recurrent.rs
+
+/root/repo/target/debug/deps/recurrent-622eff7b9705e54e: tests/recurrent.rs
+
+tests/recurrent.rs:

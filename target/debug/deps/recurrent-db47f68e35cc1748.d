@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recurrent-db47f68e35cc1748.d: tests/recurrent.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecurrent-db47f68e35cc1748.rmeta: tests/recurrent.rs Cargo.toml
+
+tests/recurrent.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

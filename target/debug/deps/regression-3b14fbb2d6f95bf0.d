@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regression-3b14fbb2d6f95bf0.d: tests/regression.rs
+
+/root/repo/target/debug/deps/regression-3b14fbb2d6f95bf0: tests/regression.rs
+
+tests/regression.rs:

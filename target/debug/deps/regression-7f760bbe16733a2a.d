@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/regression-7f760bbe16733a2a.d: tests/regression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregression-7f760bbe16733a2a.rmeta: tests/regression.rs Cargo.toml
+
+tests/regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

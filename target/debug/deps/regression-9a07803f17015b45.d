@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regression-9a07803f17015b45.d: tests/regression.rs
+
+/root/repo/target/debug/deps/regression-9a07803f17015b45: tests/regression.rs
+
+tests/regression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-0ed8e16ea3df2bbc.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-0ed8e16ea3df2bbc: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-3e65f4cbe84b90fe.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-3e65f4cbe84b90fe.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-3e65f4cbe84b90fe.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

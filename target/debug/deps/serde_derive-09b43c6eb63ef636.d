@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-09b43c6eb63ef636.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-09b43c6eb63ef636: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

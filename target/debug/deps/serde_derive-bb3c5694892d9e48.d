@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-bb3c5694892d9e48.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-bb3c5694892d9e48.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

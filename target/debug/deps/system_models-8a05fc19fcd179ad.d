@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/system_models-8a05fc19fcd179ad.d: crates/bench/benches/system_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsystem_models-8a05fc19fcd179ad.rmeta: crates/bench/benches/system_models.rs Cargo.toml
+
+crates/bench/benches/system_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

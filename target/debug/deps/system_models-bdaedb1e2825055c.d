@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_models-bdaedb1e2825055c.d: crates/bench/benches/system_models.rs
+
+/root/repo/target/debug/deps/system_models-bdaedb1e2825055c: crates/bench/benches/system_models.rs
+
+crates/bench/benches/system_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-402bf3d34946cb84.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-402bf3d34946cb84: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-d603a9c09d3d2134.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-d603a9c09d3d2134: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-df40e2463976010d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-df40e2463976010d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-2238db385fe7a33b.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-2238db385fe7a33b: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

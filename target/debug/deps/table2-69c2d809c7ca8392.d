@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-69c2d809c7ca8392.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-69c2d809c7ca8392: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-b30eb55fabd13a56.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-b30eb55fabd13a56: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

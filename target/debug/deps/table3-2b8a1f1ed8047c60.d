@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-2b8a1f1ed8047c60.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-2b8a1f1ed8047c60: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

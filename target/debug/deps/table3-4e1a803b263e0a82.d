@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-4e1a803b263e0a82.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-4e1a803b263e0a82: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

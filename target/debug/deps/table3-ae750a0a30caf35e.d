@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-ae750a0a30caf35e.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-ae750a0a30caf35e: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-7e60278718d1eafe.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-7e60278718d1eafe: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-ab9975a85fe94af6.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-ab9975a85fe94af6: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

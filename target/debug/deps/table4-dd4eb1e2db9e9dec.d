@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-dd4eb1e2db9e9dec.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-dd4eb1e2db9e9dec: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

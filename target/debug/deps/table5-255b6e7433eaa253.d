@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-255b6e7433eaa253.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-255b6e7433eaa253: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

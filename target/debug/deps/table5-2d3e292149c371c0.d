@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-2d3e292149c371c0.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-2d3e292149c371c0: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

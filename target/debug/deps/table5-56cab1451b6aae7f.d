@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-56cab1451b6aae7f.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-56cab1451b6aae7f: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5-9f988713c2b78ade.d: crates/bench/src/bin/table5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5-9f988713c2b78ade.rmeta: crates/bench/src/bin/table5.rs Cargo.toml
+
+crates/bench/src/bin/table5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space_exploration-bb42694eb3cc9754.d: examples/design_space_exploration.rs
+
+/root/repo/target/debug/examples/design_space_exploration-bb42694eb3cc9754: examples/design_space_exploration.rs
+
+examples/design_space_exploration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space_exploration-bcebfb2c8e9eb36b.d: examples/design_space_exploration.rs
+
+/root/repo/target/debug/examples/design_space_exploration-bcebfb2c8e9eb36b: examples/design_space_exploration.rs
+
+examples/design_space_exploration.rs:

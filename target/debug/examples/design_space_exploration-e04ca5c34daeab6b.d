@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/design_space_exploration-e04ca5c34daeab6b.d: examples/design_space_exploration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdesign_space_exploration-e04ca5c34daeab6b.rmeta: examples/design_space_exploration.rs Cargo.toml
+
+examples/design_space_exploration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/embedded_inference-0c8a1ee6653676a0.d: examples/embedded_inference.rs
+
+/root/repo/target/debug/examples/embedded_inference-0c8a1ee6653676a0: examples/embedded_inference.rs
+
+examples/embedded_inference.rs:

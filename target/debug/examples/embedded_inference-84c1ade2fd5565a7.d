@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/embedded_inference-84c1ade2fd5565a7.d: examples/embedded_inference.rs
+
+/root/repo/target/debug/examples/embedded_inference-84c1ade2fd5565a7: examples/embedded_inference.rs
+
+examples/embedded_inference.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/embedded_inference-b07250b1e769fd16.d: examples/embedded_inference.rs Cargo.toml
+
+/root/repo/target/debug/examples/libembedded_inference-b07250b1e769fd16.rmeta: examples/embedded_inference.rs Cargo.toml
+
+examples/embedded_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

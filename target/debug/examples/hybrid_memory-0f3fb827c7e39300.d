@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_memory-0f3fb827c7e39300.d: examples/hybrid_memory.rs
+
+/root/repo/target/debug/examples/hybrid_memory-0f3fb827c7e39300: examples/hybrid_memory.rs
+
+examples/hybrid_memory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_memory-53ff0a210b304488.d: examples/hybrid_memory.rs
+
+/root/repo/target/debug/examples/hybrid_memory-53ff0a210b304488: examples/hybrid_memory.rs
+
+examples/hybrid_memory.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hybrid_memory-75deea31a8cf5af2.d: examples/hybrid_memory.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhybrid_memory-75deea31a8cf5af2.rmeta: examples/hybrid_memory.rs Cargo.toml
+
+examples/hybrid_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

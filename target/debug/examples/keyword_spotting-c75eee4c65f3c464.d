@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/keyword_spotting-c75eee4c65f3c464.d: examples/keyword_spotting.rs
+
+/root/repo/target/debug/examples/keyword_spotting-c75eee4c65f3c464: examples/keyword_spotting.rs
+
+examples/keyword_spotting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/keyword_spotting-d045c79c534f99bd.d: examples/keyword_spotting.rs
+
+/root/repo/target/debug/examples/keyword_spotting-d045c79c534f99bd: examples/keyword_spotting.rs
+
+examples/keyword_spotting.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/keyword_spotting-f6cf10b314563486.d: examples/keyword_spotting.rs Cargo.toml
+
+/root/repo/target/debug/examples/libkeyword_spotting-f6cf10b314563486.rmeta: examples/keyword_spotting.rs Cargo.toml
+
+examples/keyword_spotting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

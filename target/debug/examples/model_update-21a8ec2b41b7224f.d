@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_update-21a8ec2b41b7224f.d: examples/model_update.rs
+
+/root/repo/target/debug/examples/model_update-21a8ec2b41b7224f: examples/model_update.rs
+
+examples/model_update.rs:

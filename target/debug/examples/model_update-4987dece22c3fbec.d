@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/model_update-4987dece22c3fbec.d: examples/model_update.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmodel_update-4987dece22c3fbec.rmeta: examples/model_update.rs Cargo.toml
+
+examples/model_update.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

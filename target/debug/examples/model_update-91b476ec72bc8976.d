@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_update-91b476ec72bc8976.d: examples/model_update.rs
+
+/root/repo/target/debug/examples/model_update-91b476ec72bc8976: examples/model_update.rs
+
+examples/model_update.rs:

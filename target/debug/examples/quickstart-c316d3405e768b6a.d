@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c316d3405e768b6a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c316d3405e768b6a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c64266911d1be442.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c64266911d1be442: examples/quickstart.rs
+
+examples/quickstart.rs:

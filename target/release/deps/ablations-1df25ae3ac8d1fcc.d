@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-1df25ae3ac8d1fcc.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-1df25ae3ac8d1fcc: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

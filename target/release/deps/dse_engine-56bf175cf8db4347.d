@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dse_engine-56bf175cf8db4347.d: crates/bench/benches/dse_engine.rs
+
+/root/repo/target/release/deps/dse_engine-56bf175cf8db4347: crates/bench/benches/dse_engine.rs
+
+crates/bench/benches/dse_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-13df1b0eb5a6269d.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-13df1b0eb5a6269d: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-23ca08bf1c964749.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-23ca08bf1c964749: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

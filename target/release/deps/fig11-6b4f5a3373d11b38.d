@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-6b4f5a3373d11b38.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-6b4f5a3373d11b38: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-b1562d13c30fe149.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-b1562d13c30fe149: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-9a9025f66e6cbe6f.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-9a9025f66e6cbe6f: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

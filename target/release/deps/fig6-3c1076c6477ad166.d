@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-3c1076c6477ad166.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-3c1076c6477ad166: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-1c8bbfbaeb9879d7.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-1c8bbfbaeb9879d7: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

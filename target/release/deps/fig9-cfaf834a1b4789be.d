@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-cfaf834a1b4789be.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-cfaf834a1b4789be: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/maxnvm-c7ee9abdddd42835.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libmaxnvm-c7ee9abdddd42835.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libmaxnvm-c7ee9abdddd42835.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/maxnvm-cab13c33e79a6fde.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libmaxnvm-cab13c33e79a6fde.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libmaxnvm-cab13c33e79a6fde.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

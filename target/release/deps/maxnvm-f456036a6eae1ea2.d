@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/maxnvm-f456036a6eae1ea2.d: crates/core/src/bin/maxnvm.rs
+
+/root/repo/target/release/deps/maxnvm-f456036a6eae1ea2: crates/core/src/bin/maxnvm.rs
+
+crates/core/src/bin/maxnvm.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/maxnvm_bench-0cd88f1f25963aaf.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmaxnvm_bench-0cd88f1f25963aaf.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmaxnvm_bench-0cd88f1f25963aaf.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/maxnvm_bits-cd80c5777eca32d9.d: crates/bits/src/lib.rs
+
+/root/repo/target/release/deps/libmaxnvm_bits-cd80c5777eca32d9.rlib: crates/bits/src/lib.rs
+
+/root/repo/target/release/deps/libmaxnvm_bits-cd80c5777eca32d9.rmeta: crates/bits/src/lib.rs
+
+crates/bits/src/lib.rs:

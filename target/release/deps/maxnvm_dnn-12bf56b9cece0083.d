@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/maxnvm_dnn-12bf56b9cece0083.d: crates/dnn/src/lib.rs crates/dnn/src/data.rs crates/dnn/src/layer.rs crates/dnn/src/network.rs crates/dnn/src/rnn.rs crates/dnn/src/tensor.rs crates/dnn/src/train.rs crates/dnn/src/zoo.rs
+
+/root/repo/target/release/deps/libmaxnvm_dnn-12bf56b9cece0083.rlib: crates/dnn/src/lib.rs crates/dnn/src/data.rs crates/dnn/src/layer.rs crates/dnn/src/network.rs crates/dnn/src/rnn.rs crates/dnn/src/tensor.rs crates/dnn/src/train.rs crates/dnn/src/zoo.rs
+
+/root/repo/target/release/deps/libmaxnvm_dnn-12bf56b9cece0083.rmeta: crates/dnn/src/lib.rs crates/dnn/src/data.rs crates/dnn/src/layer.rs crates/dnn/src/network.rs crates/dnn/src/rnn.rs crates/dnn/src/tensor.rs crates/dnn/src/train.rs crates/dnn/src/zoo.rs
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/data.rs:
+crates/dnn/src/layer.rs:
+crates/dnn/src/network.rs:
+crates/dnn/src/rnn.rs:
+crates/dnn/src/tensor.rs:
+crates/dnn/src/train.rs:
+crates/dnn/src/zoo.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/maxnvm_ecc-3ecafd49f0345cfa.d: crates/ecc/src/lib.rs
+
+/root/repo/target/release/deps/libmaxnvm_ecc-3ecafd49f0345cfa.rlib: crates/ecc/src/lib.rs
+
+/root/repo/target/release/deps/libmaxnvm_ecc-3ecafd49f0345cfa.rmeta: crates/ecc/src/lib.rs
+
+crates/ecc/src/lib.rs:

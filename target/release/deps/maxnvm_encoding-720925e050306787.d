@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/maxnvm_encoding-720925e050306787.d: crates/encoding/src/lib.rs crates/encoding/src/bitmask.rs crates/encoding/src/cluster.rs crates/encoding/src/csr.rs crates/encoding/src/dense.rs crates/encoding/src/estimate.rs crates/encoding/src/quantize.rs crates/encoding/src/storage.rs
+
+/root/repo/target/release/deps/libmaxnvm_encoding-720925e050306787.rlib: crates/encoding/src/lib.rs crates/encoding/src/bitmask.rs crates/encoding/src/cluster.rs crates/encoding/src/csr.rs crates/encoding/src/dense.rs crates/encoding/src/estimate.rs crates/encoding/src/quantize.rs crates/encoding/src/storage.rs
+
+/root/repo/target/release/deps/libmaxnvm_encoding-720925e050306787.rmeta: crates/encoding/src/lib.rs crates/encoding/src/bitmask.rs crates/encoding/src/cluster.rs crates/encoding/src/csr.rs crates/encoding/src/dense.rs crates/encoding/src/estimate.rs crates/encoding/src/quantize.rs crates/encoding/src/storage.rs
+
+crates/encoding/src/lib.rs:
+crates/encoding/src/bitmask.rs:
+crates/encoding/src/cluster.rs:
+crates/encoding/src/csr.rs:
+crates/encoding/src/dense.rs:
+crates/encoding/src/estimate.rs:
+crates/encoding/src/quantize.rs:
+crates/encoding/src/storage.rs:

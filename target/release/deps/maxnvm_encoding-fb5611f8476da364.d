@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/maxnvm_encoding-fb5611f8476da364.d: crates/encoding/src/lib.rs crates/encoding/src/bitmask.rs crates/encoding/src/cluster.rs crates/encoding/src/csr.rs crates/encoding/src/dense.rs crates/encoding/src/estimate.rs crates/encoding/src/quantize.rs crates/encoding/src/storage/mod.rs crates/encoding/src/storage/cache.rs crates/encoding/src/storage/chip.rs crates/encoding/src/storage/codec.rs crates/encoding/src/storage/layer.rs crates/encoding/src/storage/model.rs crates/encoding/src/storage/scheme.rs crates/encoding/src/storage/structure.rs
+
+/root/repo/target/release/deps/libmaxnvm_encoding-fb5611f8476da364.rlib: crates/encoding/src/lib.rs crates/encoding/src/bitmask.rs crates/encoding/src/cluster.rs crates/encoding/src/csr.rs crates/encoding/src/dense.rs crates/encoding/src/estimate.rs crates/encoding/src/quantize.rs crates/encoding/src/storage/mod.rs crates/encoding/src/storage/cache.rs crates/encoding/src/storage/chip.rs crates/encoding/src/storage/codec.rs crates/encoding/src/storage/layer.rs crates/encoding/src/storage/model.rs crates/encoding/src/storage/scheme.rs crates/encoding/src/storage/structure.rs
+
+/root/repo/target/release/deps/libmaxnvm_encoding-fb5611f8476da364.rmeta: crates/encoding/src/lib.rs crates/encoding/src/bitmask.rs crates/encoding/src/cluster.rs crates/encoding/src/csr.rs crates/encoding/src/dense.rs crates/encoding/src/estimate.rs crates/encoding/src/quantize.rs crates/encoding/src/storage/mod.rs crates/encoding/src/storage/cache.rs crates/encoding/src/storage/chip.rs crates/encoding/src/storage/codec.rs crates/encoding/src/storage/layer.rs crates/encoding/src/storage/model.rs crates/encoding/src/storage/scheme.rs crates/encoding/src/storage/structure.rs
+
+crates/encoding/src/lib.rs:
+crates/encoding/src/bitmask.rs:
+crates/encoding/src/cluster.rs:
+crates/encoding/src/csr.rs:
+crates/encoding/src/dense.rs:
+crates/encoding/src/estimate.rs:
+crates/encoding/src/quantize.rs:
+crates/encoding/src/storage/mod.rs:
+crates/encoding/src/storage/cache.rs:
+crates/encoding/src/storage/chip.rs:
+crates/encoding/src/storage/codec.rs:
+crates/encoding/src/storage/layer.rs:
+crates/encoding/src/storage/model.rs:
+crates/encoding/src/storage/scheme.rs:
+crates/encoding/src/storage/structure.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/maxnvm_envm-e63a934460a708a9.d: crates/envm/src/lib.rs crates/envm/src/fault.rs crates/envm/src/gray.rs crates/envm/src/level.rs crates/envm/src/math.rs crates/envm/src/reference.rs crates/envm/src/retention.rs crates/envm/src/sense.rs crates/envm/src/tech.rs crates/envm/src/write.rs
+
+/root/repo/target/release/deps/libmaxnvm_envm-e63a934460a708a9.rlib: crates/envm/src/lib.rs crates/envm/src/fault.rs crates/envm/src/gray.rs crates/envm/src/level.rs crates/envm/src/math.rs crates/envm/src/reference.rs crates/envm/src/retention.rs crates/envm/src/sense.rs crates/envm/src/tech.rs crates/envm/src/write.rs
+
+/root/repo/target/release/deps/libmaxnvm_envm-e63a934460a708a9.rmeta: crates/envm/src/lib.rs crates/envm/src/fault.rs crates/envm/src/gray.rs crates/envm/src/level.rs crates/envm/src/math.rs crates/envm/src/reference.rs crates/envm/src/retention.rs crates/envm/src/sense.rs crates/envm/src/tech.rs crates/envm/src/write.rs
+
+crates/envm/src/lib.rs:
+crates/envm/src/fault.rs:
+crates/envm/src/gray.rs:
+crates/envm/src/level.rs:
+crates/envm/src/math.rs:
+crates/envm/src/reference.rs:
+crates/envm/src/retention.rs:
+crates/envm/src/sense.rs:
+crates/envm/src/tech.rs:
+crates/envm/src/write.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/maxnvm_faultsim-0dcf8d539e8d6290.d: crates/faultsim/src/lib.rs crates/faultsim/src/analytic.rs crates/faultsim/src/campaign.rs crates/faultsim/src/dse.rs crates/faultsim/src/evaluate.rs crates/faultsim/src/vulnerability.rs
+
+/root/repo/target/release/deps/libmaxnvm_faultsim-0dcf8d539e8d6290.rlib: crates/faultsim/src/lib.rs crates/faultsim/src/analytic.rs crates/faultsim/src/campaign.rs crates/faultsim/src/dse.rs crates/faultsim/src/evaluate.rs crates/faultsim/src/vulnerability.rs
+
+/root/repo/target/release/deps/libmaxnvm_faultsim-0dcf8d539e8d6290.rmeta: crates/faultsim/src/lib.rs crates/faultsim/src/analytic.rs crates/faultsim/src/campaign.rs crates/faultsim/src/dse.rs crates/faultsim/src/evaluate.rs crates/faultsim/src/vulnerability.rs
+
+crates/faultsim/src/lib.rs:
+crates/faultsim/src/analytic.rs:
+crates/faultsim/src/campaign.rs:
+crates/faultsim/src/dse.rs:
+crates/faultsim/src/evaluate.rs:
+crates/faultsim/src/vulnerability.rs:

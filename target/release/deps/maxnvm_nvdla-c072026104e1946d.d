@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/maxnvm_nvdla-c072026104e1946d.d: crates/nvdla/src/lib.rs crates/nvdla/src/config.rs crates/nvdla/src/hybrid.rs crates/nvdla/src/nonvolatility.rs crates/nvdla/src/perf.rs crates/nvdla/src/source.rs
+
+/root/repo/target/release/deps/libmaxnvm_nvdla-c072026104e1946d.rlib: crates/nvdla/src/lib.rs crates/nvdla/src/config.rs crates/nvdla/src/hybrid.rs crates/nvdla/src/nonvolatility.rs crates/nvdla/src/perf.rs crates/nvdla/src/source.rs
+
+/root/repo/target/release/deps/libmaxnvm_nvdla-c072026104e1946d.rmeta: crates/nvdla/src/lib.rs crates/nvdla/src/config.rs crates/nvdla/src/hybrid.rs crates/nvdla/src/nonvolatility.rs crates/nvdla/src/perf.rs crates/nvdla/src/source.rs
+
+crates/nvdla/src/lib.rs:
+crates/nvdla/src/config.rs:
+crates/nvdla/src/hybrid.rs:
+crates/nvdla/src/nonvolatility.rs:
+crates/nvdla/src/perf.rs:
+crates/nvdla/src/source.rs:

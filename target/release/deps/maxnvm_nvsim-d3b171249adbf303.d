@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/maxnvm_nvsim-d3b171249adbf303.d: crates/nvsim/src/lib.rs crates/nvsim/src/extrapolate.rs crates/nvsim/src/sram.rs
+
+/root/repo/target/release/deps/libmaxnvm_nvsim-d3b171249adbf303.rlib: crates/nvsim/src/lib.rs crates/nvsim/src/extrapolate.rs crates/nvsim/src/sram.rs
+
+/root/repo/target/release/deps/libmaxnvm_nvsim-d3b171249adbf303.rmeta: crates/nvsim/src/lib.rs crates/nvsim/src/extrapolate.rs crates/nvsim/src/sram.rs
+
+crates/nvsim/src/lib.rs:
+crates/nvsim/src/extrapolate.rs:
+crates/nvsim/src/sram.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/maxnvm_repro-06c3e4d84b90dabb.d: src/lib.rs
+
+/root/repo/target/release/deps/libmaxnvm_repro-06c3e4d84b90dabb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmaxnvm_repro-06c3e4d84b90dabb.rmeta: src/lib.rs
+
+src/lib.rs:

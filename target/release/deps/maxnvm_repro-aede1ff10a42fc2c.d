@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/maxnvm_repro-aede1ff10a42fc2c.d: src/lib.rs
+
+/root/repo/target/release/deps/libmaxnvm_repro-aede1ff10a42fc2c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmaxnvm_repro-aede1ff10a42fc2c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-3f57263976189d01.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-3f57263976189d01: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-471c56ab3619f0fb.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-471c56ab3619f0fb: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

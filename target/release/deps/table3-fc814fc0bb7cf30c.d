@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-fc814fc0bb7cf30c.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-fc814fc0bb7cf30c: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-3ad47bb655e92a0a.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-3ad47bb655e92a0a: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-93fd562697599b81.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-93fd562697599b81: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

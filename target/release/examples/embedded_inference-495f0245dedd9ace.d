@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/embedded_inference-495f0245dedd9ace.d: examples/embedded_inference.rs
+
+/root/repo/target/release/examples/embedded_inference-495f0245dedd9ace: examples/embedded_inference.rs
+
+examples/embedded_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tmp_seed_probe-b6dc6f9ce8fe19f5.d: examples/tmp_seed_probe.rs
+
+/root/repo/target/release/examples/tmp_seed_probe-b6dc6f9ce8fe19f5: examples/tmp_seed_probe.rs
+
+examples/tmp_seed_probe.rs:

@@ -115,7 +115,7 @@ fn analytic_damage_tracks_monte_carlo_at_layer_scale() {
     // regime real deployments live in) is valid.
     let scale = 40.0;
     let base = fault_maps(tech, &sa);
-    let fault_for = move |cfg: MlcConfig| base(cfg).scaled(scale);
+    let fault_for = move |cfg: MlcConfig| std::sync::Arc::new(base(cfg).scaled(scale));
     let proxy = ProxyEval::new(vec![c.reconstruct()], 0.0, 1.0);
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let trials = 150;
@@ -194,5 +194,8 @@ fn concrete_and_spec_dse_agree_on_protection_necessity() {
                 && p.passes
         })
         .count();
-    assert!(protected > 0, "no protected MLC3 bitmask configuration passes");
+    assert!(
+        protected > 0,
+        "no protected MLC3 bitmask configuration passes"
+    );
 }

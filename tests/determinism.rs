@@ -67,12 +67,14 @@ fn campaigns_are_deterministic_across_thread_schedules() {
         rate_scale: 100.0,
     };
     let run = || {
-        campaign.run(
-            std::slice::from_ref(&stored),
-            CellTechnology::MlcCtt,
-            &SenseAmp::paper_default(),
-            &eval,
-        )
+        campaign
+            .run(
+                std::slice::from_ref(&stored),
+                CellTechnology::MlcCtt,
+                &SenseAmp::paper_default(),
+                &eval,
+            )
+            .expect("campaign")
     };
     let a = run();
     let b = run();
@@ -82,7 +84,65 @@ fn campaigns_are_deterministic_across_thread_schedules() {
 
 #[test]
 fn full_pipeline_is_deterministic() {
-    let a = optimal_design(&zoo::resnet50(), CellTechnology::MlcCtt);
-    let b = optimal_design(&zoo::resnet50(), CellTechnology::MlcCtt);
+    let a = optimal_design(&zoo::resnet50(), CellTechnology::MlcCtt).expect("design");
+    let b = optimal_design(&zoo::resnet50(), CellTechnology::MlcCtt).expect("design");
     assert_eq!(a, b);
+}
+
+/// A small but non-trivial DSE setup: one sparse layer, a handful of
+/// trials, exaggerated rates so faults actually land.
+fn dse_fixture() -> (Vec<ClusteredLayer>, ProxyEval, maxnvm_faultsim::DseConfig) {
+    let spec = zoo::vgg12();
+    let m = spec.layers[4].sample_matrix(spec.paper.sparsity, 17, 48, 160);
+    let c = ClusteredLayer::from_matrix(&m, 4, 5);
+    let eval = ProxyEval::new(vec![c.reconstruct()], 0.1, 0.9);
+    let cfg = maxnvm_faultsim::DseConfig {
+        campaign: Campaign {
+            trials: 4,
+            seed: 13,
+            rate_scale: 120.0,
+        },
+        itn_bound: 0.02,
+    };
+    (vec![c], eval, cfg)
+}
+
+#[test]
+fn engine_dse_is_identical_at_any_worker_count() {
+    // The engine seeds per (scheme, trial) and assembles results by
+    // index, so the point vector must be byte-identical whether one
+    // worker or every core runs the sweep.
+    use maxnvm_faultsim::engine::EvalContext;
+    let (layers, eval, cfg) = dse_fixture();
+    let sa = SenseAmp::paper_default();
+    let run = |workers| {
+        EvalContext::with_workers(
+            CellTechnology::MlcCtt,
+            &sa,
+            cfg.campaign.rate_scale,
+            workers,
+        )
+        .expect("context")
+        .run_dse(&layers, &eval, &cfg)
+        .expect("dse")
+    };
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let one = run(1);
+    assert_eq!(one, run(2));
+    assert_eq!(one, run(max));
+}
+
+#[test]
+fn engine_dse_matches_the_reference_sweep() {
+    // The engine-parallel sweep must reproduce the pre-engine
+    // scheme-serial sweep bit for bit: same per-trial seeds, same
+    // decode order, same aggregation.
+    use maxnvm_faultsim::dse::{explore_concrete, explore_concrete_reference};
+    let (layers, eval, cfg) = dse_fixture();
+    let sa = SenseAmp::paper_default();
+    let engine = explore_concrete(&layers, CellTechnology::MlcCtt, &sa, &eval, &cfg).expect("dse");
+    let reference = explore_concrete_reference(&layers, CellTechnology::MlcCtt, &sa, &eval, &cfg);
+    assert_eq!(engine, reference);
 }

@@ -9,7 +9,7 @@ use maxnvm_dnn::zoo::ModelSpec;
 fn every_model_finds_an_on_chip_design_on_every_technology() {
     for spec in ModelSpec::paper_models() {
         for tech in CellTechnology::ALL {
-            let d = maxnvm::optimal_design(&spec, tech);
+            let d = maxnvm::optimal_design(&spec, tech).expect("design");
             assert!(d.cells > 0, "{} on {}", spec.name, tech.name());
             assert!(
                 d.mean_error <= spec.paper.classification_error + spec.paper.itn_bound + 1e-9,
@@ -40,7 +40,7 @@ fn area_ordering_holds_for_every_model() {
             CellTechnology::SlcRram,
         ]
         .iter()
-        .map(|&t| optimal_design(&spec, t).array.area_mm2)
+        .map(|&t| optimal_design(&spec, t).expect("design").array.area_mm2)
         .collect();
         for w in areas.windows(2) {
             assert!(
@@ -57,8 +57,14 @@ fn mlc_beats_slc_by_an_order_of_magnitude() {
     // §1: up to 29x area reduction relative to SLC eNVM.
     let mut best_ratio = 0.0f64;
     for spec in ModelSpec::paper_models() {
-        let slc = optimal_design(&spec, CellTechnology::SlcRram).array.area_mm2;
-        let opt = optimal_design(&spec, CellTechnology::OptMlcRram).array.area_mm2;
+        let slc = optimal_design(&spec, CellTechnology::SlcRram)
+            .expect("design")
+            .array
+            .area_mm2;
+        let opt = optimal_design(&spec, CellTechnology::OptMlcRram)
+            .expect("design")
+            .array
+            .area_mm2;
         best_ratio = best_ratio.max(slc / opt);
     }
     assert!(
@@ -73,7 +79,7 @@ fn headline_power_and_energy_reductions() {
     // ResNet50 inference vs the NVDLA DRAM baseline.
     let spec = maxnvm_dnn::zoo::resnet50();
     let base = baseline_design(&spec, &NvdlaConfig::nvdla_64());
-    let ctt = optimal_design(&spec, CellTechnology::MlcCtt);
+    let ctt = optimal_design(&spec, CellTechnology::MlcCtt).expect("design");
     let p = base.avg_power_mw / ctt.system_64.avg_power_mw;
     let e = base.energy_per_inference_mj / ctt.system_64.energy_per_inference_mj;
     assert!((2.5..4.2).contains(&p), "power reduction {p} (paper 3.2x)");
@@ -86,7 +92,7 @@ fn nvdla_1024_power_reduction_is_smaller() {
     // reduction drops to ~1.6x on NVDLA-1024.
     let spec = maxnvm_dnn::zoo::resnet50();
     let base = baseline_design(&spec, &NvdlaConfig::nvdla_1024());
-    let ctt = optimal_design(&spec, CellTechnology::MlcCtt);
+    let ctt = optimal_design(&spec, CellTechnology::MlcCtt).expect("design");
     let p1024 = base.avg_power_mw / ctt.system_1024.avg_power_mw;
     let base64 = baseline_design(&spec, &NvdlaConfig::nvdla_64());
     let p64 = base64.avg_power_mw / ctt.system_64.avg_power_mw;
@@ -104,7 +110,7 @@ fn frame_rates_exceed_sixty_on_the_big_config() {
     for spec in ModelSpec::paper_models() {
         let best = CellTechnology::ALL
             .iter()
-            .map(|&t| optimal_design(&spec, t).system_1024.fps)
+            .map(|&t| optimal_design(&spec, t).expect("design").system_1024.fps)
             .fold(0.0f64, f64::max);
         assert!(best > 60.0, "{}: best eNVM FPS {best}", spec.name);
     }
@@ -119,7 +125,7 @@ fn capacities_track_table4() {
         (maxnvm_dnn::zoo::vgg16(), 32.0),
         (maxnvm_dnn::zoo::resnet50(), 12.0),
     ] {
-        let d = optimal_design(&spec, CellTechnology::MlcCtt);
+        let d = optimal_design(&spec, CellTechnology::MlcCtt).expect("design");
         let ratio = d.capacity_mb / paper_mb;
         assert!(
             (0.4..2.5).contains(&ratio),
@@ -135,13 +141,22 @@ fn writes_are_the_envm_achilles_heel() {
     // Table 5 orders of magnitude: CTT minutes (seconds for the tiny
     // LeNet5), RRAM sub-second — always >1000x apart.
     for spec in ModelSpec::paper_models() {
-        let ctt = optimal_design(&spec, CellTechnology::MlcCtt).write_time_s;
-        let slc = optimal_design(&spec, CellTechnology::SlcRram).write_time_s;
+        let ctt = optimal_design(&spec, CellTechnology::MlcCtt)
+            .expect("design")
+            .write_time_s;
+        let slc = optimal_design(&spec, CellTechnology::SlcRram)
+            .expect("design")
+            .write_time_s;
         assert!(ctt > 1.0, "{}: CTT write {}s", spec.name, ctt);
         assert!(slc < 1.0, "{}: SLC write {}s", spec.name, slc);
         assert!(ctt / slc > 1000.0);
         if spec.total_weights() > 5_000_000 {
-            assert!(ctt > 60.0, "{}: CTT write should take minutes: {}s", spec.name, ctt);
+            assert!(
+                ctt > 60.0,
+                "{}: CTT write should take minutes: {}s",
+                spec.name,
+                ctt
+            );
         }
     }
 }

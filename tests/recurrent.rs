@@ -51,7 +51,7 @@ fn trained_rnn_survives_envm_storage_end_to_end() {
     // Faulted decode at realistic rates: protected MLC3 must stay close.
     let sa = SenseAmp::paper_default();
     let base_maps = fault_maps(Tech::MlcCtt, &sa);
-    let fault_for = move |cfg: MlcConfig| base_maps(cfg).scaled(150.0);
+    let fault_for = move |cfg: MlcConfig| std::sync::Arc::new(base_maps(cfg).scaled(150.0));
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     let mut worst: f64 = 0.0;
     for _ in 0..10 {
@@ -74,7 +74,7 @@ fn recurrent_spec_pipeline_produces_a_design() {
     // The keyword-spotting spec runs through the same pipeline as the
     // paper models.
     let spec = zoo::keyword_lstm();
-    let d = optimal_design(&spec, CellTechnology::MlcCtt);
+    let d = optimal_design(&spec, CellTechnology::MlcCtt).expect("design");
     assert!(d.cells > 1_000_000);
     assert!(d.array.area_mm2 < 1.0, "tiny model: {}", d.array.area_mm2);
     assert!(d.system_64.fps > 100.0, "{}", d.system_64.fps);
@@ -95,7 +95,7 @@ fn rnn_weight_fetch_dominates_its_dram_baseline() {
         "RNN weight share {rnn_share:.3} vs CNN {cnn_share:.3}"
     );
     // And the eNVM design recovers nearly all of it.
-    let d = optimal_design(&zoo::keyword_lstm(), CellTechnology::MlcCtt);
+    let d = optimal_design(&zoo::keyword_lstm(), CellTechnology::MlcCtt).expect("design");
     assert!(
         d.system_64.weight_energy_mj < rnn_base.weight_energy_mj / 50.0,
         "on-chip fetch energy {} vs DRAM {}",

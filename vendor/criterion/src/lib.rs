@@ -1,0 +1,299 @@
+//! Offline polyfill of the `criterion` benchmarking surface this
+//! workspace uses. Each benchmark is auto-calibrated (short warmup to
+//! estimate per-iteration cost, then a timed batch sized to the target
+//! measurement window) and reported as mean ns/iter on stdout. There is
+//! no statistics engine, outlier analysis, or HTML report — the API
+//! shape matches criterion 0.5 so the real crate can be dropped back in
+//! when a registry is reachable.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measured-quantity annotation for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Benchmark id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Benchmark id distinguished by parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.name[..], &self.parameter) {
+            ("", Some(p)) => write!(f, "{p}"),
+            (n, Some(p)) => write!(f, "{n}/{p}"),
+            (n, None) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    measurement_window: Duration,
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine`: warm up briefly to estimate
+    /// per-iteration cost, then run a batch sized to fill the
+    /// measurement window and record mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warmup_window = Duration::from_millis(25);
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= warmup_window {
+                break;
+            }
+        }
+        let per_iter_ns = (warmup_start.elapsed().as_nanos() / u128::from(warmup_iters)).max(1);
+        let iters = (self.measurement_window.as_nanos() / per_iter_ns).clamp(1, 10_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+fn run_one(
+    id: &str,
+    throughput: Option<Throughput>,
+    window: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        measurement_window: window,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((iters, elapsed)) => {
+            let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => {
+                    format!(", {:.3e} elem/s", n as f64 * 1e9 / ns_per_iter)
+                }
+                Throughput::Bytes(n) => {
+                    format!(", {:.3e} B/s", n as f64 * 1e9 / ns_per_iter)
+                }
+            });
+            println!(
+                "bench: {id:<50} {ns_per_iter:>14.1} ns/iter ({iters} iters){}",
+                rate.unwrap_or_default()
+            );
+        }
+        None => println!("bench: {id:<50} (no measurement recorded)"),
+    }
+}
+
+/// Benchmark registry/runner (polyfill of `criterion::Criterion`).
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_window: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; this polyfill auto-sizes its
+    /// single timed batch, so the requested sample count only scales
+    /// the measurement window.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.measurement_window = Duration::from_millis(30) * (n as u32).clamp(1, 100);
+        self
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, None, self.measurement_window, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measurement_window = self.measurement_window;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            measurement_window,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_window: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// See [`Criterion::sample_size`]; scales this group's window.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.measurement_window = Duration::from_millis(30) * (n as u32).clamp(1, 100);
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.throughput, self.measurement_window, &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.throughput, self.measurement_window, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Close the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            measurement_window: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn bench_function_records_a_measurement() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+    }
+
+    #[test]
+    fn group_api_round_trips() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Elements(128));
+        group.sample_size(1);
+        group.bench_function(BenchmarkId::from_parameter(42), |b| {
+            b.iter(|| black_box(2u64 * 2))
+        });
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_display_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+}

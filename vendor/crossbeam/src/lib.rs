@@ -1,0 +1,86 @@
+//! Offline polyfill of the small slice of `crossbeam` this workspace
+//! uses: `crossbeam::thread::scope` with `Scope::spawn` closures that
+//! receive the scope again (crossbeam's signature, which std's scoped
+//! threads dropped). Backed entirely by `std::thread::scope`, so the
+//! semantics — join-before-return, borrow of non-'static data — match.
+
+pub mod thread {
+    /// Mirror of `crossbeam::thread::Result`: `Err` carries the payload
+    /// of a panicking spawned thread.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Scope handle passed to `scope` closures and re-passed to every
+    /// spawned closure, mirroring crossbeam's API shape.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope again
+        /// (unused by this workspace, but part of crossbeam's shape).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads. Unlike upstream
+    /// crossbeam (which catches panics of the scope closure itself),
+    /// the `Err` case here only reports panics from spawned threads
+    /// that were left unjoined; explicitly joined threads report their
+    /// panics through their own `join` result, as upstream does.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total: u64 = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn spawned_panic_surfaces_through_join() {
+            let result = super::scope(|s| {
+                let h = s.spawn(|_| -> u32 { panic!("boom") });
+                h.join()
+            })
+            .unwrap();
+            assert!(result.is_err());
+        }
+    }
+}

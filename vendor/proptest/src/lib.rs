@@ -1,0 +1,511 @@
+//! Offline polyfill of the `proptest` surface this workspace uses.
+//!
+//! A [`strategy::Strategy`] here is just a deterministic value generator
+//! driven by the vendored `rand::rngs::StdRng`; `proptest!` expands each
+//! property into a `#[test]` that loops `ProptestConfig::cases` times
+//! with a fixed per-case seed. There is no shrinking and no failure
+//! persistence — on the first failing case the test panics with the
+//! generated inputs' case number so the seed can be replayed. This keeps
+//! the workspace's property tests runnable without crates.io access.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A deterministic value generator (polyfill of `proptest::strategy::Strategy`).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Generate one value from the given RNG.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of a fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut StdRng) -> f32 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// Box a strategy behind `dyn Strategy` (used by `prop_oneof!`).
+    pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(strategy)
+    }
+
+    /// Uniform choice among boxed strategies (polyfill of proptest's
+    /// weighted `Union`; this workspace only uses unweighted
+    /// `prop_oneof!`, so every arm is equally likely).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build a union over the given alternatives.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let pick = rng.gen_range(0..self.options.len());
+            self.options[pick].generate(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on generated collection lengths.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_incl: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            Self {
+                min: r.start,
+                max_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max_incl: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                min: exact,
+                max_incl: exact,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.min..=self.size.max_incl);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Polyfill of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    use super::arbitrary::Arbitrary;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Length-agnostic index into a collection (polyfill of
+    /// `proptest::sample::Index`): generated once, projected onto any
+    /// non-empty length via modulo.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Project onto a collection of length `len` (must be > 0).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            Index(rng.gen())
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical generation strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_prim {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    /// Strategy returned by [`any`].
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut StdRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// Polyfill of `proptest::arbitrary::any`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Runner configuration (polyfill of `proptest::test_runner::ProptestConfig`;
+    /// only `cases` is honored).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure with its message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Construct a failure.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            }
+        }
+    }
+
+    /// Drives the case loop for one property (polyfill of
+    /// `proptest::test_runner::TestRunner`). Case seeds are fixed so
+    /// failures reproduce exactly across runs and machines.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Create a runner with the given config.
+        pub fn new(config: ProptestConfig) -> Self {
+            Self { config }
+        }
+
+        /// Run `cases` iterations of `property`, panicking on the first
+        /// failure with its case number (replayable: the seed is a pure
+        /// function of the case number).
+        pub fn run_cases<F>(&mut self, mut property: F)
+        where
+            F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+        {
+            for case in 0..self.config.cases {
+                let mut rng = StdRng::seed_from_u64(
+                    0x5eed_0000_0000_0000u64 ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                if let Err(err) = property(&mut rng) {
+                    panic!("proptest case {case} failed: {err}");
+                }
+            }
+        }
+    }
+}
+
+/// Expand properties into `#[test]` functions that loop generated cases.
+///
+/// Supports the subset of `proptest!` syntax this workspace uses: an
+/// optional `#![proptest_config(...)]` header and `fn name(pat in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (@with_config ($cfg:expr)
+        $($(#[$attr:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$attr])*
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                runner.run_cases(|proptest_case_rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), proptest_case_rng);)*
+                    #[allow(unused_mut)]
+                    let mut proptest_case_body =
+                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                    proptest_case_body()
+                });
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Assert a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Uniform choice among strategies (unweighted subset of proptest's
+/// `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let w = Strategy::generate(&(1usize..=64), &mut rng);
+            assert!((1..=64).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_hits_len_bounds() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+        let strat = prop::collection::vec(0u8..10, 0..5);
+        let mut seen_empty = false;
+        let mut seen_max = false;
+        for _ in 0..500 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(v.len() < 5);
+            seen_empty |= v.is_empty();
+            seen_max |= v.len() == 4;
+        }
+        assert!(seen_empty && seen_max);
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(13);
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            seen[(v - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn index_projects_in_bounds() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(17);
+        for _ in 0..100 {
+            let idx = Strategy::generate(&any::<prop::sample::Index>(), &mut rng);
+            assert!(idx.index(7) < 7);
+            assert!(idx.index(1) == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        fn macro_generates_and_checks(x in 0u32..100, (lo, hi) in (0usize..10, 10usize..20)) {
+            prop_assert!(x < 100);
+            prop_assert!(lo < hi, "lo {} not below hi {}", lo, hi);
+            prop_assert_eq!(lo + hi - hi, lo);
+            prop_assert_ne!(hi, lo);
+        }
+    }
+
+    proptest! {
+        fn macro_default_config(bits in prop::collection::vec(any::<bool>(), 0..50)) {
+            prop_assert!(bits.len() < 50);
+        }
+    }
+}

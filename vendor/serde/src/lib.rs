@@ -1,0 +1,21 @@
+//! Offline polyfill of the `serde` facade. The workspace only *derives*
+//! `Serialize`/`Deserialize` so its public result types are
+//! serialization-ready for downstream users; nothing in the repository
+//! actually serializes. The traits are therefore empty markers (with
+//! blanket impls so `T: Serialize` bounds would still hold) and the
+//! derives are no-ops re-exported from the companion `serde_derive`
+//! polyfill.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

@@ -1,0 +1,21 @@
+//! Offline polyfill of `serde_derive`: the derives expand to nothing.
+//!
+//! The workspace annotates its result/config types with
+//! `#[derive(Serialize, Deserialize)]` for downstream consumers, but no
+//! code path in this repository performs (de)serialization, so empty
+//! expansions keep everything compiling without crates.io access. The
+//! `serde(...)` helper attribute is accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
