@@ -1,0 +1,92 @@
+//! Trial throughput: per-cell injection with a full decode (the
+//! pre-`PreparedLayer` path, still used by the reference arms) vs sparse
+//! fault sampling with dirty-region incremental decode, on LeNet5-scale
+//! layers at physical (~1e-5) MLC-CTT fault rates.
+//!
+//! Run with `cargo bench -p maxnvm-bench --bench trial_throughput`.
+//! Besides the stdout summary, emits `BENCH_trial_throughput.json` at
+//! the workspace root with before/after trials-per-second and the
+//! speedup, for CI and regression tracking.
+
+use maxnvm_dnn::zoo;
+use maxnvm_encoding::cluster::ClusteredLayer;
+use maxnvm_encoding::storage::{PreparedLayer, StorageScheme, StoredLayer};
+use maxnvm_encoding::EncodingKind;
+use maxnvm_envm::{CellTechnology, MlcConfig, SenseAmp};
+use maxnvm_faultsim::campaign::fault_maps;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Trials per second of `trial` over a ~2 s measurement window (one
+/// untimed warmup call first).
+fn throughput(mut trial: impl FnMut(u64)) -> f64 {
+    trial(u64::MAX);
+    let start = Instant::now();
+    let mut n = 0u64;
+    while start.elapsed().as_secs_f64() < 2.0 {
+        trial(n);
+        n += 1;
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let spec = zoo::lenet5();
+    let scheme = StorageScheme::uniform(EncodingKind::BitMask, MlcConfig::MLC3).with_idx_sync();
+    let stored: Vec<StoredLayer> = spec
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let m = l.sample_matrix(spec.paper.sparsity, 40 + i as u64, 1024, 1024);
+            StoredLayer::store(
+                &ClusteredLayer::from_matrix(&m, spec.paper.cluster_index_bits, 2),
+                &scheme,
+            )
+        })
+        .collect();
+    let cells: u64 = stored.iter().map(StoredLayer::total_cells).sum();
+    let sa = SenseAmp::paper_default();
+    let fault_for = fault_maps(CellTechnology::MlcCtt, &sa);
+
+    let prepared: Vec<PreparedLayer> = stored.iter().map(PreparedLayer::prepare).collect();
+    let expected: f64 = prepared
+        .iter()
+        .map(|p| p.expected_faults(None, &fault_for))
+        .sum();
+
+    let before = throughput(|t| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(t);
+        for layer in &stored {
+            let _ = layer.decode_with_faults(&fault_for, &mut rng);
+        }
+    });
+    let after = throughput(|t| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(t);
+        for layer in &prepared {
+            let _ = layer.decode_with_faults(&fault_for, &mut rng);
+        }
+    });
+    let speedup = after / before;
+
+    println!(
+        "trial_throughput: {} / {}, {cells} cells, {expected:.3} expected faults/trial",
+        spec.name,
+        scheme.label()
+    );
+    println!("  before (per-cell inject + full decode):   {before:>10.1} trials/s");
+    println!("  after  (sparse sample + dirty re-decode): {after:>10.1} trials/s");
+    println!("  speedup: {speedup:.1}x");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"trial_throughput\",\n  \"model\": \"{}\",\n  \"scheme\": \"{}\",\n  \"total_cells\": {cells},\n  \"expected_faults_per_trial\": {expected:.6},\n  \"before_trials_per_sec\": {before:.3},\n  \"after_trials_per_sec\": {after:.3},\n  \"speedup\": {speedup:.3}\n}}\n",
+        spec.name,
+        scheme.label(),
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_trial_throughput.json"
+    );
+    std::fs::write(path, &json).expect("write benchmark JSON");
+    println!("wrote {path}");
+}

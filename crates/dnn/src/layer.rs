@@ -221,6 +221,117 @@ impl Layer {
         }
     }
 
+    /// Runs the layer on a batch of same-shaped samples.
+    ///
+    /// Conv2d and Linear batch into a single matrix multiply (one matmul
+    /// per layer per trial instead of one per sample); other layers map
+    /// [`Self::forward`] over the batch. Per-sample results are identical
+    /// to [`Self::forward`]: each output element accumulates the same
+    /// weight terms in the same order, independent of the other columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the samples disagree in shape or any is incompatible
+    /// with the layer.
+    pub fn forward_batch(&self, xs: &[Tensor]) -> Vec<Tensor> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        match self {
+            Layer::Conv2d {
+                weight,
+                bias,
+                in_ch,
+                kh,
+                kw,
+                stride,
+                pad,
+                ..
+            } => {
+                let shape = xs[0].shape().to_vec();
+                assert_eq!(shape.len(), 3, "conv input must be [c,h,w]");
+                assert_eq!(shape[0], *in_ch, "conv input channels");
+                let n = xs.len();
+                let mut cols = Vec::with_capacity(n);
+                let (mut oh, mut ow) = (0, 0);
+                for x in xs {
+                    assert_eq!(x.shape(), &shape[..], "batch shapes must agree");
+                    let (c, h, w) = im2col(x, *kh, *kw, *stride, *pad);
+                    (oh, ow) = (h, w);
+                    cols.push(c);
+                }
+                // Concatenate the im2col patch matrices horizontally and
+                // multiply once; each sample's columns are untouched by
+                // its neighbours.
+                let k = cols[0].shape()[0];
+                let p = oh * ow;
+                let mut big = vec![0.0f32; k * n * p];
+                for (s, c) in cols.iter().enumerate() {
+                    for row in 0..k {
+                        big[row * n * p + s * p..row * n * p + s * p + p]
+                            .copy_from_slice(&c.data()[row * p..(row + 1) * p]);
+                    }
+                }
+                let out = weight.matmul(&Tensor::from_vec(&[k, n * p], big));
+                let out_ch = weight.shape()[0];
+                (0..n)
+                    .map(|s| {
+                        let mut data = vec![0.0f32; out_ch * p];
+                        for (o, chunk) in data.chunks_mut(p).enumerate() {
+                            chunk.copy_from_slice(
+                                &out.data()[o * n * p + s * p..o * n * p + s * p + p],
+                            );
+                            for v in chunk.iter_mut() {
+                                *v += bias[o];
+                            }
+                        }
+                        Tensor::from_vec(&[out_ch, oh, ow], data)
+                    })
+                    .collect()
+            }
+            Layer::Linear { weight, bias, .. } => {
+                let (out_dim, inp) = (weight.shape()[0], weight.shape()[1]);
+                let n = xs.len();
+                let mut rhs = vec![0.0f32; inp * n];
+                for (s, x) in xs.iter().enumerate() {
+                    assert_eq!(x.shape().len(), 1, "linear input must be flat");
+                    assert_eq!(x.len(), inp, "linear input size");
+                    for (k, &v) in x.data().iter().enumerate() {
+                        rhs[k * n + s] = v;
+                    }
+                }
+                let y = weight.matmul(&Tensor::from_vec(&[inp, n], rhs));
+                (0..n)
+                    .map(|s| {
+                        let data = (0..out_dim)
+                            .map(|o| y.data()[o * n + s] + bias[o])
+                            .collect();
+                        Tensor::from_vec(&[out_dim], data)
+                    })
+                    .collect()
+            }
+            Layer::Residual { body, shortcut } => {
+                let mut main = xs.to_vec();
+                for l in body {
+                    main = l.forward_batch(&main);
+                }
+                let mut sc = xs.to_vec();
+                for l in shortcut {
+                    sc = l.forward_batch(&sc);
+                }
+                main.iter()
+                    .zip(&sc)
+                    .map(|(a, b)| {
+                        assert_eq!(a.shape(), b.shape(), "residual shape mismatch");
+                        let data = a.data().iter().zip(b.data()).map(|(x, y)| x + y).collect();
+                        Tensor::from_vec(a.shape(), data)
+                    })
+                    .collect()
+            }
+            _ => xs.iter().map(|x| self.forward(x)).collect(),
+        }
+    }
+
     /// Number of stored weights (excluding biases and batch-norm
     /// parameters) — what the paper counts as DNN "parameters" for storage.
     pub fn weight_count(&self) -> usize {

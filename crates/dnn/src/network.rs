@@ -85,26 +85,41 @@ impl Network {
         cur
     }
 
+    /// Runs a batch of same-shaped samples through the network, batching
+    /// each weight layer into a single matrix multiply (see
+    /// [`Layer::forward_batch`]). Per-sample results equal
+    /// [`Network::forward`].
+    pub fn forward_batch(&self, xs: &[Tensor]) -> Vec<Tensor> {
+        let mut cur = xs.to_vec();
+        for l in &self.layers {
+            cur = l.forward_batch(&cur);
+        }
+        cur
+    }
+
     /// Predicted class (argmax of logits).
     pub fn predict(&self, x: &Tensor) -> usize {
-        let logits = self.forward(x);
-        logits
-            .data()
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN logit"))
-            .map(|(i, _)| i)
-            .expect("empty logits")
+        argmax(&self.forward(x))
+    }
+
+    /// Predicted classes for a batch (batched forward, same tie-breaking
+    /// as [`Network::predict`]).
+    pub fn predict_batch(&self, xs: &[Tensor]) -> Vec<usize> {
+        self.forward_batch(xs).iter().map(argmax).collect()
     }
 
     /// Classification error rate (fraction wrong) on labelled samples.
+    /// Runs the whole set as one batch — one matmul per weight layer.
     pub fn error_rate(&self, samples: &[(Tensor, usize)]) -> f64 {
         if samples.is_empty() {
             return 0.0;
         }
-        let wrong = samples
+        let xs: Vec<Tensor> = samples.iter().map(|(x, _)| x.clone()).collect();
+        let wrong = self
+            .predict_batch(&xs)
             .iter()
-            .filter(|(x, y)| self.predict(x) != *y)
+            .zip(samples)
+            .filter(|(p, (_, y))| *p != y)
             .count();
         wrong as f64 / samples.len() as f64
     }
@@ -181,6 +196,19 @@ impl Network {
         apply(&mut self.layers, mats, &mut idx);
         assert_eq!(idx, mats.len(), "matrix count mismatch");
     }
+}
+
+/// Argmax over logits; on ties the *last* maximum wins, matching the
+/// historical `Iterator::max_by` behaviour every accuracy result was
+/// produced with.
+fn argmax(logits: &Tensor) -> usize {
+    logits
+        .data()
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN logit"))
+        .map(|(i, _)| i)
+        .expect("empty logits")
 }
 
 #[cfg(test)]
@@ -273,5 +301,54 @@ mod tests {
     fn set_matrices_validates_count() {
         let mut net = tiny_net();
         net.set_weight_matrices(&[]);
+    }
+
+    fn conv_net() -> Network {
+        let mut conv = Layer::conv2d("c1", 3, 1, 3, 1, 1);
+        if let Layer::Conv2d { weight, bias, .. } = &mut conv {
+            for (i, v) in weight.data_mut().iter_mut().enumerate() {
+                *v = ((i % 7) as f32 - 3.0) * 0.21;
+            }
+            bias[1] = 0.3;
+        }
+        let mut fc = Layer::linear("fc", 4, 3 * 4 * 4);
+        if let Layer::Linear { weight, .. } = &mut fc {
+            for (i, v) in weight.data_mut().iter_mut().enumerate() {
+                *v = ((i % 11) as f32 - 5.0) * 0.07;
+            }
+        }
+        Network::new(
+            "convnet",
+            vec![conv, Layer::ReLU, Layer::MaxPool2, Layer::Flatten, fc],
+        )
+    }
+
+    #[test]
+    fn batched_forward_matches_per_sample() {
+        let net = conv_net();
+        let xs: Vec<Tensor> = (0..5)
+            .map(|s| {
+                let data = (0..64)
+                    .map(|i| ((i * (s + 2)) % 9) as f32 * 0.11 - 0.4)
+                    .collect();
+                Tensor::from_vec(&[1, 8, 8], data)
+            })
+            .collect();
+        let batched = net.forward_batch(&xs);
+        for (x, b) in xs.iter().zip(&batched) {
+            let single = net.forward(x);
+            assert_eq!(single.shape(), b.shape());
+            assert_eq!(single.data(), b.data(), "batched conv+linear must be exact");
+        }
+        let preds = net.predict_batch(&xs);
+        for (x, p) in xs.iter().zip(&preds) {
+            assert_eq!(net.predict(x), *p);
+        }
+    }
+
+    #[test]
+    fn batched_forward_handles_empty_batch() {
+        assert!(conv_net().forward_batch(&[]).is_empty());
+        assert_eq!(conv_net().error_rate(&[]), 0.0);
     }
 }

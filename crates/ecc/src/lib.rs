@@ -325,6 +325,80 @@ impl BlockCodec {
         out
     }
 
+    /// The per-codeword code used for block `word` of a `data_len`-bit
+    /// stream: the configured code for full blocks, a right-sized code
+    /// for a shorter final block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= num_blocks(data_len)` or `data_len == 0`.
+    pub fn word_code(&self, word: usize, data_len: usize) -> SecDed {
+        assert!(data_len > 0, "empty stream has no codewords");
+        assert!(word < self.num_blocks(data_len), "word index out of range");
+        if word + 1 == self.num_blocks(data_len) {
+            self.tail_code(data_len)
+        } else {
+            self.code
+        }
+    }
+
+    /// Data bit range `start..end` covered by block `word` of a
+    /// `data_len`-bit stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range for the stream.
+    pub fn word_data_range(&self, word: usize, data_len: usize) -> (usize, usize) {
+        let db = self.code.data_bits();
+        let start = word * db;
+        let end = (start + self.word_code(word, data_len).data_bits()).min(data_len);
+        (start, end)
+    }
+
+    /// Encoded bit range `start..end` occupied by block `word`'s codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range for the stream.
+    pub fn word_encoded_range(&self, word: usize, data_len: usize) -> (usize, usize) {
+        let start = word * self.code.codeword_bits();
+        (
+            start,
+            start + self.word_code(word, data_len).codeword_bits(),
+        )
+    }
+
+    /// Index of the codeword containing encoded bit `bit` of a
+    /// `data_len`-bit stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= encoded_len(data_len)`.
+    pub fn word_of_encoded_bit(&self, bit: usize, data_len: usize) -> usize {
+        assert!(bit < self.encoded_len(data_len), "encoded bit out of range");
+        // Full codewords precede the (possibly shorter) tail, so integer
+        // division is exact for full words and any position past the last
+        // full-word boundary belongs to the tail.
+        (bit / self.code.codeword_bits()).min(self.num_blocks(data_len) - 1)
+    }
+
+    /// Decodes a single codeword of a concatenated stream, correcting a
+    /// single error within it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range or `encoded` is shorter than the
+    /// word's codeword range.
+    pub fn decode_word(&self, encoded: &BitBuffer, word: usize, data_len: usize) -> Decoded {
+        let (start, end) = self.word_encoded_range(word, data_len);
+        let code = self.word_code(word, data_len);
+        let mut cw = BitBuffer::with_capacity(end - start);
+        for i in start..end {
+            cw.push_bit(encoded.get(i).expect("codeword bit in range"));
+        }
+        code.decode(&mut cw)
+    }
+
     /// Decodes concatenated codewords back into a stream of `data_len`
     /// bits, correcting single errors per codeword.
     ///
@@ -497,6 +571,51 @@ mod tests {
         assert_eq!(codec.num_blocks(65), 2);
         assert_eq!(codec.encoded_len(64), codec.code().codeword_bits());
         assert_eq!(codec.overhead_bits(128), 2 * codec.code().parity_bits());
+    }
+
+    #[test]
+    fn word_ranges_tile_the_stream() {
+        let codec = BlockCodec::new(SecDed::new(64));
+        for data_len in [1usize, 63, 64, 65, 128, 1000] {
+            let blocks = codec.num_blocks(data_len);
+            let mut data_cursor = 0;
+            let mut enc_cursor = 0;
+            for w in 0..blocks {
+                let (ds, de) = codec.word_data_range(w, data_len);
+                let (es, ee) = codec.word_encoded_range(w, data_len);
+                assert_eq!(ds, data_cursor, "data gap at word {w}, len {data_len}");
+                assert_eq!(es, enc_cursor, "encoded gap at word {w}, len {data_len}");
+                assert_eq!(de - ds, codec.word_code(w, data_len).data_bits());
+                assert_eq!(ee - es, codec.word_code(w, data_len).codeword_bits());
+                for bit in es..ee {
+                    assert_eq!(codec.word_of_encoded_bit(bit, data_len), w);
+                }
+                data_cursor = de;
+                enc_cursor = ee;
+            }
+            assert_eq!(data_cursor, data_len);
+            assert_eq!(enc_cursor, codec.encoded_len(data_len));
+        }
+    }
+
+    #[test]
+    fn decode_word_matches_full_decode() {
+        let codec = BlockCodec::new(SecDed::new(64));
+        let data = random_data(1000, 7);
+        let mut enc = codec.encode(&data);
+        let cb = codec.code().codeword_bits();
+        enc.toggle(2 * cb + 17); // single error in word 2
+        for w in 0..codec.num_blocks(1000) {
+            let dec = codec.decode_word(&enc, w, 1000);
+            let (ds, de) = codec.word_data_range(w, 1000);
+            let expect: BitBuffer = (ds..de).map(|i| data.get(i).unwrap()).collect();
+            assert_eq!(dec.data, expect, "word {w} data");
+            if w == 2 {
+                assert!(matches!(dec.correction, Correction::CorrectedSingle(_)));
+            } else {
+                assert_eq!(dec.correction, Correction::Clean, "word {w}");
+            }
+        }
     }
 
     #[test]

@@ -200,6 +200,28 @@ impl BitMaskLayer {
         }
         out
     }
+
+    /// The output-matrix slot each stored value writes during
+    /// [`Self::reconstruct_indices`]: value `j` lands at the position of
+    /// the `j`-th set mask bit (`u32::MAX` when the mask has fewer set
+    /// bits than stored values). Meaningful under a clean mask and clean
+    /// counters, where the IdxSync block bases equal the running set-bit
+    /// count and the mapping is identical with or without counters.
+    pub fn entry_slots(&self) -> Vec<u32> {
+        let total = self.rows * self.cols;
+        let mut out = vec![u32::MAX; self.values.len()];
+        let mut ptr = 0usize;
+        for i in 0..total {
+            if ptr >= out.len() {
+                break;
+            }
+            if self.mask.get(i) == Some(true) {
+                out[ptr] = i as u32;
+                ptr += 1;
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

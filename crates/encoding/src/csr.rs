@@ -275,6 +275,42 @@ impl CsrLayer {
         }
         out
     }
+
+    /// The output-matrix slot each stored entry writes during
+    /// [`Self::reconstruct_indices`] (`u32::MAX` when an entry's position
+    /// falls outside the matrix or the counters never reach it). Under
+    /// clean metadata every entry is visited once and slots are unique:
+    /// positions strictly increase within a row.
+    pub fn entry_slots(&self) -> Vec<u32> {
+        let mut out = vec![u32::MAX; self.values.len()];
+        let mut ptr = 0usize;
+        for r in 0..self.rows {
+            let count = self.row_counts.get(r).copied().unwrap_or(0) as usize;
+            let mut pos = 0usize;
+            for _ in 0..count {
+                if ptr >= self.values.len() {
+                    break;
+                }
+                let field = self.gaps[ptr] as usize;
+                match self.col_mode {
+                    ColIndexMode::Relative => {
+                        pos += field;
+                        if pos < self.cols {
+                            out[ptr] = (r * self.cols + pos) as u32;
+                        }
+                        pos += 1;
+                    }
+                    ColIndexMode::Absolute => {
+                        if field < self.cols {
+                            out[ptr] = (r * self.cols + field) as u32;
+                        }
+                    }
+                }
+                ptr += 1;
+            }
+        }
+        out
+    }
 }
 
 /// Minimum bits to represent values `0..=max`.

@@ -60,6 +60,11 @@ impl DenseLayer {
     pub fn reconstruct_indices(&self) -> Vec<u16> {
         self.indices.clone()
     }
+
+    /// Output slot of each stored entry: entry `j` is matrix position `j`.
+    pub fn entry_slots(&self) -> Vec<u32> {
+        (0..self.rows as u32 * self.cols as u32).collect()
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! encodes per layer instead of hundreds.
 
 use super::layer::{EncodedStreams, StoredLayer};
+use super::prepared::CleanLayerDecode;
 use super::scheme::StorageScheme;
 use crate::cluster::ClusteredLayer;
 use crate::EncodingKind;
@@ -46,6 +47,7 @@ impl StreamKey {
 #[derive(Default)]
 pub struct EncodeCache {
     map: Mutex<HashMap<StreamKey, Arc<EncodedStreams>>>,
+    decoded: Mutex<HashMap<StreamKey, Arc<CleanLayerDecode>>>,
 }
 
 impl EncodeCache {
@@ -82,6 +84,23 @@ impl EncodeCache {
     ) -> StoredLayer {
         let encoded = self.streams(layer_idx, layer, scheme);
         StoredLayer::store_encoded(layer, scheme, &encoded)
+    }
+
+    /// The clean decode of `stored` (at layer position `layer_idx`),
+    /// decoding on first use.
+    ///
+    /// Keyed like the raw encodes: bits-per-cell and ECC round-trip
+    /// losslessly when no faults are injected, so a clean decode depends
+    /// only on the raw encoded streams and every scheme sharing a
+    /// [`StreamKey`] shares the decode.
+    pub fn clean_decode(&self, layer_idx: usize, stored: &StoredLayer) -> Arc<CleanLayerDecode> {
+        let key = StreamKey::for_scheme(layer_idx, &stored.scheme);
+        if let Some(hit) = self.decoded.lock().get(&key) {
+            return Arc::clone(hit);
+        }
+        // Decode outside the lock, same rationale as `streams`.
+        let clean = Arc::new(CleanLayerDecode::of(stored));
+        Arc::clone(self.decoded.lock().entry(key).or_insert(clean))
     }
 
     /// Number of distinct raw encodes currently cached.

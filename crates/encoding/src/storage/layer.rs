@@ -70,14 +70,14 @@ pub struct StoredLayer {
     pub name: String,
     /// The storage configuration used.
     pub scheme: StorageScheme,
-    rows: usize,
-    cols: usize,
-    index_bits: u8,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    pub(crate) index_bits: u8,
     /// CSR: stored entry count; BitMask: stored value count.
-    entries: usize,
-    col_idx_bits: u8,
-    counter_bits: u8,
-    centroids: Vec<f32>,
+    pub(crate) entries: usize,
+    pub(crate) col_idx_bits: u8,
+    pub(crate) counter_bits: u8,
+    pub(crate) centroids: Vec<f32>,
     pub(crate) structures: Vec<StoredStructure>,
 }
 
@@ -210,6 +210,12 @@ impl StoredLayer {
             stats.ecc_uncorrectable += uncorrectable;
             streams.push((s.kind, bits));
         }
+        let indices = self.parse_streams(&streams).reconstruct_indices();
+        (self.matrix_from_indices(&indices), stats)
+    }
+
+    /// Reassembles the encoding object from unpacked payload streams.
+    pub(crate) fn parse_streams(&self, streams: &[(StructureKind, BitBuffer)]) -> DecodedEncoding {
         let find = |k: StructureKind| -> &BitBuffer {
             &streams
                 .iter()
@@ -217,15 +223,14 @@ impl StoredLayer {
                 .unwrap_or_else(|| panic!("missing structure {k}"))
                 .1
         };
-        let indices = match self.scheme.encoding {
-            EncodingKind::DenseClustered => DenseLayer::from_streams(
+        match self.scheme.encoding {
+            EncodingKind::DenseClustered => DecodedEncoding::Dense(DenseLayer::from_streams(
                 self.rows,
                 self.cols,
                 self.index_bits,
                 find(StructureKind::Values),
-            )
-            .reconstruct_indices(),
-            EncodingKind::Csr => CsrLayer::from_streams(
+            )),
+            EncodingKind::Csr => DecodedEncoding::Csr(CsrLayer::from_streams(
                 self.rows,
                 self.cols,
                 self.index_bits,
@@ -235,14 +240,13 @@ impl StoredLayer {
                 find(StructureKind::Values),
                 find(StructureKind::ColIndex),
                 find(StructureKind::RowCounter),
-            )
-            .reconstruct_indices(),
+            )),
             EncodingKind::BitMask => {
                 let counters = streams
                     .iter()
                     .find(|(k, _)| *k == StructureKind::SyncCounter)
                     .map(|(_, b)| b);
-                BitMaskLayer::from_streams(
+                DecodedEncoding::BitMask(BitMaskLayer::from_streams(
                     self.rows,
                     self.cols,
                     self.index_bits,
@@ -251,19 +255,72 @@ impl StoredLayer {
                     find(StructureKind::Mask),
                     find(StructureKind::Values),
                     counters,
-                )
-                .reconstruct_indices()
+                ))
             }
-        };
-        // Map indices through the centroid LUT (clamping wild indices).
+        }
+    }
+
+    /// Maps cluster indices through the centroid LUT (clamping wild
+    /// indices) into the weight matrix.
+    pub(crate) fn matrix_from_indices(&self, indices: &[u16]) -> LayerMatrix {
         let top = (self.centroids.len() - 1) as u16;
         let data: Vec<f32> = indices
             .iter()
             .map(|&i| self.centroids[i.min(top) as usize])
             .collect();
-        (
-            LayerMatrix::new(&self.name, self.rows, self.cols, data),
-            stats,
-        )
+        LayerMatrix::new(&self.name, self.rows, self.cols, data)
+    }
+
+    /// Exact expected faulted cells per trial over this layer's
+    /// structures (all of them, or only `target`), from each structure's
+    /// actual programmed-level histogram.
+    pub fn expected_faults_in(
+        &self,
+        target: Option<StructureKind>,
+        fault_for: &dyn Fn(MlcConfig) -> Arc<FaultMap>,
+    ) -> f64 {
+        self.structures
+            .iter()
+            .filter(|s| target.is_none_or(|t| t == s.kind))
+            .map(|s| {
+                let map = fault_for(s.bpc);
+                s.cells
+                    .iter()
+                    .map(|&c| map.p_total(c as usize))
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+}
+
+/// The encoding object reassembled from payload streams — the shape the
+/// alignment-recovery walk runs over.
+pub(crate) enum DecodedEncoding {
+    Dense(DenseLayer),
+    Csr(CsrLayer),
+    BitMask(BitMaskLayer),
+}
+
+impl DecodedEncoding {
+    /// Recovers the row-major cluster-index matrix.
+    pub(crate) fn reconstruct_indices(&self) -> Vec<u16> {
+        match self {
+            DecodedEncoding::Dense(d) => d.reconstruct_indices(),
+            DecodedEncoding::Csr(c) => c.reconstruct_indices(),
+            DecodedEncoding::BitMask(b) => b.reconstruct_indices(),
+        }
+    }
+
+    /// The output-matrix slot each stored value entry writes during
+    /// [`Self::reconstruct_indices`] (`u32::MAX` when an entry lands
+    /// outside the matrix). Only meaningful when the metadata structures
+    /// are clean, where each entry is visited exactly once and slots are
+    /// unique.
+    pub(crate) fn entry_slots(&self) -> Vec<u32> {
+        match self {
+            DecodedEncoding::Dense(d) => d.entry_slots(),
+            DecodedEncoding::Csr(c) => c.entry_slots(),
+            DecodedEncoding::BitMask(b) => b.entry_slots(),
+        }
     }
 }

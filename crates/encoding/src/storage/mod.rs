@@ -20,14 +20,19 @@
 //! - [`chip`]: [`ProgrammedLayer`] — a layer as one manufactured chip
 //!   instance sees it (permanent programming faults).
 //! - [`model`]: [`ModelStorage`] — whole-model aggregation.
-//! - [`cache`]: [`EncodeCache`] — reuses raw encoded streams across
-//!   candidate schemes that differ only in bits-per-cell or protection.
+//! - [`cache`]: [`EncodeCache`] — reuses raw encoded streams and clean
+//!   decodes across candidate schemes that differ only in bits-per-cell
+//!   or protection.
+//! - [`prepared`]: [`PreparedLayer`] — the O(expected faults) trial path:
+//!   sparse fault sampling plus dirty-region incremental decode against a
+//!   cached clean decode ([`CleanLayerDecode`]).
 
 pub mod cache;
 pub mod chip;
 pub mod codec;
 pub mod layer;
 pub mod model;
+pub mod prepared;
 pub mod scheme;
 pub mod structure;
 
@@ -36,6 +41,7 @@ pub use chip::ProgrammedLayer;
 pub use codec::{CleanCodec, FaultInjectionCodec, FixedReadCodec, StructureCodec};
 pub use layer::{EncodedStreams, StoredLayer};
 pub use model::ModelStorage;
+pub use prepared::{CleanLayerDecode, PreparedLayer};
 pub use scheme::{EccScope, StorageScheme, StructureBpc};
 pub use structure::{DecodeStats, StoredStructure};
 

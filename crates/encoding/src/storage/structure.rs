@@ -81,9 +81,10 @@ impl StoredStructure {
         }
     }
 
-    /// Unpacks cells back into the payload stream, applying ECC decode.
-    /// Returns the stream plus (corrected, uncorrectable) codeword counts.
-    pub(crate) fn unpack_cells(&self, cells: &[u8]) -> (BitBuffer, usize, usize) {
+    /// Unpacks cells into the raw stored bit stream (the post-ECC-encode
+    /// layout), before any ECC decode — the stream a cell's bits splice
+    /// into directly.
+    pub(crate) fn unpack_stored_bits(&self, cells: &[u8]) -> BitBuffer {
         let w = self.bpc.bits() as usize;
         let mut bits = BitBuffer::with_capacity(self.stored_bits);
         for &level in cells {
@@ -98,6 +99,30 @@ impl StoredStructure {
                 break;
             }
         }
+        bits
+    }
+
+    /// The stored bit range `start..end` that cell `cell` holds.
+    pub(crate) fn cell_bit_range(&self, cell: usize) -> (usize, usize) {
+        let w = self.bpc.bits() as usize;
+        let start = cell * w;
+        (start, (start + w).min(self.stored_bits))
+    }
+
+    /// The bit pattern a cell read back at `level` contributes to the
+    /// stored stream (Gray-decoded when the structure is Gray-coded).
+    pub(crate) fn cell_bits(&self, level: u8) -> u64 {
+        if self.gray {
+            level_to_binary(level, self.bpc.bits())
+        } else {
+            level as u64
+        }
+    }
+
+    /// Unpacks cells back into the payload stream, applying ECC decode.
+    /// Returns the stream plus (corrected, uncorrectable) codeword counts.
+    pub(crate) fn unpack_cells(&self, cells: &[u8]) -> (BitBuffer, usize, usize) {
+        let bits = self.unpack_stored_bits(cells);
         match &self.ecc {
             Some(code) => {
                 let dec = BlockCodec::new(*code).decode(&bits, self.payload_bits);

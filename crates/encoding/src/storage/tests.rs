@@ -295,6 +295,137 @@ fn injection_codec_matches_manual_injection_rng_stream() {
     assert_eq!(via_codec.data, via_fixed.data);
 }
 
+/// An adjacent level guaranteed to differ from `level`.
+fn adjacent_flip(level: u8, levels: usize) -> u8 {
+    if (level as usize) + 1 < levels {
+        level + 1
+    } else {
+        level - 1
+    }
+}
+
+#[test]
+fn prepared_decode_matches_full_decode_under_identical_flips() {
+    use rand::Rng;
+    let c = clustered(12, 256, 0.6, 70);
+    let mut schemes = Vec::new();
+    for enc in EncodingKind::ALL {
+        for ecc in [EccScope::None, EccScope::Metadata, EccScope::All] {
+            let mut s = StorageScheme::uniform(enc, MlcConfig::MLC2);
+            s.ecc = ecc;
+            schemes.push(s.clone());
+            if enc == EncodingKind::BitMask {
+                schemes.push(s.clone().with_idx_sync().with_sync_block_bits(128));
+            }
+        }
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+    for scheme in &schemes {
+        let stored = StoredLayer::store(&c, scheme);
+        let prepared = PreparedLayer::prepare(&stored);
+        for trial in 0..40 {
+            // 0..=2 flips per structure: exercises the clean-copy,
+            // entry-patch, row/block re-walk, and full-fallback paths.
+            let flips: Vec<Vec<(u32, u8)>> = stored
+                .structures()
+                .iter()
+                .map(|s| {
+                    let n = s.cells.len();
+                    if n == 0 {
+                        return Vec::new();
+                    }
+                    let k = rng.gen_range(0..3usize.min(n));
+                    let mut f: Vec<(u32, u8)> = (0..k)
+                        .map(|_| {
+                            let pos = rng.gen_range(0..n);
+                            let lvl = s.cells[pos];
+                            (pos as u32, adjacent_flip(lvl, s.bpc.levels()))
+                        })
+                        .collect();
+                    f.sort_unstable_by_key(|&(p, _)| p);
+                    f.dedup_by_key(|x| x.0);
+                    f
+                })
+                .collect();
+            let (fast, fast_stats) = prepared.decode_flips(&flips);
+            let injected: Vec<Vec<u8>> = stored
+                .structures()
+                .iter()
+                .zip(&flips)
+                .map(|(s, f)| {
+                    let mut cells = s.cells.clone();
+                    for &(p, new) in f {
+                        cells[p as usize] = new;
+                    }
+                    cells
+                })
+                .collect();
+            let (full, full_stats) = stored.decode_with_codec(&mut FixedReadCodec::new(&injected));
+            let label = scheme.label();
+            assert_eq!(fast.data, full.data, "{label} trial {trial}");
+            assert_eq!(
+                fast_stats.ecc_corrected, full_stats.ecc_corrected,
+                "{label}"
+            );
+            assert_eq!(
+                fast_stats.ecc_uncorrectable, full_stats.ecc_uncorrectable,
+                "{label}"
+            );
+            assert_eq!(
+                fast_stats.cell_faults,
+                flips.iter().map(Vec::len).sum::<usize>()
+            );
+        }
+    }
+}
+
+#[test]
+fn prepared_sampled_decode_is_deterministic_and_calibrated() {
+    let c = clustered(16, 128, 0.6, 80);
+    let scheme = StorageScheme::uniform(EncodingKind::BitMask, MlcConfig::MLC3).with_idx_sync();
+    let stored = StoredLayer::store(&c, &scheme);
+    let prepared = PreparedLayer::prepare(&stored);
+    let cell = CellTechnology::MlcCtt;
+    let fault_for = |bpc: MlcConfig| Arc::new(cell.cell_model(bpc).fault_map().scaled(2000.0));
+    let run = |seed: u64| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        prepared.decode_with_faults(&fault_for, &mut rng)
+    };
+    assert_eq!(run(1), run(1), "same seed must reproduce the trial");
+    // Mean observed faults across trials tracks the exact expectation.
+    let expected = prepared.expected_faults(None, &fault_for);
+    assert!(expected > 0.5, "rate too low to exercise: {expected}");
+    let trials = 400;
+    let total: usize = (0..trials).map(|t| run(t).1.cell_faults).sum();
+    let mean = total as f64 / trials as f64;
+    let rel = (mean - expected).abs() / expected;
+    assert!(rel < 0.15, "mean {mean} vs expected {expected}");
+    // The exact accounting agrees with the layer-level variant.
+    let direct = stored.expected_faults_in(None, &fault_for);
+    assert!((expected - direct).abs() < 1e-9);
+}
+
+#[test]
+fn clean_decode_cache_shares_across_protection() {
+    let c = clustered(10, 64, 0.5, 90);
+    let cache = EncodeCache::new();
+    let plain = StorageScheme::uniform(EncodingKind::Csr, MlcConfig::SLC);
+    let dense_ecc = StorageScheme::uniform(EncodingKind::Csr, MlcConfig::MLC3).with_ecc();
+    let a = cache.store_layer(0, &c, &plain);
+    let b = cache.store_layer(0, &c, &dense_ecc);
+    let da = cache.clean_decode(0, &a);
+    let db = cache.clean_decode(0, &b);
+    assert!(
+        Arc::ptr_eq(&da, &db),
+        "schemes sharing raw streams must share the clean decode"
+    );
+    assert_eq!(da.matrix.data, a.decode_clean().0.data);
+    assert_eq!(da.matrix.data, c.reconstruct().data);
+    // The shared decode feeds PreparedLayer without recomputation.
+    let pb = PreparedLayer::new(&b, db);
+    assert_eq!(pb.clean().matrix.data, c.reconstruct().data);
+}
+
 #[test]
 fn encode_cache_shares_raw_encodes_across_protection() {
     let layers = [clustered(8, 64, 0.5, 50), clustered(12, 32, 0.6, 51)];

@@ -14,6 +14,10 @@ use serde::{Deserialize, Serialize};
 pub struct FaultMap {
     p_up: Vec<f64>,
     p_down: Vec<f64>,
+    /// Cached cumulative threshold `p_up[i] + p_down[i]` per level, so
+    /// [`Self::sample`] compares against precomputed bounds instead of
+    /// re-adding on every call.
+    p_tot: Vec<f64>,
 }
 
 impl FaultMap {
@@ -32,7 +36,12 @@ impl FaultMap {
         }
         assert_eq!(*p_up.last().unwrap(), 0.0, "top level cannot fault upward");
         assert_eq!(p_down[0], 0.0, "bottom level cannot fault downward");
-        Self { p_up, p_down }
+        let p_tot = p_up.iter().zip(&p_down).map(|(u, d)| u + d).collect();
+        Self {
+            p_up,
+            p_down,
+            p_tot,
+        }
     }
 
     /// A fault-free map for `levels` levels (useful as a control arm).
@@ -40,6 +49,7 @@ impl FaultMap {
         Self {
             p_up: vec![0.0; levels],
             p_down: vec![0.0; levels],
+            p_tot: vec![0.0; levels],
         }
     }
 
@@ -56,6 +66,12 @@ impl FaultMap {
     /// Probability of level `i` being read as `i-1`.
     pub fn p_down(&self, i: usize) -> f64 {
         self.p_down[i]
+    }
+
+    /// Total probability of level `i` being misread at all
+    /// (`p_up(i) + p_down(i)`, precomputed).
+    pub fn p_total(&self, i: usize) -> f64 {
+        self.p_tot[i]
     }
 
     /// The largest adjacent misread probability across all levels.
@@ -83,9 +99,13 @@ impl FaultMap {
     pub fn scaled(&self, factor: f64) -> Self {
         assert!(factor >= 0.0, "negative scale factor");
         let clamp = |p: f64| (p * factor).min(1.0);
+        let p_up: Vec<f64> = self.p_up.iter().map(|&p| clamp(p)).collect();
+        let p_down: Vec<f64> = self.p_down.iter().map(|&p| clamp(p)).collect();
+        let p_tot = p_up.iter().zip(&p_down).map(|(u, d)| u + d).collect();
         Self {
-            p_up: self.p_up.iter().map(|&p| clamp(p)).collect(),
-            p_down: self.p_down.iter().map(|&p| clamp(p)).collect(),
+            p_up,
+            p_down,
+            p_tot,
         }
     }
 
@@ -95,15 +115,14 @@ impl FaultMap {
     ///
     /// Panics if `level` is out of range.
     pub fn sample<R: Rng + ?Sized>(&self, level: usize, rng: &mut R) -> usize {
-        let up = self.p_up[level];
-        let down = self.p_down[level];
-        if up == 0.0 && down == 0.0 {
+        let tot = self.p_tot[level];
+        if tot == 0.0 {
             return level;
         }
         let u: f64 = rng.gen();
-        if u < up {
+        if u < self.p_up[level] {
             level + 1
-        } else if u < up + down {
+        } else if u < tot {
             level - 1
         } else {
             level
@@ -161,8 +180,33 @@ impl FaultInjector {
 
     /// Expected number of faults for an array of `cells` uniformly
     /// distributed levels.
+    ///
+    /// Real programmed arrays are rarely uniform (sparse encodings skew
+    /// heavily toward level 0); use [`Self::expected_faults_exact`] with
+    /// the actual level histogram when it is available.
     pub fn expected_faults(&self, cells: usize) -> f64 {
         self.map.mean_fault_rate() * cells as f64
+    }
+
+    /// Exact expected number of faults given the actual level histogram
+    /// (`histogram[l]` = number of cells programmed to level `l`):
+    /// `Σ histogram[l] · (p_up[l] + p_down[l])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram has more entries than the map has levels.
+    pub fn expected_faults_exact(&self, histogram: &[usize]) -> f64 {
+        let n = self.map.num_levels();
+        assert!(
+            histogram.len() <= n,
+            "histogram has {} levels, map has {n}",
+            histogram.len()
+        );
+        histogram
+            .iter()
+            .enumerate()
+            .map(|(level, &count)| count as f64 * self.map.p_total(level))
+            .sum()
     }
 }
 
@@ -264,5 +308,30 @@ mod tests {
         let m = map_1e2(4);
         // levels: 0 -> 0.01, 1 -> 0.02, 2 -> 0.02, 3 -> 0.01; mean = 0.015
         assert!((m.mean_fault_rate() - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_total_is_the_cached_sum() {
+        let m = map_1e2(4);
+        for l in 0..4 {
+            assert_eq!(m.p_total(l), m.p_up(l) + m.p_down(l));
+        }
+        let s = m.scaled(0.5);
+        for l in 0..4 {
+            assert_eq!(s.p_total(l), s.p_up(l) + s.p_down(l));
+        }
+    }
+
+    #[test]
+    fn expected_faults_exact_uses_the_histogram() {
+        let inj = FaultInjector::new(map_1e2(4));
+        // All cells at level 0 (p_tot = 0.01): exact differs from uniform.
+        let exact = inj.expected_faults_exact(&[1000, 0, 0, 0]);
+        assert!((exact - 10.0).abs() < 1e-9, "exact {exact}");
+        let uniform = inj.expected_faults(1000);
+        assert!((uniform - 15.0).abs() < 1e-9, "uniform {uniform}");
+        // A uniform histogram reproduces the uniform estimate.
+        let even = inj.expected_faults_exact(&[250, 250, 250, 250]);
+        assert!((even - uniform).abs() < 1e-9);
     }
 }

