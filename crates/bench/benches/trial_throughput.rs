@@ -14,6 +14,8 @@ use maxnvm_encoding::storage::{PreparedLayer, StorageScheme, StoredLayer};
 use maxnvm_encoding::EncodingKind;
 use maxnvm_envm::{CellTechnology, MlcConfig, SenseAmp};
 use maxnvm_faultsim::campaign::fault_maps;
+use maxnvm_faultsim::dse::{minimal_cells, DseConfig};
+use maxnvm_faultsim::{AccuracyEval, Campaign, EarlyStop, EvalContext, ProxyEval, RunControl};
 use rand::SeedableRng;
 use std::time::Instant;
 
@@ -78,10 +80,16 @@ fn main() {
     println!("  after  (sparse sample + dirty re-decode): {after:>10.1} trials/s");
     println!("  speedup: {speedup:.1}x");
 
+    let es = early_stopping_arm();
+
     let json = format!(
-        "{{\n  \"benchmark\": \"trial_throughput\",\n  \"model\": \"{}\",\n  \"scheme\": \"{}\",\n  \"total_cells\": {cells},\n  \"expected_faults_per_trial\": {expected:.6},\n  \"before_trials_per_sec\": {before:.3},\n  \"after_trials_per_sec\": {after:.3},\n  \"speedup\": {speedup:.3}\n}}\n",
+        "{{\n  \"benchmark\": \"trial_throughput\",\n  \"model\": \"{}\",\n  \"scheme\": \"{}\",\n  \"total_cells\": {cells},\n  \"expected_faults_per_trial\": {expected:.6},\n  \"before_trials_per_sec\": {before:.3},\n  \"after_trials_per_sec\": {after:.3},\n  \"speedup\": {speedup:.3},\n  \"dse_fixed_trials\": {},\n  \"dse_early_stop_trials\": {},\n  \"dse_trial_savings\": {:.3},\n  \"dse_same_optimal\": {}\n}}\n",
         spec.name,
         scheme.label(),
+        es.fixed_trials,
+        es.early_trials,
+        es.savings,
+        es.same_optimal,
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
@@ -89,4 +97,78 @@ fn main() {
     );
     std::fs::write(path, &json).expect("write benchmark JSON");
     println!("wrote {path}");
+}
+
+struct EarlyStoppingArm {
+    fixed_trials: usize,
+    early_trials: usize,
+    savings: f64,
+    same_optimal: bool,
+}
+
+/// The adaptive early-stopping arm: the same LeNet5-scale concrete DSE
+/// sweep run twice — once with the fixed per-scheme trial budget, once
+/// with the Wilson-interval stopping rule — comparing the trial spend
+/// and checking both sweeps crown the same minimal-cell design.
+fn early_stopping_arm() -> EarlyStoppingArm {
+    let spec = zoo::lenet5();
+    let m = spec.layers[2].sample_matrix(spec.paper.sparsity, 40, 64, 256);
+    let layer = ClusteredLayer::from_matrix(&m, spec.paper.cluster_index_bits, 5);
+    let eval = ProxyEval::new(vec![layer.reconstruct()], 0.1, 0.9);
+    let cfg = DseConfig {
+        campaign: Campaign {
+            trials: 48,
+            seed: 40,
+            rate_scale: 120.0,
+        },
+        itn_bound: spec.paper.itn_bound,
+    };
+    let ctx = EvalContext::new(CellTechnology::MlcCtt, &SenseAmp::paper_default(), 120.0)
+        .expect("context");
+    let layers = [layer];
+
+    let start = Instant::now();
+    let fixed = ctx
+        .run_dse_controlled(&layers, &eval, &cfg, &RunControl::default())
+        .expect("fixed-budget sweep");
+    let fixed_secs = start.elapsed().as_secs_f64();
+
+    let control = RunControl {
+        early_stop: Some(EarlyStop::new(eval.baseline_error(), cfg.itn_bound)),
+        ..RunControl::default()
+    };
+    let start = Instant::now();
+    let early = ctx
+        .run_dse_controlled(&layers, &eval, &cfg, &control)
+        .expect("early-stopping sweep");
+    let early_secs = start.elapsed().as_secs_f64();
+
+    let fixed_trials: usize = fixed.iter().map(|p| p.trials_run).sum();
+    let early_trials: usize = early.iter().map(|p| p.trials_run).sum();
+    let savings = 1.0 - early_trials as f64 / fixed_trials as f64;
+    let best_fixed = minimal_cells(&fixed).expect("fixed sweep has a winner");
+    let best_early = minimal_cells(&early).expect("early sweep has a winner");
+    let same_optimal = best_fixed.scheme == best_early.scheme;
+    assert!(
+        same_optimal,
+        "early stopping changed the optimal design: {} vs {}",
+        best_fixed.scheme.label(),
+        best_early.scheme.label()
+    );
+
+    println!(
+        "early_stopping_dse: {} schemes, {} winner",
+        fixed.len(),
+        best_fixed.scheme.label()
+    );
+    println!("  fixed budget:   {fixed_trials:>6} trials in {fixed_secs:>6.2} s");
+    println!("  early stopping: {early_trials:>6} trials in {early_secs:>6.2} s");
+    println!("  trials saved: {:.0}%", savings * 100.0);
+
+    EarlyStoppingArm {
+        fixed_trials,
+        early_trials,
+        savings,
+        same_optimal,
+    }
 }

@@ -1,0 +1,253 @@
+//! The ECC ↔ Gray-code contract (paper §3.3), locked by property tests.
+//!
+//! SEC-DED only makes MLC storage safe because codeword bits are packed
+//! into **Gray-coded** cells: an adjacent-level misread then flips
+//! exactly one codeword bit (correctable), and two faulted cells flip
+//! two bits (detectable). These tests drive real codewords through that
+//! cell channel — pack into levels, inject adjacent-level faults,
+//! unpack, decode — and pin both halves of the guarantee, exhaustively
+//! per codeword and property-based over data, codeword sizes, and
+//! bits-per-cell.
+
+use maxnvm_bits::BitBuffer;
+use maxnvm_ecc::{Correction, SecDed};
+use maxnvm_envm::gray::{binary_to_level, level_to_binary};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn random_data(bits: usize, seed: u64) -> BitBuffer {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..bits).map(|_| rng.gen::<bool>()).collect()
+}
+
+/// Packs a codeword into MLC levels, `bits` codeword bits per cell
+/// (the final cell zero-padded), Gray-mapping each binary field to the
+/// level that stores it.
+fn pack(cw: &BitBuffer, bits: u8) -> Vec<u8> {
+    let mut levels = Vec::with_capacity(cw.len().div_ceil(bits as usize));
+    let mut i = 0;
+    while i < cw.len() {
+        let mut field = 0u64;
+        for b in 0..bits as usize {
+            if cw.get(i + b) == Some(true) {
+                field |= 1 << b;
+            }
+        }
+        levels.push(binary_to_level(field, bits));
+        i += bits as usize;
+    }
+    levels
+}
+
+/// Reads `len` codeword bits back out of the cell levels.
+fn unpack(levels: &[u8], bits: u8, len: usize) -> BitBuffer {
+    let mut out = BitBuffer::with_capacity(len);
+    'cells: for &lvl in levels {
+        let field = level_to_binary(lvl, bits);
+        for b in 0..bits as usize {
+            if out.len() == len {
+                break 'cells;
+            }
+            out.push_bit(field >> b & 1 == 1);
+        }
+    }
+    out
+}
+
+/// Positions where two buffers of equal length disagree.
+fn diff_positions(a: &BitBuffer, b: &BitBuffer) -> Vec<usize> {
+    assert_eq!(a.len(), b.len());
+    (0..a.len()).filter(|&i| a.get(i) != b.get(i)).collect()
+}
+
+/// Levels adjacent to `lvl` within a `bits`-per-cell cell.
+fn adjacent_levels(lvl: u8, bits: u8) -> Vec<u8> {
+    let max = (1u16 << bits) - 1;
+    let mut out = Vec::new();
+    if lvl > 0 {
+        out.push(lvl - 1);
+    }
+    if (lvl as u16) < max {
+        out.push(lvl + 1);
+    }
+    out
+}
+
+#[test]
+fn gray_packing_round_trips_cleanly() {
+    for bits in 1..=3u8 {
+        let code = SecDed::new(26);
+        let data = random_data(26, 40 + bits as u64);
+        let cw = code.encode(&data);
+        let levels = pack(&cw, bits);
+        let mut back = unpack(&levels, bits, cw.len());
+        assert_eq!(back, cw, "bits {bits}");
+        let dec = code.decode(&mut back);
+        assert_eq!(dec.correction, Correction::Clean);
+        assert_eq!(dec.data, data);
+    }
+}
+
+/// Every adjacent-level fault in every cell, at every bits-per-cell:
+/// at most one codeword bit flips (exactly one unless the fault hit
+/// final-cell padding), and SEC-DED recovers the data.
+#[test]
+fn every_adjacent_level_fault_is_corrected_exhaustively() {
+    for bits in 1..=3u8 {
+        let code = SecDed::new(26);
+        let data = random_data(26, 50 + bits as u64);
+        let clean_cw = code.encode(&data);
+        let levels = pack(&clean_cw, bits);
+        for cell in 0..levels.len() {
+            for faulty_lvl in adjacent_levels(levels[cell], bits) {
+                let mut faulty = levels.clone();
+                faulty[cell] = faulty_lvl;
+                let mut cw = unpack(&faulty, bits, clean_cw.len());
+                let flips = diff_positions(&clean_cw, &cw);
+                assert!(
+                    flips.len() <= 1,
+                    "bits {bits}: adjacent-level fault in cell {cell} flipped \
+                     {} codeword bits — Gray adjacency is broken",
+                    flips.len()
+                );
+                let dec = code.decode(&mut cw);
+                match flips.as_slice() {
+                    // The flip landed in the final cell's padding.
+                    [] => assert_eq!(dec.correction, Correction::Clean),
+                    &[pos] => {
+                        assert_eq!(
+                            dec.correction,
+                            Correction::CorrectedSingle(pos),
+                            "bits {bits}, cell {cell}"
+                        );
+                        assert_eq!(dec.data, data, "bits {bits}, cell {cell}");
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+/// Every pair of adjacent-level faults in two distinct cells: two
+/// codeword bits flip (minus any padding hits), and SEC-DED detects —
+/// never miscorrects into silently wrong data.
+#[test]
+fn every_double_cell_fault_is_detected_exhaustively() {
+    let bits = 3u8;
+    let code = SecDed::new(11);
+    let data = random_data(11, 60);
+    let clean_cw = code.encode(&data);
+    let levels = pack(&clean_cw, bits);
+    for a in 0..levels.len() {
+        for b in (a + 1)..levels.len() {
+            for la in adjacent_levels(levels[a], bits) {
+                for lb in adjacent_levels(levels[b], bits) {
+                    let mut faulty = levels.clone();
+                    faulty[a] = la;
+                    faulty[b] = lb;
+                    let mut cw = unpack(&faulty, bits, clean_cw.len());
+                    let flips = diff_positions(&clean_cw, &cw).len();
+                    let dec = code.decode(&mut cw);
+                    match flips {
+                        0 => assert_eq!(dec.correction, Correction::Clean),
+                        1 => {
+                            assert!(matches!(dec.correction, Correction::CorrectedSingle(_)));
+                            assert_eq!(dec.data, data);
+                        }
+                        2 => assert_eq!(
+                            dec.correction,
+                            Correction::DetectedDouble,
+                            "cells {a},{b} levels {la},{lb}"
+                        ),
+                        n => panic!("two cell faults flipped {n} bits"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A single adjacent-level cell fault is always corrected and the
+    /// data always recovered, across codeword sizes and cell densities.
+    #[test]
+    fn prop_single_cell_fault_recovers_data(
+        seed in any::<u64>(),
+        data_bits in 1usize..150,
+        bits in 1u8..=3,
+        cell_pick in any::<prop::sample::Index>(),
+        dir_pick in any::<prop::sample::Index>(),
+    ) {
+        let code = SecDed::new(data_bits);
+        let data = random_data(data_bits, seed);
+        let clean_cw = code.encode(&data);
+        let levels = pack(&clean_cw, bits);
+        let cell = cell_pick.index(levels.len());
+        let adj = adjacent_levels(levels[cell], bits);
+        let mut faulty = levels.clone();
+        faulty[cell] = adj[dir_pick.index(adj.len())];
+        let mut cw = unpack(&faulty, bits, clean_cw.len());
+        prop_assert!(diff_positions(&clean_cw, &cw).len() <= 1);
+        let dec = code.decode(&mut cw);
+        prop_assert!(dec.correction.is_recovered());
+        prop_assert_eq!(dec.data, data);
+    }
+
+    /// Two distinct faulted cells are never silently miscorrected: the
+    /// decode either recovers the exact data (a padding hit absorbed
+    /// one flip) or reports DetectedDouble.
+    #[test]
+    fn prop_double_cell_fault_never_lies(
+        seed in any::<u64>(),
+        data_bits in 2usize..150,
+        bits in 1u8..=3,
+        pick_a in any::<prop::sample::Index>(),
+        pick_b in any::<prop::sample::Index>(),
+        dir_a in any::<prop::sample::Index>(),
+        dir_b in any::<prop::sample::Index>(),
+    ) {
+        let code = SecDed::new(data_bits);
+        let data = random_data(data_bits, seed);
+        let clean_cw = code.encode(&data);
+        let levels = pack(&clean_cw, bits);
+        // data_bits >= 2 plus >= 4 parity bits at <= 3 bits/cell
+        // guarantees at least two cells.
+        prop_assert!(levels.len() >= 2);
+        let a = pick_a.index(levels.len());
+        let b = pick_b.index(levels.len() - 1);
+        let b = if b >= a { b + 1 } else { b };
+        let mut faulty = levels.clone();
+        let adj_a = adjacent_levels(levels[a], bits);
+        let adj_b = adjacent_levels(levels[b], bits);
+        faulty[a] = adj_a[dir_a.index(adj_a.len())];
+        faulty[b] = adj_b[dir_b.index(adj_b.len())];
+        let mut cw = unpack(&faulty, bits, clean_cw.len());
+        let flips = diff_positions(&clean_cw, &cw).len();
+        prop_assert!(flips <= 2);
+        let dec = code.decode(&mut cw);
+        if dec.correction.is_recovered() {
+            prop_assert!(flips <= 1, "recovered despite {flips} flips");
+            prop_assert_eq!(dec.data, data);
+        } else {
+            prop_assert_eq!(flips, 2);
+            prop_assert_eq!(dec.correction, Correction::DetectedDouble);
+        }
+    }
+
+    /// The cell channel itself is lossless without faults.
+    #[test]
+    fn prop_pack_unpack_round_trip(
+        seed in any::<u64>(),
+        data_bits in 1usize..200,
+        bits in 1u8..=3,
+    ) {
+        let code = SecDed::new(data_bits);
+        let data = random_data(data_bits, seed);
+        let cw = code.encode(&data);
+        let back = unpack(&pack(&cw, bits), bits, cw.len());
+        prop_assert_eq!(back, cw);
+    }
+}

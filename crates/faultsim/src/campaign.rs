@@ -7,7 +7,8 @@
 //! scoped-thread implementation is retained as
 //! [`Campaign::run_reference`] for parity tests and benchmarks.
 
-use crate::engine::{EngineError, EvalContext};
+use crate::checkpoint::CheckpointConfig;
+use crate::engine::{EngineError, EvalContext, RunControl};
 use crate::evaluate::AccuracyEval;
 use maxnvm_encoding::storage::{DecodeStats, StoredLayer};
 use maxnvm_encoding::StructureKind;
@@ -40,15 +41,91 @@ impl Default for Campaign {
     }
 }
 
+/// What one Monte-Carlo trial produced: its evaluation, or — when the
+/// trial panicked and was isolated by the engine's per-trial
+/// `catch_unwind` — the panic, recorded with the trial's seed so the
+/// failure reproduces deterministically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrialOutcome {
+    /// The trial ran to completion.
+    Ok {
+        /// Classification error measured by the evaluator.
+        error: f64,
+        /// Injection/decode statistics.
+        stats: DecodeStats,
+    },
+    /// The trial panicked; the campaign continued without it.
+    Failed {
+        /// The trial's RNG seed (`campaign.seed.wrapping_add(trial)`) —
+        /// rerunning with this seed reproduces the panic.
+        seed: u64,
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+/// A trial that panicked, as reported on [`CampaignResult`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailedTrial {
+    /// Trial index within the campaign.
+    pub trial: usize,
+    /// The trial's RNG seed, for offline reproduction.
+    pub seed: u64,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+/// Wilson score interval for a proportion `p_hat` observed over `n`
+/// samples at critical value `z` (e.g. 1.96 for 95%).
+///
+/// Per-trial classification errors live in `[0, 1]`; among all such
+/// variables with a given mean, the Bernoulli maximizes variance, so
+/// treating the mean trial error as a binomial proportion over the
+/// completed trials gives a conservative interval. Returns `(0, 1)`
+/// when `n == 0`.
+pub fn wilson_interval(p_hat: f64, n: usize, z: f64) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let n = n as f64;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p_hat + z2 / (2.0 * n)) / denom;
+    let half = z * (p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
 /// Aggregated campaign outcome.
+///
+/// All statistics aggregate over the *completed* trials: a cancelled
+/// run reports what it finished (`cancelled = true`), and trials that
+/// panicked are listed in `failed_trials` rather than silently dropped
+/// or allowed to unwind the sweep. `error_ci` quantifies what the
+/// reduced sample supports.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignResult {
-    /// Per-trial classification error.
+    /// Per-trial classification error (completed trials, trial order).
     pub errors: Vec<f64>,
-    /// Mean classification error over trials.
+    /// Mean classification error over completed trials.
     pub mean_error: f64,
-    /// Worst trial.
+    /// Worst completed trial.
     pub max_error: f64,
+    /// 95% Wilson confidence interval on the mean classification error
+    /// (see [`wilson_interval`] for the conservativeness argument).
+    pub error_ci: (f64, f64),
+    /// Trials the caller asked for.
+    pub requested_trials: usize,
+    /// Trials that ran to completion (`errors.len()`).
+    pub completed_trials: usize,
+    /// Trials that panicked and were isolated, with seeds for
+    /// reproduction.
+    pub failed_trials: Vec<FailedTrial>,
+    /// Whether adaptive early stopping ended the campaign before the
+    /// full budget.
+    pub stopped_early: bool,
+    /// Whether a [`crate::cancel::CancelToken`] (or its deadline) ended
+    /// the campaign before the full budget.
+    pub cancelled: bool,
     /// Mean injected cell faults per trial.
     pub mean_cell_faults: f64,
     /// Exact expected cell faults per trial (sum of per-cell fault
@@ -64,33 +141,58 @@ pub struct CampaignResult {
 
 impl CampaignResult {
     pub(crate) fn from_trials(trials: Vec<(f64, DecodeStats)>) -> Self {
-        let n = trials.len().max(1) as f64;
-        let errors: Vec<f64> = trials.iter().map(|(e, _)| *e).collect();
+        let requested = trials.len();
+        let outcomes: Vec<(usize, TrialOutcome)> = trials
+            .into_iter()
+            .enumerate()
+            .map(|(t, (error, stats))| (t, TrialOutcome::Ok { error, stats }))
+            .collect();
+        Self::from_outcomes(requested, outcomes)
+    }
+
+    /// Builds a result from per-trial outcomes (`(trial index, outcome)`;
+    /// indices need not be contiguous — trials missing entirely were
+    /// cancelled before running). Statistics aggregate over the `Ok`
+    /// outcomes; failures are carried on `failed_trials`.
+    pub(crate) fn from_outcomes(
+        requested: usize,
+        mut outcomes: Vec<(usize, TrialOutcome)>,
+    ) -> Self {
+        outcomes.sort_by_key(|(t, _)| *t);
+        let mut errors = Vec::with_capacity(outcomes.len());
+        let mut failed_trials = Vec::new();
+        let mut stats_sum = DecodeStats::default();
+        for (trial, outcome) in outcomes {
+            match outcome {
+                TrialOutcome::Ok { error, stats } => {
+                    errors.push(error);
+                    stats_sum.absorb(stats);
+                }
+                TrialOutcome::Failed { seed, message } => failed_trials.push(FailedTrial {
+                    trial,
+                    seed,
+                    message,
+                }),
+            }
+        }
+        let completed = errors.len();
+        let n = completed.max(1) as f64;
         let mean_error = errors.iter().sum::<f64>() / n;
         let max_error = errors.iter().cloned().fold(0.0, f64::max);
-        let mean_cell_faults = trials
-            .iter()
-            .map(|(_, s)| s.cell_faults as f64)
-            .sum::<f64>()
-            / n;
-        let mean_ecc_corrected = trials
-            .iter()
-            .map(|(_, s)| s.ecc_corrected as f64)
-            .sum::<f64>()
-            / n;
-        let mean_ecc_uncorrectable = trials
-            .iter()
-            .map(|(_, s)| s.ecc_uncorrectable as f64)
-            .sum::<f64>()
-            / n;
         Self {
-            errors,
             mean_error,
             max_error,
-            mean_cell_faults,
+            error_ci: wilson_interval(mean_error, completed, 1.96),
+            requested_trials: requested,
+            completed_trials: completed,
+            failed_trials,
+            stopped_early: false,
+            cancelled: false,
+            mean_cell_faults: stats_sum.cell_faults as f64 / n,
             expected_cell_faults: 0.0,
-            mean_ecc_corrected,
-            mean_ecc_uncorrectable,
+            mean_ecc_corrected: stats_sum.ecc_corrected as f64 / n,
+            mean_ecc_uncorrectable: stats_sum.ecc_uncorrectable as f64 / n,
+            errors,
         }
     }
 
@@ -101,10 +203,23 @@ impl CampaignResult {
         self
     }
 
+    /// Marks how the run ended (early-stopped and/or cancelled).
+    pub(crate) fn with_termination(mut self, stopped_early: bool, cancelled: bool) -> Self {
+        self.stopped_early = stopped_early;
+        self.cancelled = cancelled;
+        self
+    }
+
     /// Whether the mean error stays within `bound` of `baseline` — the
     /// paper's iso-training-noise acceptance test (§3.1.1).
     pub fn within_itn(&self, baseline: f64, bound: f64) -> bool {
         self.mean_error <= baseline + bound
+    }
+
+    /// Wilson interval on the mean error at critical value `z`, over
+    /// the completed trials (the stored `error_ci` uses `z = 1.96`).
+    pub fn wilson_ci(&self, z: f64) -> (f64, f64) {
+        wilson_interval(self.mean_error, self.completed_trials, z)
     }
 }
 
@@ -155,6 +270,60 @@ impl Campaign {
     ) -> Result<CampaignResult, EngineError> {
         let ctx = EvalContext::new(tech, sa, self.rate_scale)?;
         Ok(ctx.run_isolated(self.trials, self.seed, target, stored, eval))
+    }
+
+    /// [`Campaign::run`] under a [`RunControl`]: per-trial panic
+    /// isolation, cooperative cancellation (flag or deadline),
+    /// checkpointing at the configured cadence, and optional Wilson
+    /// early stopping. With `RunControl::default()` this is exactly
+    /// [`Campaign::run`].
+    pub fn run_controlled(
+        &self,
+        stored: &[StoredLayer],
+        tech: CellTechnology,
+        sa: &SenseAmp,
+        eval: &(dyn AccuracyEval + Sync),
+        control: &RunControl,
+    ) -> Result<CampaignResult, EngineError> {
+        let ctx = EvalContext::new(tech, sa, self.rate_scale)?;
+        ctx.run_campaign_controlled(self.trials, self.seed, stored, eval, control)
+    }
+
+    /// Resumes a checkpointed campaign from `path`: trials the snapshot
+    /// already covers are not rerun, the remainder executes under
+    /// `control`, and the final result is byte-identical to an
+    /// uninterrupted [`Campaign::run_controlled`] at any worker count.
+    ///
+    /// Errors with [`EngineError::CheckpointIo`] if no checkpoint exists
+    /// at `path` (nothing to resume), and with
+    /// [`EngineError::CheckpointMismatch`] if the snapshot was written
+    /// by a different configuration (trials, seed, rate scale, schemes,
+    /// evaluator baseline, early-stop rule, …).
+    pub fn resume_from(
+        &self,
+        path: impl Into<std::path::PathBuf>,
+        stored: &[StoredLayer],
+        tech: CellTechnology,
+        sa: &SenseAmp,
+        eval: &(dyn AccuracyEval + Sync),
+        control: &RunControl,
+    ) -> Result<CampaignResult, EngineError> {
+        let path = path.into();
+        if !path.exists() {
+            return Err(EngineError::CheckpointIo {
+                path: path.display().to_string(),
+                detail: "no checkpoint to resume from".to_string(),
+            });
+        }
+        let mut control = control.clone();
+        control.checkpoint = Some(match control.checkpoint.take() {
+            Some(mut cp) => {
+                cp.path = path;
+                cp
+            }
+            None => CheckpointConfig::new(path),
+        });
+        self.run_controlled(stored, tech, sa, eval, &control)
     }
 
     /// Runs the campaign with the paper's exact chip semantics: each
@@ -470,17 +639,72 @@ mod tests {
 
     #[test]
     fn within_itn_uses_mean() {
-        let r = CampaignResult {
-            errors: vec![0.1, 0.2],
-            mean_error: 0.15,
-            max_error: 0.2,
-            mean_cell_faults: 0.0,
-            expected_cell_faults: 0.0,
-            mean_ecc_corrected: 0.0,
-            mean_ecc_uncorrectable: 0.0,
-        };
+        let r = CampaignResult::from_trials(vec![
+            (0.1, DecodeStats::default()),
+            (0.2, DecodeStats::default()),
+        ]);
+        assert!((r.mean_error - 0.15).abs() < 1e-12);
         assert!(r.within_itn(0.1, 0.06));
         assert!(!r.within_itn(0.1, 0.04));
+    }
+
+    #[test]
+    fn wilson_interval_is_sane() {
+        // n = 0: no information.
+        assert_eq!(wilson_interval(0.5, 0, 1.96), (0.0, 1.0));
+        // The interval brackets the point estimate and tightens with n.
+        let (lo_s, hi_s) = wilson_interval(0.2, 10, 1.96);
+        let (lo_l, hi_l) = wilson_interval(0.2, 1000, 1.96);
+        assert!(lo_s < 0.2 && 0.2 < hi_s);
+        assert!(lo_l < 0.2 && 0.2 < hi_l);
+        assert!(hi_l - lo_l < hi_s - lo_s, "more trials must tighten the CI");
+        // Extremes stay clamped to [0, 1] and never collapse to a point
+        // at finite n.
+        let (lo0, hi0) = wilson_interval(0.0, 20, 1.96);
+        assert_eq!(lo0, 0.0);
+        assert!(hi0 > 0.0 && hi0 < 1.0);
+        let (lo1, hi1) = wilson_interval(1.0, 20, 1.96);
+        assert!(lo1 < 1.0 && lo1 > 0.0);
+        assert_eq!(hi1, 1.0);
+    }
+
+    #[test]
+    fn from_outcomes_reports_failures_and_reduced_sample() {
+        let outcomes = vec![
+            (
+                0,
+                TrialOutcome::Ok {
+                    error: 0.1,
+                    stats: DecodeStats::default(),
+                },
+            ),
+            (
+                1,
+                TrialOutcome::Failed {
+                    seed: 99,
+                    message: "boom".into(),
+                },
+            ),
+            (
+                2,
+                TrialOutcome::Ok {
+                    error: 0.3,
+                    stats: DecodeStats::default(),
+                },
+            ),
+        ];
+        let r = CampaignResult::from_outcomes(4, outcomes);
+        assert_eq!(r.requested_trials, 4);
+        assert_eq!(r.completed_trials, 2);
+        assert_eq!(r.errors, vec![0.1, 0.3]);
+        assert!((r.mean_error - 0.2).abs() < 1e-12);
+        assert_eq!(r.failed_trials.len(), 1);
+        assert_eq!(r.failed_trials[0].trial, 1);
+        assert_eq!(r.failed_trials[0].seed, 99);
+        assert_eq!(r.failed_trials[0].message, "boom");
+        // The CI reflects the reduced sample (n = 2, very wide).
+        assert_eq!(r.error_ci, wilson_interval(0.2, 2, 1.96));
+        assert!(r.error_ci.1 - r.error_ci.0 > 0.5);
     }
 
     #[test]

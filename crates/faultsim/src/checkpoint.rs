@@ -1,0 +1,527 @@
+//! Campaign checkpointing: periodic, atomic snapshots of completed
+//! trials so a killed process resumes exactly where it stopped.
+//!
+//! A [`CampaignCheckpoint`] records the run's identity (a config
+//! fingerprint, the scheme label, trial budget and base seed) plus one
+//! entry per finished trial — the trial index, its classification error
+//! (bit-exact, stored as the hex of [`f64::to_bits`]), and its decode
+//! statistics, or the panic message for a trial that failed. Because a
+//! trial is a pure function of `seed + trial`, merging checkpointed
+//! outcomes with freshly run ones reproduces the uninterrupted result
+//! byte for byte at any worker count.
+//!
+//! Files are written atomically: the snapshot goes to a sibling
+//! `<path>.tmp`, is fsynced, and is renamed over the target, so a
+//! SIGKILL at any instant leaves either the previous snapshot or the
+//! new one — never a torn file. Loading verifies a fingerprint computed
+//! over the campaign configuration, the technology, and the stored
+//! layers; a mismatch surfaces as
+//! [`EngineError::CheckpointMismatch`] instead of silently mixing
+//! trials from different configurations. The trial-semantics version
+//! ([`TRIAL_SEMANTICS_VERSION`]) is folded into the fingerprint, so
+//! checkpoints from an engine whose trial loop changed are rejected
+//! the same way.
+
+use crate::campaign::TrialOutcome;
+use crate::engine::EngineError;
+use maxnvm_encoding::storage::DecodeStats;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+/// On-disk format tag; bumped only when the file layout itself changes.
+pub const CHECKPOINT_FORMAT: &str = "maxnvm-campaign-checkpoint v1";
+
+/// Version of the trial semantics (seeding, fault sampling, decode
+/// order). Folded into every fingerprint: resuming a checkpoint across
+/// an engine whose trials mean something different must fail loudly.
+pub const TRIAL_SEMANTICS_VERSION: u32 = 2;
+
+/// Where and how often to checkpoint a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Snapshot file; a sibling `<path>.tmp` is used for atomic writes.
+    pub path: PathBuf,
+    /// Write a snapshot after every `every` newly completed trials.
+    pub every: usize,
+    /// Keep the file after a run completes (default: remove it, so a
+    /// finished campaign cannot be accidentally "resumed").
+    pub keep_on_success: bool,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints to `path` every 64 trials, removing on success.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            every: 64,
+            keep_on_success: false,
+        }
+    }
+
+    /// Sets the flush cadence (in completed trials; clamped to ≥ 1).
+    pub fn every(mut self, trials: usize) -> Self {
+        self.every = trials.max(1);
+        self
+    }
+
+    /// Keeps the snapshot after a successful run.
+    pub fn keep_on_success(mut self) -> Self {
+        self.keep_on_success = true;
+        self
+    }
+}
+
+/// FNV-1a accumulator for configuration fingerprints. Stable across
+/// platforms and runs (unlike `DefaultHasher`, which is seeded).
+#[derive(Debug, Clone)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// Starts a fingerprint already bound to the checkpoint format and
+    /// trial-semantics versions.
+    pub fn new() -> Self {
+        let mut f = Fingerprint(0xcbf2_9ce4_8422_2325);
+        f.push_str(CHECKPOINT_FORMAT);
+        f.push_u64(TRIAL_SEMANTICS_VERSION as u64);
+        f
+    }
+
+    /// Folds raw bytes in.
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+        self
+    }
+
+    /// Folds an integer in (little-endian bytes).
+    pub fn push_u64(&mut self, v: u64) -> &mut Self {
+        self.push_bytes(&v.to_le_bytes())
+    }
+
+    /// Folds a float in, bit-exact.
+    pub fn push_f64(&mut self, v: f64) -> &mut Self {
+        self.push_u64(v.to_bits())
+    }
+
+    /// Folds a string in (length-prefixed, so `"ab","c"` ≠ `"a","bc"`).
+    pub fn push_str(&mut self, s: &str) -> &mut Self {
+        self.push_u64(s.len() as u64);
+        self.push_bytes(s.as_bytes())
+    }
+
+    /// The 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A resumable snapshot of a (possibly multi-scheme) campaign: which
+/// trials finished and what each produced.
+///
+/// Plain campaigns use a single group (index 0); DSE sweeps use one
+/// group per candidate scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCheckpoint {
+    /// Digest of the campaign configuration this snapshot belongs to.
+    pub fingerprint: u64,
+    /// Human-readable run label (scheme label or sweep name).
+    pub label: String,
+    /// Number of trial groups (1 for a campaign, schemes for a DSE).
+    pub groups: usize,
+    /// Requested trials per group.
+    pub trials: usize,
+    /// Base RNG seed; trial `t` uses `seed.wrapping_add(t)`.
+    pub seed: u64,
+    /// Completed trials: `(group, trial, outcome)`.
+    pub entries: Vec<(usize, usize, TrialOutcome)>,
+}
+
+impl CampaignCheckpoint {
+    /// An empty snapshot for a fresh run.
+    pub fn new(
+        fingerprint: u64,
+        label: impl Into<String>,
+        groups: usize,
+        trials: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            fingerprint,
+            label: label.into(),
+            groups,
+            trials,
+            seed,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records one finished trial.
+    pub fn record(&mut self, group: usize, trial: usize, outcome: TrialOutcome) {
+        self.entries.push((group, trial, outcome));
+    }
+
+    /// The set of already-completed `(group, trial)` pairs.
+    pub fn completed(&self) -> HashSet<(usize, usize)> {
+        self.entries.iter().map(|(g, t, _)| (*g, *t)).collect()
+    }
+
+    /// Errors with [`EngineError::CheckpointMismatch`] unless this
+    /// snapshot's fingerprint matches `expected`.
+    pub fn verify(&self, expected: u64) -> Result<(), EngineError> {
+        if self.fingerprint == expected {
+            Ok(())
+        } else {
+            Err(EngineError::CheckpointMismatch {
+                expected,
+                found: self.fingerprint,
+            })
+        }
+    }
+
+    /// Serializes the snapshot to its line-based text format.
+    pub fn to_text(&self) -> String {
+        let mut entries = self.entries.clone();
+        entries.sort_by_key(|(g, t, _)| (*g, *t));
+        let mut out = String::with_capacity(64 + entries.len() * 48);
+        out.push_str(CHECKPOINT_FORMAT);
+        out.push('\n');
+        out.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
+        out.push_str(&format!("groups {}\n", self.groups));
+        out.push_str(&format!("trials {}\n", self.trials));
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("label {}\n", escape(&self.label)));
+        for (group, trial, outcome) in &entries {
+            match outcome {
+                TrialOutcome::Ok { error, stats } => {
+                    out.push_str(&format!(
+                        "ok {group} {trial} {:016x} {} {} {}\n",
+                        error.to_bits(),
+                        stats.cell_faults,
+                        stats.ecc_corrected,
+                        stats.ecc_uncorrectable
+                    ));
+                }
+                TrialOutcome::Failed { seed, message } => {
+                    out.push_str(&format!(
+                        "failed {group} {trial} {seed} {}\n",
+                        escape(message)
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!("end {}\n", entries.len()));
+        out
+    }
+
+    /// Parses the text format produced by [`Self::to_text`].
+    pub fn from_text(text: &str) -> Result<Self, EngineError> {
+        let parse = |detail: String| EngineError::CheckpointParse { detail };
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| parse("empty file".into()))?;
+        if header != CHECKPOINT_FORMAT {
+            return Err(parse(format!("unknown format header {header:?}")));
+        }
+        let mut field = |name: &str| -> Result<String, EngineError> {
+            let line = lines
+                .next()
+                .ok_or_else(|| parse(format!("missing {name} line")))?;
+            line.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| parse(format!("expected {name} line, got {line:?}")))
+        };
+        let fingerprint = u64::from_str_radix(&field("fingerprint")?, 16)
+            .map_err(|e| parse(format!("bad fingerprint: {e}")))?;
+        let groups = field("groups")?
+            .parse()
+            .map_err(|e| parse(format!("bad groups: {e}")))?;
+        let trials = field("trials")?
+            .parse()
+            .map_err(|e| parse(format!("bad trials: {e}")))?;
+        let seed = field("seed")?
+            .parse()
+            .map_err(|e| parse(format!("bad seed: {e}")))?;
+        let label = unescape(&field("label")?);
+        let mut entries = Vec::new();
+        let mut ended = false;
+        for line in lines {
+            let (kind, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| parse(format!("malformed line {line:?}")))?;
+            match kind {
+                "ok" => {
+                    let mut it = rest.splitn(6, ' ');
+                    let mut next = |what: &str| -> Result<&str, EngineError> {
+                        it.next()
+                            .ok_or_else(|| parse(format!("ok line missing {what}: {line:?}")))
+                    };
+                    let group = next("group")?
+                        .parse()
+                        .map_err(|e| parse(format!("bad group: {e}")))?;
+                    let trial = next("trial")?
+                        .parse()
+                        .map_err(|e| parse(format!("bad trial: {e}")))?;
+                    let error = f64::from_bits(
+                        u64::from_str_radix(next("error")?, 16)
+                            .map_err(|e| parse(format!("bad error bits: {e}")))?,
+                    );
+                    let cell_faults = next("cell_faults")?
+                        .parse()
+                        .map_err(|e| parse(format!("bad cell_faults: {e}")))?;
+                    let ecc_corrected = next("ecc_corrected")?
+                        .parse()
+                        .map_err(|e| parse(format!("bad ecc_corrected: {e}")))?;
+                    let ecc_uncorrectable = next("ecc_uncorrectable")?
+                        .parse()
+                        .map_err(|e| parse(format!("bad ecc_uncorrectable: {e}")))?;
+                    entries.push((
+                        group,
+                        trial,
+                        TrialOutcome::Ok {
+                            error,
+                            stats: DecodeStats {
+                                cell_faults,
+                                ecc_corrected,
+                                ecc_uncorrectable,
+                            },
+                        },
+                    ));
+                }
+                "failed" => {
+                    let mut it = rest.splitn(4, ' ');
+                    let mut next = |what: &str| -> Result<&str, EngineError> {
+                        it.next()
+                            .ok_or_else(|| parse(format!("failed line missing {what}: {line:?}")))
+                    };
+                    let group = next("group")?
+                        .parse()
+                        .map_err(|e| parse(format!("bad group: {e}")))?;
+                    let trial = next("trial")?
+                        .parse()
+                        .map_err(|e| parse(format!("bad trial: {e}")))?;
+                    let seed = next("seed")?
+                        .parse()
+                        .map_err(|e| parse(format!("bad seed: {e}")))?;
+                    let message = unescape(it.next().unwrap_or(""));
+                    entries.push((group, trial, TrialOutcome::Failed { seed, message }));
+                }
+                "end" => {
+                    let count: usize = rest
+                        .parse()
+                        .map_err(|e| parse(format!("bad end count: {e}")))?;
+                    if count != entries.len() {
+                        return Err(parse(format!(
+                            "truncated snapshot: end says {count}, found {}",
+                            entries.len()
+                        )));
+                    }
+                    ended = true;
+                }
+                other => return Err(parse(format!("unknown record kind {other:?}"))),
+            }
+        }
+        if !ended {
+            return Err(parse("truncated snapshot: missing end marker".into()));
+        }
+        Ok(Self {
+            fingerprint,
+            label,
+            groups,
+            trials,
+            seed,
+            entries,
+        })
+    }
+
+    /// Atomically writes the snapshot: serialize to `<path>.tmp`, fsync,
+    /// rename over `path`. A crash mid-write leaves the previous
+    /// snapshot intact.
+    pub fn save(&self, path: &Path) -> Result<(), EngineError> {
+        let io = |detail: std::io::Error| EngineError::CheckpointIo {
+            path: path.display().to_string(),
+            detail: detail.to_string(),
+        };
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        {
+            use std::io::Write;
+            let mut file = std::fs::File::create(&tmp).map_err(io)?;
+            file.write_all(self.to_text().as_bytes()).map_err(io)?;
+            file.sync_all().map_err(io)?;
+        }
+        std::fs::rename(&tmp, path).map_err(io)
+    }
+
+    /// Loads and parses a snapshot.
+    pub fn load(path: &Path) -> Result<Self, EngineError> {
+        let text = std::fs::read_to_string(path).map_err(|e| EngineError::CheckpointIo {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        Self::from_text(&text)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CampaignCheckpoint {
+        let mut cp = CampaignCheckpoint::new(0xdead_beef_1234_5678, "BitM+IdxSync", 2, 10, 42);
+        cp.record(
+            0,
+            3,
+            TrialOutcome::Ok {
+                error: 0.12345678901234567,
+                stats: DecodeStats {
+                    cell_faults: 7,
+                    ecc_corrected: 2,
+                    ecc_uncorrectable: 0,
+                },
+            },
+        );
+        cp.record(
+            1,
+            0,
+            TrialOutcome::Failed {
+                seed: 42,
+                message: "index out of bounds:\n the len is 3".into(),
+            },
+        );
+        cp.record(
+            0,
+            0,
+            TrialOutcome::Ok {
+                error: f64::MIN_POSITIVE,
+                stats: DecodeStats::default(),
+            },
+        );
+        cp
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let cp = sample();
+        let parsed = CampaignCheckpoint::from_text(&cp.to_text()).expect("parse");
+        // Serialization sorts entries by (group, trial).
+        let mut want = cp.clone();
+        want.entries.sort_by_key(|(g, t, _)| (*g, *t));
+        assert_eq!(parsed, want);
+    }
+
+    #[test]
+    fn file_round_trip_is_exact() {
+        let dir = std::env::temp_dir().join(format!("maxnvm-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.ckpt");
+        let cp = sample();
+        cp.save(&path).expect("save");
+        let loaded = CampaignCheckpoint::load(&path).expect("load");
+        assert_eq!(loaded.fingerprint, cp.fingerprint);
+        assert_eq!(loaded.entries.len(), cp.entries.len());
+        // Error bits survive bit-exactly.
+        let tiny = loaded
+            .entries
+            .iter()
+            .find(|(g, t, _)| (*g, *t) == (0, 0))
+            .unwrap();
+        match &tiny.2 {
+            TrialOutcome::Ok { error, .. } => {
+                assert_eq!(error.to_bits(), f64::MIN_POSITIVE.to_bits())
+            }
+            other => panic!("wrong outcome {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected() {
+        let cp = sample();
+        let text = cp.to_text();
+        // Drop the end marker (simulated torn write without the rename
+        // discipline).
+        let torn: String = text.lines().take(7).map(|l| format!("{l}\n")).collect();
+        let err = CampaignCheckpoint::from_text(&torn).expect_err("must reject");
+        assert!(
+            matches!(err, EngineError::CheckpointParse { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_typed() {
+        let cp = sample();
+        cp.verify(cp.fingerprint).expect("same fingerprint passes");
+        let err = cp.verify(1).expect_err("mismatch must fail");
+        assert_eq!(
+            err,
+            EngineError::CheckpointMismatch {
+                expected: 1,
+                found: cp.fingerprint
+            }
+        );
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_sensitive() {
+        let digest = |f: &mut Fingerprint| f.finish();
+        let mut a = Fingerprint::new();
+        a.push_str("scheme").push_u64(20).push_f64(1.0);
+        let mut b = Fingerprint::new();
+        b.push_str("scheme").push_u64(20).push_f64(1.0);
+        assert_eq!(digest(&mut a), digest(&mut b), "deterministic");
+        let mut c = Fingerprint::new();
+        c.push_str("scheme").push_u64(21).push_f64(1.0);
+        assert_ne!(digest(&mut a), digest(&mut c), "sensitive to params");
+        // Length prefixing: ("ab","c") vs ("a","bc") must differ.
+        let mut d = Fingerprint::new();
+        d.push_str("ab").push_str("c");
+        let mut e = Fingerprint::new();
+        e.push_str("a").push_str("bc");
+        assert_ne!(digest(&mut d), digest(&mut e));
+    }
+
+    #[test]
+    fn escape_round_trips_control_characters() {
+        for s in ["plain", "with\nnewline", "back\\slash", "\r\n\\n mix \\"] {
+            assert_eq!(unescape(&escape(s)), s, "{s:?}");
+        }
+    }
+}

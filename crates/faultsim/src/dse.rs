@@ -26,6 +26,11 @@ pub struct DsePoint {
     pub mean_error: f64,
     /// Whether the error stays within the ITN bound.
     pub passes: bool,
+    /// Monte-Carlo trials actually evaluated for this point: the full
+    /// campaign budget on a fixed-budget sweep, fewer when adaptive
+    /// early stopping decided the scheme sooner, and `0` for analytic
+    /// (spec-level) exploration, which runs no trials at all.
+    pub trials_run: usize,
 }
 
 /// DSE configuration.
@@ -154,6 +159,7 @@ pub fn explore_concrete_reference(
                 cells,
                 mean_error: result.mean_error,
                 passes: result.within_itn(baseline, cfg.itn_bound),
+                trials_run: result.completed_trials,
             }
         })
         .collect()
@@ -197,6 +203,7 @@ pub fn explore_spec(
                 cells,
                 mean_error,
                 passes: mean_error <= baseline + itn_bound,
+                trials_run: 0,
             }
         })
         .collect()
@@ -477,6 +484,7 @@ mod tests {
             cells,
             mean_error: err,
             passes,
+            trials_run: 0,
         };
         let pts = vec![mk(100, 0.1, true), mk(50, 0.2, true), mk(10, 0.1, false)];
         let best = minimal_cells(&pts).unwrap();

@@ -9,9 +9,11 @@ use std::fmt;
 
 /// Everything that can go wrong when configuring or running an
 /// evaluation: invalid rate scaling, chip campaigns asked to scale
-/// physical rates, mismatched context/campaign settings, or a design
-/// sweep where no candidate preserves accuracy.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// physical rates, mismatched context/campaign settings, a design
+/// sweep where no candidate preserves accuracy, a malformed worker
+/// override, or a checkpoint that does not belong to the run resuming
+/// from it.
+#[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
     /// `rate_scale` must be a positive, finite multiplier.
     InvalidRateScale(f64),
@@ -32,6 +34,34 @@ pub enum EngineError {
     /// bound (cannot happen for supported technologies: SLC always
     /// passes).
     NoPassingScheme,
+    /// The `MAXNVM_THREADS` environment variable is set but is not a
+    /// positive integer.
+    InvalidWorkerConfig {
+        /// The rejected value, verbatim.
+        value: String,
+    },
+    /// A checkpoint's configuration fingerprint does not match the run
+    /// trying to resume from it — resuming would silently mix trials
+    /// from different configurations.
+    CheckpointMismatch {
+        /// Fingerprint of the resuming run's configuration.
+        expected: u64,
+        /// Fingerprint recorded in the checkpoint file.
+        found: u64,
+    },
+    /// Reading or writing a checkpoint file failed.
+    CheckpointIo {
+        /// The file involved.
+        path: String,
+        /// The underlying I/O error, as text.
+        detail: String,
+    },
+    /// A checkpoint file exists but cannot be parsed (truncated,
+    /// corrupted, or from an unknown format version).
+    CheckpointParse {
+        /// What was wrong, with the offending line where possible.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -56,6 +86,22 @@ impl fmt::Display for EngineError {
                 f,
                 "no storage configuration stays within the iso-training-noise bound"
             ),
+            Self::InvalidWorkerConfig { value } => write!(
+                f,
+                "MAXNVM_THREADS must be a positive integer, got {value:?}"
+            ),
+            Self::CheckpointMismatch { expected, found } => write!(
+                f,
+                "checkpoint fingerprint {found:016x} does not match this run's \
+                 configuration ({expected:016x}); refusing to mix trials from \
+                 different configurations"
+            ),
+            Self::CheckpointIo { path, detail } => {
+                write!(f, "checkpoint I/O failed for {path}: {detail}")
+            }
+            Self::CheckpointParse { detail } => {
+                write!(f, "checkpoint file is corrupt or unreadable: {detail}")
+            }
         }
     }
 }
@@ -82,5 +128,23 @@ mod tests {
     fn error_trait_is_implemented() {
         let e: Box<dyn std::error::Error> = Box::new(EngineError::NoPassingScheme);
         assert!(e.to_string().contains("iso-training-noise"));
+    }
+
+    #[test]
+    fn resilience_errors_are_informative() {
+        let w = EngineError::InvalidWorkerConfig { value: "-3".into() };
+        assert!(w.to_string().contains("MAXNVM_THREADS"));
+        assert!(w.to_string().contains("-3"));
+        let c = EngineError::CheckpointMismatch {
+            expected: 0xabc,
+            found: 0xdef,
+        };
+        assert!(c.to_string().contains("0000000000000def"));
+        assert!(c.to_string().contains("0000000000000abc"));
+        let io = EngineError::CheckpointIo {
+            path: "/tmp/x.ckpt".into(),
+            detail: "permission denied".into(),
+        };
+        assert!(io.to_string().contains("/tmp/x.ckpt"));
     }
 }

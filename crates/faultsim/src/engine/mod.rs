@@ -19,14 +19,36 @@
 //! evaluators reuse per-worker [`EvalScratch`] state instead of cloning
 //! networks per trial.
 //!
+//! On top of that sits the **resilience layer** (`*_controlled` entry
+//! points taking a [`RunControl`]):
+//!
+//! - every trial runs under `catch_unwind`, so a panicking trial
+//!   becomes a [`TrialOutcome::Failed`] recorded (with its seed) on the
+//!   [`CampaignResult`] instead of unwinding the whole sweep;
+//! - a [`CancelToken`] — flag or wall-clock deadline — is checked
+//!   between trials, turning Ctrl-C or a time budget into a clean
+//!   partial result;
+//! - a [`CheckpointConfig`] makes the run write atomic
+//!   [`CampaignCheckpoint`] snapshots, and an existing snapshot (with a
+//!   matching configuration fingerprint) resumes exactly where a killed
+//!   process stopped — byte-identical to an uninterrupted run;
+//! - an [`EarlyStop`] rule halts a scheme's trials once the Wilson
+//!   interval on its error estimate is decisively inside or outside
+//!   the iso-training-noise budget (opt-in: fixed budgets stay
+//!   byte-identical by default).
+//!
 //! Determinism is preserved at any worker count: trial `t` always draws
 //! from `StdRng::seed_from_u64(seed.wrapping_add(t))` regardless of
-//! which worker runs it, and results are assembled in trial order, so
-//! the engine reproduces its own single-worker run bit for bit.
+//! which worker runs it, results are assembled in trial order, and
+//! early-stop decisions are evaluated only at fixed batch boundaries
+//! over that ordered prefix — so the engine reproduces its own
+//! single-worker run bit for bit.
 //!
 //! The default pool sizes itself to `std::thread::available_parallelism`
-//! and can be overridden with the `MAXNVM_THREADS` environment variable
-//! (the old implementation hard-capped at eight threads).
+//! and can be overridden with the `MAXNVM_THREADS` environment variable;
+//! a malformed or zero override is a typed
+//! [`EngineError::InvalidWorkerConfig`] at the API boundary (and a
+//! one-time warning + fallback where no error can be returned).
 
 mod error;
 mod pool;
@@ -34,7 +56,9 @@ mod pool;
 pub use error::EngineError;
 pub use pool::WorkerPool;
 
-use crate::campaign::CampaignResult;
+use crate::campaign::{wilson_interval, CampaignResult, TrialOutcome};
+use crate::cancel::CancelToken;
+use crate::checkpoint::{CampaignCheckpoint, CheckpointConfig, Fingerprint};
 use crate::dse::{candidate_schemes, DseConfig, DsePoint};
 use crate::evaluate::{AccuracyEval, EvalScratch};
 use maxnvm_dnn::network::LayerMatrix;
@@ -44,7 +68,10 @@ use maxnvm_encoding::StructureKind;
 use maxnvm_envm::{CellModel, CellTechnology, FaultMap, MlcConfig, SenseAmp};
 use parking_lot::Mutex;
 use rand::SeedableRng;
-use std::sync::{Arc, OnceLock};
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Once, OnceLock};
 
 /// A checkout pool of reusable [`EvalScratch`] values: each in-flight
 /// evaluation pops one (or starts fresh) and pushes it back, so at most
@@ -65,31 +92,334 @@ impl ScratchPool {
     }
 }
 
-/// Worker-thread count override from the environment, if set and valid.
-fn env_workers() -> Option<usize> {
-    std::env::var("MAXNVM_THREADS")
-        .ok()?
-        .trim()
-        .parse()
-        .ok()
-        .filter(|&n| n > 0)
+/// Parses a `MAXNVM_THREADS` override: any value that is not a positive
+/// integer (after trimming whitespace) is a typed error, never a silent
+/// default.
+fn parse_workers(raw: &str) -> Result<usize, EngineError> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(EngineError::InvalidWorkerConfig {
+            value: raw.to_string(),
+        }),
+    }
+}
+
+/// The validated worker-thread override from the environment:
+/// `Ok(None)` when `MAXNVM_THREADS` is unset,
+/// [`EngineError::InvalidWorkerConfig`] when it is set but malformed.
+pub fn env_workers() -> Result<Option<usize>, EngineError> {
+    match std::env::var("MAXNVM_THREADS") {
+        Ok(raw) => parse_workers(&raw).map(Some),
+        Err(_) => Ok(None),
+    }
 }
 
 /// The worker count the process-wide pool is built with:
 /// `MAXNVM_THREADS` when set to a positive integer, otherwise
-/// `std::thread::available_parallelism()`.
+/// `std::thread::available_parallelism()`. A malformed override cannot
+/// be reported here, so it falls back to the default with a one-time
+/// warning on stderr; [`EvalContext::new`] additionally surfaces the
+/// typed error at the API boundary.
 pub fn default_workers() -> usize {
-    env_workers().unwrap_or_else(|| {
+    let fallback = || {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
-    })
+    };
+    match env_workers() {
+        Ok(Some(n)) => n,
+        Ok(None) => fallback(),
+        Err(e) => {
+            static WARN_ONCE: Once = Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!("maxnvm: warning: {e}; falling back to available parallelism");
+            });
+            fallback()
+        }
+    }
 }
 
 /// The process-wide evaluation pool, created on first use.
 pub fn global_pool() -> &'static Arc<WorkerPool> {
     static POOL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
     POOL.get_or_init(|| Arc::new(WorkerPool::new(default_workers())))
+}
+
+/// Stringifies a caught panic payload for [`TrialOutcome::Failed`].
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Adaptive early stopping: end a scheme's trials once the Wilson
+/// interval on its mean classification error is *decisively* inside or
+/// outside the iso-training-noise acceptance threshold
+/// `baseline + itn_bound`.
+///
+/// The rule is sequential but deterministic: it is evaluated only at
+/// multiples of `batch` completed trials, over the trial-ordered prefix
+/// of results, so a run stops at the same trial count at any worker
+/// count and across checkpoint/resume cycles. It is opt-in — with no
+/// `EarlyStop` configured, fixed-budget runs remain byte-identical to
+/// the pre-resilience engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EarlyStop {
+    /// The model's clean classification error.
+    pub baseline: f64,
+    /// Iso-training-noise bound (absolute headroom over baseline).
+    pub itn_bound: f64,
+    /// Critical value for the Wilson interval (default 2.576 ≈ 99%,
+    /// deliberately conservative for a repeatedly-peeked sequential
+    /// test).
+    pub z: f64,
+    /// Never decide before this many trials have completed.
+    pub min_trials: usize,
+    /// Evaluate the rule every `batch` trials (also the scheduling
+    /// granularity of an early-stopping run).
+    pub batch: usize,
+}
+
+impl EarlyStop {
+    /// A rule for the given acceptance test with conservative defaults
+    /// (`z = 2.576`, `min_trials = 8`, `batch = 8`).
+    pub fn new(baseline: f64, itn_bound: f64) -> Self {
+        Self {
+            baseline,
+            itn_bound,
+            z: 2.576,
+            min_trials: 8,
+            batch: 8,
+        }
+    }
+
+    /// Whether `n` completed trials with mean error `mean` decide the
+    /// acceptance test either way.
+    pub fn decided(&self, mean: f64, n: usize) -> bool {
+        if n < self.min_trials.max(1) {
+            return false;
+        }
+        let (lo, hi) = wilson_interval(mean, n, self.z);
+        let threshold = self.baseline + self.itn_bound;
+        hi <= threshold || lo > threshold
+    }
+}
+
+/// How a `*_controlled` run behaves beyond the plain trial budget:
+/// cooperative cancellation, checkpoint/resume, and adaptive early
+/// stopping. `RunControl::default()` is the plain fixed-budget run.
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    /// Checked between trials; firing it (or passing its deadline)
+    /// yields a partial result with `cancelled = true`.
+    pub cancel: CancelToken,
+    /// When set, the run writes atomic snapshots at the configured
+    /// cadence and resumes from an existing snapshot whose fingerprint
+    /// matches (a mismatch is [`EngineError::CheckpointMismatch`]).
+    pub checkpoint: Option<CheckpointConfig>,
+    /// When set, trials run in `batch`-sized rounds and stop once the
+    /// Wilson interval decides the acceptance test.
+    pub early_stop: Option<EarlyStop>,
+    /// Fault-injection hook for testing the resilience layer itself:
+    /// these trial indices panic instead of evaluating. Folded into the
+    /// checkpoint fingerprint so hooked and unhooked runs never mix.
+    pub panic_trials: Vec<usize>,
+}
+
+impl RunControl {
+    /// A control that only carries a cancellation token.
+    pub fn with_cancel(cancel: CancelToken) -> Self {
+        Self {
+            cancel,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-trial outcomes of one driven run, plus how the run ended.
+struct DrivenTrials {
+    outcomes: Vec<(usize, TrialOutcome)>,
+    stopped_early: bool,
+    cancelled: bool,
+}
+
+/// The generic resilient trial driver behind every `*_controlled`
+/// entry point: runs `group_trials` trials per group (campaigns have
+/// one group; a DSE has one per scheme) on `pool`, isolating per-trial
+/// panics, honouring `control.cancel`, checkpointing at the configured
+/// cadence, and applying the early-stop rule per group at fixed batch
+/// boundaries. `trial_fn(group, trial)` must be a pure function of its
+/// arguments.
+#[allow(clippy::too_many_arguments)]
+fn drive_trials(
+    pool: &WorkerPool,
+    groups: usize,
+    group_trials: usize,
+    seed: u64,
+    control: &RunControl,
+    fingerprint: u64,
+    label: &str,
+    trial_fn: impl Fn(usize, usize) -> (f64, DecodeStats) + Sync,
+) -> Result<Vec<DrivenTrials>, EngineError> {
+    // Completed outcomes per group, keyed by trial index so prefix
+    // statistics (for the early-stop rule) are well-defined.
+    let mut done: Vec<BTreeMap<usize, TrialOutcome>> = vec![BTreeMap::new(); groups];
+    if let Some(cp) = &control.checkpoint {
+        if cp.path.exists() {
+            let snapshot = CampaignCheckpoint::load(&cp.path)?;
+            snapshot.verify(fingerprint)?;
+            for (group, trial, outcome) in snapshot.entries {
+                if group < groups && trial < group_trials {
+                    done[group].insert(trial, outcome);
+                }
+            }
+        }
+    }
+    let batch = match &control.early_stop {
+        Some(es) => es.batch.max(1),
+        None => match &control.checkpoint {
+            Some(cp) => cp.every,
+            None => group_trials,
+        },
+    };
+    let outcome_fn = |group: usize, trial: usize| -> TrialOutcome {
+        let panic_hook = control.panic_trials.contains(&trial);
+        match panic::catch_unwind(AssertUnwindSafe(|| {
+            if panic_hook {
+                panic!("injected panic (RunControl::panic_trials test hook) in trial {trial}");
+            }
+            trial_fn(group, trial)
+        })) {
+            Ok((error, stats)) => TrialOutcome::Ok { error, stats },
+            Err(payload) => TrialOutcome::Failed {
+                seed: seed.wrapping_add(trial as u64),
+                message: panic_message(payload),
+            },
+        }
+    };
+    // Per-group scheduling state: the next batch boundary and whether
+    // the early-stop rule has decided the group.
+    let mut cursor = vec![0usize; groups];
+    let mut group_stopped = vec![false; groups];
+    let mut cancelled = false;
+    let mut dirty = false; // outcomes not yet flushed to the checkpoint
+    let mut since_flush = 0usize;
+    loop {
+        if control.cancel.is_cancelled() {
+            cancelled = true;
+            break;
+        }
+        // Apply the early-stop rule at each group's current boundary,
+        // over the trial-ordered prefix below it.
+        if let Some(es) = &control.early_stop {
+            for g in 0..groups {
+                if group_stopped[g] || cursor[g] == 0 {
+                    continue;
+                }
+                let (mut sum, mut n) = (0.0f64, 0usize);
+                for (_, outcome) in done[g].range(..cursor[g]) {
+                    if let TrialOutcome::Ok { error, .. } = outcome {
+                        sum += error;
+                        n += 1;
+                    }
+                }
+                if n > 0 && es.decided(sum / n as f64, n) {
+                    group_stopped[g] = true;
+                }
+            }
+        }
+        // Next round: one batch per still-active group, minus trials a
+        // checkpoint already covers.
+        let mut jobs: Vec<(usize, usize)> = Vec::new();
+        for g in 0..groups {
+            if group_stopped[g] || cursor[g] >= group_trials {
+                continue;
+            }
+            let end = (cursor[g] + batch).min(group_trials);
+            jobs.extend(
+                (cursor[g]..end)
+                    .filter(|t| !done[g].contains_key(t))
+                    .map(|t| (g, t)),
+            );
+            cursor[g] = end;
+        }
+        if jobs.is_empty() {
+            if (0..groups).all(|g| group_stopped[g] || cursor[g] >= group_trials) {
+                break;
+            }
+            continue; // checkpoint covered the whole round; advance
+        }
+        let round = pool.scope_map_cancellable(jobs.len(), &control.cancel, |j| {
+            let (g, t) = jobs[j];
+            outcome_fn(g, t)
+        });
+        let mut ran = 0usize;
+        for (j, slot) in round.into_iter().enumerate() {
+            match slot {
+                Some(outcome) => {
+                    let (g, t) = jobs[j];
+                    done[g].insert(t, outcome);
+                    ran += 1;
+                }
+                None => cancelled = true,
+            }
+        }
+        dirty |= ran > 0;
+        since_flush += ran;
+        if let Some(cp) = &control.checkpoint {
+            if dirty && (since_flush >= cp.every || cancelled) {
+                save_checkpoint(cp, fingerprint, label, groups, group_trials, seed, &done)?;
+                dirty = false;
+                since_flush = 0;
+            }
+        }
+        if cancelled {
+            break;
+        }
+    }
+    if let Some(cp) = &control.checkpoint {
+        if cancelled {
+            if dirty {
+                save_checkpoint(cp, fingerprint, label, groups, group_trials, seed, &done)?;
+            }
+        } else if cp.keep_on_success {
+            // Leave a complete snapshot behind: resuming it reproduces
+            // the finished result without rerunning anything.
+            save_checkpoint(cp, fingerprint, label, groups, group_trials, seed, &done)?;
+        } else {
+            // A finished campaign must not be accidentally "resumed".
+            let _ = std::fs::remove_file(&cp.path);
+        }
+    }
+    Ok((0..groups)
+        .map(|g| DrivenTrials {
+            outcomes: std::mem::take(&mut done[g]).into_iter().collect(),
+            stopped_early: group_stopped[g],
+            cancelled,
+        })
+        .collect())
+}
+
+fn save_checkpoint(
+    cp: &CheckpointConfig,
+    fingerprint: u64,
+    label: &str,
+    groups: usize,
+    trials: usize,
+    seed: u64,
+    done: &[BTreeMap<usize, TrialOutcome>],
+) -> Result<(), EngineError> {
+    let mut snapshot = CampaignCheckpoint::new(fingerprint, label, groups, trials, seed);
+    for (g, group) in done.iter().enumerate() {
+        for (t, outcome) in group {
+            snapshot.record(g, *t, outcome.clone());
+        }
+    }
+    snapshot.save(&cp.path)
 }
 
 /// Shared evaluation state for one (technology, sense-amp, rate-scale)
@@ -106,7 +436,11 @@ pub struct EvalContext {
 
 impl EvalContext {
     /// A context running on the process-wide pool.
+    ///
+    /// Errors with [`EngineError::InvalidWorkerConfig`] if
+    /// `MAXNVM_THREADS` is set but not a positive integer.
     pub fn new(tech: CellTechnology, sa: &SenseAmp, rate_scale: f64) -> Result<Self, EngineError> {
+        env_workers()?;
         Self::with_pool(tech, sa, rate_scale, Arc::clone(global_pool()))
     }
 
@@ -177,6 +511,57 @@ impl EvalContext {
         move |cfg: MlcConfig| Arc::clone(&self.fault_maps[(cfg.bits() - 1) as usize])
     }
 
+    /// Configuration fingerprint for a run on this context: covers the
+    /// run kind, technology, rate scale, trial budget, base seed,
+    /// injection target, every stored layer's scheme and cell count,
+    /// the evaluator's baseline error, and — because they change what a
+    /// resumed trial would produce or when a run stops — the early-stop
+    /// parameters and the panic-injection test hook. The trial-semantics
+    /// version is folded in by [`Fingerprint::new`].
+    #[allow(clippy::too_many_arguments)]
+    fn run_fingerprint(
+        &self,
+        kind: &str,
+        trials: usize,
+        seed: u64,
+        stored: &[StoredLayer],
+        target: Option<StructureKind>,
+        baseline: f64,
+        control: &RunControl,
+    ) -> u64 {
+        let mut f = Fingerprint::new();
+        f.push_str(kind)
+            .push_str(self.tech.name())
+            .push_f64(self.rate_scale)
+            .push_u64(trials as u64)
+            .push_u64(seed)
+            .push_str(target.map_or("all", |k| k.name()))
+            .push_f64(baseline)
+            .push_u64(stored.len() as u64);
+        for layer in stored {
+            f.push_str(&layer.scheme.label());
+            f.push_u64(layer.total_cells());
+        }
+        match &control.early_stop {
+            Some(es) => {
+                f.push_str("early-stop")
+                    .push_f64(es.baseline)
+                    .push_f64(es.itn_bound)
+                    .push_f64(es.z)
+                    .push_u64(es.min_trials as u64)
+                    .push_u64(es.batch as u64);
+            }
+            None => {
+                f.push_str("fixed-budget");
+            }
+        }
+        f.push_u64(control.panic_trials.len() as u64);
+        for &t in &control.panic_trials {
+            f.push_u64(t as u64);
+        }
+        f.finish()
+    }
+
     /// Runs a full-injection campaign: `trials` seeded trials, each
     /// injecting every structure of every layer, in parallel on the
     /// pool. Trial `t` seeds `seed.wrapping_add(t)`; results are in
@@ -188,7 +573,22 @@ impl EvalContext {
         stored: &[StoredLayer],
         eval: &(dyn AccuracyEval + Sync),
     ) -> CampaignResult {
-        self.run_trials(trials, seed, stored, eval, None)
+        self.run_trials(trials, seed, stored, eval, None, &RunControl::default())
+            .expect("default control cannot fail")
+    }
+
+    /// [`Self::run_campaign`] under a [`RunControl`]: per-trial panic
+    /// isolation, cooperative cancellation, checkpoint/resume, and
+    /// optional early stopping.
+    pub fn run_campaign_controlled(
+        &self,
+        trials: usize,
+        seed: u64,
+        stored: &[StoredLayer],
+        eval: &(dyn AccuracyEval + Sync),
+        control: &RunControl,
+    ) -> Result<CampaignResult, EngineError> {
+        self.run_trials(trials, seed, stored, eval, None, control)
     }
 
     /// Runs a campaign injecting faults only into structures of
@@ -201,7 +601,28 @@ impl EvalContext {
         stored: &[StoredLayer],
         eval: &(dyn AccuracyEval + Sync),
     ) -> CampaignResult {
-        self.run_trials(trials, seed, stored, eval, Some(target))
+        self.run_trials(
+            trials,
+            seed,
+            stored,
+            eval,
+            Some(target),
+            &RunControl::default(),
+        )
+        .expect("default control cannot fail")
+    }
+
+    /// [`Self::run_isolated`] under a [`RunControl`].
+    pub fn run_isolated_controlled(
+        &self,
+        trials: usize,
+        seed: u64,
+        target: StructureKind,
+        stored: &[StoredLayer],
+        eval: &(dyn AccuracyEval + Sync),
+        control: &RunControl,
+    ) -> Result<CampaignResult, EngineError> {
+        self.run_trials(trials, seed, stored, eval, Some(target), control)
     }
 
     fn run_trials(
@@ -211,7 +632,8 @@ impl EvalContext {
         stored: &[StoredLayer],
         eval: &(dyn AccuracyEval + Sync),
         target: Option<StructureKind>,
-    ) -> CampaignResult {
+        control: &RunControl,
+    ) -> Result<CampaignResult, EngineError> {
         let fault_for = self.fault_for();
         // Clean decodes and level partitions are trial-invariant: prepare
         // them once so every trial costs O(expected faults), not O(cells).
@@ -223,23 +645,54 @@ impl EvalContext {
             .map(|p| p.expected_faults(target, &fault_for))
             .sum();
         let scratch = ScratchPool::new();
-        let results = self.pool.scope_map(trials, |trial| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(trial as u64));
-            let mut stats = DecodeStats::default();
-            let mats: Vec<_> = prepared
-                .iter()
-                .map(|layer| {
-                    let (m, s) = match target {
-                        Some(kind) => layer.decode_with_isolated_faults(kind, &fault_for, &mut rng),
-                        None => layer.decode_with_faults(&fault_for, &mut rng),
-                    };
-                    stats.absorb(s);
-                    m
-                })
-                .collect();
-            (scratch.eval(eval, &mats), stats)
-        });
-        CampaignResult::from_trials(results).with_expected_faults(expected)
+        let kind = match target {
+            Some(_) => "isolated",
+            None => "campaign",
+        };
+        let fingerprint = self.run_fingerprint(
+            kind,
+            trials,
+            seed,
+            stored,
+            target,
+            eval.baseline_error(),
+            control,
+        );
+        let label = stored
+            .first()
+            .map(|l| l.scheme.label())
+            .unwrap_or_else(|| "empty".to_string());
+        let mut driven = drive_trials(
+            &self.pool,
+            1,
+            trials,
+            seed,
+            control,
+            fingerprint,
+            &label,
+            |_, trial| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(trial as u64));
+                let mut stats = DecodeStats::default();
+                let mats: Vec<_> = prepared
+                    .iter()
+                    .map(|layer| {
+                        let (m, s) = match target {
+                            Some(kind) => {
+                                layer.decode_with_isolated_faults(kind, &fault_for, &mut rng)
+                            }
+                            None => layer.decode_with_faults(&fault_for, &mut rng),
+                        };
+                        stats.absorb(s);
+                        m
+                    })
+                    .collect();
+                (scratch.eval(eval, &mats), stats)
+            },
+        )?;
+        let group = driven.pop().expect("one group");
+        Ok(CampaignResult::from_outcomes(trials, group.outcomes)
+            .with_termination(group.stopped_early, group.cancelled)
+            .with_expected_faults(expected))
     }
 
     /// Runs a campaign with the paper's exact chip semantics: each
@@ -255,6 +708,18 @@ impl EvalContext {
         stored: &[StoredLayer],
         eval: &(dyn AccuracyEval + Sync),
     ) -> Result<CampaignResult, EngineError> {
+        self.run_chips_controlled(trials, seed, stored, eval, &RunControl::default())
+    }
+
+    /// [`Self::run_chips`] under a [`RunControl`].
+    pub fn run_chips_controlled(
+        &self,
+        trials: usize,
+        seed: u64,
+        stored: &[StoredLayer],
+        eval: &(dyn AccuracyEval + Sync),
+        control: &RunControl,
+    ) -> Result<CampaignResult, EngineError> {
         if (self.rate_scale - 1.0).abs() > 1e-12 {
             return Err(EngineError::ChipRateScale(self.rate_scale));
         }
@@ -265,21 +730,46 @@ impl EvalContext {
             .map(|l| l.expected_faults_in(None, &fault_for))
             .sum();
         let scratch = ScratchPool::new();
-        let results = self.pool.scope_map(trials, |trial| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(trial as u64));
-            let mut stats = DecodeStats::default();
-            let mats: Vec<_> = stored
-                .iter()
-                .map(|layer| {
-                    let chip = layer.program_chip(&cell_for, &mut rng);
-                    let (m, s) = chip.decode();
-                    stats.absorb(s);
-                    m
-                })
-                .collect();
-            (scratch.eval(eval, &mats), stats)
-        });
-        Ok(CampaignResult::from_trials(results).with_expected_faults(expected))
+        let fingerprint = self.run_fingerprint(
+            "chips",
+            trials,
+            seed,
+            stored,
+            None,
+            eval.baseline_error(),
+            control,
+        );
+        let label = stored
+            .first()
+            .map(|l| l.scheme.label())
+            .unwrap_or_else(|| "empty".to_string());
+        let mut driven = drive_trials(
+            &self.pool,
+            1,
+            trials,
+            seed,
+            control,
+            fingerprint,
+            &label,
+            |_, trial| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(trial as u64));
+                let mut stats = DecodeStats::default();
+                let mats: Vec<_> = stored
+                    .iter()
+                    .map(|layer| {
+                        let chip = layer.program_chip(&cell_for, &mut rng);
+                        let (m, s) = chip.decode();
+                        stats.absorb(s);
+                        m
+                    })
+                    .collect();
+                (scratch.eval(eval, &mats), stats)
+            },
+        )?;
+        let group = driven.pop().expect("one group");
+        Ok(CampaignResult::from_outcomes(trials, group.outcomes)
+            .with_termination(group.stopped_early, group.cancelled)
+            .with_expected_faults(expected))
     }
 
     /// Concrete design-space exploration on the engine: every candidate
@@ -305,6 +795,23 @@ impl EvalContext {
         layers: &[ClusteredLayer],
         eval: &(dyn AccuracyEval + Sync),
         cfg: &DseConfig,
+    ) -> Result<Vec<DsePoint>, EngineError> {
+        self.run_dse_controlled(layers, eval, cfg, &RunControl::default())
+    }
+
+    /// [`Self::run_dse`] under a [`RunControl`]: per-trial panic
+    /// isolation, cooperative cancellation, whole-sweep
+    /// checkpoint/resume (one checkpoint group per candidate scheme),
+    /// and optional per-scheme adaptive early stopping — each scheme's
+    /// campaign halts as soon as its Wilson interval decides the ITN
+    /// acceptance test, so decisively-passing and decisively-failing
+    /// schemes stop paying trials the moment the data suffices.
+    pub fn run_dse_controlled(
+        &self,
+        layers: &[ClusteredLayer],
+        eval: &(dyn AccuracyEval + Sync),
+        cfg: &DseConfig,
+        control: &RunControl,
     ) -> Result<Vec<DsePoint>, EngineError> {
         if (cfg.campaign.rate_scale - self.rate_scale).abs() > 1e-12 {
             return Err(EngineError::RateScaleMismatch {
@@ -338,37 +845,83 @@ impl EvalContext {
                 .map(|(i, l)| PreparedLayer::new(l, cache.clean_decode(i, l)))
                 .collect()
         });
+        // Fingerprint the whole sweep: every scheme's identity and cell
+        // count participates, so adding/removing candidates invalidates
+        // old checkpoints.
+        let fingerprint = {
+            let mut f = Fingerprint::new();
+            f.push_str("dse")
+                .push_str(self.tech.name())
+                .push_f64(self.rate_scale)
+                .push_u64(trials as u64)
+                .push_u64(seed)
+                .push_f64(baseline)
+                .push_f64(cfg.itn_bound)
+                .push_u64(schemes.len() as u64);
+            for (s, scheme) in schemes.iter().enumerate() {
+                f.push_str(&scheme.label());
+                f.push_u64(stored[s].1);
+            }
+            match &control.early_stop {
+                Some(es) => {
+                    f.push_str("early-stop")
+                        .push_f64(es.baseline)
+                        .push_f64(es.itn_bound)
+                        .push_f64(es.z)
+                        .push_u64(es.min_trials as u64)
+                        .push_u64(es.batch as u64);
+                }
+                None => {
+                    f.push_str("fixed-budget");
+                }
+            }
+            f.push_u64(control.panic_trials.len() as u64);
+            for &t in &control.panic_trials {
+                f.push_u64(t as u64);
+            }
+            f.finish()
+        };
         let scratch = ScratchPool::new();
-        let flat: Vec<(f64, DecodeStats)> = self.pool.scope_map(schemes.len() * trials, |job| {
-            let (s, trial) = (job / trials, job % trials);
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(trial as u64));
-            let mut stats = DecodeStats::default();
-            let mats: Vec<_> = prepared[s]
-                .iter()
-                .map(|layer| {
-                    let (m, st) = layer.decode_with_faults(&fault_for, &mut rng);
-                    stats.absorb(st);
-                    m
-                })
-                .collect();
-            (scratch.eval(eval, &mats), stats)
-        });
+        let driven = drive_trials(
+            &self.pool,
+            schemes.len(),
+            trials,
+            seed,
+            control,
+            fingerprint,
+            "dse-sweep",
+            |s, trial| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(trial as u64));
+                let mut stats = DecodeStats::default();
+                let mats: Vec<_> = prepared[s]
+                    .iter()
+                    .map(|layer| {
+                        let (m, st) = layer.decode_with_faults(&fault_for, &mut rng);
+                        stats.absorb(st);
+                        m
+                    })
+                    .collect();
+                (scratch.eval(eval, &mats), stats)
+            },
+        )?;
         Ok(schemes
             .into_iter()
+            .zip(driven)
             .enumerate()
-            .map(|(s, scheme)| {
+            .map(|(s, (scheme, group))| {
                 let expected: f64 = prepared[s]
                     .iter()
                     .map(|p| p.expected_faults(None, &fault_for))
                     .sum();
-                let result =
-                    CampaignResult::from_trials(flat[s * trials..(s + 1) * trials].to_vec())
-                        .with_expected_faults(expected);
+                let result = CampaignResult::from_outcomes(trials, group.outcomes)
+                    .with_termination(group.stopped_early, group.cancelled)
+                    .with_expected_faults(expected);
                 DsePoint {
                     scheme,
                     cells: stored[s].1,
                     mean_error: result.mean_error,
                     passes: result.within_itn(baseline, cfg.itn_bound),
+                    trials_run: result.completed_trials,
                 }
             })
             .collect())
@@ -412,5 +965,35 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn worker_overrides_parse_strictly() {
+        assert_eq!(parse_workers("4"), Ok(4));
+        assert_eq!(parse_workers("  16 "), Ok(16));
+        for bad in ["0", "-2", "", "  ", "four", "1.5", "8x"] {
+            let err = parse_workers(bad).expect_err(bad);
+            assert_eq!(
+                err,
+                EngineError::InvalidWorkerConfig {
+                    value: bad.to_string()
+                },
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn early_stop_decides_only_decisive_intervals() {
+        let es = EarlyStop::new(0.05, 0.01);
+        // Too few trials: never decide.
+        assert!(!es.decided(0.0, 4));
+        // Mean far below the threshold with a large sample: decisively
+        // inside.
+        assert!(es.decided(0.05, 4000));
+        // Mean far above: decisively outside.
+        assert!(es.decided(0.5, 200));
+        // Mean near the threshold at a modest sample: undecided.
+        assert!(!es.decided(0.06, 16));
     }
 }

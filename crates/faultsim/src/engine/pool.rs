@@ -13,14 +13,23 @@
 //! pool works at any size (even zero workers degenerates to the caller
 //! running everything serially) and nested scopes cannot deadlock — a
 //! blocked scope always has at least its own caller making progress.
+//! While waiting, a caller parks on the pool's `work_ready` condvar; it
+//! is woken either by new work being queued (including nested work its
+//! own jobs pushed) or by the completion of its scope's last job, so
+//! there is no polling interval anywhere in the pool.
+//!
+//! Scopes can be made cancellable ([`WorkerPool::scope_map_cancellable`]):
+//! each queued job checks a [`CancelToken`] just before running, so a
+//! cancelled scope drains its queue near-instantly and reports which
+//! indices actually ran.
 
+use crate::cancel::CancelToken;
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -28,6 +37,19 @@ struct Shared {
     queue: Mutex<VecDeque<Job>>,
     work_ready: Condvar,
     shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Wakes every parked thread — workers looking for jobs and scope
+    /// callers waiting on completion. Taking (and immediately releasing)
+    /// the queue lock first closes the race against a thread that has
+    /// checked its predicate but not yet parked: the notifier serializes
+    /// behind that thread's critical section, so the notify cannot land
+    /// in the gap.
+    fn wake_all(&self) {
+        drop(self.queue.lock());
+        self.work_ready.notify_all();
+    }
 }
 
 /// A fixed set of persistent worker threads draining a shared job queue.
@@ -80,6 +102,29 @@ impl WorkerPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        let never = CancelToken::new();
+        self.scope_map_cancellable(n, &never, f)
+            .into_iter()
+            .map(|slot| slot.expect("uncancellable scope job left no result"))
+            .collect()
+    }
+
+    /// [`Self::scope_map`] with cooperative cancellation: each job
+    /// checks `cancel` immediately before running `f`, so once the
+    /// token fires the remaining queue drains without doing work.
+    /// Returns `Some(result)` for indices that ran, `None` for indices
+    /// skipped after cancellation. Panics from `f` are still re-raised
+    /// (first one wins) after all jobs have settled.
+    pub fn scope_map_cancellable<T, F>(
+        &self,
+        n: usize,
+        cancel: &CancelToken,
+        f: F,
+    ) -> Vec<Option<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
         if n == 0 {
             return Vec::new();
         }
@@ -89,38 +134,44 @@ impl WorkerPool {
             for i in 0..n {
                 let state_ref = &state;
                 let f_ref = &f;
-                let job: Box<dyn FnOnce() + Send + '_> =
-                    Box::new(move || state_ref.run_one(i, f_ref));
+                let cancel_ref = cancel;
+                let shared_ref: &Shared = &self.shared;
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let last = if cancel_ref.is_cancelled() {
+                        state_ref.skip_one()
+                    } else {
+                        state_ref.run_one(i, f_ref)
+                    };
+                    if last {
+                        // Wake the scope's caller (and any nested scope
+                        // callers) parked on `work_ready`.
+                        shared_ref.wake_all();
+                    }
+                });
                 // SAFETY: this call does not return until `state.remaining`
                 // reaches zero, i.e. every queued job has run to completion
                 // (panics are caught and still count), so the borrows of
-                // `state` and `f` smuggled past the 'static bound outlive
-                // every job that uses them.
+                // `state`, `f`, `cancel`, and `self.shared` smuggled past
+                // the 'static bound outlive every job that uses them.
                 let job: Job = unsafe { std::mem::transmute(job) };
                 queue.push_back(job);
             }
         }
         self.shared.work_ready.notify_all();
         loop {
-            let job = self.shared.queue.lock().pop_front();
-            match job {
-                Some(job) => job(),
-                None => {
-                    let mut remaining = state.remaining.lock();
-                    if *remaining == 0 {
-                        break;
-                    }
-                    // Wait briefly rather than indefinitely: a job of ours
-                    // running on a worker may push nested work this caller
-                    // should help with.
-                    state
-                        .done
-                        .wait_for(&mut remaining, Duration::from_millis(1));
-                    if *remaining == 0 {
-                        break;
-                    }
-                }
+            let mut queue = self.shared.queue.lock();
+            if let Some(job) = queue.pop_front() {
+                drop(queue);
+                job();
+                continue;
             }
+            if *state.remaining.lock() == 0 {
+                break;
+            }
+            // Parked until either new work arrives (a job of ours running
+            // on a worker may push nested work this caller should help
+            // with) or our scope's last job completes and wakes us.
+            self.shared.work_ready.wait(&mut queue);
         }
         state.finish()
     }
@@ -129,7 +180,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.work_ready.notify_all();
+        self.shared.wake_all();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -148,6 +199,8 @@ fn worker_loop(shared: &Shared) {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
+        // Woken by new work or (spuriously) by a scope completing; both
+        // re-check the queue.
         shared.work_ready.wait(&mut queue);
     }
 }
@@ -157,7 +210,6 @@ fn worker_loop(shared: &Shared) {
 struct ScopeState<T> {
     results: Mutex<Vec<Option<T>>>,
     remaining: Mutex<usize>,
-    done: Condvar,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
@@ -166,12 +218,12 @@ impl<T: Send> ScopeState<T> {
         Self {
             results: Mutex::new((0..n).map(|_| None).collect()),
             remaining: Mutex::new(n),
-            done: Condvar::new(),
             panic: Mutex::new(None),
         }
     }
 
-    fn run_one<F: Fn(usize) -> T + Sync>(&self, i: usize, f: &F) {
+    /// Runs job `i`; returns whether it was the scope's last job.
+    fn run_one<F: Fn(usize) -> T + Sync>(&self, i: usize, f: &F) -> bool {
         match panic::catch_unwind(AssertUnwindSafe(|| f(i))) {
             Ok(value) => self.results.lock()[i] = Some(value),
             Err(payload) => {
@@ -181,28 +233,34 @@ impl<T: Send> ScopeState<T> {
                 }
             }
         }
-        let mut remaining = self.remaining.lock();
-        *remaining -= 1;
-        if *remaining == 0 {
-            self.done.notify_all();
-        }
+        self.count_down()
     }
 
-    fn finish(self) -> Vec<T> {
+    /// Marks a cancelled job complete without running it; returns
+    /// whether it was the scope's last job.
+    fn skip_one(&self) -> bool {
+        self.count_down()
+    }
+
+    fn count_down(&self) -> bool {
+        let mut remaining = self.remaining.lock();
+        *remaining -= 1;
+        *remaining == 0
+    }
+
+    fn finish(self) -> Vec<Option<T>> {
         if let Some(payload) = self.panic.into_inner() {
             panic::resume_unwind(payload);
         }
-        self.results
-            .into_inner()
-            .into_iter()
-            .map(|slot| slot.expect("completed scope job left no result"))
-            .collect()
+        self.results.into_inner()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn maps_in_index_order() {
@@ -270,5 +328,75 @@ mod tests {
             pool.scope_map(4, |j| i * 4 + j).iter().sum::<usize>()
         });
         assert_eq!(out.iter().sum::<usize>(), (0..16).sum());
+    }
+
+    #[test]
+    fn completion_wakes_the_caller_promptly() {
+        // One slow job running on a worker while the caller has nothing
+        // left to steal: the caller must park and be woken by the job's
+        // completion, not by a polling interval. An end-to-end latency
+        // far below the old 1 ms poll multiplied by the iteration count
+        // would not prove much, so instead assert the scope returns
+        // promptly after the job finishes.
+        let pool = WorkerPool::new(2);
+        let start = Instant::now();
+        let out = pool.scope_map(1, |i| {
+            std::thread::sleep(Duration::from_millis(30));
+            i + 7
+        });
+        assert_eq!(out, vec![7]);
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(300),
+            "scope took {elapsed:?} for a 30 ms job"
+        );
+    }
+
+    #[test]
+    fn cancelled_scope_skips_remaining_jobs() {
+        let pool = WorkerPool::new(0); // caller-only: deterministic order
+        let cancel = CancelToken::new();
+        let ran = AtomicUsize::new(0);
+        let out = pool.scope_map_cancellable(10, &cancel, |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if i == 2 {
+                cancel.cancel();
+            }
+            i
+        });
+        // Jobs 0..=2 ran (in order, caller-only); the rest were skipped.
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
+        assert_eq!(
+            out,
+            vec![
+                Some(0),
+                Some(1),
+                Some(2),
+                None,
+                None,
+                None,
+                None,
+                None,
+                None,
+                None
+            ]
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_scope_runs_nothing() {
+        let pool = WorkerPool::new(2);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let out = pool.scope_map_cancellable(16, &cancel, |i| i);
+        assert!(out.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn cancellable_scope_without_cancellation_matches_scope_map() {
+        let pool = WorkerPool::new(3);
+        let cancel = CancelToken::new();
+        let out = pool.scope_map_cancellable(32, &cancel, |i| i * 2);
+        assert_eq!(out, (0..32).map(|i| Some(i * 2)).collect::<Vec<_>>());
     }
 }

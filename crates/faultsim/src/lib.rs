@@ -22,13 +22,17 @@
 
 pub mod analytic;
 pub mod campaign;
+pub mod cancel;
+pub mod checkpoint;
 pub mod dse;
 pub mod engine;
 pub mod evaluate;
 pub mod vulnerability;
 
-pub use campaign::{Campaign, CampaignResult};
+pub use campaign::{wilson_interval, Campaign, CampaignResult, FailedTrial, TrialOutcome};
+pub use cancel::CancelToken;
+pub use checkpoint::{CampaignCheckpoint, CheckpointConfig, Fingerprint};
 pub use dse::{minimal_cells, DseConfig, DsePoint};
-pub use engine::{EngineError, EvalContext};
+pub use engine::{EarlyStop, EngineError, EvalContext, RunControl};
 pub use evaluate::{AccuracyEval, NetworkEval, ProxyEval};
 pub use vulnerability::{VulnerabilityRow, VulnerabilityStudy};

@@ -7,9 +7,21 @@
 //! cargo run --example design_space_exploration
 //! ```
 
+//! The second half of the example runs a *concrete* Monte-Carlo sweep on
+//! the evaluation engine with the resilience layer enabled: a checkpoint
+//! file (kill the process mid-sweep and rerun to resume), a wall-clock
+//! deadline via [`CancelToken`], and adaptive early stopping that drops
+//! decisively-failing schemes after a handful of trials.
+
 use maxnvm_dnn::zoo;
+use maxnvm_encoding::cluster::ClusteredLayer;
 use maxnvm_envm::{CellTechnology, SenseAmp};
 use maxnvm_faultsim::dse::{explore_spec, minimal_cells, DsePoint};
+use maxnvm_faultsim::{
+    AccuracyEval, Campaign, CancelToken, CheckpointConfig, DseConfig, EarlyStop, EvalContext,
+    ProxyEval, RunControl,
+};
+use std::time::Duration;
 
 fn main() {
     let spec = zoo::vgg16();
@@ -70,4 +82,63 @@ fn main() {
     println!("\nKey §4.2 tension on display: the densest configurations store the");
     println!("bitmask or CSR counters in MLC3 *without* protection and fail; adding");
     println!("IdxSync or ECC makes the same densities safe for ~1% extra cells.");
+
+    resilient_concrete_sweep();
+}
+
+/// A concrete engine sweep under a [`RunControl`]: checkpointed,
+/// deadline-bounded, and adaptively early-stopped.
+fn resilient_concrete_sweep() {
+    println!("\n== resilient concrete sweep (Monte-Carlo, stand-in layer) ==\n");
+    let spec = zoo::vgg12();
+    let m = spec.layers[4].sample_matrix(spec.paper.sparsity, 17, 48, 160);
+    let layer = ClusteredLayer::from_matrix(&m, 4, 5);
+    let eval = ProxyEval::new(vec![layer.reconstruct()], 0.1, 0.9);
+    let cfg = DseConfig {
+        campaign: Campaign {
+            trials: 48,
+            seed: 13,
+            rate_scale: 120.0,
+        },
+        itn_bound: 0.02,
+    };
+    let ctx = EvalContext::new(CellTechnology::MlcCtt, &SenseAmp::paper_default(), 120.0)
+        .expect("context");
+    let ckpt = std::env::temp_dir().join("maxnvm-dse-example.ckpt");
+    let control = RunControl {
+        // Kill this process mid-sweep and run the example again: the
+        // sweep resumes from the snapshot instead of starting over.
+        checkpoint: Some(CheckpointConfig::new(&ckpt).every(256)),
+        // A hard wall-clock budget: past the deadline the sweep returns
+        // whatever it finished, with the rest checkpointed for resume.
+        cancel: CancelToken::with_timeout(Duration::from_secs(600)),
+        // Stop a scheme's campaign once its Wilson interval decides the
+        // ITN acceptance test either way.
+        early_stop: Some(EarlyStop::new(eval.baseline_error(), cfg.itn_bound)),
+        ..RunControl::default()
+    };
+    let points = ctx
+        .run_dse_controlled(&[layer], &eval, &cfg, &control)
+        .expect("sweep");
+    let budget = cfg.campaign.trials * points.len();
+    let spent: usize = points.iter().map(|p| p.trials_run).sum();
+    let early: usize = points
+        .iter()
+        .filter(|p| p.trials_run < cfg.campaign.trials)
+        .count();
+    let best = minimal_cells(&points).expect("something passes");
+    println!(
+        "{} schemes evaluated; early stopping decided {early} of them before the\n\
+         full budget: {spent} trials run instead of {budget} ({:.0}% saved).",
+        points.len(),
+        (1.0 - spent as f64 / budget as f64) * 100.0
+    );
+    println!(
+        "Winner: {} with {} cells (mean error {:.2}%, {} trials).",
+        best.scheme.label(),
+        best.cells,
+        best.mean_error * 100.0,
+        best.trials_run
+    );
+    let _ = std::fs::remove_file(&ckpt);
 }
