@@ -82,8 +82,14 @@ fn main() {
 
     let es = early_stopping_arm();
 
+    // Provenance: which revision produced the row, and which lint-pass
+    // rule set it was checked under (the `version` in lint-allow.toml),
+    // so regression rows stay attributable after the rules evolve.
+    let git_sha = git_sha().unwrap_or_else(|| "unknown".to_string());
+    let lint_pass_version = lint_pass_version().unwrap_or(0);
+
     let json = format!(
-        "{{\n  \"benchmark\": \"trial_throughput\",\n  \"model\": \"{}\",\n  \"scheme\": \"{}\",\n  \"total_cells\": {cells},\n  \"expected_faults_per_trial\": {expected:.6},\n  \"before_trials_per_sec\": {before:.3},\n  \"after_trials_per_sec\": {after:.3},\n  \"speedup\": {speedup:.3},\n  \"dse_fixed_trials\": {},\n  \"dse_early_stop_trials\": {},\n  \"dse_trial_savings\": {:.3},\n  \"dse_same_optimal\": {}\n}}\n",
+        "{{\n  \"benchmark\": \"trial_throughput\",\n  \"git_sha\": \"{git_sha}\",\n  \"lint_pass_version\": {lint_pass_version},\n  \"model\": \"{}\",\n  \"scheme\": \"{}\",\n  \"total_cells\": {cells},\n  \"expected_faults_per_trial\": {expected:.6},\n  \"before_trials_per_sec\": {before:.3},\n  \"after_trials_per_sec\": {after:.3},\n  \"speedup\": {speedup:.3},\n  \"dse_fixed_trials\": {},\n  \"dse_early_stop_trials\": {},\n  \"dse_trial_savings\": {:.3},\n  \"dse_same_optimal\": {}\n}}\n",
         spec.name,
         scheme.label(),
         es.fixed_trials,
@@ -97,6 +103,32 @@ fn main() {
     );
     std::fs::write(path, &json).expect("write benchmark JSON");
     println!("wrote {path}");
+}
+
+/// Short revision hash of the workspace, if `git` is available and the
+/// bench runs inside a checkout (a tarball build reports "unknown").
+fn git_sha() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let sha = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!sha.is_empty()).then_some(sha)
+}
+
+/// The `version = N` line of the workspace's `lint-allow.toml` — the
+/// lint-pass version this build was checked against (DESIGN.md §11).
+fn lint_pass_version() -> Option<u64> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../lint-allow.toml");
+    let text = std::fs::read_to_string(path).ok()?;
+    text.lines().find_map(|line| {
+        let rest = line.trim().strip_prefix("version")?.trim_start();
+        rest.strip_prefix('=')?.trim().parse().ok()
+    })
 }
 
 struct EarlyStoppingArm {

@@ -38,7 +38,7 @@ fn main() {
                 continue;
             }
             let req = ArrayRequest::with_capacity_bits(tech, capacity_bits, bpc);
-            let d = characterize(&req, OptTarget::ReadLatency);
+            let d = characterize(&req, OptTarget::ReadLatency).expect("feasible organization");
             println!(
                 "{:<16} {:>4} {:>12.3} {:>12.2} {:>14.2} {:>10.2}",
                 tech.name(),

@@ -28,7 +28,8 @@ fn main() {
             1.0,
             &bytes,
             &fractions,
-        );
+        )
+        .expect("feasible hybrid sweep");
         let mut best_e = (0.0, f64::INFINITY);
         for p in &points {
             if p.relative_energy < best_e.1 {

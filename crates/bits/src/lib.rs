@@ -176,7 +176,8 @@ impl BitBuffer {
 
     /// Iterator over all bits.
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
-        (0..self.len).map(move |i| self.get(i).unwrap())
+        // Every index below `len` is in range, so the fallback is dead.
+        (0..self.len).map(move |i| self.get(i).unwrap_or(false))
     }
 
     /// Serializes to little-endian bytes (final partial byte zero-padded).

@@ -147,7 +147,8 @@ fn cmd_hybrid(spec: &ModelSpec, tech: CellTechnology) {
         1.0,
         &bytes,
         &fractions,
-    );
+    )
+    .expect("feasible hybrid sweep");
     println!(
         "{} with 1mm2 on-chip memory split SRAM/eNVM ({}):
 ",

@@ -34,7 +34,7 @@
 pub use maxnvm_envm::{CellTechnology, MlcConfig, SenseAmp};
 pub use maxnvm_faultsim::engine::EngineError;
 pub use maxnvm_nvdla::{NvdlaConfig, SystemReport, WeightSource};
-pub use maxnvm_nvsim::{ArrayDesign, OptTarget};
+pub use maxnvm_nvsim::{ArrayDesign, NvsimError, OptTarget};
 
 use maxnvm_dnn::zoo::ModelSpec;
 use maxnvm_encoding::storage::StorageScheme;
@@ -86,35 +86,38 @@ pub fn optimal_design(spec: &ModelSpec, tech: CellTechnology) -> Result<DesignPo
     let sa = SenseAmp::paper_default();
     let points = explore_spec(spec, tech, &sa, spec.paper.itn_bound);
     let best: &DsePoint = minimal_cells(&points).ok_or(EngineError::NoPassingScheme)?;
-    Ok(design_from_scheme(
-        spec,
-        tech,
-        best.scheme.clone(),
-        best.cells,
-        best.mean_error,
-    ))
+    design_from_scheme(spec, tech, best.scheme.clone(), best.cells, best.mean_error).map_err(|e| {
+        // The DSE only proposes capacities nvsim can organize, so an
+        // infeasible array here is an engine invariant violation.
+        EngineError::Internal {
+            detail: format!("array characterization failed: {e}"),
+        }
+    })
 }
 
 /// Characterizes a specific (already chosen) scheme — used by the
 /// benchmark harness to pin the encodings the paper's Table 4 lists.
+///
+/// Errors with [`NvsimError`] if no array organization can serve the
+/// requested capacity at the required access width.
 pub fn design_from_scheme(
     spec: &ModelSpec,
     tech: CellTechnology,
     scheme: StorageScheme,
     cells: u64,
     mean_error: f64,
-) -> DesignPoint {
+) -> Result<DesignPoint, NvsimError> {
     let bpc = scheme.max_bpc().bits();
     // The weight store feeds NVDLA's 128-bit read beats: require a wide
     // access interface when picking the EDP-optimal organization.
     let array =
-        characterize_min_width(&ArrayRequest::new(tech, cells, bpc), OptTarget::ReadEdp, 96);
+        characterize_min_width(&ArrayRequest::new(tech, cells, bpc), OptTarget::ReadEdp, 96)?;
     let weight_bytes = encoded_weight_bytes(spec, scheme.encoding, scheme.idx_sync);
     let source = WeightSource::Envm(array);
     let system_64 = evaluate(spec, &NvdlaConfig::nvdla_64(), &source, &weight_bytes);
     let system_1024 = evaluate(spec, &NvdlaConfig::nvdla_1024(), &source, &weight_bytes);
     let write_time_s = WriteModel::for_tech(tech).total_write_time_s(cells);
-    DesignPoint {
+    Ok(DesignPoint {
         model: spec.name.clone(),
         tech,
         scheme_label: scheme.label(),
@@ -127,7 +130,7 @@ pub fn design_from_scheme(
         system_64,
         system_1024,
         write_time_s,
-    }
+    })
 }
 
 /// The DRAM-baseline system evaluation for a model (Fig. 7a): weights

@@ -174,7 +174,8 @@ impl Network {
             for l in layers {
                 match l {
                     Layer::Conv2d { weight, .. } | Layer::Linear { weight, .. } => {
-                        let m = mats.get(*idx).expect("matrix count mismatch");
+                        assert!(*idx < mats.len(), "matrix count mismatch");
+                        let m = &mats[*idx];
                         assert_eq!(
                             weight.shape(),
                             &[m.rows, m.cols],
@@ -206,9 +207,8 @@ fn argmax(logits: &Tensor) -> usize {
         .data()
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN logit"))
-        .map(|(i, _)| i)
-        .expect("empty logits")
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map_or(0, |(i, _)| i)
 }
 
 #[cfg(test)]

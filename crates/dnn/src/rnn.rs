@@ -117,9 +117,8 @@ impl ElmanRnn {
         self.forward(seq)
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN logit"))
-            .map(|(i, _)| i)
-            .expect("non-empty logits")
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map_or(0, |(i, _)| i)
     }
 
     /// Classification error rate over labelled sequences.
@@ -138,7 +137,9 @@ impl ElmanRnn {
     fn step(&mut self, seq: &[Vec<f32>], label: usize, lr: f32) -> f32 {
         let states = self.run(seq);
         let t_len = seq.len();
-        let h_last = states.last().expect("non-empty sequence");
+        let Some(h_last) = states.last() else {
+            return 0.0; // empty sequence: nothing to learn from
+        };
 
         // Softmax cross-entropy on the read-out.
         let logits: Vec<f32> = (0..self.classes)

@@ -116,8 +116,13 @@ fn softmax_ce(logits: &Tensor, label: usize) -> (f32, Tensor) {
 }
 
 /// Forward + backward for one sample. Returns the loss and per-layer
-/// parameter gradients (None for parameter-free layers).
-fn forward_backward(net: &Network, x: &Tensor, label: usize) -> (f32, Vec<Option<ParamGrad>>) {
+/// parameter gradients (None for parameter-free layers), or
+/// [`UnsupportedBackprop`] when a layer has no backward pass.
+fn forward_backward(
+    net: &Network,
+    x: &Tensor,
+    label: usize,
+) -> Result<(f32, Vec<Option<ParamGrad>>), UnsupportedBackprop> {
     // Forward, caching each layer's input.
     let mut inputs: Vec<Tensor> = Vec::with_capacity(net.layers().len());
     let mut cur = x.clone();
@@ -220,11 +225,14 @@ fn forward_backward(net: &Network, x: &Tensor, label: usize) -> (f32, Vec<Option
                 grad = grad.clone().reshape(input.shape());
             }
             other => {
-                unreachable!("backprop on unsupported layer {other:?}");
+                return Err(UnsupportedBackprop(format!(
+                    "{} (layer {other:?})",
+                    net.name
+                )));
             }
         }
     }
-    (loss, grads)
+    Ok((loss, grads))
 }
 
 /// Trains `net` in place with SGD + momentum.
@@ -261,11 +269,15 @@ pub fn sgd_train(
         let mut epoch_loss = 0.0f32;
         for &si in &order {
             let (x, y) = &samples[si];
-            let (loss, grads) = forward_backward(net, x, *y);
+            let (loss, grads) = forward_backward(net, x, *y)?;
             epoch_loss += loss;
             for (li, g) in grads.into_iter().enumerate() {
                 let Some(g) = g else { continue };
-                let (vw, vb) = vel[li].as_mut().expect("velocity buffer");
+                // Gradients and velocity buffers are built from the same
+                // layer list, so a Some gradient implies a Some buffer.
+                let Some((vw, vb)) = vel[li].as_mut() else {
+                    continue;
+                };
                 for (v, dg) in vw.data_mut().iter_mut().zip(g.weight.data()) {
                     *v = cfg.momentum * *v - cfg.lr * dg;
                 }
@@ -281,7 +293,7 @@ pub fn sgd_train(
                             *b += v;
                         }
                     }
-                    _ => unreachable!(),
+                    _ => {}
                 }
             }
         }
@@ -297,13 +309,17 @@ pub fn sgd_train(
 /// topology `runs` times from different seeds and returns
 /// `(mean_error, bound)` where the bound is the peak-to-peak spread of the
 /// test error across runs.
+///
+/// # Errors
+///
+/// Returns [`UnsupportedBackprop`] if the topology cannot be trained.
 pub fn itn_bound<F>(
     make_net: F,
     train: &[(Tensor, usize)],
     test: &[(Tensor, usize)],
     cfg: &TrainConfig,
     runs: usize,
-) -> (f64, f64)
+) -> Result<(f64, f64), UnsupportedBackprop>
 where
     F: Fn(u64) -> Network,
 {
@@ -315,13 +331,13 @@ where
             seed: cfg.seed + r as u64 * 7919 + 13,
             ..cfg.clone()
         };
-        sgd_train(&mut net, train, &cfg_r).expect("trainable topology");
+        sgd_train(&mut net, train, &cfg_r)?;
         errors.push(net.error_rate(test));
     }
     let mean = errors.iter().sum::<f64>() / runs as f64;
     let min = errors.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = errors.iter().cloned().fold(0.0f64, f64::max);
-    (mean, (max - min).max(0.005))
+    Ok((mean, (max - min).max(0.005)))
 }
 
 #[cfg(test)]
@@ -417,7 +433,7 @@ mod tests {
         );
         he_init(&mut net, 8);
         let x = Tensor::from_vec(&[1, 6, 6], (0..36).map(|_| rng.gen::<f32>()).collect());
-        let (_, grads) = forward_backward(&net, &x, 1);
+        let (_, grads) = forward_backward(&net, &x, 1).expect("backprop-capable net");
         let g = grads[0].as_ref().unwrap();
         // Check a few weight entries against central differences.
         for &wi in &[0usize, 5, 11] {
@@ -430,7 +446,7 @@ mod tests {
                 if let Layer::Conv2d { weight, .. } = &mut net.layers_mut()[0] {
                     weight.data_mut()[wi] = v;
                 }
-                let (l, _) = forward_backward(net, &x, 1);
+                let (l, _) = forward_backward(net, &x, 1).expect("backprop-capable net");
                 l
             };
             let mut net2 = net.clone();
@@ -471,7 +487,7 @@ mod tests {
             momentum: 0.9,
             seed: 1,
         };
-        let (mean, bound) = itn_bound(mlp, train, test, &cfg, 3);
+        let (mean, bound) = itn_bound(mlp, train, test, &cfg, 3).expect("trainable topology");
         assert!(mean < 0.2, "mean error {mean}");
         assert!((0.005..0.2).contains(&bound), "bound {bound}");
     }

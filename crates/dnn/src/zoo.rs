@@ -118,7 +118,7 @@ pub fn prune_to_sparsity(data: &mut [f32], sparsity: f64) {
         return;
     }
     let mut mags: Vec<f32> = data.iter().map(|v| v.abs()).collect();
-    mags.sort_by(|a, b| a.partial_cmp(b).expect("NaN weight"));
+    mags.sort_by(|a, b| a.total_cmp(b));
     let threshold = mags[(k - 1).min(mags.len() - 1)];
     for v in data.iter_mut() {
         if v.abs() <= threshold {

@@ -143,7 +143,7 @@ impl SecDed {
         let mut di = 0;
         for pos in 1..=m {
             if !pos.is_power_of_two() {
-                cw.set(pos, data.get(di).expect("data bit"));
+                cw.set(pos, data.get(di) == Some(true));
                 di += 1;
             }
         }
@@ -153,7 +153,7 @@ impl SecDed {
             let p = 1usize << i;
             let mut parity = false;
             for pos in 1..=m {
-                if pos & p != 0 && !pos.is_power_of_two() && cw.get(pos).unwrap() {
+                if pos & p != 0 && !pos.is_power_of_two() && cw.get(pos) == Some(true) {
                     parity = !parity;
                 }
             }
@@ -162,7 +162,7 @@ impl SecDed {
         // Overall parity over positions 1..=m.
         let mut overall = false;
         for pos in 1..=m {
-            if cw.get(pos).unwrap() {
+            if cw.get(pos) == Some(true) {
                 overall = !overall;
             }
         }
@@ -189,7 +189,7 @@ impl SecDed {
             let p = 1usize << i;
             let mut parity = false;
             for pos in 1..=m {
-                if pos & p != 0 && cw.get(pos).unwrap() {
+                if pos & p != 0 && cw.get(pos) == Some(true) {
                     parity = !parity;
                 }
             }
@@ -199,7 +199,7 @@ impl SecDed {
         }
         let mut overall = false;
         for pos in 0..=m {
-            if cw.get(pos).unwrap() {
+            if cw.get(pos) == Some(true) {
                 overall = !overall;
             }
         }
@@ -226,7 +226,7 @@ impl SecDed {
         let mut data = BitBuffer::with_capacity(self.data_bits);
         for pos in 1..=m {
             if !pos.is_power_of_two() {
-                data.push_bit(cw.get(pos).unwrap());
+                data.push_bit(cw.get(pos) == Some(true));
             }
         }
         Decoded { data, correction }
@@ -317,7 +317,7 @@ impl BlockCodec {
             };
             let mut block = BitBuffer::with_capacity(take);
             for i in 0..take {
-                block.push_bit(data.get(pos + i).expect("in range"));
+                block.push_bit(data.get(pos + i) == Some(true));
             }
             out.extend(code.encode(&block).iter());
             pos += take;
@@ -394,7 +394,7 @@ impl BlockCodec {
         let code = self.word_code(word, data_len);
         let mut cw = BitBuffer::with_capacity(end - start);
         for i in start..end {
-            cw.push_bit(encoded.get(i).expect("codeword bit in range"));
+            cw.push_bit(encoded.get(i) == Some(true));
         }
         code.decode(&mut cw)
     }
@@ -427,7 +427,7 @@ impl BlockCodec {
             let cb = code.codeword_bits();
             let mut cw = BitBuffer::with_capacity(cb);
             for i in 0..cb {
-                cw.push_bit(encoded.get(pos + i).expect("in range"));
+                cw.push_bit(encoded.get(pos + i) == Some(true));
             }
             let dec = code.decode(&mut cw);
             match dec.correction {

@@ -35,34 +35,34 @@ pub fn kmeans_1d(values: &[f32], k: usize, iters: usize, seed: u64) -> Vec<f32> 
 
     // k-means++ init on the (sorted) sample.
     let mut sorted = sample.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN weight"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let k = k.min(sorted.len());
     let mut centroids: Vec<f32> = Vec::with_capacity(k);
     centroids.push(sorted[sorted.len() / 2]);
     while centroids.len() < k {
         // Pick the point farthest from its nearest centroid (deterministic
         // farthest-point variant of k-means++; robust in 1-D).
-        let far = sorted
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                let da = centroids
-                    .iter()
-                    .map(|&c| (a - c).abs())
-                    .fold(f32::MAX, f32::min);
-                let db = centroids
-                    .iter()
-                    .map(|&c| (b - c).abs())
-                    .fold(f32::MAX, f32::min);
-                da.partial_cmp(&db).expect("NaN distance")
-            })
-            .expect("non-empty");
+        // `sorted` is non-empty here: the first centroid above needs
+        // at least one sample, so `max_by` finds a point.
+        let Some(far) = sorted.iter().copied().max_by(|&a, &b| {
+            let da = centroids
+                .iter()
+                .map(|&c| (a - c).abs())
+                .fold(f32::MAX, f32::min);
+            let db = centroids
+                .iter()
+                .map(|&c| (b - c).abs())
+                .fold(f32::MAX, f32::min);
+            da.total_cmp(&db)
+        }) else {
+            break;
+        };
         if centroids.contains(&far) {
             break; // fewer distinct values than k
         }
         centroids.push(far);
     }
-    centroids.sort_by(|a, b| a.partial_cmp(b).expect("NaN centroid"));
+    centroids.sort_by(|a, b| a.total_cmp(b));
 
     // Lloyd iterations.
     for _ in 0..iters {
@@ -83,7 +83,7 @@ pub fn kmeans_1d(values: &[f32], k: usize, iters: usize, seed: u64) -> Vec<f32> 
                 }
             }
         }
-        centroids.sort_by(|a, b| a.partial_cmp(b).expect("NaN centroid"));
+        centroids.sort_by(|a, b| a.total_cmp(b));
         if !moved {
             break;
         }

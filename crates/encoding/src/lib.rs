@@ -52,7 +52,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The sparse-encoding strategies the paper compares (Table 2, Fig. 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum EncodingKind {
     /// Dense storage of pruned-and-clustered indices ("P+C").
     DenseClustered,

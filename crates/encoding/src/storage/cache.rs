@@ -13,13 +13,13 @@ use super::scheme::StorageScheme;
 use crate::cluster::ClusteredLayer;
 use crate::EncodingKind;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// What a raw encode actually depends on. For non-BitMask encodings
 /// IdxSync is inert, and without IdxSync the block size is inert, so
 /// both normalize away — schemes differing only there share an entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct StreamKey {
     layer: usize,
     encoding: EncodingKind,
@@ -46,8 +46,10 @@ impl StreamKey {
 /// must only ever be used with one list of layers.
 #[derive(Default)]
 pub struct EncodeCache {
-    map: Mutex<HashMap<StreamKey, Arc<EncodedStreams>>>,
-    decoded: Mutex<HashMap<StreamKey, Arc<CleanLayerDecode>>>,
+    // Ordered maps: nothing iterates these today, but BTreeMap keeps
+    // any future traversal deterministic by construction (lint rule D1).
+    map: Mutex<BTreeMap<StreamKey, Arc<EncodedStreams>>>,
+    decoded: Mutex<BTreeMap<StreamKey, Arc<CleanLayerDecode>>>,
 }
 
 impl EncodeCache {

@@ -216,12 +216,15 @@ impl StoredLayer {
 
     /// Reassembles the encoding object from unpacked payload streams.
     pub(crate) fn parse_streams(&self, streams: &[(StructureKind, BitBuffer)]) -> DecodedEncoding {
+        // `streams` is built from `self.structures`, so every kind the
+        // scheme needs is present; an absent stream decodes as empty
+        // rather than unwinding through a worker thread.
+        let empty = BitBuffer::with_capacity(0);
         let find = |k: StructureKind| -> &BitBuffer {
-            &streams
+            streams
                 .iter()
                 .find(|(kind, _)| *kind == k)
-                .unwrap_or_else(|| panic!("missing structure {k}"))
-                .1
+                .map_or(&empty, |(_, b)| b)
         };
         match self.scheme.encoding {
             EncodingKind::DenseClustered => DecodedEncoding::Dense(DenseLayer::from_streams(

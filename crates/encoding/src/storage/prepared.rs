@@ -105,8 +105,13 @@ impl<'a> PreparedLayer<'a> {
             .map(|s| s.ecc.map(|_| s.unpack_stored_bits(&s.cells)))
             .collect();
         let find = |kind| stored.structures.iter().position(|s| s.kind == kind);
-        let (row_starts, row_counts) = if stored.scheme.encoding == EncodingKind::Csr {
-            let ci = find(StructureKind::RowCounter).expect("CSR stores row counters");
+        // CSR always stores row counters, so `find` succeeds; if the
+        // stream were ever absent the layer simply loses the patch fast
+        // path and decodes via the full pass.
+        let csr_counters = (stored.scheme.encoding == EncodingKind::Csr)
+            .then(|| find(StructureKind::RowCounter))
+            .flatten();
+        let (row_starts, row_counts) = if let Some(ci) = csr_counters {
             let cb = stored.counter_bits as usize;
             let buf = &clean_payload[ci];
             let counts: Vec<usize> = (0..stored.rows)
@@ -123,10 +128,13 @@ impl<'a> PreparedLayer<'a> {
         } else {
             (None, None)
         };
+        // Same shape for IdxSync: a missing counter stream (impossible
+        // by construction) just disables mask patching.
         let block_bases = (stored.scheme.encoding == EncodingKind::BitMask
             && stored.scheme.idx_sync)
-            .then(|| {
-                let si = find(StructureKind::SyncCounter).expect("IdxSync stores counters");
+            .then(|| find(StructureKind::SyncCounter))
+            .flatten()
+            .map(|si| {
                 let cb =
                     crate::bitmask::sync_counter_bits_for(stored.scheme.sync_block_bits) as usize;
                 let nblocks = (stored.rows * stored.cols).div_ceil(stored.scheme.sync_block_bits);
@@ -249,7 +257,10 @@ impl<'a> PreparedLayer<'a> {
         let patchable = self.stored.structures.iter().zip(flips).all(|(s, f)| {
             f.is_empty()
                 || match s.kind {
-                    StructureKind::Values | StructureKind::ColIndex => true,
+                    StructureKind::Values => true,
+                    StructureKind::ColIndex => {
+                        self.row_starts.is_some() && self.row_counts.is_some()
+                    }
                     StructureKind::Mask => self.block_bases.is_some(),
                     _ => false,
                 }
@@ -287,7 +298,12 @@ impl<'a> PreparedLayer<'a> {
             }
             Some(code) => {
                 let codec = BlockCodec::new(*code);
-                let mut bits = self.clean_stored[i].clone().expect("ECC stream cached");
+                // ECC streams are cached at prepare time; recomputing on
+                // a (impossible) miss keeps this path total.
+                let mut bits = match &self.clean_stored[i] {
+                    Some(b) => b.clone(),
+                    None => s.unpack_stored_bits(&s.cells),
+                };
                 let mut words: Vec<usize> = Vec::new();
                 for &(c, new) in flips {
                     let (start, end) = s.cell_bit_range(c as usize);
@@ -344,7 +360,10 @@ impl<'a> PreparedLayer<'a> {
         let ib = self.stored.index_bits as usize;
         let top = (self.stored.centroids.len() - 1) as u16;
         let cent = |v: u16| self.stored.centroids[v.min(top) as usize];
-        let vi = find(StructureKind::Values).expect("every encoding stores values");
+        let Some(vi) = find(StructureKind::Values) else {
+            // Every encoding stores values; nothing to patch without them.
+            return (matrix, stats);
+        };
         let values = payload(vi);
         let num_entries = self.stored.structures[vi].payload_bits / ib.max(1);
 
@@ -364,11 +383,13 @@ impl<'a> PreparedLayer<'a> {
         }
 
         // CSR: re-walk rows whose gap stream changed.
-        if let Some(gi) = find(StructureKind::ColIndex).filter(|&gi| !dirty[gi].is_empty()) {
+        if let (Some(gi), Some(starts), Some(counts)) = (
+            find(StructureKind::ColIndex).filter(|&gi| !dirty[gi].is_empty()),
+            self.row_starts.as_ref(),
+            self.row_counts.as_ref(),
+        ) {
             let gaps = payload(gi);
             let gb = self.stored.col_idx_bits as usize;
-            let starts = self.row_starts.as_ref().expect("CSR prepared");
-            let counts = self.row_counts.as_ref().expect("CSR prepared");
             let cols = self.stored.cols;
             let mut rows: Vec<usize> = bits_to_units(&dirty[gi], gb, num_entries)
                 .into_iter()
@@ -397,12 +418,11 @@ impl<'a> PreparedLayer<'a> {
         }
 
         // BitMask + IdxSync: re-walk sync blocks whose mask changed.
-        if let Some(mi) = find(StructureKind::Mask).filter(|&mi| !dirty[mi].is_empty()) {
+        if let (Some(mi), Some(bases)) = (
+            find(StructureKind::Mask).filter(|&mi| !dirty[mi].is_empty()),
+            self.block_bases.as_ref(),
+        ) {
             let mask = payload(mi);
-            let bases = self
-                .block_bases
-                .as_ref()
-                .expect("patchable implies IdxSync");
             let bb = self.stored.scheme.sync_block_bits;
             let total = self.stored.rows * self.stored.cols;
             let mut blocks = bits_to_units(&dirty[mi], bb, bases.len() - 1);

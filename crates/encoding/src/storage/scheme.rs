@@ -176,10 +176,11 @@ impl StorageScheme {
             }
             EncodingKind::DenseClustered => {}
         }
+        // `kinds` always contains Values, so the fallback is dead.
         kinds
             .into_iter()
             .map(|k| self.bpc.for_kind(k))
             .max()
-            .expect("non-empty")
+            .unwrap_or_else(|| self.bpc.for_kind(StructureKind::Values))
     }
 }

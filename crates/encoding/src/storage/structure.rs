@@ -58,7 +58,8 @@ impl StoredStructure {
                 break;
             }
             let take = remaining.min(w);
-            let mut v = rd.read_bits(take).expect("in range") as u8;
+            // `take <= remaining`, so the read never comes up short.
+            let mut v = rd.read_bits(take).unwrap_or(0) as u8;
             if take < w {
                 // final partial cell: zero-pad high bits
                 v &= (1u8 << w) - 1;

@@ -34,7 +34,11 @@ impl FaultMap {
             assert!((0.0..=1.0).contains(&u) && (0.0..=1.0).contains(&d));
             assert!(u + d <= 1.0, "combined fault probability exceeds 1");
         }
-        assert_eq!(*p_up.last().unwrap(), 0.0, "top level cannot fault upward");
+        assert_eq!(
+            p_up.last().copied(),
+            Some(0.0),
+            "top level cannot fault upward"
+        );
         assert_eq!(p_down[0], 0.0, "bottom level cannot fault downward");
         let p_tot = p_up.iter().zip(&p_down).map(|(u, d)| u + d).collect();
         Self {

@@ -54,8 +54,10 @@ impl CellTechnology {
 
     /// MLC configurations available for this technology.
     pub fn available_configs(self) -> Vec<MlcConfig> {
-        (1..=self.max_bits_per_cell())
-            .map(|b| MlcConfig::new(b).expect("valid bits"))
+        MlcConfig::ALL
+            .iter()
+            .copied()
+            .filter(|c| c.bits() <= self.max_bits_per_cell())
             .collect()
     }
 
@@ -134,11 +136,12 @@ impl CellTechnology {
                 // extra guard gap after level 0 (§2.2.1).
                 let sigma_unprog = 0.0452;
                 let sigma_prog = 0.01353;
+                // `n` is 2, 4, or 8: MlcConfig is validated to 1..=3
+                // bits. The last arm carries the densest calibration.
                 let first_prog = match n {
                     2 => 1.0,
                     4 => 0.40,
-                    8 => 0.25,
-                    _ => unreachable!(),
+                    _ => 0.25,
                 };
                 let mut levels = vec![LevelDistribution::new(0.0, sigma_unprog)];
                 for i in 1..n {

@@ -227,10 +227,10 @@ impl CampaignResult {
 /// sense-amp offset, §2.3). The maps are built once and handed out by
 /// `Arc`, so a hot per-cell lookup loop never copies probability tables.
 pub fn fault_maps(tech: CellTechnology, sa: &SenseAmp) -> impl Fn(MlcConfig) -> Arc<FaultMap> + '_ {
-    let maps: Vec<Arc<FaultMap>> = (1..=3u8)
-        .map(|b| {
-            let cfg = MlcConfig::new(b).expect("valid bits");
-            Arc::new(if b <= tech.max_bits_per_cell() {
+    let maps: Vec<Arc<FaultMap>> = MlcConfig::ALL
+        .iter()
+        .map(|&cfg| {
+            Arc::new(if cfg.bits() <= tech.max_bits_per_cell() {
                 tech.cell_model(cfg).with_sense_amp(sa).fault_map()
             } else {
                 FaultMap::perfect(cfg.levels())
@@ -255,7 +255,7 @@ impl Campaign {
         eval: &(dyn AccuracyEval + Sync),
     ) -> Result<CampaignResult, EngineError> {
         let ctx = EvalContext::new(tech, sa, self.rate_scale)?;
-        Ok(ctx.run_campaign(self.trials, self.seed, stored, eval))
+        ctx.run_campaign(self.trials, self.seed, stored, eval)
     }
 
     /// Runs a campaign injecting faults *only* into structures of `target`
@@ -269,7 +269,7 @@ impl Campaign {
         eval: &(dyn AccuracyEval + Sync),
     ) -> Result<CampaignResult, EngineError> {
         let ctx = EvalContext::new(tech, sa, self.rate_scale)?;
-        Ok(ctx.run_isolated(self.trials, self.seed, target, stored, eval))
+        ctx.run_isolated(self.trials, self.seed, target, stored, eval)
     }
 
     /// [`Campaign::run`] under a [`RunControl`]: per-trial panic
@@ -401,12 +401,17 @@ impl Campaign {
             }
             let mut all: Vec<(usize, f64, DecodeStats)> = handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("trial thread panicked"))
+                .flat_map(|h| match h.join() {
+                    Ok(v) => v,
+                    // The reference arm has no per-trial isolation by
+                    // design; propagate the worker's panic verbatim.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect();
             all.sort_by_key(|(t, _, _)| *t);
             results = all.into_iter().map(|(_, e, s)| (e, s)).collect();
         })
-        .expect("campaign scope");
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
         CampaignResult::from_trials(results)
     }
 }

@@ -12,9 +12,15 @@
 //!
 //! [`CampaignResult`]: crate::campaign::CampaignResult
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+// `cargo xtask loom` swaps the flag to the schedule-perturbing polyfill
+// so the CancelToken handoff races are exercised by the model tests.
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicBool, Ordering};
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A shared cancellation flag with an optional wall-clock deadline.
 ///
@@ -103,5 +109,28 @@ mod tests {
         let t = CancelToken::with_timeout(Duration::from_secs(3600));
         assert!(!t.is_cancelled());
         assert!(t.deadline().is_some());
+    }
+
+    #[test]
+    fn deadline_exactly_now_reads_cancelled() {
+        // The boundary case: `is_cancelled` uses `now >= deadline`, and
+        // Instant is monotonic, so a token armed with the current
+        // instant can never report live — there is no instant at which
+        // a later check reads a smaller clock.
+        let t = CancelToken::with_deadline(Instant::now());
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn zero_budget_is_cancelled_through_clones() {
+        // `with_timeout(ZERO)` arms the deadline at construction time;
+        // every clone shares it, so no clone can observe a live token.
+        let t = CancelToken::with_timeout(Duration::ZERO);
+        let u = t.clone();
+        assert!(t.is_cancelled());
+        assert!(u.is_cancelled());
+        // Explicit cancel on an already-expired token stays idempotent.
+        u.cancel();
+        assert!(t.is_cancelled());
     }
 }

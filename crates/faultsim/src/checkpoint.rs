@@ -25,7 +25,7 @@
 use crate::campaign::TrialOutcome;
 use crate::engine::EngineError;
 use maxnvm_encoding::storage::DecodeStats;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 /// On-disk format tag; bumped only when the file layout itself changes.
@@ -168,8 +168,9 @@ impl CampaignCheckpoint {
         self.entries.push((group, trial, outcome));
     }
 
-    /// The set of already-completed `(group, trial)` pairs.
-    pub fn completed(&self) -> HashSet<(usize, usize)> {
+    /// The set of already-completed `(group, trial)` pairs. Ordered
+    /// (`BTreeSet`) so any traversal is deterministic (lint rule D1).
+    pub fn completed(&self) -> BTreeSet<(usize, usize)> {
         self.entries.iter().map(|(g, t, _)| (*g, *t)).collect()
     }
 

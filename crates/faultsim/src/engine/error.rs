@@ -62,6 +62,13 @@ pub enum EngineError {
         /// What was wrong, with the offending line where possible.
         detail: String,
     },
+    /// An internal invariant failed. Surfaced as a typed error instead
+    /// of a panic so callers never unwind through worker threads; seeing
+    /// this is always a bug in the engine.
+    Internal {
+        /// Which invariant broke.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -101,6 +108,12 @@ impl fmt::Display for EngineError {
             }
             Self::CheckpointParse { detail } => {
                 write!(f, "checkpoint file is corrupt or unreadable: {detail}")
+            }
+            Self::Internal { detail } => {
+                write!(
+                    f,
+                    "internal engine invariant violated (this is a bug): {detail}"
+                )
             }
         }
     }

@@ -24,12 +24,24 @@
 //! indices actually ran.
 
 use crate::cancel::CancelToken;
-use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+// Under `--cfg loom` (cargo xtask loom) the pool's primitives swap to the
+// vendored loom polyfill, which injects seeded schedule perturbations at
+// every lock/wait/notify/atomic access so the model tests explore many
+// interleavings of the enqueue/park/wake windows. Production builds use
+// parking_lot and plain std atomics.
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicBool, Ordering};
+#[cfg(loom)]
+use loom::sync::{Condvar, Mutex};
+#[cfg(not(loom))]
+use parking_lot::{Condvar, Mutex};
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicBool, Ordering};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -67,15 +79,20 @@ impl WorkerPool {
             work_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("maxnvm-eval-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn evaluation worker")
-            })
-            .collect();
+        // If the OS refuses a thread, run with the workers that did
+        // spawn: `scope_map` has the caller help drain the queue, so the
+        // pool stays correct (just slower) even with zero workers.
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("maxnvm-eval-{i}"))
+                .spawn(move || worker_loop(&shared))
+            {
+                Ok(h) => handles.push(h),
+                Err(_) => break,
+            }
+        }
         Self {
             shared,
             workers,
@@ -105,6 +122,7 @@ impl WorkerPool {
         let never = CancelToken::new();
         self.scope_map_cancellable(n, &never, f)
             .into_iter()
+            // maxnvm-lint: allow(D2/expect): a never-fired CancelToken cannot skip jobs, and job panics re-raise in finish() before results are read, so every slot is Some.
             .map(|slot| slot.expect("uncancellable scope job left no result"))
             .collect()
     }
@@ -390,6 +408,33 @@ mod tests {
         cancel.cancel();
         let out = pool.scope_map_cancellable(16, &cancel, |i| i);
         assert!(out.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn transmute_job_borrows_stay_contained_in_the_scope() {
+        // The Miri target for `cargo xtask miri` (matched by the
+        // `engine::pool::tests::transmute_` filter): exercises the
+        // lifetime-erasing transmute in `scope_map_cancellable` under
+        // the borrow tracker. The jobs borrow caller-owned state, run on
+        // pool workers and the caller, and one scope nests inside
+        // another — if the SAFETY argument (no job outlives the scope
+        // call) were wrong, Miri reports use-after-free on `data`,
+        // `sums`, or the scope's own state.
+        let pool = WorkerPool::new(2);
+        let data: Vec<u64> = (0..24).map(|i| i * 7 + 1).collect();
+        let sums = Mutex::new(0u64);
+        let out = pool.scope_map(data.len(), |i| {
+            let nested = pool.scope_map(2, |j| data[i] + j as u64);
+            *sums.lock() += 1;
+            nested[0] + nested[1]
+        });
+        assert_eq!(*sums.lock(), data.len() as u64);
+        assert_eq!(out[3], 2 * data[3] + 1);
+        // A cancelled scope drains through the same transmuted jobs.
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let skipped = pool.scope_map_cancellable(8, &cancel, |i| data[i]);
+        assert!(skipped.iter().all(Option::is_none));
     }
 
     #[test]

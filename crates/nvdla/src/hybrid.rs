@@ -12,7 +12,7 @@ use crate::source::WeightSource;
 use maxnvm_dnn::zoo::ModelSpec;
 use maxnvm_envm::CellTechnology;
 use maxnvm_nvsim::sram::SramMacro;
-use maxnvm_nvsim::{characterize, ArrayDesign, ArrayRequest, OptTarget};
+use maxnvm_nvsim::{characterize, ArrayDesign, ArrayRequest, NvsimError, OptTarget};
 use serde::{Deserialize, Serialize};
 
 /// One point of the Fig. 11 sweep.
@@ -35,23 +35,32 @@ pub struct HybridPoint {
 /// Largest eNVM macro (in cells) fitting within `area_mm2`, by scaling a
 /// reference characterization and refining once (area is near-linear in
 /// cells for fixed organization).
-pub fn capacity_cells_for_area(tech: CellTechnology, bits_per_cell: u8, area_mm2: f64) -> u64 {
+///
+/// # Errors
+///
+/// Propagates [`NvsimError`] if the reference array cannot be
+/// characterized.
+pub fn capacity_cells_for_area(
+    tech: CellTechnology,
+    bits_per_cell: u8,
+    area_mm2: f64,
+) -> Result<u64, NvsimError> {
     assert!(area_mm2 > 0.0, "empty area budget");
     let ref_cells = 10_000_000u64;
     let reference = characterize(
         &ArrayRequest::new(tech, ref_cells, bits_per_cell),
         OptTarget::ReadEdp,
-    );
+    )?;
     let mut cells = (ref_cells as f64 * area_mm2 / reference.area_mm2) as u64;
     // One refinement step against the actual (discrete) characterization.
     if cells > 0 {
         let d = characterize(
             &ArrayRequest::new(tech, cells, bits_per_cell),
             OptTarget::ReadEdp,
-        );
+        )?;
         cells = (cells as f64 * area_mm2 / d.area_mm2) as u64;
     }
-    cells
+    Ok(cells)
 }
 
 /// Greedy placement: layers sorted by how badly they are DRAM-bottlenecked
@@ -103,6 +112,10 @@ pub fn greedy_placement(
 /// `fractions` are the eNVM shares of `area_budget_mm2` to evaluate;
 /// fraction 0 (the all-SRAM baseline) is always evaluated first as the
 /// normalization point.
+/// # Errors
+///
+/// Propagates [`NvsimError`] if the eNVM macro at any split cannot be
+/// characterized.
 pub fn sweep_hybrid(
     model: &ModelSpec,
     base_cfg: &NvdlaConfig,
@@ -111,8 +124,8 @@ pub fn sweep_hybrid(
     area_budget_mm2: f64,
     weight_bytes: &[u64],
     fractions: &[f64],
-) -> Vec<HybridPoint> {
-    let eval_at = |fraction: f64| -> (u64, usize, SystemReport) {
+) -> Result<Vec<HybridPoint>, NvsimError> {
+    let eval_at = |fraction: f64| -> Result<(u64, usize, SystemReport), NvsimError> {
         let sram_area = area_budget_mm2 * (1.0 - fraction);
         let sram = SramMacro::fit_in_area(sram_area).unwrap_or_else(|| SramMacro::new(64 * 1024));
         let mut cfg = base_cfg.clone();
@@ -120,34 +133,34 @@ pub fn sweep_hybrid(
         cfg.sram_bw_gbps = sram.bandwidth_gbps;
         if fraction <= 0.0 {
             let report = evaluate(model, &cfg, &WeightSource::Dram, weight_bytes);
-            return (0, 0, report);
+            return Ok((0, 0, report));
         }
-        let cells = capacity_cells_for_area(tech, bits_per_cell, area_budget_mm2 * fraction);
+        let cells = capacity_cells_for_area(tech, bits_per_cell, area_budget_mm2 * fraction)?;
         let envm: ArrayDesign = characterize(
             &ArrayRequest::new(tech, cells.max(1), bits_per_cell),
             OptTarget::ReadEdp,
-        );
+        )?;
         let capacity_bits = envm.request.capacity_bits();
         let fractions = greedy_placement(model, &cfg, weight_bytes, capacity_bits);
         let on_chip = fractions.iter().filter(|&&f| f > 0.0).count();
         let source = WeightSource::Hybrid { envm, fractions };
         let report = evaluate(model, &cfg, &source, weight_bytes);
-        (capacity_bits, on_chip, report)
+        Ok((capacity_bits, on_chip, report))
     };
 
-    let (_, _, baseline) = eval_at(0.0);
+    let (_, _, baseline) = eval_at(0.0)?;
     fractions
         .iter()
         .map(|&fraction| {
-            let (envm_capacity_bits, layers_on_chip, report) = eval_at(fraction);
-            HybridPoint {
+            let (envm_capacity_bits, layers_on_chip, report) = eval_at(fraction)?;
+            Ok(HybridPoint {
                 envm_fraction: fraction,
                 envm_capacity_bits,
                 layers_on_chip,
                 relative_performance: report.fps / baseline.fps,
                 relative_energy: report.energy_per_inference_mj / baseline.energy_per_inference_mj,
                 report,
-            }
+            })
         })
         .collect()
 }
@@ -171,12 +184,13 @@ mod tests {
             &bytes,
             &[0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9],
         )
+        .expect("feasible hybrid sweep")
     }
 
     #[test]
     fn capacity_scales_with_area() {
-        let half = capacity_cells_for_area(CellTechnology::MlcCtt, 3, 0.5);
-        let one = capacity_cells_for_area(CellTechnology::MlcCtt, 3, 1.0);
+        let half = capacity_cells_for_area(CellTechnology::MlcCtt, 3, 0.5).expect("feasible");
+        let one = capacity_cells_for_area(CellTechnology::MlcCtt, 3, 1.0).expect("feasible");
         let ratio = one as f64 / half as f64;
         assert!((1.6..2.4).contains(&ratio), "ratio {ratio}");
     }

@@ -90,10 +90,13 @@ mod tests {
         let envm = evaluate(
             &model,
             &cfg,
-            &WeightSource::Envm(characterize(
-                &ArrayRequest::new(CellTechnology::MlcCtt, 50_000_000, 2),
-                OptTarget::ReadEdp,
-            )),
+            &WeightSource::Envm(
+                characterize(
+                    &ArrayRequest::new(CellTechnology::MlcCtt, 50_000_000, 2),
+                    OptTarget::ReadEdp,
+                )
+                .expect("feasible organization"),
+            ),
             &bytes,
         );
         (base, envm, cfg, total)

@@ -254,11 +254,23 @@ pub fn per_layer_report(
                 / cfg.bytes_per_cycle(cfg.sram_bw_gbps))
             .ceil() as u64;
             let demands = [compute, envm, dram, sram];
-            let (winner, &cycles) = demands
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, &c)| c)
-                .expect("non-empty");
+            // Four fixed demands; `max_by_key` keeps the *last* maximum,
+            // so fold with `>=` to preserve the historical tie-break.
+            let (winner, cycles) =
+                demands
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .fold(
+                        (0, compute),
+                        |best, (i, c)| {
+                            if c >= best.1 {
+                                (i, c)
+                            } else {
+                                best
+                            }
+                        },
+                    );
             let bottleneck = [
                 Bottleneck::Compute,
                 Bottleneck::EnvmWeights,
@@ -303,10 +315,13 @@ mod tests {
     }
 
     fn ctt_source() -> WeightSource {
-        WeightSource::Envm(characterize(
-            &ArrayRequest::new(CellTechnology::MlcCtt, 50_000_000, 2),
-            OptTarget::ReadEdp,
-        ))
+        WeightSource::Envm(
+            characterize(
+                &ArrayRequest::new(CellTechnology::MlcCtt, 50_000_000, 2),
+                OptTarget::ReadEdp,
+            )
+            .expect("feasible organization"),
+        )
     }
 
     #[test]
@@ -417,10 +432,13 @@ mod tests {
         let eval_ratio = |model: &maxnvm_dnn::zoo::ModelSpec| {
             let bytes = encoded_weight_bytes(model, EncodingKind::BitMask, true);
             let cells: u64 = bytes.iter().map(|b| b * 8 / 2).sum();
-            let envm = WeightSource::Envm(characterize(
-                &ArrayRequest::new(CellTechnology::MlcCtt, cells.max(1_000_000), 2),
-                OptTarget::ReadEdp,
-            ));
+            let envm = WeightSource::Envm(
+                characterize(
+                    &ArrayRequest::new(CellTechnology::MlcCtt, cells.max(1_000_000), 2),
+                    OptTarget::ReadEdp,
+                )
+                .expect("feasible organization"),
+            );
             let base = evaluate(model, &cfg, &WeightSource::Dram, &bytes);
             let ours = evaluate(model, &cfg, &envm, &bytes);
             base.weight_energy_mj / ours.weight_energy_mj.max(1e-12)

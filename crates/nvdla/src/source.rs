@@ -104,6 +104,7 @@ mod tests {
             &ArrayRequest::new(CellTechnology::MlcCtt, 50_000_000, 2),
             OptTarget::ReadEdp,
         )
+        .expect("feasible organization")
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //!
 //! // VGG16's sparse-encoded weights in MLC3 CTT: ~90M cells.
 //! let req = ArrayRequest::new(CellTechnology::MlcCtt, 90_000_000, 3);
-//! let design = characterize(&req, OptTarget::ReadEdp);
+//! let design = characterize(&req, OptTarget::ReadEdp).expect("feasible organization");
 //! assert!(design.area_mm2 > 0.5 && design.area_mm2 < 8.0);
 //! ```
 
@@ -338,13 +338,43 @@ pub fn sweep(req: &ArrayRequest) -> Vec<ArrayDesign> {
     out
 }
 
+/// Everything that can go wrong when characterizing an array: the sweep
+/// found no feasible organization, or none meets a width requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NvsimError {
+    /// The organization sweep produced no feasible design for the request
+    /// (cannot happen for the supported request range).
+    NoFeasibleOrganization,
+    /// No feasible organization delivers the requested access width.
+    NoWideOrganization {
+        /// The unmet minimum access width, in bits.
+        min_access_bits: u32,
+    },
+}
+
+impl std::fmt::Display for NvsimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoFeasibleOrganization => {
+                write!(f, "no feasible array organization for this request")
+            }
+            Self::NoWideOrganization { min_access_bits } => write!(
+                f,
+                "no feasible organization delivers {min_access_bits}-bit accesses"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NvsimError {}
+
 /// Picks the best design for an optimization target from the full sweep.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if no feasible organization exists (cannot happen for the
-/// supported request range).
-pub fn characterize(req: &ArrayRequest, target: OptTarget) -> ArrayDesign {
+/// Returns [`NvsimError::NoFeasibleOrganization`] if the sweep is empty
+/// (cannot happen for the supported request range).
+pub fn characterize(req: &ArrayRequest, target: OptTarget) -> Result<ArrayDesign, NvsimError> {
     let mut designs = sweep(req);
     // The paper's selected points stay performance-competitive ("within
     // 10% of the NVDLA baseline", §5.1): for the energy-oriented targets,
@@ -372,8 +402,8 @@ pub fn characterize(req: &ArrayRequest, target: OptTarget) -> ArrayDesign {
     };
     designs
         .into_iter()
-        .min_by(|a, b| key(a).partial_cmp(&key(b)).expect("NaN metric"))
-        .expect("no feasible organization")
+        .min_by(|a, b| key(a).total_cmp(&key(b)))
+        .ok_or(NvsimError::NoFeasibleOrganization)
 }
 
 /// Like [`characterize`], but only considers organizations delivering at
@@ -381,20 +411,20 @@ pub fn characterize(req: &ArrayRequest, target: OptTarget) -> ArrayDesign {
 /// streaming interface to the accelerator (the NVDLA side reads 128-bit
 /// beats), which a mux-heavy energy-optimal point cannot feed.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if no feasible organization meets the width requirement.
+/// Returns [`NvsimError::NoWideOrganization`] if no feasible organization
+/// meets the width requirement.
 pub fn characterize_min_width(
     req: &ArrayRequest,
     target: OptTarget,
     min_access_bits: u32,
-) -> ArrayDesign {
+) -> Result<ArrayDesign, NvsimError> {
     let mut designs = sweep(req);
     designs.retain(|d| d.access_bits >= min_access_bits);
-    assert!(
-        !designs.is_empty(),
-        "no organization delivers {min_access_bits}-bit accesses"
-    );
+    if designs.is_empty() {
+        return Err(NvsimError::NoWideOrganization { min_access_bits });
+    }
     if matches!(target, OptTarget::ReadEdp | OptTarget::ReadEnergy) {
         let min_lat = designs
             .iter()
@@ -413,8 +443,8 @@ pub fn characterize_min_width(
     };
     designs
         .into_iter()
-        .min_by(|a, b| key(a).partial_cmp(&key(b)).expect("NaN metric"))
-        .expect("non-empty")
+        .min_by(|a, b| key(a).total_cmp(&key(b)))
+        .ok_or(NvsimError::NoFeasibleOrganization)
 }
 
 /// Pareto front over (area, latency, energy): designs not dominated on all
@@ -463,19 +493,23 @@ mod tests {
         let opt = characterize(
             &ArrayRequest::new(CellTechnology::OptMlcRram, mb_cells(32, 3), 3),
             OptTarget::ReadEdp,
-        );
+        )
+        .expect("feasible organization");
         let ctt = characterize(
             &ArrayRequest::new(CellTechnology::MlcCtt, mb_cells(32, 3), 3),
             OptTarget::ReadEdp,
-        );
+        )
+        .expect("feasible organization");
         let rram = characterize(
             &ArrayRequest::new(CellTechnology::MlcRram, mb_cells(32, 3), 3),
             OptTarget::ReadEdp,
-        );
+        )
+        .expect("feasible organization");
         let slc = characterize(
             &ArrayRequest::new(CellTechnology::SlcRram, mb_cells(32, 1), 1),
             OptTarget::ReadEdp,
-        );
+        )
+        .expect("feasible organization");
         for (d, want, name) in [
             (&opt, 1.3, "opt"),
             (&ctt, 2.0, "ctt"),
@@ -503,11 +537,13 @@ mod tests {
             let ctt = characterize(
                 &ArrayRequest::new(CellTechnology::MlcCtt, mb_cells(mlc_mb, 3), 3),
                 OptTarget::ReadEdp,
-            );
+            )
+            .expect("feasible organization");
             let slc = characterize(
                 &ArrayRequest::new(CellTechnology::SlcRram, mb_cells(slc_mb, 1), 1),
                 OptTarget::ReadEdp,
-            );
+            )
+            .expect("feasible organization");
             ratios.push(slc.area_mm2 / ctt.area_mm2);
         }
         let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
@@ -521,11 +557,13 @@ mod tests {
         let ctt = characterize(
             &ArrayRequest::new(CellTechnology::MlcCtt, mb_cells(32, 3), 3),
             OptTarget::ReadEdp,
-        );
+        )
+        .expect("feasible organization");
         let opt = characterize(
             &ArrayRequest::new(CellTechnology::OptMlcRram, mb_cells(32, 3), 3),
             OptTarget::ReadEdp,
-        );
+        )
+        .expect("feasible organization");
         assert!(
             (0.7..6.0).contains(&ctt.read_latency_ns),
             "{}",
@@ -546,11 +584,13 @@ mod tests {
         let ctt = characterize(
             &ArrayRequest::new(CellTechnology::MlcCtt, mb_cells(12, 2), 2),
             OptTarget::ReadEdp,
-        );
+        )
+        .expect("feasible organization");
         let opt = characterize(
             &ArrayRequest::new(CellTechnology::OptMlcRram, mb_cells(12, 2), 2),
             OptTarget::ReadEdp,
-        );
+        )
+        .expect("feasible organization");
         assert!(
             opt.read_energy_pj > 4.0 * ctt.read_energy_pj,
             "opt {} vs ctt {}",
@@ -565,7 +605,8 @@ mod tests {
         let d = characterize(
             &ArrayRequest::new(CellTechnology::MlcCtt, mb_cells(12, 2), 2),
             OptTarget::ReadLatency,
-        );
+        )
+        .expect("feasible organization");
         assert!(d.read_bandwidth_gbps > 3.0, "{}", d.read_bandwidth_gbps);
         assert!(d.read_bandwidth_gbps < 100.0, "{}", d.read_bandwidth_gbps);
     }
@@ -575,20 +616,24 @@ mod tests {
         let slc = characterize(
             &ArrayRequest::with_capacity_bits(CellTechnology::MlcCtt, 8 * 1024 * 1024 * 8, 1),
             OptTarget::Area,
-        );
+        )
+        .expect("feasible organization");
         let mlc3 = characterize(
             &ArrayRequest::with_capacity_bits(CellTechnology::MlcCtt, 8 * 1024 * 1024 * 8, 3),
             OptTarget::Area,
-        );
+        )
+        .expect("feasible organization");
         assert!(mlc3.area_mm2 < slc.area_mm2);
         let slc_l = characterize(
             &ArrayRequest::with_capacity_bits(CellTechnology::MlcCtt, 8 * 1024 * 1024 * 8, 1),
             OptTarget::ReadLatency,
-        );
+        )
+        .expect("feasible organization");
         let mlc3_l = characterize(
             &ArrayRequest::with_capacity_bits(CellTechnology::MlcCtt, 8 * 1024 * 1024 * 8, 3),
             OptTarget::ReadLatency,
-        );
+        )
+        .expect("feasible organization");
         assert!(mlc3_l.read_latency_ns > slc_l.read_latency_ns);
     }
 
@@ -597,9 +642,9 @@ mod tests {
         let req = ArrayRequest::new(CellTechnology::MlcRram, mb_cells(4, 2), 2);
         let designs = sweep(&req);
         assert!(designs.len() > 20, "sweep too small: {}", designs.len());
-        let a = characterize(&req, OptTarget::Area);
-        let l = characterize(&req, OptTarget::ReadLatency);
-        let e = characterize(&req, OptTarget::ReadEnergy);
+        let a = characterize(&req, OptTarget::Area).expect("feasible organization");
+        let l = characterize(&req, OptTarget::ReadLatency).expect("feasible organization");
+        let e = characterize(&req, OptTarget::ReadEnergy).expect("feasible organization");
         let min_lat = designs
             .iter()
             .map(|d| d.read_latency_ns)
@@ -637,8 +682,9 @@ mod tests {
     #[test]
     fn min_width_characterization_delivers_wide_interfaces() {
         let req = ArrayRequest::new(CellTechnology::OptMlcRram, mb_cells(12, 3), 3);
-        let narrow = characterize(&req, OptTarget::ReadEdp);
-        let wide = characterize_min_width(&req, OptTarget::ReadEdp, 96);
+        let narrow = characterize(&req, OptTarget::ReadEdp).expect("feasible organization");
+        let wide =
+            characterize_min_width(&req, OptTarget::ReadEdp, 96).expect("feasible organization");
         assert!(wide.access_bits >= 96);
         assert!(wide.read_bandwidth_gbps >= narrow.read_bandwidth_gbps);
     }
@@ -659,11 +705,13 @@ mod tests {
         let small = characterize(
             &ArrayRequest::new(CellTechnology::MlcRram, mb_cells(1, 2), 2),
             OptTarget::ReadEdp,
-        );
+        )
+        .expect("feasible organization");
         let large = characterize(
             &ArrayRequest::new(CellTechnology::MlcRram, mb_cells(32, 2), 2),
             OptTarget::ReadEdp,
-        );
+        )
+        .expect("feasible organization");
         let t_small = write_model_for_design(&small).total_write_time_s(small.request.cells);
         let t_large = write_model_for_design(&large).total_write_time_s(large.request.cells);
         assert!(t_large > t_small);
@@ -679,11 +727,13 @@ mod tests {
         let ctt = characterize(
             &ArrayRequest::new(CellTechnology::MlcCtt, mb_cells(4, 3), 3),
             OptTarget::ReadEdp,
-        );
+        )
+        .expect("feasible organization");
         let rram = characterize(
             &ArrayRequest::new(CellTechnology::MlcRram, mb_cells(4, 3), 3),
             OptTarget::ReadEdp,
-        );
+        )
+        .expect("feasible organization");
         assert!(
             ctt.write_energy_per_cell_pj > 100.0 * rram.write_energy_per_cell_pj,
             "ctt {} vs rram {}",
@@ -700,7 +750,8 @@ mod tests {
         let d = characterize(
             &ArrayRequest::new(CellTechnology::MlcCtt, mb_cells(4, 3), 3),
             OptTarget::ReadEdp,
-        );
+        )
+        .expect("feasible organization");
         let one = d.read_energy_for_bytes(1024);
         let two = d.read_energy_for_bytes(2048);
         assert!((two / one - 2.0).abs() < 0.01);

@@ -20,8 +20,10 @@ proptest! {
     #[test]
     fn area_grows_with_cells(tech in any_tech(), cells in 1_000_000u64..200_000_000) {
         let bpc = tech.max_bits_per_cell();
-        let small = characterize(&ArrayRequest::new(tech, cells, bpc), OptTarget::Area);
-        let big = characterize(&ArrayRequest::new(tech, cells * 2, bpc), OptTarget::Area);
+        let small = characterize(&ArrayRequest::new(tech, cells, bpc), OptTarget::Area)
+            .expect("feasible organization");
+        let big = characterize(&ArrayRequest::new(tech, cells * 2, bpc), OptTarget::Area)
+            .expect("feasible organization");
         prop_assert!(big.area_mm2 > small.area_mm2);
         // And roughly proportionally: doubling cells less than triples area.
         prop_assert!(big.area_mm2 < small.area_mm2 * 3.0);
@@ -34,7 +36,8 @@ proptest! {
         target_idx in 0usize..5,
     ) {
         let bpc = tech.max_bits_per_cell();
-        let d = characterize(&ArrayRequest::new(tech, cells, bpc), OptTarget::ALL[target_idx]);
+        let d = characterize(&ArrayRequest::new(tech, cells, bpc), OptTarget::ALL[target_idx])
+            .expect("feasible organization");
         prop_assert!(d.area_mm2.is_finite() && d.area_mm2 > 0.0);
         prop_assert!(d.read_latency_ns.is_finite() && d.read_latency_ns > 0.0);
         prop_assert!(d.read_energy_pj.is_finite() && d.read_energy_pj > 0.0);

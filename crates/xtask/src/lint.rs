@@ -1,0 +1,701 @@
+//! `maxnvm-lint`: the repo-specific static analysis pass.
+//!
+//! Three rule families enforce the contracts the evaluation results rest
+//! on (see DESIGN.md §11):
+//!
+//! - **D1 determinism** — result-affecting crates (`envm`, `encoding`,
+//!   `ecc`, `dnn`, `faultsim`) must not use iteration-order-unstable
+//!   containers (`HashMap`/`HashSet`), ambient randomness
+//!   (`thread_rng`), or wall-clock reads (`Instant`, `SystemTime`) in
+//!   library code. The one sanctioned exception — `cancel.rs` deadline
+//!   checks — lives in the curated allow-list.
+//! - **D2 no-panic** — library code must not call `.unwrap()`,
+//!   `.expect()`, or the `panic!`-family macros; failures surface as
+//!   typed errors. The `assert!` family is permitted for documented
+//!   internal invariants. Direct slice indexing is reported as an
+//!   advisory count only.
+//! - **D3 unsafe hygiene** — every `unsafe` keyword must be covered by a
+//!   `// SAFETY:` comment, and every lint escape hatch (inline allow or
+//!   allow-list entry) must carry a justification, which the report
+//!   prints.
+//!
+//! Scope: `src/` of every workspace crate plus the root package, minus
+//! `src/bin/`, `tests/`, `benches/`, `examples/`, `#[cfg(test)]` /
+//! `#[test]` / `#[cfg(loom)]` items, and this xtask itself.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::scan::{find_word, scan, FileScan};
+
+/// Crates whose library code feeds Monte-Carlo results (rule D1).
+const RESULT_AFFECTING: &[&str] = &["envm", "encoding", "ecc", "dnn", "faultsim"];
+
+/// Identifiers banned by D1, with the sub-rule they trip.
+const D1_BANNED: &[(&str, &str, &str)] = &[
+    (
+        "HashMap",
+        "D1/hash-container",
+        "iteration order is nondeterministic",
+    ),
+    (
+        "HashSet",
+        "D1/hash-container",
+        "iteration order is nondeterministic",
+    ),
+    (
+        "thread_rng",
+        "D1/thread-rng",
+        "ambient RNG breaks seeded reproducibility",
+    ),
+    (
+        "Instant",
+        "D1/wallclock",
+        "wall-clock reads make results timing-dependent",
+    ),
+    (
+        "SystemTime",
+        "D1/wallclock",
+        "wall-clock reads make results timing-dependent",
+    ),
+];
+
+/// Macros banned by D2 (the `assert!` family is explicitly allowed).
+const D2_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// One rule violation at a source location.
+pub struct Violation {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+    pub snippet: String,
+}
+
+/// A violation suppressed by an escape hatch; justification is printed.
+pub struct Allowed {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub source: &'static str, // "inline" | "allow-list"
+    pub justification: String,
+}
+
+/// One entry of the curated `lint-allow.toml`.
+pub struct AllowEntry {
+    pub path: String,
+    pub rule: String,
+    pub justification: String,
+    pub used: std::cell::Cell<bool>,
+}
+
+/// Parsed `lint-allow.toml`.
+pub struct AllowList {
+    pub version: u64,
+    pub entries: Vec<AllowEntry>,
+}
+
+/// Full result of a lint run.
+pub struct Report {
+    pub version: u64,
+    pub files_scanned: usize,
+    pub violations: Vec<Violation>,
+    pub allowed: Vec<Allowed>,
+    /// Advisory: direct index expressions per crate (not enforced).
+    pub slice_index_counts: BTreeMap<String, usize>,
+    pub errors: Vec<String>,
+}
+
+/// Runs the pass over the workspace rooted at `root`.
+pub fn run(root: &Path) -> Report {
+    let mut report = Report {
+        version: 0,
+        files_scanned: 0,
+        violations: Vec::new(),
+        allowed: Vec::new(),
+        slice_index_counts: BTreeMap::new(),
+        errors: Vec::new(),
+    };
+
+    let allow = match load_allow_list(&root.join("lint-allow.toml")) {
+        Ok(a) => a,
+        Err(e) => {
+            report.errors.push(e);
+            AllowList {
+                version: 0,
+                entries: Vec::new(),
+            }
+        }
+    };
+    report.version = allow.version;
+    if allow.entries.len() > 5 {
+        report.errors.push(format!(
+            "lint-allow.toml has {} entries; the curated allow-list is capped at 5 — fix the code instead",
+            allow.entries.len()
+        ));
+    }
+    for e in &allow.entries {
+        if e.justification.trim().is_empty() {
+            report.errors.push(format!(
+                "lint-allow.toml entry for {} has no justification",
+                e.path
+            ));
+        }
+    }
+
+    for file in workspace_sources(root) {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = match fs::read_to_string(&file) {
+            Ok(s) => s,
+            Err(e) => {
+                report.errors.push(format!("cannot read {rel}: {e}"));
+                continue;
+            }
+        };
+        report.files_scanned += 1;
+        lint_file(&rel, &src, &allow, &mut report);
+    }
+
+    for e in &allow.entries {
+        if !e.used.get() {
+            report.errors.push(format!(
+                "lint-allow.toml entry for {} ({}) matched nothing — remove it",
+                e.path, e.rule
+            ));
+        }
+    }
+    report
+}
+
+/// Library sources under `crates/*/src` and the root `src/`, minus
+/// `src/bin/` and the xtask crate itself.
+fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut dirs = vec![root.join("src")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() && p.file_name().is_some_and(|n| n != "xtask") {
+                dirs.push(p.join("src"));
+            }
+        }
+    }
+    while let Some(dir) = dirs.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                if p.file_name().is_some_and(|n| n != "bin") {
+                    dirs.push(p);
+                }
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                files.push(p);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Crate name for a repo-relative path, or `None` for the root package.
+fn crate_of(rel: &str) -> Option<&str> {
+    rel.strip_prefix("crates/")?.split('/').next()
+}
+
+fn is_result_affecting(rel: &str) -> bool {
+    crate_of(rel).is_some_and(|c| RESULT_AFFECTING.contains(&c))
+}
+
+fn lint_file(rel: &str, src: &str, allow: &AllowList, report: &mut Report) {
+    let fs = scan(src);
+    let d1 = is_result_affecting(rel);
+    let mut slice_indexes = 0usize;
+
+    for (idx, line) in fs.code.iter().enumerate() {
+        if fs.excluded[idx] {
+            continue;
+        }
+        let lineno = idx + 1;
+        let mut emit = |rule: &'static str, message: String| {
+            record(report, &fs, allow, rel, lineno, rule, message, src);
+        };
+
+        if d1 {
+            for (ident, rule, why) in D1_BANNED {
+                if !find_word(line, ident).is_empty() {
+                    emit(rule, format!("`{ident}` in result-affecting crate: {why}"));
+                }
+            }
+        }
+
+        for at in find_word(line, "unwrap") {
+            if called_as_method(line, at, "unwrap") {
+                emit(
+                    "D2/unwrap",
+                    "`.unwrap()` in library code; use a typed error or a total rewrite".into(),
+                );
+            }
+        }
+        for at in find_word(line, "expect") {
+            if called_as_method(line, at, "expect") {
+                emit(
+                    "D2/expect",
+                    "`.expect()` in library code; use a typed error or a total rewrite".into(),
+                );
+            }
+        }
+        for mac in D2_MACROS {
+            for at in find_word(line, mac) {
+                let rest = line[at + mac.len()..].trim_start();
+                if rest.starts_with('!') {
+                    emit(
+                        "D2/panic",
+                        format!("`{mac}!` in library code; surface a typed error"),
+                    );
+                }
+            }
+        }
+
+        for at in find_word(line, "unsafe") {
+            let _ = at;
+            if !has_safety_comment(&fs, idx) {
+                emit(
+                    "D3/safety-comment",
+                    "`unsafe` without a `// SAFETY:` comment in the preceding lines".into(),
+                );
+            }
+        }
+
+        slice_indexes += count_index_exprs(line);
+    }
+
+    if slice_indexes > 0 {
+        let key = crate_of(rel).unwrap_or("(root)").to_string();
+        *report.slice_index_counts.entry(key).or_insert(0) += slice_indexes;
+    }
+}
+
+/// Records a violation, routing it through the escape hatches first.
+#[allow(clippy::too_many_arguments)]
+fn record(
+    report: &mut Report,
+    fs: &FileScan,
+    allow: &AllowList,
+    rel: &str,
+    lineno: usize,
+    rule: &'static str,
+    message: String,
+    src: &str,
+) {
+    if let Some(justification) = inline_allow(fs, lineno, rule) {
+        if justification.is_empty() {
+            report.violations.push(Violation {
+                path: rel.to_string(),
+                line: lineno,
+                rule: "D3/allow-justification",
+                message: format!("inline allow for {rule} has no justification text"),
+                snippet: snippet(src, lineno),
+            });
+        } else {
+            report.allowed.push(Allowed {
+                path: rel.to_string(),
+                line: lineno,
+                rule,
+                source: "inline",
+                justification,
+            });
+        }
+        return;
+    }
+    for entry in &allow.entries {
+        if entry.path == rel && rule.starts_with(entry.rule.as_str()) {
+            entry.used.set(true);
+            report.allowed.push(Allowed {
+                path: rel.to_string(),
+                line: lineno,
+                rule,
+                source: "allow-list",
+                justification: entry.justification.clone(),
+            });
+            return;
+        }
+    }
+    report.violations.push(Violation {
+        path: rel.to_string(),
+        line: lineno,
+        rule,
+        message,
+        snippet: snippet(src, lineno),
+    });
+}
+
+/// Is the identifier at byte offset `at` a method call `.name(`?
+fn called_as_method(line: &str, at: usize, name: &str) -> bool {
+    let before = line[..at].trim_end();
+    if !before.ends_with('.') {
+        return false;
+    }
+    let after = line[at + name.len()..].trim_start();
+    after.starts_with('(')
+}
+
+/// Looks for `// SAFETY:` on the same line or within the 10 preceding
+/// lines (attributes and the `unsafe` item header may sit in between).
+fn has_safety_comment(fs: &FileScan, idx: usize) -> bool {
+    let lo = idx.saturating_sub(10);
+    fs.comments[lo..=idx].iter().any(|c| c.contains("SAFETY:"))
+}
+
+/// Parses `maxnvm-lint: allow(rule): justification` on the violation
+/// line or the immediately preceding comment lines. Returns the
+/// justification (possibly empty) when the rule matches.
+fn inline_allow(fs: &FileScan, lineno: usize, rule: &str) -> Option<String> {
+    let idx = lineno - 1;
+    let lo = idx.saturating_sub(3);
+    for c in fs.comments[lo..=idx].iter().rev() {
+        let Some(pos) = c.find("maxnvm-lint: allow(") else {
+            continue;
+        };
+        let rest = &c[pos + "maxnvm-lint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let allowed_rule = rest[..close].trim();
+        if !rule.starts_with(allowed_rule) {
+            continue;
+        }
+        let just = rest[close + 1..]
+            .trim_start_matches([':', ' ', '-', '—', '–'])
+            .trim()
+            .to_string();
+        return Some(just);
+    }
+    None
+}
+
+/// Advisory: counts `expr[...]` index expressions (`name[`, `)[`, `][`).
+fn count_index_exprs(line: &str) -> usize {
+    let bytes = line.as_bytes();
+    let mut n = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1] as char;
+        if crate::scan::is_ident_char(prev) || prev == ')' || prev == ']' {
+            // Attributes (`#[...]`) never match: prev is `#` or `!` there.
+            n += 1;
+        }
+    }
+    n
+}
+
+fn snippet(src: &str, lineno: usize) -> String {
+    src.lines()
+        .nth(lineno - 1)
+        .map(|l| l.trim().to_string())
+        .unwrap_or_default()
+}
+
+/// Minimal parser for the subset of TOML `lint-allow.toml` uses:
+/// a top-level `version = N` and `[[allow]]` tables of string keys.
+pub fn load_allow_list(path: &Path) -> Result<AllowList, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut version = 0u64;
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut in_allow = false;
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            entries.push(AllowEntry {
+                path: String::new(),
+                rule: String::new(),
+                justification: String::new(),
+                used: std::cell::Cell::new(false),
+            });
+            in_allow = true;
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("lint-allow.toml:{}: expected `key = value`", n + 1));
+        };
+        let key = key.trim();
+        let value = value.trim().trim_matches('"').to_string();
+        if !in_allow {
+            if key == "version" {
+                version = value.parse().map_err(|_| {
+                    format!("lint-allow.toml:{}: version must be an integer", n + 1)
+                })?;
+            }
+            continue;
+        }
+        let entry = entries
+            .last_mut()
+            .ok_or_else(|| format!("lint-allow.toml:{}: key outside [[allow]]", n + 1))?;
+        match key {
+            "path" => entry.path = value,
+            "rule" => entry.rule = value,
+            "justification" => entry.justification = value,
+            other => {
+                return Err(format!("lint-allow.toml:{}: unknown key {other:?}", n + 1));
+            }
+        }
+    }
+    Ok(AllowList { version, entries })
+}
+
+impl Report {
+    /// Non-empty violations or configuration errors fail the run.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.errors.is_empty()
+    }
+
+    /// Human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "maxnvm-lint v{} — D1 determinism, D2 no-panic, D3 unsafe hygiene",
+            self.version
+        );
+        for v in &self.violations {
+            let _ = writeln!(out, "error[{}]: {}", v.rule, v.message);
+            let _ = writeln!(out, "  --> {}:{}", v.path, v.line);
+            if !v.snippet.is_empty() {
+                let _ = writeln!(out, "   | {}", v.snippet);
+            }
+        }
+        for e in &self.errors {
+            let _ = writeln!(out, "error[config]: {e}");
+        }
+        if !self.allowed.is_empty() {
+            let _ = writeln!(out, "allowed ({}):", self.allowed.len());
+            for a in &self.allowed {
+                let _ = writeln!(
+                    out,
+                    "  {}:{} [{}] ({}): {}",
+                    a.path, a.line, a.rule, a.source, a.justification
+                );
+            }
+        }
+        for (krate, n) in &self.slice_index_counts {
+            let _ = writeln!(
+                out,
+                "advisory[A1/slice-index]: {krate}: {n} direct index expressions (not enforced; panics on out-of-range)"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "summary: {} violation(s), {} allowed, {} file(s) scanned",
+            self.violations.len() + self.errors.len(),
+            self.allowed.len(),
+            self.files_scanned
+        );
+        out
+    }
+
+    /// Machine-readable JSON report.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"maxnvm-lint-report/v1\",");
+        let _ = writeln!(out, "  \"lint_pass_version\": {},", self.version);
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"clean\": {},", self.is_clean());
+        out.push_str("  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                json_str(&v.path),
+                v.line,
+                json_str(v.rule),
+                json_str(&v.message)
+            );
+            out.push_str(if i + 1 < self.violations.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"allowed\": [\n");
+        for (i, a) in self.allowed.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"source\": {}, \"justification\": {}}}",
+                json_str(&a.path),
+                a.line,
+                json_str(a.rule),
+                json_str(a.source),
+                json_str(&a.justification)
+            );
+            out.push_str(if i + 1 < self.allowed.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"config_errors\": [\n");
+        for (i, e) in self.errors.iter().enumerate() {
+            let _ = write!(out, "    {}", json_str(e));
+            out.push_str(if i + 1 < self.errors.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"advisory_slice_index\": {\n");
+        let total = self.slice_index_counts.len();
+        for (i, (krate, n)) in self.slice_index_counts.iter().enumerate() {
+            let _ = write!(out, "    {}: {}", json_str(krate), n);
+            out.push_str(if i + 1 < total { ",\n" } else { "\n" });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(rel: &str, src: &str) -> Report {
+        let mut report = Report {
+            version: 1,
+            files_scanned: 1,
+            violations: Vec::new(),
+            allowed: Vec::new(),
+            slice_index_counts: BTreeMap::new(),
+            errors: Vec::new(),
+        };
+        let allow = AllowList {
+            version: 1,
+            entries: Vec::new(),
+        };
+        lint_file(rel, src, &allow, &mut report);
+        report
+    }
+
+    #[test]
+    fn unwrap_in_library_code_is_flagged() {
+        let r = lint_str(
+            "crates/envm/src/x.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); }\n",
+        );
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "D2/unwrap");
+        assert_eq!(r.violations[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_flagged() {
+        let r = lint_str(
+            "crates/envm/src/x.rs",
+            "fn f(x: Option<u8>) { x.unwrap_or(0); }\n",
+        );
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn t() { None::<u8>.unwrap(); }\n}\n";
+        let r = lint_str("crates/envm/src/x.rs", src);
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn hashmap_flagged_only_in_result_affecting_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(lint_str("crates/envm/src/x.rs", src).violations.len(), 1);
+        assert!(lint_str("crates/nvsim/src/x.rs", src).violations.is_empty());
+    }
+
+    #[test]
+    fn assert_family_is_allowed() {
+        let src = "fn f(n: usize) { assert!(n > 0); debug_assert_eq!(n, n); }\n";
+        assert!(lint_str("crates/ecc/src/x.rs", src).violations.is_empty());
+    }
+
+    #[test]
+    fn panic_macros_are_flagged() {
+        let src = "fn f() { unreachable!(); }\n";
+        let r = lint_str("crates/dnn/src/x.rs", src);
+        assert_eq!(r.violations[0].rule, "D2/panic");
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f() { unsafe { core() } }\n";
+        let good = "// SAFETY: scope guard joins before return.\nfn f() { unsafe { core() } }\n";
+        assert_eq!(
+            lint_str("crates/faultsim/src/x.rs", bad).violations[0].rule,
+            "D3/safety-comment"
+        );
+        assert!(lint_str("crates/faultsim/src/x.rs", good)
+            .violations
+            .is_empty());
+    }
+
+    #[test]
+    fn inline_allow_with_justification_suppresses() {
+        let src = "fn f(x: Option<u8>) {\n  // maxnvm-lint: allow(D2/unwrap): cannot fail, slot filled above\n  x.unwrap();\n}\n";
+        let r = lint_str("crates/envm/src/x.rs", src);
+        assert!(r.violations.is_empty());
+        assert_eq!(r.allowed.len(), 1);
+        assert!(r.allowed[0].justification.contains("cannot fail"));
+    }
+
+    #[test]
+    fn inline_allow_without_justification_is_a_violation() {
+        let src = "// maxnvm-lint: allow(D2/unwrap)\nfn f(x: Option<u8>) { x.unwrap(); }\n";
+        let r = lint_str("crates/envm/src/x.rs", src);
+        assert_eq!(r.violations[0].rule, "D3/allow-justification");
+    }
+
+    #[test]
+    fn banned_names_in_strings_and_comments_do_not_fire() {
+        let src = "fn f() -> &'static str { \"HashMap Instant unwrap()\" } // thread_rng\n";
+        assert!(lint_str("crates/envm/src/x.rs", src).violations.is_empty());
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough() {
+        let r = lint_str(
+            "crates/envm/src/x.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); }\n",
+        );
+        let j = r.render_json();
+        assert!(j.contains("\"rule\": \"D2/unwrap\""));
+        assert!(j.contains("\"clean\": false"));
+    }
+}

@@ -30,7 +30,8 @@ fn main() {
         1.0,
         &bytes,
         &fractions,
-    );
+    )
+    .expect("feasible hybrid sweep");
     println!(
         "{:>6} {:>10} {:>10} {:>12} {:>12}",
         "eNVM%", "eNVM(MB)", "SRAM(KB)", "rel. perf", "rel. energy"

@@ -247,7 +247,9 @@ fn interrupted_run_resumes_byte_identical_across_worker_counts() {
     let _ = std::fs::remove_file(&ckpt);
     // Uninterrupted truth, single worker.
     let ctx1 = EvalContext::with_workers(TECH, &sa(), RATE_SCALE, 1).expect("ctx");
-    let uninterrupted = ctx1.run_campaign(c.trials, c.seed, std::slice::from_ref(&stored), &eval);
+    let uninterrupted = ctx1
+        .run_campaign(c.trials, c.seed, std::slice::from_ref(&stored), &eval)
+        .expect("uninterrupted run");
     // Interrupt a checkpointed run partway (cancel after 6 evals).
     let token = CancelToken::new();
     let cancelling = InstrumentedEval::cancelling(&eval, 6, token.clone());
@@ -343,6 +345,114 @@ fn resume_without_a_checkpoint_is_a_typed_error() {
 }
 
 #[test]
+fn garbage_checkpoint_is_a_typed_parse_error() {
+    // Regression: a corrupted snapshot (disk damage, partial write by a
+    // foreign tool) must surface as a typed error through
+    // `Campaign::resume_from`, never a panic in the parser.
+    let (stored, eval) = fixture();
+    let ckpt = temp_path("garbage");
+    std::fs::write(&ckpt, "maxnvm-checkpoint/v1\nfingerprint zzzz\n").expect("write garbage");
+    let err = campaign()
+        .resume_from(
+            &ckpt,
+            std::slice::from_ref(&stored),
+            TECH,
+            &sa(),
+            &eval,
+            &RunControl::default(),
+        )
+        .expect_err("garbage checkpoint must be rejected");
+    assert!(matches!(err, EngineError::CheckpointParse { .. }), "{err}");
+
+    // Bytes that are not even the right format at all.
+    std::fs::write(&ckpt, "\u{0}\u{1}not a checkpoint").expect("write noise");
+    let err = campaign()
+        .resume_from(
+            &ckpt,
+            std::slice::from_ref(&stored),
+            TECH,
+            &sa(),
+            &eval,
+            &RunControl::default(),
+        )
+        .expect_err("noise must be rejected");
+    assert!(matches!(err, EngineError::CheckpointParse { .. }), "{err}");
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn truncated_checkpoint_is_a_typed_parse_error() {
+    // A checkpoint cut off mid-file (simulating a crash that beat the
+    // atomic rename) must be rejected with a parse error, not resumed
+    // from a silently shortened trial set.
+    let (stored, eval) = fixture();
+    let ckpt = temp_path("truncate");
+    let _ = std::fs::remove_file(&ckpt);
+    let c = campaign();
+    let keep = RunControl {
+        checkpoint: Some(CheckpointConfig::new(&ckpt).every(8).keep_on_success()),
+        ..RunControl::default()
+    };
+    c.run_controlled(std::slice::from_ref(&stored), TECH, &sa(), &eval, &keep)
+        .expect("first run");
+    let text = std::fs::read_to_string(&ckpt).expect("read checkpoint");
+    assert!(text.ends_with('\n') && text.contains("\nend "));
+    // Cut the file in half: lands mid-entry, and the `end <count>`
+    // trailer is gone either way.
+    std::fs::write(&ckpt, &text[..text.len() / 2]).expect("truncate");
+    let err = c
+        .resume_from(
+            &ckpt,
+            std::slice::from_ref(&stored),
+            TECH,
+            &sa(),
+            &eval,
+            &RunControl::default(),
+        )
+        .expect_err("truncated checkpoint must be rejected");
+    assert!(matches!(err, EngineError::CheckpointParse { .. }), "{err}");
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn deadline_expiring_between_trials_yields_well_formed_partial_result() {
+    // An armed deadline that expires while trials run (not before the
+    // campaign starts): wherever the cut lands, the partial result must
+    // stay internally consistent — cancelled flagged, statistics over
+    // exactly the completed prefix, and that prefix byte-identical to
+    // the uninterrupted run's.
+    let (stored, eval) = fixture();
+    let c = campaign();
+    // 24 trials at >=10 ms each against a 40 ms budget: the deadline is
+    // guaranteed to fire mid-campaign, at a timing-dependent trial.
+    let token = CancelToken::with_timeout(Duration::from_millis(40));
+    let slow = InstrumentedEval::slow(&eval, Duration::from_millis(10));
+    let ctx = EvalContext::with_workers(TECH, &sa(), RATE_SCALE, 1).expect("ctx");
+    let result = ctx
+        .run_campaign_controlled(
+            c.trials,
+            c.seed,
+            std::slice::from_ref(&stored),
+            &slow,
+            &RunControl::with_cancel(token),
+        )
+        .expect("deadline run returns a partial result");
+    assert!(result.cancelled);
+    assert!(result.completed_trials < c.trials);
+    assert_eq!(result.requested_trials, c.trials);
+    assert_eq!(result.errors.len(), result.completed_trials);
+    if result.completed_trials > 0 {
+        assert!(result.mean_error.is_finite());
+        assert!(result.max_error.is_finite());
+        // The completed prefix keeps its per-trial seed streams.
+        let plain = c
+            .run(std::slice::from_ref(&stored), TECH, &sa(), &eval)
+            .expect("plain");
+        assert_eq!(result.errors, plain.errors[..result.completed_trials]);
+    }
+}
+
+#[test]
 fn early_stopping_halts_a_decisive_campaign_deterministically() {
     let (stored, eval) = fixture();
     let c = Campaign {
@@ -390,7 +500,8 @@ fn early_stopping_halts_a_decisive_campaign_deterministically() {
     // runs its full budget.
     let full = EvalContext::with_workers(TECH, &sa(), c.rate_scale, 2)
         .expect("ctx")
-        .run_campaign(c.trials, c.seed, std::slice::from_ref(&stored), &eval);
+        .run_campaign(c.trials, c.seed, std::slice::from_ref(&stored), &eval)
+        .expect("full run");
     assert_eq!(full.completed_trials, c.trials);
     assert!(!full.stopped_early);
 }

@@ -1,0 +1,328 @@
+//! Offline polyfill of the slice of `loom` the MaxNVM workspace uses.
+//!
+//! Real loom is an exhaustive permutation-based model checker (DPOR over
+//! all interleavings of the modelled primitives). This build environment
+//! has no crates.io access, so this polyfill substitutes **seeded
+//! randomized-schedule stress**: [`model`] runs the closure many times,
+//! and every lock acquisition, condvar wake-up, and atomic access
+//! injects a pseudo-random scheduling perturbation (a yield or a short
+//! spin) driven by a per-iteration seed. That explores a different — and
+//! far denser — set of interleavings per run than plain repetition,
+//! while staying deterministic for a fixed `LOOM_POLYFILL_SEED`.
+//!
+//! What this proves and does not prove:
+//! - A failure here is a real bug: every schedule the stress produces is
+//!   a legal schedule.
+//! - A pass here is evidence, not proof — unlike real loom, low-probability
+//!   interleavings can escape the sampling. The suite is written so the
+//!   races of interest (enqueue vs. park, completion vs. wait, shutdown
+//!   vs. drain) sit directly on the perturbed primitives.
+//!
+//! The sync API mirrors `parking_lot` (guard-based `lock()`, `&mut`-guard
+//! `Condvar::wait`) rather than real loom's std-style API, so the pool
+//! code compiles unchanged under `--cfg loom` with only an import swap.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+
+/// Iterations each [`model`] call runs. Override with the
+/// `LOOM_POLYFILL_ITERS` environment variable.
+const DEFAULT_ITERS: u64 = 64;
+
+/// Global base seed for the run; each model iteration and each thread
+/// derive their own stream from it.
+static BASE_SEED: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+
+thread_local! {
+    /// Per-thread LCG state for schedule perturbation. Seeded lazily
+    /// from `BASE_SEED` so threads spawned inside the model get
+    /// distinct, deterministic streams.
+    static RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Advances the calling thread's perturbation stream and maybe yields:
+/// roughly half of the calls do nothing, a quarter yield the OS thread,
+/// and a quarter spin briefly — enough jitter to reorder the
+/// acquire/park/notify windows the pool's correctness depends on.
+fn perturb() {
+    let draw = RNG.with(|rng| {
+        let mut s = rng.get();
+        if s == 0 {
+            // First use on this thread: fold the thread id into the base
+            // seed for a distinct stream.
+            let tid = {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                let id = format!("{:?}", std::thread::current().id());
+                for b in id.bytes() {
+                    h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+                }
+                h
+            };
+            s = BASE_SEED.load(StdOrdering::Relaxed) ^ tid | 1;
+        }
+        // Constants from Knuth's MMIX LCG.
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        rng.set(s);
+        s >> 60
+    });
+    match draw {
+        0..=7 => {}
+        8..=11 => std::thread::yield_now(),
+        _ => {
+            for _ in 0..(draw * 13) {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// Runs `f` under randomized-schedule stress: `LOOM_POLYFILL_ITERS`
+/// iterations (default 64), each with a distinct deterministic
+/// perturbation seed derived from `LOOM_POLYFILL_SEED` (default fixed).
+///
+/// Mirrors `loom::model`'s signature closely enough for the workspace's
+/// model tests; unlike real loom it does not explore interleavings
+/// exhaustively (see the crate docs).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters = std::env::var("LOOM_POLYFILL_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_ITERS);
+    let seed = std::env::var("LOOM_POLYFILL_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0x5eed_c0de_4a11_0c85);
+    for i in 0..iters {
+        BASE_SEED.store(
+            seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            StdOrdering::Relaxed,
+        );
+        RNG.with(|rng| rng.set(0));
+        f();
+    }
+}
+
+pub mod sync {
+    //! Perturbation-injecting synchronization primitives with
+    //! `parking_lot`'s guard-based API.
+
+    pub use std::sync::Arc;
+
+    use super::perturb;
+    use std::sync::{self, PoisonError};
+
+    /// Mutex that yields/spins pseudo-randomly around acquisition.
+    #[derive(Default)]
+    pub struct Mutex<T: ?Sized> {
+        inner: sync::Mutex<T>,
+    }
+
+    /// RAII guard for [`Mutex`].
+    pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+    impl<T> Mutex<T> {
+        /// Create a new mutex.
+        pub const fn new(value: T) -> Self {
+            Self {
+                inner: sync::Mutex::new(value),
+            }
+        }
+
+        /// Consume the mutex, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.inner
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquire the lock (never poisons), perturbing the schedule on
+        /// both sides of the acquisition so contended hand-offs explore
+        /// different winners across model iterations.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            perturb();
+            let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            perturb();
+            guard
+        }
+
+        /// Mutable access without locking (requires exclusive borrow).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Condition variable with parking_lot's `&mut MutexGuard` API and
+    /// schedule perturbation around notification and wake-up.
+    #[derive(Default)]
+    pub struct Condvar {
+        inner: sync::Condvar,
+    }
+
+    impl Condvar {
+        /// Create a new condition variable.
+        pub const fn new() -> Self {
+            Self {
+                inner: sync::Condvar::new(),
+            }
+        }
+
+        /// Wake one waiting thread.
+        pub fn notify_one(&self) {
+            perturb();
+            self.inner.notify_one();
+        }
+
+        /// Wake all waiting threads.
+        pub fn notify_all(&self) {
+            perturb();
+            self.inner.notify_all();
+        }
+
+        /// Block until notified. Same guard-swap bridge as the vendored
+        /// parking_lot polyfill (see that crate for the soundness note),
+        /// plus a perturbation after reacquisition so woken threads race
+        /// each other differently per iteration.
+        pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            unsafe {
+                let taken = std::ptr::read(guard);
+                let reacquired = self
+                    .inner
+                    .wait(taken)
+                    .unwrap_or_else(PoisonError::into_inner);
+                std::ptr::write(guard, reacquired);
+            }
+            perturb();
+        }
+    }
+
+    pub mod atomic {
+        //! Atomics whose loads and stores perturb the schedule.
+
+        pub use std::sync::atomic::Ordering;
+
+        use super::super::perturb;
+        use std::sync::atomic as std_atomic;
+
+        /// `AtomicBool` with pseudo-random yields around each access.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool {
+            inner: std_atomic::AtomicBool,
+        }
+
+        impl AtomicBool {
+            /// Create a new atomic bool.
+            pub const fn new(value: bool) -> Self {
+                Self {
+                    inner: std_atomic::AtomicBool::new(value),
+                }
+            }
+
+            /// Load with a schedule perturbation before the read.
+            pub fn load(&self, order: Ordering) -> bool {
+                perturb();
+                self.inner.load(order)
+            }
+
+            /// Store with a schedule perturbation after the write.
+            pub fn store(&self, value: bool, order: Ordering) {
+                self.inner.store(value, order);
+                perturb();
+            }
+
+            /// Swap with perturbations on both sides.
+            pub fn swap(&self, value: bool, order: Ordering) -> bool {
+                perturb();
+                let prev = self.inner.swap(value, order);
+                perturb();
+                prev
+            }
+        }
+
+        /// `AtomicUsize` with pseudo-random yields around each access.
+        #[derive(Debug, Default)]
+        pub struct AtomicUsize {
+            inner: std_atomic::AtomicUsize,
+        }
+
+        impl AtomicUsize {
+            /// Create a new atomic usize.
+            pub const fn new(value: usize) -> Self {
+                Self {
+                    inner: std_atomic::AtomicUsize::new(value),
+                }
+            }
+
+            /// Load with a schedule perturbation before the read.
+            pub fn load(&self, order: Ordering) -> usize {
+                perturb();
+                self.inner.load(order)
+            }
+
+            /// Store with a schedule perturbation after the write.
+            pub fn store(&self, value: usize, order: Ordering) {
+                self.inner.store(value, order);
+                perturb();
+            }
+
+            /// Add with perturbations on both sides.
+            pub fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+                perturb();
+                let prev = self.inner.fetch_add(value, order);
+                perturb();
+                prev
+            }
+        }
+    }
+}
+
+pub mod thread {
+    //! Thread handles for model tests. Threads are real OS threads (the
+    //! perturbation lives in the sync primitives), so `spawn`/`join`
+    //! pass straight through to std.
+
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+
+    #[test]
+    fn model_runs_the_default_iteration_count() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let count2 = Arc::clone(&count);
+        super::model(move || {
+            count2.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn perturbed_condvar_still_signals() {
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let handle = super::thread::spawn(move || {
+                let (lock, cvar) = &*pair2;
+                *lock.lock() = true;
+                cvar.notify_all();
+            });
+            let (lock, cvar) = &*pair;
+            let mut done = lock.lock();
+            while !*done {
+                cvar.wait(&mut done);
+            }
+            drop(done);
+            handle.join().expect("signal thread");
+        });
+    }
+}
