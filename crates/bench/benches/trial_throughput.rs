@@ -8,6 +8,8 @@
 //! the workspace root with before/after trials-per-second and the
 //! speedup, for CI and regression tracking.
 
+use maxnvm_dnn::gemm::{gemm_into, GemmScratch};
+use maxnvm_dnn::network::{LayerMatrix, WeightDelta};
 use maxnvm_dnn::zoo;
 use maxnvm_encoding::cluster::ClusteredLayer;
 use maxnvm_encoding::storage::{PreparedLayer, StorageScheme, StoredLayer};
@@ -15,6 +17,7 @@ use maxnvm_encoding::EncodingKind;
 use maxnvm_envm::{CellTechnology, MlcConfig, SenseAmp};
 use maxnvm_faultsim::campaign::fault_maps;
 use maxnvm_faultsim::dse::{minimal_cells, DseConfig};
+use maxnvm_faultsim::evaluate::EvalScratch;
 use maxnvm_faultsim::{AccuracyEval, Campaign, EarlyStop, EvalContext, ProxyEval, RunControl};
 use rand::SeedableRng;
 use std::time::Instant;
@@ -71,6 +74,44 @@ fn main() {
     });
     let speedup = after / before;
 
+    // Full sparse trials, end to end: sample fault deltas against the
+    // shared clean decodes and evaluate them through the incremental
+    // `eval_deltas` path — the engine's actual per-trial work since the
+    // fault-delta forward landed (no faulty matrix is ever materialized).
+    let clean: Vec<LayerMatrix> = prepared.iter().map(|p| p.clean().matrix.clone()).collect();
+    let eval = ProxyEval::new(clean.clone(), 0.1, 0.9);
+    let mut scratch = EvalScratch::default();
+    let trials_per_sec = throughput(|t| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(t);
+        let deltas: Vec<Vec<WeightDelta>> = prepared
+            .iter()
+            .map(|layer| layer.deltas_with_faults(&fault_for, &mut rng).0)
+            .collect();
+        std::hint::black_box(eval.eval_deltas(0, &clean, &deltas, &mut scratch));
+    });
+
+    // How much of the forward pass the clean-prefix cache skips: the mean
+    // (over sampled trials) of the fraction of layers strictly before the
+    // first fault-touched one (1.0 for an entirely clean trial).
+    let prefix_skip_rate = {
+        const SKIP_TRIALS: usize = 2000;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut sum = 0.0f64;
+        for _ in 0..SKIP_TRIALS {
+            let deltas: Vec<Vec<WeightDelta>> = prepared
+                .iter()
+                .map(|layer| layer.deltas_with_faults(&fault_for, &mut rng).0)
+                .collect();
+            sum += match deltas.iter().position(|d| !d.is_empty()) {
+                Some(first) => first as f64 / prepared.len() as f64,
+                None => 1.0,
+            };
+        }
+        sum / SKIP_TRIALS as f64
+    };
+
+    let gemm_gflops = gemm_gflops();
+
     println!(
         "trial_throughput: {} / {}, {cells} cells, {expected:.3} expected faults/trial",
         spec.name,
@@ -79,6 +120,9 @@ fn main() {
     println!("  before (per-cell inject + full decode):   {before:>10.1} trials/s");
     println!("  after  (sparse sample + dirty re-decode): {after:>10.1} trials/s");
     println!("  speedup: {speedup:.1}x");
+    println!("  full trial (deltas + incremental eval):   {trials_per_sec:>10.1} trials/s");
+    println!("  prefix skip rate: {prefix_skip_rate:.4} of layers clean before first fault");
+    println!("  gemm: {gemm_gflops:.2} GFLOP/s (256x256x256 blocked kernel)");
 
     let es = early_stopping_arm();
 
@@ -89,7 +133,7 @@ fn main() {
     let lint_pass_version = lint_pass_version().unwrap_or(0);
 
     let json = format!(
-        "{{\n  \"benchmark\": \"trial_throughput\",\n  \"git_sha\": \"{git_sha}\",\n  \"lint_pass_version\": {lint_pass_version},\n  \"model\": \"{}\",\n  \"scheme\": \"{}\",\n  \"total_cells\": {cells},\n  \"expected_faults_per_trial\": {expected:.6},\n  \"before_trials_per_sec\": {before:.3},\n  \"after_trials_per_sec\": {after:.3},\n  \"speedup\": {speedup:.3},\n  \"dse_fixed_trials\": {},\n  \"dse_early_stop_trials\": {},\n  \"dse_trial_savings\": {:.3},\n  \"dse_same_optimal\": {}\n}}\n",
+        "{{\n  \"benchmark\": \"trial_throughput\",\n  \"git_sha\": \"{git_sha}\",\n  \"lint_pass_version\": {lint_pass_version},\n  \"model\": \"{}\",\n  \"scheme\": \"{}\",\n  \"total_cells\": {cells},\n  \"expected_faults_per_trial\": {expected:.6},\n  \"before_trials_per_sec\": {before:.3},\n  \"after_trials_per_sec\": {after:.3},\n  \"speedup\": {speedup:.3},\n  \"trials_per_sec\": {trials_per_sec:.3},\n  \"prefix_skip_rate\": {prefix_skip_rate:.4},\n  \"gemm_gflops\": {gemm_gflops:.2},\n  \"dse_fixed_trials\": {},\n  \"dse_early_stop_trials\": {},\n  \"dse_trial_savings\": {:.3},\n  \"dse_same_optimal\": {}\n}}\n",
         spec.name,
         scheme.label(),
         es.fixed_trials,
@@ -103,6 +147,25 @@ fn main() {
     );
     std::fs::write(path, &json).expect("write benchmark JSON");
     println!("wrote {path}");
+}
+
+/// Sustained arithmetic throughput of the blocked GEMM microkernel on a
+/// square 256×256×256 multiply (~33 MFLOP per call), over a ~1 s window.
+fn gemm_gflops() -> f64 {
+    const N: usize = 256;
+    let a: Vec<f32> = (0..N * N).map(|i| (i % 17) as f32 * 0.25 - 2.0).collect();
+    let b: Vec<f32> = (0..N * N).map(|i| (i % 13) as f32 * 0.5 - 3.0).collect();
+    let mut c = vec![0.0f32; N * N];
+    let mut scratch = GemmScratch::default();
+    gemm_into(&mut c, &a, &b, N, N, N, &mut scratch); // warmup
+    let start = Instant::now();
+    let mut reps = 0u64;
+    while start.elapsed().as_secs_f64() < 1.0 {
+        gemm_into(&mut c, &a, &b, N, N, N, &mut scratch);
+        std::hint::black_box(&mut c);
+        reps += 1;
+    }
+    2.0 * (N as f64).powi(3) * reps as f64 / start.elapsed().as_secs_f64() / 1e9
 }
 
 /// Short revision hash of the workspace, if `git` is available and the

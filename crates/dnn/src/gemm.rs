@@ -1,0 +1,403 @@
+//! Cache-blocked f32 GEMM with a fixed, input-independent summation order.
+//!
+//! The naive i-k-j matmul this replaces re-reads the whole right-hand
+//! matrix from memory for every output row; at LeNet5 batch sizes the
+//! trial loop spends most of its time there. This kernel uses the
+//! classic three-level blocking (GotoBLAS / BLIS structure): the right
+//! operand is packed into `NR`-wide column panels, the left operand
+//! into `MR`-tall row panels, and an `MR`×`NR` register-tile
+//! micro-kernel runs over `KC`-deep slices. The micro-kernel is written
+//! as fixed-size accumulator arrays so the compiler autovectorizes it —
+//! no `std::simd`, no intrinsics, no extra dependencies.
+//!
+//! # Summation order (determinism contract D1)
+//!
+//! Every output element `c[i, j]` is accumulated in **pure ascending-k
+//! order**: `(((0 + a[i,0]·b[0,j]) + a[i,1]·b[1,j]) + …)`. The
+//! micro-kernel loads the current `c` tile into its accumulators, adds
+//! the panel's `kc` products in k order, and stores the tile back, so
+//! splitting `k` into `KC`-deep panels does not reorder any element's
+//! additions — the sequence is identical to one long sequential dot
+//! product. Rust never contracts `a*b + c` into a fused multiply-add,
+//! so the result is a pure function of that operation sequence: the
+//! kernel is bit-identical run to run, at any blocking interaction,
+//! and [`gemm_row_into`] (a plain sequential dot used to re-derive
+//! single output rows) reproduces any row of [`gemm_into`] bit for
+//! bit. That property is what lets the fault-delta forward pass
+//! recompute only the rows a fault touched (see `network`/`prefix`).
+//!
+//! Unlike the old naive kernel, zero-valued `a` entries are *not*
+//! skipped: `x + 0.0·b` is executed. This keeps the per-element
+//! operation sequence input-independent (a skipped `+0.0` changes the
+//! result when the running sum is `-0.0`, and data-dependent branches
+//! defeat vectorization anyway).
+
+/// Micro-kernel tile rows (register-blocked output rows per strip).
+pub const MR: usize = 4;
+/// Micro-kernel tile columns; `MR`×`NR` accumulators live in registers.
+pub const NR: usize = 8;
+/// Depth of one packed panel (L1-resident slice of the k dimension).
+pub const KC: usize = 256;
+/// Row-block height (L2-resident slab of the packed left operand).
+pub const MC: usize = 64;
+/// Column-block width (L3-resident slab of the packed right operand).
+pub const NC: usize = 1024;
+
+/// Reusable packing buffers for [`gemm_into`]. Holding one per worker
+/// (inside the evaluation scratch) keeps the trial loop allocation-free:
+/// the buffers grow to `MC`×`KC` and `KC`×`NC` floats once and are
+/// reused by every subsequent multiply.
+#[derive(Debug, Clone, Default)]
+pub struct GemmScratch {
+    packed_a: Vec<f32>,
+    packed_b: Vec<f32>,
+}
+
+/// `c = a · b` for row-major `a` (`m`×`k`), `b` (`k`×`n`), `c` (`m`×`n`).
+///
+/// `c` is overwritten (zeroed first). See the module docs for the
+/// summation-order guarantee.
+///
+/// # Panics
+///
+/// Asserts that the slice lengths match the given dimensions.
+pub fn gemm_into(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut GemmScratch,
+) {
+    assert_eq!(a.len(), m * k, "lhs length vs {m}x{k}");
+    assert_eq!(b.len(), k * n, "rhs length vs {k}x{n}");
+    assert_eq!(c.len(), m * n, "out length vs {m}x{n}");
+    c.fill(0.0);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            pack_b(&mut scratch.packed_b, b, n, pc, kc, jc, nc);
+            let mut ic = 0;
+            while ic < m {
+                let mc = MC.min(m - ic);
+                pack_a(&mut scratch.packed_a, a, k, ic, mc, pc, kc);
+                macro_kernel(
+                    c,
+                    &scratch.packed_a,
+                    &scratch.packed_b,
+                    n,
+                    ic,
+                    mc,
+                    kc,
+                    jc,
+                    nc,
+                );
+                ic += MC;
+            }
+            pc += KC;
+        }
+        jc += NC;
+    }
+}
+
+/// One output row by a plain sequential dot: `out[j] = Σ_k row[k]·b[k,j]`
+/// accumulated in ascending-k order — bit-identical to the same row of
+/// [`gemm_into`] (see the module docs). Used by the clean-prefix fault
+/// path to recompute only the weight rows a fault touched.
+///
+/// # Panics
+///
+/// Asserts that the slice lengths match the given dimensions.
+pub fn gemm_row_into(out: &mut [f32], row: &[f32], b: &[f32], k: usize, n: usize) {
+    assert_eq!(row.len(), k, "row length vs k={k}");
+    assert_eq!(b.len(), k * n, "rhs length vs {k}x{n}");
+    assert_eq!(out.len(), n, "out length vs n={n}");
+    out.fill(0.0);
+    for (kk, &av) in row.iter().enumerate() {
+        let brow = &b[kk * n..(kk + 1) * n];
+        for (o, &bv) in out.iter_mut().zip(brow) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// Packs `a[ic.., pc..]` (`mc`×`kc`) into `MR`-tall strips:
+/// `packed[(strip·kc + kk)·MR + i] = a[ic + strip·MR + i, pc + kk]`,
+/// zero-padded past `mc` so the micro-kernel never branches on edges.
+fn pack_a(packed: &mut Vec<f32>, a: &[f32], k: usize, ic: usize, mc: usize, pc: usize, kc: usize) {
+    let strips = mc.div_ceil(MR);
+    packed.clear();
+    packed.resize(strips * kc * MR, 0.0);
+    for s in 0..strips {
+        let base = s * kc * MR;
+        for i in 0..MR {
+            let row = s * MR + i;
+            if row >= mc {
+                continue; // padding stays zero
+            }
+            let src = &a[(ic + row) * k + pc..(ic + row) * k + pc + kc];
+            for (kk, &v) in src.iter().enumerate() {
+                packed[base + kk * MR + i] = v;
+            }
+        }
+    }
+}
+
+/// Packs `b[pc.., jc..]` (`kc`×`nc`) into `NR`-wide strips:
+/// `packed[(strip·kc + kk)·NR + j] = b[pc + kk, jc + strip·NR + j]`,
+/// zero-padded past `nc`.
+fn pack_b(packed: &mut Vec<f32>, b: &[f32], n: usize, pc: usize, kc: usize, jc: usize, nc: usize) {
+    let strips = nc.div_ceil(NR);
+    packed.clear();
+    packed.resize(strips * kc * NR, 0.0);
+    for s in 0..strips {
+        let base = s * kc * NR;
+        let col = jc + s * NR;
+        let width = NR.min(nc - s * NR);
+        for kk in 0..kc {
+            let src = &b[(pc + kk) * n + col..(pc + kk) * n + col + width];
+            let dst = &mut packed[base + kk * NR..base + kk * NR + width];
+            dst.copy_from_slice(src);
+        }
+    }
+}
+
+/// Runs the `MR`×`NR` micro-kernel over every strip pair of one
+/// (`mc`×`kc`)·(`kc`×`nc`) block, accumulating into `c`.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    c: &mut [f32],
+    packed_a: &[f32],
+    packed_b: &[f32],
+    n: usize,
+    ic: usize,
+    mc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+) {
+    let a_strips = mc.div_ceil(MR);
+    let b_strips = nc.div_ceil(NR);
+    for bs in 0..b_strips {
+        let pb = &packed_b[bs * kc * NR..(bs + 1) * kc * NR];
+        let cols = NR.min(nc - bs * NR);
+        for asx in 0..a_strips {
+            let pa = &packed_a[asx * kc * MR..(asx + 1) * kc * MR];
+            let rows = MR.min(mc - asx * MR);
+            micro_kernel(
+                c,
+                pa,
+                pb,
+                kc,
+                (ic + asx * MR) * n + jc + bs * NR,
+                n,
+                rows,
+                cols,
+            );
+        }
+    }
+}
+
+/// The register-tile kernel: loads the live `rows`×`cols` corner of the
+/// `c` tile, adds `kc` rank-1 updates in ascending-k order, stores it
+/// back. `MR`/`NR` are compile-time constants so the two inner loops
+/// unroll and autovectorize; padded lanes compute on zeros and are
+/// simply not stored.
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel(
+    c: &mut [f32],
+    pa: &[f32],
+    pb: &[f32],
+    kc: usize,
+    c_off: usize,
+    n: usize,
+    rows: usize,
+    cols: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (i, acc_row) in acc.iter_mut().enumerate().take(rows) {
+        let crow = &c[c_off + i * n..c_off + i * n + cols];
+        acc_row[..cols].copy_from_slice(crow);
+    }
+    for kk in 0..kc {
+        let av = &pa[kk * MR..kk * MR + MR];
+        let bv = &pb[kk * NR..kk * NR + NR];
+        for (i, acc_row) in acc.iter_mut().enumerate() {
+            let ai = av[i];
+            for (j, av_acc) in acc_row.iter_mut().enumerate() {
+                *av_acc += ai * bv[j];
+            }
+        }
+    }
+    for (i, acc_row) in acc.iter().enumerate().take(rows) {
+        let crow = &mut c[c_off + i * n..c_off + i * n + cols];
+        crow.copy_from_slice(&acc_row[..cols]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    /// The reference: textbook triple loop, no blocking, ascending-k
+    /// accumulation per element (the order the kernel promises).
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn random(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect()
+    }
+
+    fn run_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        gemm_into(&mut c, a, b, m, k, n, &mut GemmScratch::default());
+        c
+    }
+
+    #[test]
+    fn known_2x3_3x2() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [7.0, 8.0, 9.0, 10.0, 11.0, 12.0];
+        assert_eq!(run_gemm(&a, &b, 2, 3, 2), vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matches_naive_bitwise_on_small_shapes() {
+        // The kernel's per-element summation order equals the naive
+        // ascending-k order, so results are bit-identical, not just
+        // close — the property the fault-delta forward relies on.
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (4, 8, 8), (5, 9, 17), (16, 16, 16)] {
+            let a = random(m * k, 1 + (m * 100 + k * 10 + n) as u64);
+            let b = random(k * n, 2 + (m * 100 + k * 10 + n) as u64);
+            assert_eq!(
+                run_gemm(&a, &b, m, k, n),
+                naive(&a, &b, m, k, n),
+                "{m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_tile_and_panel_boundaries() {
+        // Shapes straddling every blocking constant: MR/NR edges, the
+        // KC panel split (where the C-tile reload must not reorder
+        // additions), and MC/NC block edges.
+        let dims = [
+            (MR - 1, KC - 1, NR - 1),
+            (MR + 1, KC, NR + 1),
+            (MC + 3, KC + 1, NR * 2 + 5),
+            (2, 2 * KC + 3, NC.min(64) + 7),
+        ];
+        for (m, k, n) in dims {
+            let a = random(m * k, 77);
+            let b = random(k * n, 78);
+            assert_eq!(
+                run_gemm(&a, &b, m, k, n),
+                naive(&a, &b, m, k, n),
+                "{m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_to_run_determinism() {
+        let (m, k, n) = (37, 300, 53);
+        let a = random(m * k, 5);
+        let b = random(k * n, 6);
+        let first = run_gemm(&a, &b, m, k, n);
+        for _ in 0..3 {
+            assert_eq!(run_gemm(&a, &b, m, k, n), first);
+        }
+        // A reused scratch (stale packing contents) must not leak.
+        let mut scratch = GemmScratch::default();
+        let mut junk = vec![0.0f32; 13 * 11];
+        gemm_into(
+            &mut junk,
+            &random(13 * 7, 91),
+            &random(7 * 11, 92),
+            13,
+            7,
+            11,
+            &mut scratch,
+        );
+        let mut c = vec![0.0f32; m * n];
+        gemm_into(&mut c, &a, &b, m, k, n, &mut scratch);
+        assert_eq!(c, first);
+    }
+
+    #[test]
+    fn row_recompute_is_bit_identical_to_full_gemm() {
+        let (m, k, n) = (9, KC + 5, 21);
+        let a = random(m * k, 9);
+        let b = random(k * n, 10);
+        let full = run_gemm(&a, &b, m, k, n);
+        let mut row = vec![0.0f32; n];
+        for i in 0..m {
+            gemm_row_into(&mut row, &a[i * k..(i + 1) * k], &b, k, n);
+            assert_eq!(row, full[i * n..(i + 1) * n], "row {i}");
+        }
+    }
+
+    #[test]
+    fn zero_dimensions_yield_zero_output() {
+        // k = 0: the product is all zeros (and must not read the inputs).
+        let mut c = vec![1.0f32; 6];
+        gemm_into(&mut c, &[], &[], 2, 0, 3, &mut GemmScratch::default());
+        assert_eq!(c, vec![0.0; 6]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// GEMM equals the naive reference on odd shapes around the
+        /// tile sizes (1..17 covers MR±1 and NR±1; the explicit tests
+        /// above cover KC±1).
+        #[test]
+        fn prop_matches_naive(
+            m in 1usize..17, k in 1usize..17, n in 1usize..17, seed in any::<u64>()
+        ) {
+            let a = random(m * k, seed);
+            let b = random(k * n, seed.wrapping_add(1));
+            let got = run_gemm(&a, &b, m, k, n);
+            let want = naive(&a, &b, m, k, n);
+            prop_assert_eq!(got, want);
+        }
+
+        /// Every row of the blocked product is reproduced bit-exactly
+        /// by the sequential row kernel.
+        #[test]
+        fn prop_row_kernel_matches(
+            m in 1usize..9, k in 1usize..33, n in 1usize..17, seed in any::<u64>()
+        ) {
+            let a = random(m * k, seed);
+            let b = random(k * n, seed.wrapping_add(2));
+            let full = run_gemm(&a, &b, m, k, n);
+            let mut row = vec![0.0f32; n];
+            for i in 0..m {
+                gemm_row_into(&mut row, &a[i * k..(i + 1) * k], &b, k, n);
+                prop_assert_eq!(&row, &full[i * n..(i + 1) * n]);
+            }
+        }
+    }
+}

@@ -5,8 +5,40 @@
 //! compatible 2-D mapping of the 3-D filters) and linear weights
 //! `[out, in]`.
 
-use crate::tensor::{im2col, Tensor};
+use crate::gemm::{gemm_into, GemmScratch};
+use crate::tensor::{conv_out_dims, im2col, im2col_into, Tensor};
 use serde::{Deserialize, Serialize};
+
+/// Reusable buffers for [`Layer::forward_batch_scratch`]. One instance per
+/// worker keeps the whole batched forward pass allocation-free after
+/// warm-up: the staging vectors grow to the largest layer once and are
+/// reused by every subsequent layer and trial.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardScratch {
+    /// GEMM packing buffers (see [`GemmScratch`]).
+    pub gemm: GemmScratch,
+    /// Right-hand-side staging: the `[k, n·p]` im2col / column-stacked
+    /// input matrix of the current weight layer.
+    pub cols: Vec<f32>,
+    /// GEMM output staging (`[rows, n·p]`).
+    pub out: Vec<f32>,
+}
+
+/// Geometry of the packed right-hand matrix built by
+/// [`Layer::weight_rhs_into`]: the weight layer computes
+/// `weight (rows×k) · rhs (k × n·per_cols)` and sample `s` owns output
+/// columns `s·per_cols .. (s+1)·per_cols`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RhsMeta {
+    /// Inner dimension (weight fan-in).
+    pub k: usize,
+    /// Output columns per sample (`out_h·out_w` for conv, 1 for linear).
+    pub per_cols: usize,
+    /// Output rows (out channels / neurons) — the weight matrix's rows.
+    pub rows: usize,
+    /// Shape of one sample's output tensor.
+    pub out_sample_shape: Vec<usize>,
+}
 
 /// One layer of a [`Network`](crate::Network).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -121,14 +153,24 @@ impl Layer {
                 assert_eq!(x.shape().len(), 3, "conv input must be [c,h,w]");
                 assert_eq!(x.shape()[0], *in_ch, "conv input channels");
                 let (cols, oh, ow) = im2col(x, *kh, *kw, *stride, *pad);
-                let mut out = weight.matmul(&cols);
                 let out_ch = weight.shape()[0];
-                for (ci, row) in out.data_mut().chunks_mut(oh * ow).enumerate() {
+                let k = weight.shape()[1];
+                let mut out = vec![0.0f32; out_ch * oh * ow];
+                gemm_into(
+                    &mut out,
+                    weight.data(),
+                    cols.data(),
+                    out_ch,
+                    k,
+                    oh * ow,
+                    &mut GemmScratch::default(),
+                );
+                for (ci, row) in out.chunks_mut(oh * ow).enumerate() {
                     for v in row.iter_mut() {
                         *v += bias[ci];
                     }
                 }
-                out.reshape(&[out_ch, oh, ow])
+                Tensor::from_vec(&[out_ch, oh, ow], out)
             }
             Layer::Linear { weight, bias, .. } => {
                 assert_eq!(x.shape().len(), 1, "linear input must be flat");
@@ -221,103 +263,52 @@ impl Layer {
         }
     }
 
-    /// Runs the layer on a batch of same-shaped samples.
+    /// Runs the layer on a batch of same-shaped samples, allocating a
+    /// fresh scratch. See [`Self::forward_batch_scratch`].
+    pub fn forward_batch(&self, xs: &[Tensor]) -> Vec<Tensor> {
+        self.forward_batch_scratch(xs, &mut ForwardScratch::default())
+    }
+
+    /// Runs the layer on a batch of same-shaped samples, reusing the
+    /// caller's staging buffers.
     ///
-    /// Conv2d and Linear batch into a single matrix multiply (one matmul
+    /// Conv2d and Linear batch into a single matrix multiply (one GEMM
     /// per layer per trial instead of one per sample); other layers map
     /// [`Self::forward`] over the batch. Per-sample results are identical
     /// to [`Self::forward`]: each output element accumulates the same
-    /// weight terms in the same order, independent of the other columns.
+    /// weight terms in the same ascending-k order, independent of the
+    /// other columns (see [`crate::gemm`]).
     ///
     /// # Panics
     ///
     /// Panics if the samples disagree in shape or any is incompatible
     /// with the layer.
-    pub fn forward_batch(&self, xs: &[Tensor]) -> Vec<Tensor> {
+    pub fn forward_batch_scratch(
+        &self,
+        xs: &[Tensor],
+        scratch: &mut ForwardScratch,
+    ) -> Vec<Tensor> {
         if xs.is_empty() {
             return Vec::new();
         }
+        if let Some(meta) = self.weight_rhs_into(xs, &mut scratch.cols) {
+            return self.forward_from_rhs(
+                &scratch.cols,
+                &meta,
+                xs.len(),
+                &mut scratch.out,
+                &mut scratch.gemm,
+            );
+        }
         match self {
-            Layer::Conv2d {
-                weight,
-                bias,
-                in_ch,
-                kh,
-                kw,
-                stride,
-                pad,
-                ..
-            } => {
-                let shape = xs[0].shape().to_vec();
-                assert_eq!(shape.len(), 3, "conv input must be [c,h,w]");
-                assert_eq!(shape[0], *in_ch, "conv input channels");
-                let n = xs.len();
-                let mut cols = Vec::with_capacity(n);
-                let (mut oh, mut ow) = (0, 0);
-                for x in xs {
-                    assert_eq!(x.shape(), &shape[..], "batch shapes must agree");
-                    let (c, h, w) = im2col(x, *kh, *kw, *stride, *pad);
-                    (oh, ow) = (h, w);
-                    cols.push(c);
-                }
-                // Concatenate the im2col patch matrices horizontally and
-                // multiply once; each sample's columns are untouched by
-                // its neighbours.
-                let k = cols[0].shape()[0];
-                let p = oh * ow;
-                let mut big = vec![0.0f32; k * n * p];
-                for (s, c) in cols.iter().enumerate() {
-                    for row in 0..k {
-                        big[row * n * p + s * p..row * n * p + s * p + p]
-                            .copy_from_slice(&c.data()[row * p..(row + 1) * p]);
-                    }
-                }
-                let out = weight.matmul(&Tensor::from_vec(&[k, n * p], big));
-                let out_ch = weight.shape()[0];
-                (0..n)
-                    .map(|s| {
-                        let mut data = vec![0.0f32; out_ch * p];
-                        for (o, chunk) in data.chunks_mut(p).enumerate() {
-                            chunk.copy_from_slice(
-                                &out.data()[o * n * p + s * p..o * n * p + s * p + p],
-                            );
-                            for v in chunk.iter_mut() {
-                                *v += bias[o];
-                            }
-                        }
-                        Tensor::from_vec(&[out_ch, oh, ow], data)
-                    })
-                    .collect()
-            }
-            Layer::Linear { weight, bias, .. } => {
-                let (out_dim, inp) = (weight.shape()[0], weight.shape()[1]);
-                let n = xs.len();
-                let mut rhs = vec![0.0f32; inp * n];
-                for (s, x) in xs.iter().enumerate() {
-                    assert_eq!(x.shape().len(), 1, "linear input must be flat");
-                    assert_eq!(x.len(), inp, "linear input size");
-                    for (k, &v) in x.data().iter().enumerate() {
-                        rhs[k * n + s] = v;
-                    }
-                }
-                let y = weight.matmul(&Tensor::from_vec(&[inp, n], rhs));
-                (0..n)
-                    .map(|s| {
-                        let data = (0..out_dim)
-                            .map(|o| y.data()[o * n + s] + bias[o])
-                            .collect();
-                        Tensor::from_vec(&[out_dim], data)
-                    })
-                    .collect()
-            }
             Layer::Residual { body, shortcut } => {
                 let mut main = xs.to_vec();
                 for l in body {
-                    main = l.forward_batch(&main);
+                    main = l.forward_batch_scratch(&main, scratch);
                 }
                 let mut sc = xs.to_vec();
                 for l in shortcut {
-                    sc = l.forward_batch(&sc);
+                    sc = l.forward_batch_scratch(&sc, scratch);
                 }
                 main.iter()
                     .zip(&sc)
@@ -330,6 +321,130 @@ impl Layer {
             }
             _ => xs.iter().map(|x| self.forward(x)).collect(),
         }
+    }
+
+    /// The weight matrix and bias of a Conv2d/Linear layer, `None` for
+    /// every other layer kind.
+    pub fn weight_bias(&self) -> Option<(&Tensor, &[f32])> {
+        match self {
+            Layer::Conv2d { weight, bias, .. } | Layer::Linear { weight, bias, .. } => {
+                Some((weight, bias))
+            }
+            _ => None,
+        }
+    }
+
+    /// Packs a batch of inputs into the `[k, n·per_cols]` right-hand
+    /// matrix this weight layer multiplies (im2col patches unfolded side
+    /// by side for Conv2d, column-stacked vectors for Linear), reusing
+    /// the caller's buffer. Returns `None` (leaving `rhs` untouched) for
+    /// layers without weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the samples disagree in shape or are incompatible with
+    /// the layer.
+    pub fn weight_rhs_into(&self, xs: &[Tensor], rhs: &mut Vec<f32>) -> Option<RhsMeta> {
+        let n = xs.len();
+        match self {
+            Layer::Conv2d {
+                weight,
+                in_ch,
+                kh,
+                kw,
+                stride,
+                pad,
+                ..
+            } => {
+                let shape = xs[0].shape().to_vec();
+                assert_eq!(shape.len(), 3, "conv input must be [c,h,w]");
+                assert_eq!(shape[0], *in_ch, "conv input channels");
+                let (c, h, w) = (shape[0], shape[1], shape[2]);
+                let (oh, ow) = conv_out_dims(h, w, *kh, *kw, *stride, *pad);
+                assert!(oh > 0 && ow > 0, "empty convolution output");
+                let p = oh * ow;
+                let k = c * kh * kw;
+                rhs.clear();
+                rhs.resize(k * n * p, 0.0);
+                for (s, x) in xs.iter().enumerate() {
+                    assert_eq!(x.shape(), &shape[..], "batch shapes must agree");
+                    im2col_into(
+                        x.data(),
+                        c,
+                        h,
+                        w,
+                        *kh,
+                        *kw,
+                        *stride,
+                        *pad,
+                        rhs,
+                        n * p,
+                        s * p,
+                    );
+                }
+                Some(RhsMeta {
+                    k,
+                    per_cols: p,
+                    rows: weight.shape()[0],
+                    out_sample_shape: vec![weight.shape()[0], oh, ow],
+                })
+            }
+            Layer::Linear { weight, .. } => {
+                let (out_dim, inp) = (weight.shape()[0], weight.shape()[1]);
+                rhs.clear();
+                rhs.resize(inp * n, 0.0);
+                for (s, x) in xs.iter().enumerate() {
+                    assert_eq!(x.shape().len(), 1, "linear input must be flat");
+                    assert_eq!(x.len(), inp, "linear input size");
+                    for (k, &v) in x.data().iter().enumerate() {
+                        rhs[k * n + s] = v;
+                    }
+                }
+                Some(RhsMeta {
+                    k: inp,
+                    per_cols: 1,
+                    rows: out_dim,
+                    out_sample_shape: vec![out_dim],
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Multiplies this weight layer against a packed right-hand matrix
+    /// (from [`Self::weight_rhs_into`]), adds the bias, and splits the
+    /// result into per-sample tensors. `out` is staging for the GEMM
+    /// result. Returns empty for layers without weights.
+    pub fn forward_from_rhs(
+        &self,
+        rhs: &[f32],
+        meta: &RhsMeta,
+        n: usize,
+        out: &mut Vec<f32>,
+        gs: &mut GemmScratch,
+    ) -> Vec<Tensor> {
+        let Some((weight, bias)) = self.weight_bias() else {
+            return Vec::new();
+        };
+        let total = n * meta.per_cols;
+        out.clear();
+        out.resize(meta.rows * total, 0.0);
+        gemm_into(out, weight.data(), rhs, meta.rows, meta.k, total, gs);
+        for (o, row) in out.chunks_mut(total).enumerate() {
+            for v in row.iter_mut() {
+                *v += bias[o];
+            }
+        }
+        let p = meta.per_cols;
+        (0..n)
+            .map(|s| {
+                let mut data = vec![0.0f32; meta.rows * p];
+                for (o, chunk) in data.chunks_mut(p).enumerate() {
+                    chunk.copy_from_slice(&out[o * total + s * p..o * total + s * p + p]);
+                }
+                Tensor::from_vec(&meta.out_sample_shape, data)
+            })
+            .collect()
     }
 
     /// Number of stored weights (excluding biases and batch-norm

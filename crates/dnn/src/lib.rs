@@ -32,14 +32,18 @@
 //! ```
 
 pub mod data;
+pub mod gemm;
 pub mod layer;
 pub mod network;
+pub mod prefix;
 pub mod rnn;
 pub mod tensor;
 pub mod train;
 pub mod zoo;
 
-pub use layer::Layer;
-pub use network::Network;
-pub use tensor::Tensor;
+pub use gemm::{gemm_into, gemm_row_into, GemmScratch};
+pub use layer::{ForwardScratch, Layer};
+pub use network::{Network, WeightDelta};
+pub use prefix::PrefixCache;
+pub use tensor::{Tensor, TensorError};
 pub use zoo::{LayerSpec, ModelSpec};

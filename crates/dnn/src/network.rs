@@ -1,9 +1,21 @@
 //! A runnable network: an ordered list of layers with weight-matrix
 //! extraction for the storage pipeline.
 
-use crate::layer::Layer;
+use crate::layer::{ForwardScratch, Layer};
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
+
+/// One faulty weight cell relative to the clean decode: `slot` indexes the
+/// flattened row-major weight matrix, `value` is the decoded faulty value.
+/// A trial's effect on a layer is a (usually tiny) slot-sorted list of
+/// these, which the fault-delta forward applies and reverts in O(deltas).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightDelta {
+    /// Flattened row-major index into the weight matrix.
+    pub slot: u32,
+    /// The faulty decoded value now stored at `slot`.
+    pub value: f32,
+}
 
 /// A 2-D-mapped weight matrix extracted from (or written back to) a layer —
 /// the unit of storage the paper's encodings operate on (§3.2.1).
@@ -90,9 +102,36 @@ impl Network {
     /// [`Layer::forward_batch`]). Per-sample results equal
     /// [`Network::forward`].
     pub fn forward_batch(&self, xs: &[Tensor]) -> Vec<Tensor> {
-        let mut cur = xs.to_vec();
-        for l in &self.layers {
-            cur = l.forward_batch(&cur);
+        self.forward_batch_scratch(xs, &mut ForwardScratch::default())
+    }
+
+    /// [`Network::forward_batch`] with caller-owned staging buffers — the
+    /// allocation-free path the fault-simulation trial loop uses.
+    pub fn forward_batch_scratch(
+        &self,
+        xs: &[Tensor],
+        scratch: &mut ForwardScratch,
+    ) -> Vec<Tensor> {
+        self.forward_suffix(0, xs.to_vec(), scratch)
+    }
+
+    /// Runs only layers `start..` on already-computed activations `xs`
+    /// (the batch entering layer `start`). The clean-prefix fault path
+    /// resumes here after patching the first fault-touched layer's cached
+    /// outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` exceeds the layer count.
+    pub fn forward_suffix(
+        &self,
+        start: usize,
+        xs: Vec<Tensor>,
+        scratch: &mut ForwardScratch,
+    ) -> Vec<Tensor> {
+        let mut cur = xs;
+        for l in &self.layers[start..] {
+            cur = l.forward_batch_scratch(&cur, scratch);
         }
         cur
     }
@@ -197,12 +236,75 @@ impl Network {
         apply(&mut self.layers, mats, &mut idx);
         assert_eq!(idx, mats.len(), "matrix count mismatch");
     }
+
+    /// Visits every weight-bearing layer's tensor mutably, in
+    /// [`Network::weight_matrices`] order (residual bodies before
+    /// shortcuts).
+    pub fn for_each_weight_tensor_mut(&mut self, mut f: impl FnMut(usize, &mut Tensor)) {
+        fn walk<F: FnMut(usize, &mut Tensor)>(layers: &mut [Layer], idx: &mut usize, f: &mut F) {
+            for l in layers {
+                match l {
+                    Layer::Conv2d { weight, .. } | Layer::Linear { weight, .. } => {
+                        f(*idx, weight);
+                        *idx += 1;
+                    }
+                    Layer::Residual { body, shortcut } => {
+                        walk(body, idx, f);
+                        walk(shortcut, idx, f);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut idx = 0;
+        walk(&mut self.layers, &mut idx, &mut f);
+    }
+
+    /// Overwrites the listed weight slots with their faulty values,
+    /// recording `(matrix index, slot, previous value)` into `undo` so
+    /// [`Network::revert_weight_deltas`] can restore the clean weights in
+    /// O(deltas). `deltas[i]` addresses weight matrix `i` in
+    /// [`Network::weight_matrices`] order; missing trailing entries mean
+    /// "no faults in that layer".
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot is out of range for its matrix.
+    pub fn apply_weight_deltas(
+        &mut self,
+        deltas: &[Vec<WeightDelta>],
+        undo: &mut Vec<(usize, u32, f32)>,
+    ) {
+        undo.clear();
+        self.for_each_weight_tensor_mut(|i, w| {
+            let Some(ds) = deltas.get(i) else {
+                return;
+            };
+            for d in ds {
+                let slot = d.slot as usize;
+                undo.push((i, d.slot, w.data()[slot]));
+                w.data_mut()[slot] = d.value;
+            }
+        });
+    }
+
+    /// Restores weights overwritten by [`Network::apply_weight_deltas`].
+    /// Entries are replayed in reverse so repeated slots unwind correctly.
+    pub fn revert_weight_deltas(&mut self, undo: &[(usize, u32, f32)]) {
+        self.for_each_weight_tensor_mut(|i, w| {
+            for &(mi, slot, old) in undo.iter().rev() {
+                if mi == i {
+                    w.data_mut()[slot as usize] = old;
+                }
+            }
+        });
+    }
 }
 
 /// Argmax over logits; on ties the *last* maximum wins, matching the
 /// historical `Iterator::max_by` behaviour every accuracy result was
 /// produced with.
-fn argmax(logits: &Tensor) -> usize {
+pub fn argmax(logits: &Tensor) -> usize {
     logits
         .data()
         .iter()

@@ -7,6 +7,7 @@
 //! linear read-out from the final hidden state; training is truncated
 //! back-propagation through time over the full (short) sequence.
 
+use crate::gemm::{gemm_into, GemmScratch};
 use crate::network::LayerMatrix;
 use crate::tensor::Tensor;
 use rand::seq::SliceRandom;
@@ -73,28 +74,67 @@ impl ElmanRnn {
     }
 
     /// Runs the recurrence, returning every hidden state (`T` entries).
+    ///
+    /// The input contribution `Wx·x_t` for *all* timesteps is computed as
+    /// one blocked GEMM (frames stacked as the columns of `[input, T]`);
+    /// only the sequential `Wh·h_{t-1}` part remains per-step.
     fn run(&self, seq: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let t_len = seq.len();
+        if t_len == 0 {
+            return Vec::new();
+        }
+        let mut x = vec![0.0f32; self.input * t_len];
+        for (t, frame) in seq.iter().enumerate() {
+            assert_eq!(frame.len(), self.input, "frame size");
+            for (k, &v) in frame.iter().enumerate() {
+                x[k * t_len + t] = v;
+            }
+        }
+        let mut wxx = vec![0.0f32; self.hidden * t_len];
+        gemm_into(
+            &mut wxx,
+            self.wx.data(),
+            &x,
+            self.hidden,
+            self.input,
+            t_len,
+            &mut GemmScratch::default(),
+        );
         let mut h = vec![0.0f32; self.hidden];
-        let mut states = Vec::with_capacity(seq.len());
-        for x in seq {
-            assert_eq!(x.len(), self.input, "frame size");
+        let mut states = Vec::with_capacity(t_len);
+        for t in 0..t_len {
             let mut next = vec![0.0f32; self.hidden];
             for (i, n) in next.iter_mut().enumerate() {
-                let wx_row = &self.wx.data()[i * self.input..(i + 1) * self.input];
                 let wh_row = &self.wh.data()[i * self.hidden..(i + 1) * self.hidden];
-                let mut acc = self.b[i];
-                for (w, v) in wx_row.iter().zip(x) {
-                    acc += w * v;
-                }
+                let mut acc = self.b[i] + wxx[i * t_len + t];
                 for (w, v) in wh_row.iter().zip(&h) {
                     acc += w * v;
                 }
                 *n = acc.tanh();
             }
-            states.push(next.clone());
-            h = next;
+            h.copy_from_slice(&next);
+            states.push(next);
         }
         states
+    }
+
+    /// Read-out logits for a hidden state: `wo · h + bo` via the blocked
+    /// kernel (an `n = 1` GEMM).
+    fn readout(&self, h: &[f32]) -> Vec<f32> {
+        let mut logits = vec![0.0f32; self.classes];
+        gemm_into(
+            &mut logits,
+            self.wo.data(),
+            h,
+            self.classes,
+            self.hidden,
+            1,
+            &mut GemmScratch::default(),
+        );
+        for (l, &b) in logits.iter_mut().zip(&self.bo) {
+            *l += b;
+        }
+        logits
     }
 
     /// Logits from the final hidden state.
@@ -104,12 +144,7 @@ impl ElmanRnn {
             .last()
             .cloned()
             .unwrap_or_else(|| vec![0.0; self.hidden]);
-        (0..self.classes)
-            .map(|c| {
-                let row = &self.wo.data()[c * self.hidden..(c + 1) * self.hidden];
-                self.bo[c] + row.iter().zip(&h).map(|(w, v)| w * v).sum::<f32>()
-            })
-            .collect()
+        self.readout(&h)
     }
 
     /// Predicted class.
@@ -142,12 +177,7 @@ impl ElmanRnn {
         };
 
         // Softmax cross-entropy on the read-out.
-        let logits: Vec<f32> = (0..self.classes)
-            .map(|c| {
-                let row = &self.wo.data()[c * self.hidden..(c + 1) * self.hidden];
-                self.bo[c] + row.iter().zip(h_last).map(|(w, v)| w * v).sum::<f32>()
-            })
-            .collect();
+        let logits: Vec<f32> = self.readout(h_last);
         let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
         let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
         let sum: f32 = exps.iter().sum();

@@ -1,8 +1,47 @@
 //! A minimal row-major `f32` tensor with the handful of operations the
 //! substrate needs: matmul, transpose, im2col/col2im for convolutions.
+//!
+//! Matrix products are delegated to the blocked kernel in [`crate::gemm`],
+//! which fixes the per-element summation order (determinism contract D1).
 
+use crate::gemm::{gemm_into, GemmScratch};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Shape errors from checked tensor operations (determinism contract D2:
+/// library code reports malformed shapes instead of panicking).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// An operand of a matrix operation was not 2-D.
+    NotAMatrix {
+        /// Which operand (`"lhs"` or `"rhs"`).
+        role: &'static str,
+        /// The operand's actual rank.
+        dims: usize,
+    },
+    /// The inner dimensions of a matrix product disagree.
+    InnerDimMismatch {
+        /// Columns of the left operand.
+        lhs: usize,
+        /// Rows of the right operand.
+        rhs: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotAMatrix { role, dims } => {
+                write!(f, "{role} is not a matrix (rank {dims})")
+            }
+            Self::InnerDimMismatch { lhs, rhs } => {
+                write!(f, "inner dimension mismatch: {lhs} vs {rhs}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
 
 /// A dense row-major tensor of `f32` values.
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
@@ -108,33 +147,46 @@ impl Tensor {
         self.data[r * self.shape[1] + c]
     }
 
-    /// Matrix multiply: `self (m×k) · rhs (k×n) = (m×n)`.
+    /// Checked matrix multiply: `self (m×k) · rhs (k×n) = (m×n)`, computed
+    /// by the blocked kernel in [`crate::gemm`] (fixed ascending-k
+    /// summation order per element).
     ///
-    /// # Panics
+    /// Allocates a fresh packing scratch per call; hot paths that reuse
+    /// buffers call [`gemm_into`] directly instead.
     ///
-    /// Panics unless both tensors are 2-D with matching inner dimension.
-    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
-        assert_eq!(self.shape.len(), 2, "lhs not a matrix");
-        assert_eq!(rhs.shape.len(), 2, "rhs not a matrix");
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] if either operand is not 2-D or the inner
+    /// dimensions disagree.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        if self.shape.len() != 2 {
+            return Err(TensorError::NotAMatrix {
+                role: "lhs",
+                dims: self.shape.len(),
+            });
+        }
+        if rhs.shape.len() != 2 {
+            return Err(TensorError::NotAMatrix {
+                role: "rhs",
+                dims: rhs.shape.len(),
+            });
+        }
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (rhs.shape[0], rhs.shape[1]);
-        assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        // ikj loop order keeps the inner loop contiguous in both rhs and out.
-        for i in 0..m {
-            for kk in 0..k {
-                let a = self.data[i * k + kk];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = &rhs.data[kk * n..(kk + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &r) in orow.iter_mut().zip(rrow) {
-                    *o += a * r;
-                }
-            }
+        if k != k2 {
+            return Err(TensorError::InnerDimMismatch { lhs: k, rhs: k2 });
         }
-        Tensor::from_vec(&[m, n], out)
+        let mut out = vec![0.0f32; m * n];
+        gemm_into(
+            &mut out,
+            &self.data,
+            &rhs.data,
+            m,
+            k,
+            n,
+            &mut GemmScratch::default(),
+        );
+        Ok(Tensor::from_vec(&[m, n], out))
     }
 
     /// Matrix transpose.
@@ -155,6 +207,104 @@ impl Tensor {
     }
 }
 
+/// Output spatial dimensions of a convolution over an `h`×`w` image with
+/// a `kh`×`kw` kernel, the given stride, and symmetric zero padding.
+pub fn conv_out_dims(
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> (usize, usize) {
+    (
+        (h + 2 * pad - kh) / stride + 1,
+        (w + 2 * pad - kw) / stride + 1,
+    )
+}
+
+/// Visits every in-bounds (patch-matrix position, image position) index
+/// pair of the im2col unfolding: `f(row, col, img_idx)` where `row` spans
+/// `c*kh*kw`, `col` spans `out_h*out_w`, and `img_idx` indexes the `[c,h,w]`
+/// image. Padded taps (image coordinates outside the input) are skipped.
+/// im2col scatters image→patch along these pairs; col2im (its adjoint)
+/// accumulates patch→image along the same pairs.
+#[allow(clippy::too_many_arguments)]
+fn for_each_patch_index(
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    mut f: impl FnMut(usize, usize, usize),
+) {
+    let (out_h, out_w) = conv_out_dims(h, w, kh, kw, stride, pad);
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                for oy in 0..out_h {
+                    let iy = (oy * stride + ki) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..out_w {
+                        let ix = (ox * stride + kj) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        f(
+                            row,
+                            oy * out_w + ox,
+                            (ci * h + iy as usize) * w + ix as usize,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Unfolds one `[c, h, w]` image (given as a flat slice) into a caller-owned
+/// im2col destination. The patch matrix has `c*kh*kw` rows; row `r` of the
+/// patch is written to `dst[r * dst_cols + col_offset ..]`, so a batch of
+/// images can be unfolded side by side into one wide matrix (`dst_cols` =
+/// patch columns × batch). Only in-bounds taps are written — the caller
+/// must pre-zero `dst` so padded taps read as zero.
+///
+/// # Panics
+///
+/// Panics if `data` does not match `[c, h, w]` or the destination region
+/// `col_offset .. col_offset + out_h*out_w` overflows `dst_cols`.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_into(
+    data: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    dst: &mut [f32],
+    dst_cols: usize,
+    col_offset: usize,
+) {
+    assert_eq!(data.len(), c * h * w, "image length vs [{c},{h},{w}]");
+    let (out_h, out_w) = conv_out_dims(h, w, kh, kw, stride, pad);
+    assert!(out_h > 0 && out_w > 0, "empty convolution output");
+    assert!(
+        col_offset + out_h * out_w <= dst_cols,
+        "im2col destination columns overflow"
+    );
+    assert_eq!(dst.len(), c * kh * kw * dst_cols, "im2col destination size");
+    for_each_patch_index(c, h, w, kh, kw, stride, pad, |row, col, img| {
+        dst[row * dst_cols + col_offset + col] = data[img];
+    });
+}
+
 /// Unfolds an input image `[c, h, w]` into the im2col matrix
 /// `[c*kh*kw, out_h*out_w]` for a convolution with the given kernel,
 /// stride and zero padding.
@@ -171,34 +321,24 @@ pub fn im2col(
 ) -> (Tensor, usize, usize) {
     assert_eq!(input.shape().len(), 3, "im2col expects [c,h,w]");
     let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
-    let out_h = (h + 2 * pad - kh) / stride + 1;
-    let out_w = (w + 2 * pad - kw) / stride + 1;
+    let (out_h, out_w) = conv_out_dims(h, w, kh, kw, stride, pad);
     assert!(out_h > 0 && out_w > 0, "empty convolution output");
     let rows = c * kh * kw;
     let cols = out_h * out_w;
     let mut out = vec![0.0f32; rows * cols];
-    let data = input.data();
-    for ci in 0..c {
-        for ki in 0..kh {
-            for kj in 0..kw {
-                let row = (ci * kh + ki) * kw + kj;
-                for oy in 0..out_h {
-                    let iy = (oy * stride + ki) as isize - pad as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for ox in 0..out_w {
-                        let ix = (ox * stride + kj) as isize - pad as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        out[row * cols + oy * out_w + ox] =
-                            data[(ci * h + iy as usize) * w + ix as usize];
-                    }
-                }
-            }
-        }
-    }
+    im2col_into(
+        input.data(),
+        c,
+        h,
+        w,
+        kh,
+        kw,
+        stride,
+        pad,
+        &mut out,
+        cols,
+        0,
+    );
     (Tensor::from_vec(&[rows, cols], out), out_h, out_w)
 }
 
@@ -219,33 +359,14 @@ pub fn col2im(
     stride: usize,
     pad: usize,
 ) -> Tensor {
-    let out_h = (h + 2 * pad - kh) / stride + 1;
-    let out_w = (w + 2 * pad - kw) / stride + 1;
+    let (out_h, out_w) = conv_out_dims(h, w, kh, kw, stride, pad);
     assert_eq!(cols.shape(), &[c * kh * kw, out_h * out_w], "col2im shape");
     let mut out = vec![0.0f32; c * h * w];
     let data = cols.data();
     let ncols = out_h * out_w;
-    for ci in 0..c {
-        for ki in 0..kh {
-            for kj in 0..kw {
-                let row = (ci * kh + ki) * kw + kj;
-                for oy in 0..out_h {
-                    let iy = (oy * stride + ki) as isize - pad as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for ox in 0..out_w {
-                        let ix = (ox * stride + kj) as isize - pad as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        out[(ci * h + iy as usize) * w + ix as usize] +=
-                            data[row * ncols + oy * out_w + ox];
-                    }
-                }
-            }
-        }
-    }
+    for_each_patch_index(c, h, w, kh, kw, stride, pad, |row, col, img| {
+        out[img] += data[row * ncols + col];
+    });
     Tensor::from_vec(&[c, h, w], out)
 }
 
@@ -265,7 +386,7 @@ mod tests {
     fn matmul_known_result() {
         let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let b = Tensor::from_vec(&[3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
-        let c = a.matmul(&b);
+        let c = a.matmul(&b).expect("valid shapes");
         assert_eq!(c.shape(), &[2, 2]);
         assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
     }
@@ -274,15 +395,36 @@ mod tests {
     fn matmul_identity() {
         let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
         let i = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
-        assert_eq!(a.matmul(&i), a);
+        assert_eq!(a.matmul(&i).expect("valid shapes"), a);
     }
 
     #[test]
-    #[should_panic(expected = "inner dimension mismatch")]
     fn matmul_rejects_bad_shapes() {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 3]);
-        a.matmul(&b);
+        assert_eq!(
+            a.matmul(&b),
+            Err(TensorError::InnerDimMismatch { lhs: 3, rhs: 2 })
+        );
+        let v = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(
+            v.matmul(&a),
+            Err(TensorError::NotAMatrix {
+                role: "lhs",
+                dims: 3
+            })
+        );
+        assert_eq!(
+            a.matmul(&v),
+            Err(TensorError::NotAMatrix {
+                role: "rhs",
+                dims: 3
+            })
+        );
+        assert_eq!(
+            a.matmul(&b).unwrap_err().to_string(),
+            "inner dimension mismatch: 3 vs 2"
+        );
     }
 
     #[test]
@@ -328,12 +470,58 @@ mod tests {
         );
         let kernel = Tensor::from_vec(&[1, 4], vec![1.0, 0.5, -1.0, 2.0]);
         let (cols, oh, ow) = im2col(&input, 2, 2, 1, 0);
-        let out = kernel.matmul(&cols);
+        let out = kernel.matmul(&cols).expect("valid shapes");
         assert_eq!((oh, ow), (2, 2));
         // Direct: out[0,0] = 1*1 + 2*0.5 + 4*(-1) + 5*2 = 8
         assert!((out.data()[0] - 8.0).abs() < 1e-6);
         // out[1,1] (oy=1,ox=1) = 5*1 + 6*0.5 + 8*(-1) + 9*2 = 18
         assert!((out.data()[3] - 18.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn im2col_into_batch_offset_matches_single() {
+        // Two images unfolded side by side into one wide matrix must
+        // reproduce each image's standalone im2col in its column band.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let (c, h, w, kh, kw, stride, pad) = (2, 5, 4, 3, 2, 1, 1);
+        let imgs: Vec<Tensor> = (0..2)
+            .map(|_| {
+                Tensor::from_vec(
+                    &[c, h, w],
+                    (0..c * h * w).map(|_| rng.gen::<f32>() - 0.5).collect(),
+                )
+            })
+            .collect();
+        let (out_h, out_w) = conv_out_dims(h, w, kh, kw, stride, pad);
+        let p = out_h * out_w;
+        let rows = c * kh * kw;
+        let mut wide = vec![0.0f32; rows * 2 * p];
+        for (s, img) in imgs.iter().enumerate() {
+            im2col_into(
+                img.data(),
+                c,
+                h,
+                w,
+                kh,
+                kw,
+                stride,
+                pad,
+                &mut wide,
+                2 * p,
+                s * p,
+            );
+        }
+        for (s, img) in imgs.iter().enumerate() {
+            let (cols, ..) = im2col(img, kh, kw, stride, pad);
+            for r in 0..rows {
+                assert_eq!(
+                    &wide[r * 2 * p + s * p..r * 2 * p + (s + 1) * p],
+                    &cols.data()[r * p..(r + 1) * p],
+                    "sample {s} row {r}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -378,9 +566,9 @@ mod tests {
                 &[k, n],
                 b1.data().iter().zip(b2.data()).map(|(x, y)| x + y).collect(),
             );
-            let lhs = a.matmul(&sum);
-            let r1 = a.matmul(&b1);
-            let r2 = a.matmul(&b2);
+            let lhs = a.matmul(&sum).expect("valid shapes");
+            let r1 = a.matmul(&b1).expect("valid shapes");
+            let r2 = a.matmul(&b2).expect("valid shapes");
             for i in 0..lhs.len() {
                 prop_assert!((lhs.data()[i] - (r1.data()[i] + r2.data()[i])).abs() < 1e-4);
             }

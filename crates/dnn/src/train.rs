@@ -7,6 +7,7 @@
 //! alteration. [`itn_bound`] reproduces that procedure on the substrate's
 //! trainable models.
 
+use crate::gemm::{gemm_into, GemmScratch};
 use crate::layer::Layer;
 use crate::network::Network;
 use crate::tensor::{col2im, im2col, Tensor};
@@ -171,14 +172,41 @@ fn forward_backward(
                 debug_assert_eq!(c, *in_ch);
                 let (cols, oh, ow) = im2col(input, *kh, *kw, *stride, *pad);
                 let out_ch = weight.shape()[0];
+                let fan_in = weight.shape()[1];
+                let p = oh * ow;
                 // grad is [out_ch, oh, ow] -> matrix [out_ch, oh*ow]
-                let gmat = grad.clone().reshape(&[out_ch, oh * ow]);
-                let dw = gmat.matmul(&cols.transpose());
+                let gmat = grad.clone().reshape(&[out_ch, p]);
+                let mut gs = GemmScratch::default();
+                // dW = gmat · cols^T  ([out_ch, p] · [p, fan_in])
+                let colst = cols.transpose();
+                let mut dw_data = vec![0.0f32; out_ch * fan_in];
+                gemm_into(
+                    &mut dw_data,
+                    gmat.data(),
+                    colst.data(),
+                    out_ch,
+                    p,
+                    fan_in,
+                    &mut gs,
+                );
+                let dw = Tensor::from_vec(&[out_ch, fan_in], dw_data);
                 let db: Vec<f32> = (0..out_ch)
-                    .map(|o| gmat.data()[o * oh * ow..(o + 1) * oh * ow].iter().sum())
+                    .map(|o| gmat.data()[o * p..(o + 1) * p].iter().sum())
                     .collect();
-                // dX_cols = W^T · gmat, then fold back.
-                let dcols = weight.transpose().matmul(&gmat);
+                // dX_cols = W^T · gmat ([fan_in, out_ch] · [out_ch, p]),
+                // then fold back.
+                let wt = weight.transpose();
+                let mut dcols_data = vec![0.0f32; fan_in * p];
+                gemm_into(
+                    &mut dcols_data,
+                    wt.data(),
+                    gmat.data(),
+                    fan_in,
+                    out_ch,
+                    p,
+                    &mut gs,
+                );
+                let dcols = Tensor::from_vec(&[fan_in, p], dcols_data);
                 let dx = col2im(&dcols, c, h, w, *kh, *kw, *stride, *pad);
                 grads[li] = Some(ParamGrad {
                     weight: dw,

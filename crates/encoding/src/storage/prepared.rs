@@ -29,7 +29,7 @@ use super::layer::StoredLayer;
 use super::structure::DecodeStats;
 use crate::{EncodingKind, StructureKind};
 use maxnvm_bits::BitBuffer;
-use maxnvm_dnn::network::LayerMatrix;
+use maxnvm_dnn::network::{LayerMatrix, WeightDelta};
 use maxnvm_ecc::{BlockCodec, Correction};
 use maxnvm_envm::{FaultInjector, FaultMap, LevelPartition, MlcConfig, SparseFaultSampler};
 use rand::Rng;
@@ -221,10 +221,22 @@ impl<'a> PreparedLayer<'a> {
         fault_for: &dyn Fn(MlcConfig) -> Arc<FaultMap>,
         rng: &mut R,
     ) -> (LayerMatrix, DecodeStats) {
-        // Structures are sampled in storage order, so the RNG stream — and
-        // therefore the trial — is a pure function of the seed.
-        let flips: Vec<Vec<(u32, u8)>> = self
-            .stored
+        let flips = self.sample_flips(target, fault_for, rng);
+        self.decode_flips(&flips)
+    }
+
+    /// Samples one trial's per-structure flip lists. Structures are
+    /// sampled in storage order, so the RNG stream — and therefore the
+    /// trial — is a pure function of the seed; the matrix- and
+    /// delta-producing paths share this sampler and thus see *identical*
+    /// faults for the same RNG state.
+    fn sample_flips<R: Rng + ?Sized>(
+        &self,
+        target: Option<StructureKind>,
+        fault_for: &dyn Fn(MlcConfig) -> Arc<FaultMap>,
+        rng: &mut R,
+    ) -> Vec<Vec<(u32, u8)>> {
+        self.stored
             .structures
             .iter()
             .enumerate()
@@ -235,8 +247,53 @@ impl<'a> PreparedLayer<'a> {
                 let sampler = SparseFaultSampler::new((*fault_for(s.bpc)).clone());
                 sampler.sample_faults(&self.partitions[i], rng)
             })
-            .collect();
-        self.decode_flips(&flips)
+            .collect()
+    }
+
+    /// Sparse-sampled trial decoded to a *sparse weight delta* instead of
+    /// a materialized matrix: the slot-sorted list of weight cells whose
+    /// decoded value differs bitwise from the clean decode. Consumes the
+    /// RNG exactly like [`PreparedLayer::decode_with_faults`], and
+    /// applying the deltas onto the clean matrix reproduces its result
+    /// bit for bit (locked by the storage equivalence tests).
+    pub fn deltas_with_faults<R: Rng + ?Sized>(
+        &self,
+        fault_for: &dyn Fn(MlcConfig) -> Arc<FaultMap>,
+        rng: &mut R,
+    ) -> (Vec<WeightDelta>, DecodeStats) {
+        let flips = self.sample_flips(None, fault_for, rng);
+        self.deltas_flips(&flips)
+    }
+
+    /// Delta form of [`PreparedLayer::decode_with_isolated_faults`].
+    pub fn deltas_with_isolated_faults<R: Rng + ?Sized>(
+        &self,
+        target: StructureKind,
+        fault_for: &dyn Fn(MlcConfig) -> Arc<FaultMap>,
+        rng: &mut R,
+    ) -> (Vec<WeightDelta>, DecodeStats) {
+        let flips = self.sample_flips(Some(target), fault_for, rng);
+        self.deltas_flips(&flips)
+    }
+
+    /// Delta form of [`PreparedLayer::decode_flips`]: the same flips, but
+    /// reported as the slot-sorted set of weight cells that end up
+    /// differing bitwise from the clean matrix (possibly empty — e.g. an
+    /// ECC-corrected flip or one that re-decodes to the clean centroid).
+    pub fn deltas_flips(&self, flips: &[Vec<(u32, u8)>]) -> (Vec<WeightDelta>, DecodeStats) {
+        let stats = DecodeStats {
+            cell_faults: flips.iter().map(Vec::len).sum(),
+            ..DecodeStats::default()
+        };
+        if stats.cell_faults == 0 {
+            return (Vec::new(), stats);
+        }
+        if self.patchable(flips) {
+            self.deltas_patch(flips, stats)
+        } else {
+            let (m, stats) = self.decode_full(flips, stats);
+            (diff_deltas(&self.clean.matrix.data, &m.data), stats)
+        }
     }
 
     /// Decodes under an explicit per-structure flip list (`(cell, new
@@ -250,11 +307,19 @@ impl<'a> PreparedLayer<'a> {
         if stats.cell_faults == 0 {
             return (self.clean.matrix.clone(), stats);
         }
-        // A dirty structure admits an incremental re-decode when its fault
-        // blast radius is bounded: Values entries are slot-local, CSR gaps
-        // row-local, IdxSync mask bits block-local. Counter faults (and
-        // mask faults without IdxSync) shift global alignment → full pass.
-        let patchable = self.stored.structures.iter().zip(flips).all(|(s, f)| {
+        if self.patchable(flips) {
+            self.decode_patch(flips, stats)
+        } else {
+            self.decode_full(flips, stats)
+        }
+    }
+
+    /// A dirty structure admits an incremental re-decode when its fault
+    /// blast radius is bounded: Values entries are slot-local, CSR gaps
+    /// row-local, IdxSync mask bits block-local. Counter faults (and
+    /// mask faults without IdxSync) shift global alignment → full pass.
+    fn patchable(&self, flips: &[Vec<(u32, u8)>]) -> bool {
+        self.stored.structures.iter().zip(flips).all(|(s, f)| {
             f.is_empty()
                 || match s.kind {
                     StructureKind::Values => true,
@@ -264,12 +329,7 @@ impl<'a> PreparedLayer<'a> {
                     StructureKind::Mask => self.block_bases.is_some(),
                     _ => false,
                 }
-        });
-        if patchable {
-            self.decode_patch(flips, stats)
-        } else {
-            self.decode_full(flips, stats)
-        }
+        })
     }
 
     /// Splices `flips` into structure `i`'s streams, re-decoding only the
@@ -344,6 +404,49 @@ impl<'a> PreparedLayer<'a> {
         mut stats: DecodeStats,
     ) -> (LayerMatrix, DecodeStats) {
         let mut matrix = self.clean.matrix.clone();
+        self.patch_walk(flips, &mut stats, |slot, v| matrix.data[slot] = v);
+        (matrix, stats)
+    }
+
+    /// Incremental path producing a sparse delta: replays the exact write
+    /// sequence [`Self::decode_patch`] would perform, keeps the *last*
+    /// write per slot (later region re-walks overwrite earlier entry
+    /// patches, exactly as they do on the materialized matrix), and drops
+    /// writes that land on the clean bit pattern.
+    fn deltas_patch(
+        &self,
+        flips: &[Vec<(u32, u8)>],
+        mut stats: DecodeStats,
+    ) -> (Vec<WeightDelta>, DecodeStats) {
+        let mut writes: Vec<(u32, u32, f32)> = Vec::new();
+        let mut seq = 0u32;
+        self.patch_walk(flips, &mut stats, |slot, v| {
+            writes.push((slot as u32, seq, v));
+            seq += 1;
+        });
+        writes.sort_unstable_by_key(|&(slot, s, _)| (slot, std::cmp::Reverse(s)));
+        writes.dedup_by_key(|w| w.0);
+        let clean = &self.clean.matrix.data;
+        let deltas = writes
+            .into_iter()
+            .filter(|&(slot, _, v)| v.to_bits() != clean[slot as usize].to_bits())
+            .map(|(slot, _, value)| WeightDelta { slot, value })
+            .collect();
+        (deltas, stats)
+    }
+
+    /// The shared patching walk behind [`Self::decode_patch`] and
+    /// [`Self::deltas_patch`]: patches dirty streams, then emits
+    /// `write(slot, value)` for every matrix position an incremental
+    /// re-decode touches, in a fixed deterministic order (entry-local
+    /// Values patches, then CSR dirty-row re-walks, then IdxSync dirty
+    /// sync-block re-walks).
+    fn patch_walk(
+        &self,
+        flips: &[Vec<(u32, u8)>],
+        stats: &mut DecodeStats,
+        mut write: impl FnMut(usize, f32),
+    ) {
         let n = self.stored.structures.len();
         let mut patched: Vec<Option<BitBuffer>> = vec![None; n];
         let mut dirty: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
@@ -351,7 +454,7 @@ impl<'a> PreparedLayer<'a> {
             if flips[i].is_empty() {
                 continue;
             }
-            let (p, r) = self.patched_payload(i, &flips[i], &mut stats);
+            let (p, r) = self.patched_payload(i, &flips[i], stats);
             patched[i] = Some(p);
             dirty[i] = r;
         }
@@ -362,7 +465,7 @@ impl<'a> PreparedLayer<'a> {
         let cent = |v: u16| self.stored.centroids[v.min(top) as usize];
         let Some(vi) = find(StructureKind::Values) else {
             // Every encoding stores values; nothing to patch without them.
-            return (matrix, stats);
+            return;
         };
         let values = payload(vi);
         let num_entries = self.stored.structures[vi].payload_bits / ib.max(1);
@@ -377,7 +480,7 @@ impl<'a> PreparedLayer<'a> {
                 let v = values.read_at(j * ib, ib).unwrap_or(0) as u16;
                 let slot = self.clean.value_slots.get(j).copied().unwrap_or(u32::MAX);
                 if slot != u32::MAX {
-                    matrix.data[slot as usize] = cent(v);
+                    write(slot as usize, cent(v));
                 }
             }
         }
@@ -402,7 +505,7 @@ impl<'a> PreparedLayer<'a> {
             rows.dedup();
             for r in rows {
                 for c in 0..cols {
-                    matrix.data[r * cols + c] = cent(0);
+                    write(r * cols + c, cent(0));
                 }
                 let mut pos = 0usize;
                 for e in starts[r]..(starts[r] + counts[r]).min(num_entries) {
@@ -410,7 +513,7 @@ impl<'a> PreparedLayer<'a> {
                     let v = values.read_at(e * ib, ib).unwrap_or(0) as u16;
                     pos += gap;
                     if pos < cols && v != 0 {
-                        matrix.data[r * cols + pos] = cent(v);
+                        write(r * cols + pos, cent(v));
                     }
                     pos += 1;
                 }
@@ -433,17 +536,17 @@ impl<'a> PreparedLayer<'a> {
                 let end = (start + bb).min(total);
                 let mut ptr = bases[b];
                 for i in start..end {
-                    matrix.data[i] = if mask.get(i).unwrap_or(false) {
+                    let v = if mask.get(i).unwrap_or(false) {
                         let v = values.read_at(ptr * ib, ib).unwrap_or(0) as u16;
                         ptr += 1;
                         cent(v)
                     } else {
                         cent(0)
                     };
+                    write(i, v);
                 }
             }
         }
-        (matrix, stats)
     }
 
     /// Fallback for alignment-shifting faults: full re-parse, but from
@@ -470,6 +573,21 @@ impl<'a> PreparedLayer<'a> {
         let indices = self.stored.parse_streams(&streams).reconstruct_indices();
         (self.stored.matrix_from_indices(&indices), stats)
     }
+}
+
+/// Slot-sorted bitwise diff of a faulty decode against the clean matrix —
+/// the delta form of the full-decode fallback path.
+fn diff_deltas(clean: &[f32], faulty: &[f32]) -> Vec<WeightDelta> {
+    clean
+        .iter()
+        .zip(faulty)
+        .enumerate()
+        .filter(|(_, (c, f))| c.to_bits() != f.to_bits())
+        .map(|(i, (_, f))| WeightDelta {
+            slot: i as u32,
+            value: *f,
+        })
+        .collect()
 }
 
 /// Fixed-width units (entries, gap fields, sync blocks) overlapping any of

@@ -380,6 +380,110 @@ fn prepared_decode_matches_full_decode_under_identical_flips() {
 }
 
 #[test]
+fn deltas_flips_reproduce_decode_flips_bitwise() {
+    use rand::Rng;
+    // Applying the sparse delta onto the clean matrix must reproduce the
+    // materialized faulty decode bit for bit — across every encoding,
+    // ECC scope, and the IdxSync variant, including trials that hit the
+    // full-decode fallback (counter faults).
+    let c = clustered(12, 256, 0.6, 70);
+    let mut schemes = Vec::new();
+    for enc in EncodingKind::ALL {
+        for ecc in [EccScope::None, EccScope::Metadata, EccScope::All] {
+            let mut s = StorageScheme::uniform(enc, MlcConfig::MLC2);
+            s.ecc = ecc;
+            schemes.push(s.clone());
+            if enc == EncodingKind::BitMask {
+                schemes.push(s.clone().with_idx_sync().with_sync_block_bits(128));
+            }
+        }
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+    for scheme in &schemes {
+        let stored = StoredLayer::store(&c, scheme);
+        let prepared = PreparedLayer::prepare(&stored);
+        for trial in 0..40 {
+            let flips: Vec<Vec<(u32, u8)>> = stored
+                .structures()
+                .iter()
+                .map(|s| {
+                    let n = s.cells.len();
+                    if n == 0 {
+                        return Vec::new();
+                    }
+                    let k = rng.gen_range(0..3usize.min(n));
+                    let mut f: Vec<(u32, u8)> = (0..k)
+                        .map(|_| {
+                            let pos = rng.gen_range(0..n);
+                            let lvl = s.cells[pos];
+                            (pos as u32, adjacent_flip(lvl, s.bpc.levels()))
+                        })
+                        .collect();
+                    f.sort_unstable_by_key(|&(p, _)| p);
+                    f.dedup_by_key(|x| x.0);
+                    f
+                })
+                .collect();
+            let (materialized, m_stats) = prepared.decode_flips(&flips);
+            let (deltas, d_stats) = prepared.deltas_flips(&flips);
+            let label = scheme.label();
+            assert_eq!(m_stats, d_stats, "{label} trial {trial}");
+            let clean = &prepared.clean().matrix.data;
+            let mut applied = clean.clone();
+            for d in &deltas {
+                applied[d.slot as usize] = d.value;
+            }
+            let same = applied
+                .iter()
+                .zip(&materialized.data)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{label} trial {trial}: delta application drifted");
+            // Deltas are slot-sorted, unique, and all genuinely differ
+            // from the clean decode.
+            for w in deltas.windows(2) {
+                assert!(w[0].slot < w[1].slot, "{label}: deltas not sorted");
+            }
+            for d in &deltas {
+                assert_ne!(
+                    d.value.to_bits(),
+                    clean[d.slot as usize].to_bits(),
+                    "{label}: no-op delta"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sampled_deltas_consume_rng_like_materialized_decode() {
+    // Same seed → the delta path and the materialized path must see the
+    // identical fault draw, so applying one's deltas reproduces the
+    // other's matrix.
+    let c = clustered(16, 128, 0.6, 80);
+    let scheme = StorageScheme::uniform(EncodingKind::BitMask, MlcConfig::MLC3).with_idx_sync();
+    let stored = StoredLayer::store(&c, &scheme);
+    let prepared = PreparedLayer::prepare(&stored);
+    let cell = CellTechnology::MlcCtt;
+    let fault_for = |bpc: MlcConfig| Arc::new(cell.cell_model(bpc).fault_map().scaled(2000.0));
+    for seed in 0..50u64 {
+        let mut ra = rand::rngs::StdRng::seed_from_u64(seed);
+        let (mat, ms) = prepared.decode_with_faults(&fault_for, &mut ra);
+        let mut rb = rand::rngs::StdRng::seed_from_u64(seed);
+        let (deltas, ds) = prepared.deltas_with_faults(&fault_for, &mut rb);
+        assert_eq!(ms, ds, "seed {seed}");
+        let mut applied = prepared.clean().matrix.data.clone();
+        for d in &deltas {
+            applied[d.slot as usize] = d.value;
+        }
+        let same = applied
+            .iter()
+            .zip(&mat.data)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "seed {seed}");
+    }
+}
+
+#[test]
 fn prepared_sampled_decode_is_deterministic_and_calibrated() {
     let c = clustered(16, 128, 0.6, 80);
     let scheme = StorageScheme::uniform(EncodingKind::BitMask, MlcConfig::MLC3).with_idx_sync();

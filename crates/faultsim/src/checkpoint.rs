@@ -31,10 +31,18 @@ use std::path::{Path, PathBuf};
 /// On-disk format tag; bumped only when the file layout itself changes.
 pub const CHECKPOINT_FORMAT: &str = "maxnvm-campaign-checkpoint v1";
 
-/// Version of the trial semantics (seeding, fault sampling, decode
-/// order). Folded into every fingerprint: resuming a checkpoint across
-/// an engine whose trials mean something different must fail loudly.
-pub const TRIAL_SEMANTICS_VERSION: u32 = 2;
+/// Version of the trial semantics (seeding, fault sampling, decode and
+/// summation order). Folded into every fingerprint: resuming a
+/// checkpoint across an engine whose trials mean something different
+/// must fail loudly.
+///
+/// Version 3: inference runs on the blocked GEMM kernel with its fixed
+/// input-independent summation order (the old naive matmul skipped
+/// zero-valued multiplicands, so logits — and hence trial error rates —
+/// can differ in the last bit), and trials evaluate sparse weight
+/// deltas against the cached clean decode instead of materializing
+/// faulty matrices.
+pub const TRIAL_SEMANTICS_VERSION: u32 = 3;
 
 /// Where and how often to checkpoint a run.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -12,12 +12,19 @@
 //! shares raw encodes *and clean decodes* across candidate schemes
 //! through an [`EncodeCache`].
 //!
-//! The trial loop itself is O(expected faults + test batch), not
+//! The trial loop itself is O(expected faults + dirty suffix), not
 //! O(cells × test set): each stored layer is wrapped in a
 //! [`PreparedLayer`] (clean decode cached once, faults sampled sparsely
-//! with geometric skips, dirty regions re-decoded incrementally), and
-//! evaluators reuse per-worker [`EvalScratch`] state instead of cloning
-//! networks per trial.
+//! with geometric skips, each trial reduced to a sparse
+//! [`WeightDelta`] list against the shared clean decode), and the
+//! evaluators consume those deltas through
+//! [`AccuracyEval::eval_deltas`] on per-worker [`EvalScratch`] state —
+//! [`crate::evaluate::NetworkEval`] patches only the dirty rows of the
+//! first fault-touched layer atop a cached clean-prefix forward pass,
+//! [`crate::evaluate::ProxyEval`] adjusts a cached MSE numerator —
+//! both bit-identical to materializing the faulty matrices. Chip
+//! campaigns ([`EvalContext::run_chips`]), whose faults are dense analog
+//! programming outcomes, keep the materializing path.
 //!
 //! On top of that sits the **resilience layer** (`*_controlled` entry
 //! points taking a [`RunControl`]):
@@ -61,7 +68,7 @@ use crate::cancel::CancelToken;
 use crate::checkpoint::{CampaignCheckpoint, CheckpointConfig, Fingerprint};
 use crate::dse::{candidate_schemes, DseConfig, DsePoint};
 use crate::evaluate::{AccuracyEval, EvalScratch};
-use maxnvm_dnn::network::LayerMatrix;
+use maxnvm_dnn::network::{LayerMatrix, WeightDelta};
 use maxnvm_encoding::cluster::ClusteredLayer;
 use maxnvm_encoding::storage::{DecodeStats, EncodeCache, PreparedLayer, StoredLayer};
 use maxnvm_encoding::StructureKind;
@@ -87,6 +94,24 @@ impl ScratchPool {
     fn eval(&self, eval: &(dyn AccuracyEval + Sync), mats: &[LayerMatrix]) -> f64 {
         let mut scratch = self.0.lock().pop().unwrap_or_default();
         let error = eval.eval_scratch(mats, &mut scratch);
+        self.0.lock().push(scratch);
+        error
+    }
+
+    /// [`AccuracyEval::eval_deltas`] on a pooled scratch: the sparse
+    /// trial path. `key` identifies which clean configuration the deltas
+    /// are against (campaigns use `0`; a DSE keys by candidate scheme),
+    /// so a scratch checked out by a different scheme's trial rebuilds
+    /// its caches deterministically instead of mixing state.
+    fn eval_deltas(
+        &self,
+        eval: &(dyn AccuracyEval + Sync),
+        key: u64,
+        clean: &[LayerMatrix],
+        deltas: &[Vec<WeightDelta>],
+    ) -> f64 {
+        let mut scratch = self.0.lock().pop().unwrap_or_default();
+        let error = eval.eval_deltas(key, clean, deltas, &mut scratch);
         self.0.lock().push(scratch);
         error
     }
@@ -654,6 +679,10 @@ impl EvalContext {
             .iter()
             .map(|p| p.expected_faults(target, &fault_for))
             .sum();
+        // Trials never materialize faulty matrices: each samples sparse
+        // deltas against these shared clean decodes and evaluates them
+        // through the evaluator's O(deltas) path.
+        let clean: Vec<LayerMatrix> = prepared.iter().map(|p| p.clean().matrix.clone()).collect();
         let scratch = ScratchPool::new();
         let kind = match target {
             Some(_) => "isolated",
@@ -683,20 +712,20 @@ impl EvalContext {
             |_, trial| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(trial as u64));
                 let mut stats = DecodeStats::default();
-                let mats: Vec<_> = prepared
+                let deltas: Vec<Vec<WeightDelta>> = prepared
                     .iter()
                     .map(|layer| {
-                        let (m, s) = match target {
+                        let (d, s) = match target {
                             Some(kind) => {
-                                layer.decode_with_isolated_faults(kind, &fault_for, &mut rng)
+                                layer.deltas_with_isolated_faults(kind, &fault_for, &mut rng)
                             }
-                            None => layer.decode_with_faults(&fault_for, &mut rng),
+                            None => layer.deltas_with_faults(&fault_for, &mut rng),
                         };
                         stats.absorb(s);
-                        m
+                        d
                     })
                     .collect();
-                (scratch.eval(eval, &mats), stats)
+                (scratch.eval_deltas(eval, 0, &clean, &deltas), stats)
             },
         )?;
         let group = driven.pop().ok_or_else(|| EngineError::Internal {
@@ -859,6 +888,11 @@ impl EvalContext {
                 .map(|(i, l)| PreparedLayer::new(l, cache.clean_decode(i, l)))
                 .collect()
         });
+        // Per-scheme clean matrices for the sparse-delta trial path.
+        let clean: Vec<Vec<LayerMatrix>> = prepared
+            .iter()
+            .map(|ps| ps.iter().map(|p| p.clean().matrix.clone()).collect())
+            .collect();
         // Fingerprint the whole sweep: every scheme's identity and cell
         // count participates, so adding/removing candidates invalidates
         // old checkpoints.
@@ -907,15 +941,18 @@ impl EvalContext {
             |s, trial| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(trial as u64));
                 let mut stats = DecodeStats::default();
-                let mats: Vec<_> = prepared[s]
+                let deltas: Vec<Vec<WeightDelta>> = prepared[s]
                     .iter()
                     .map(|layer| {
-                        let (m, st) = layer.decode_with_faults(&fault_for, &mut rng);
+                        let (d, st) = layer.deltas_with_faults(&fault_for, &mut rng);
                         stats.absorb(st);
-                        m
+                        d
                     })
                     .collect();
-                (scratch.eval(eval, &mats), stats)
+                (
+                    scratch.eval_deltas(eval, s as u64, &clean[s], &deltas),
+                    stats,
+                )
             },
         )?;
         Ok(schemes

@@ -1,8 +1,32 @@
 //! Accuracy evaluators: end-to-end network inference for the trainable
 //! stand-ins, and a weight-corruption sensitivity proxy for the
 //! ImageNet-scale specs.
+//!
+//! Evaluators expose two granularities. [`AccuracyEval::eval`] (and its
+//! scratch-reusing twin) takes fully materialized weight matrices — the
+//! chip-instance path still uses it. [`AccuracyEval::eval_deltas`] takes
+//! the *clean* matrices plus a per-layer sparse list of
+//! [`WeightDelta`]s, which is what the sparse fault sampler produces;
+//! the fast implementations here never materialize the faulty matrices:
+//!
+//! - [`NetworkEval`] keeps a [`PrefixCache`] of the clean batch forward
+//!   pass (keyed per configuration) and per trial only patches the dirty
+//!   rows of the first fault-touched layer and re-runs the suffix —
+//!   bit-identical to materializing the faults and running
+//!   [`Network::error_rate`] (see [`maxnvm_dnn::prefix`]).
+//! - [`ProxyEval`] caches the clean relative-MSE denominator and adjusts
+//!   the numerator per delta in O(deltas) — bit-identical to the full
+//!   scan whenever the clean decode equals the proxy reference bitwise
+//!   (the only configuration the shortcut is enabled for).
+//!
+//! Both fall back to the materializing default (clean copy + delta
+//! overwrite + [`AccuracyEval::eval_scratch`]) when their preconditions
+//! fail (residual networks; a lossy clean decode), so `eval_deltas` is
+//! total for every evaluator.
 
-use maxnvm_dnn::network::{LayerMatrix, Network};
+use maxnvm_dnn::layer::ForwardScratch;
+use maxnvm_dnn::network::{argmax, LayerMatrix, Network, WeightDelta};
+use maxnvm_dnn::prefix::PrefixCache;
 use maxnvm_dnn::tensor::Tensor;
 
 /// Relative weight-MSE at which the sensitivity proxy has risen to
@@ -14,16 +38,41 @@ use maxnvm_dnn::tensor::Tensor;
 /// [44, 57, 58].
 pub const PROXY_M0: f64 = 0.05;
 
-/// Reusable per-worker evaluation state: holds the network clone a
-/// [`NetworkEval`] writes decoded weights into, so a Monte-Carlo campaign
-/// clones each network once per worker instead of once per trial.
+/// A [`NetworkEval`]'s cached clean-prefix state for one configuration
+/// key: a network holding the clean decoded weights (deltas are applied
+/// and reverted in place per trial) and the [`PrefixCache`] of the clean
+/// forward pass over the test batch.
+#[derive(Debug, Clone)]
+struct PrefixState {
+    net: Network,
+    cache: PrefixCache,
+    clean_error: f64,
+}
+
+/// Reusable per-worker evaluation state: the network clone a
+/// [`NetworkEval`] writes decoded weights into, the keyed clean-prefix /
+/// clean-MSE caches behind [`AccuracyEval::eval_deltas`], and assorted
+/// staging buffers — so a Monte-Carlo campaign pays each allocation once
+/// per worker instead of once per trial.
+///
+/// The keyed caches hold exactly one configuration each (campaigns use a
+/// single key; a DSE sweep keys by candidate scheme and rebuilds on key
+/// switch — a pure function of the key's clean matrices, so results are
+/// identical at any worker count and scratch-reuse pattern).
 ///
 /// A scratch value is tied to the first evaluator that uses it (the lazily
-/// cloned network keeps that evaluator's architecture); do not share one
+/// built caches keep that evaluator's architecture); do not share one
 /// scratch across different evaluators.
 #[derive(Debug, Clone, Default)]
 pub struct EvalScratch {
     net: Option<Network>,
+    forward: ForwardScratch,
+    row_buf: Vec<f32>,
+    dirty_rows: Vec<usize>,
+    undo: Vec<(usize, u32, f32)>,
+    materialized: Option<(u64, Vec<LayerMatrix>)>,
+    prefix: Option<(u64, Option<PrefixState>)>,
+    proxy: Option<(u64, Option<f64>)>,
 }
 
 /// Maps decoded weight matrices to a classification error estimate.
@@ -39,6 +88,65 @@ pub trait AccuracyEval {
         let _ = scratch;
         self.eval(mats)
     }
+    /// Error with the faults given as sparse deltas against the `clean`
+    /// decoded matrices: `deltas[i]` lists the faulty slots of matrix `i`
+    /// in slot-ascending order, deduped (missing trailing entries mean
+    /// "no faults"). `key` identifies the configuration `clean` belongs
+    /// to — calls with the same key **must** pass bitwise-identical
+    /// `clean` matrices, which lets implementations cache per-key state
+    /// in the scratch.
+    ///
+    /// The default materializes: it keeps a per-key clean copy in the
+    /// scratch, overwrites the delta slots, delegates to
+    /// [`AccuracyEval::eval_scratch`], and reverts — so overriding
+    /// `eval`/`eval_scratch` alone keeps `eval_deltas` consistent.
+    /// [`NetworkEval`] and [`ProxyEval`] override it with O(deltas)
+    /// paths that are bit-identical to this default.
+    fn eval_deltas(
+        &self,
+        key: u64,
+        clean: &[LayerMatrix],
+        deltas: &[Vec<WeightDelta>],
+        scratch: &mut EvalScratch,
+    ) -> f64 {
+        eval_deltas_materialized(self, key, clean, deltas, scratch)
+    }
+}
+
+/// The materializing [`AccuracyEval::eval_deltas`] path, shared by the
+/// trait default and the fast evaluators' fallback arms: copy the clean
+/// matrices once per key, overwrite the delta slots, evaluate, restore.
+fn eval_deltas_materialized<E: AccuracyEval + ?Sized>(
+    eval: &E,
+    key: u64,
+    clean: &[LayerMatrix],
+    deltas: &[Vec<WeightDelta>],
+    scratch: &mut EvalScratch,
+) -> f64 {
+    // Take the cached copy out of the scratch so `eval_scratch` below can
+    // borrow the scratch mutably; reverting the deltas (rather than
+    // re-cloning `clean`) keeps steady-state trials allocation-free.
+    let cached = scratch
+        .materialized
+        .take()
+        .filter(|(k, m)| *k == key && m.len() == clean.len());
+    let mut mats = match cached {
+        Some((_, m)) => m,
+        None => clean.to_vec(),
+    };
+    for (i, ds) in deltas.iter().enumerate() {
+        for d in ds {
+            mats[i].data[d.slot as usize] = d.value;
+        }
+    }
+    let error = eval.eval_scratch(&mats, scratch);
+    for (i, ds) in deltas.iter().enumerate() {
+        for d in ds {
+            mats[i].data[d.slot as usize] = clean[i].data[d.slot as usize];
+        }
+    }
+    scratch.materialized = Some((key, mats));
+    error
 }
 
 /// End-to-end evaluator: writes the matrices into a real network and
@@ -83,6 +191,95 @@ impl AccuracyEval for NetworkEval {
         net.set_weight_matrices(mats);
         net.error_rate(&self.test)
     }
+
+    /// Clean-prefix fast path: the clean batch forward pass is cached
+    /// once per key; a trial recomputes only the dirty rows of the first
+    /// fault-touched layer and the layer suffix behind it — bit-identical
+    /// to materializing the faults (see [`maxnvm_dnn::prefix`]). Residual
+    /// networks fall back to the materializing default.
+    fn eval_deltas(
+        &self,
+        key: u64,
+        clean: &[LayerMatrix],
+        deltas: &[Vec<WeightDelta>],
+        scratch: &mut EvalScratch,
+    ) -> f64 {
+        if self.test.is_empty() {
+            return 0.0; // matches `Network::error_rate` on an empty set
+        }
+        if !matches!(&scratch.prefix, Some((k, _)) if *k == key) {
+            let mut net = self.net.clone();
+            net.set_weight_matrices(clean);
+            let xs: Vec<Tensor> = self.test.iter().map(|(x, _)| x.clone()).collect();
+            let state = PrefixCache::build(&net, &xs, &mut scratch.forward).map(|cache| {
+                let clean_error = error_over(cache.clean_logits(), &self.test);
+                PrefixState {
+                    net,
+                    cache,
+                    clean_error,
+                }
+            });
+            scratch.prefix = Some((key, state));
+        }
+        // Destructure so the prefix state and the staging buffers can be
+        // borrowed simultaneously; anything else materializes.
+        match scratch {
+            EvalScratch {
+                prefix: Some((k, Some(state))),
+                forward,
+                row_buf,
+                dirty_rows,
+                undo,
+                ..
+            } if *k == key => {
+                let Some(first) = deltas.iter().position(|d| !d.is_empty()) else {
+                    return state.clean_error;
+                };
+                dirty_rows.clear();
+                dirty_rows.extend(
+                    deltas[first]
+                        .iter()
+                        .map(|d| d.slot as usize / clean[first].cols),
+                );
+                dirty_rows.sort_unstable();
+                dirty_rows.dedup();
+                state.net.apply_weight_deltas(deltas, undo);
+                let pos = state.cache.site_layer(first);
+                let logits = match state.net.layers()[pos].weight_bias() {
+                    Some((w, b)) => {
+                        let patched = state
+                            .cache
+                            .patched_outputs(first, w, b, dirty_rows, row_buf);
+                        state.net.forward_suffix(pos + 1, patched, forward)
+                    }
+                    // Sites address weight layers by construction; stay
+                    // total with a (still exact) full faulty forward.
+                    None => state
+                        .net
+                        .forward_batch_scratch(state.cache.input_batch(), forward),
+                };
+                let error = error_over(&logits, &self.test);
+                state.net.revert_weight_deltas(undo);
+                error
+            }
+            _ => eval_deltas_materialized(self, key, clean, deltas, scratch),
+        }
+    }
+}
+
+/// Classification error of per-sample logits against labelled samples —
+/// the same argmax and counting [`Network::error_rate`] uses, applied to
+/// already-computed logits.
+fn error_over(logits: &[Tensor], test: &[(Tensor, usize)]) -> f64 {
+    if test.is_empty() {
+        return 0.0;
+    }
+    let wrong = logits
+        .iter()
+        .zip(test)
+        .filter(|(l, (_, y))| argmax(l) != *y)
+        .count();
+    wrong as f64 / test.len() as f64
 }
 
 /// Sensitivity-proxy evaluator for models too large to train in this
@@ -151,6 +348,33 @@ impl ProxyEval {
     pub fn error_from_mse(&self, m_rel: f64) -> f64 {
         self.baseline + (self.saturation - self.baseline) * (1.0 - (-m_rel / PROXY_M0).exp())
     }
+
+    /// The cached denominator for the incremental delta path: `Σ ref²`
+    /// (accumulated in the same layer-then-cell order as
+    /// [`ProxyEval::relative_mse`]), but only when `clean` equals the
+    /// reference bitwise. That equality is what makes the incremental
+    /// numerator exact: every non-delta cell of a trial then contributes
+    /// exactly `0.0` to the full scan, so summing the delta terms alone
+    /// (in slot order) reproduces it bit for bit. A lossy clean decode
+    /// returns `None` and the evaluator materializes instead.
+    fn incremental_den(&self, clean: &[LayerMatrix]) -> Option<f64> {
+        if clean.len() != self.reference.len() {
+            return None;
+        }
+        let mut den = 0.0f64;
+        for (c, r) in clean.iter().zip(&self.reference) {
+            if (c.rows, c.cols) != (r.rows, r.cols) {
+                return None;
+            }
+            for (a, b) in c.data.iter().zip(&r.data) {
+                if a.to_bits() != b.to_bits() {
+                    return None;
+                }
+                den += (*b as f64).powi(2);
+            }
+        }
+        Some(den)
+    }
 }
 
 impl AccuracyEval for ProxyEval {
@@ -160,6 +384,40 @@ impl AccuracyEval for ProxyEval {
 
     fn eval(&self, mats: &[LayerMatrix]) -> f64 {
         self.error_from_mse(self.relative_mse(mats))
+    }
+
+    /// Incremental fast path: with the denominator cached (see
+    /// [`ProxyEval::incremental_den`]) the numerator is just the
+    /// slot-ordered sum of `(value − ref)²` over the deltas — O(deltas)
+    /// and bit-identical to the full scan. Falls back to materializing
+    /// when the clean decode differs from the reference.
+    fn eval_deltas(
+        &self,
+        key: u64,
+        clean: &[LayerMatrix],
+        deltas: &[Vec<WeightDelta>],
+        scratch: &mut EvalScratch,
+    ) -> f64 {
+        if !matches!(&scratch.proxy, Some((k, _)) if *k == key) {
+            scratch.proxy = Some((key, self.incremental_den(clean)));
+        }
+        match &scratch.proxy {
+            Some((k, Some(den))) if *k == key => {
+                let den = *den;
+                let mut num = 0.0f64;
+                for (i, ds) in deltas.iter().enumerate() {
+                    let r = &self.reference[i];
+                    for d in ds {
+                        // f32 subtraction then the f64 square, exactly as
+                        // in `relative_mse`.
+                        num += ((d.value - r.data[d.slot as usize]) as f64).powi(2);
+                    }
+                }
+                let m_rel = if den == 0.0 { 0.0 } else { num / den };
+                self.error_from_mse(m_rel)
+            }
+            _ => eval_deltas_materialized(self, key, clean, deltas, scratch),
+        }
     }
 }
 
@@ -282,5 +540,148 @@ mod tests {
         let refm = vec![LayerMatrix::new("l", 2, 2, vec![1.0; 4])];
         let proxy = ProxyEval::new(refm, 0.1, 0.9);
         proxy.eval(&[LayerMatrix::new("l", 1, 4, vec![1.0; 4])]);
+    }
+
+    /// Applies the sparse deltas onto a copy of `clean` — the
+    /// materialized reference every `eval_deltas` result is compared to.
+    fn materialize(clean: &[LayerMatrix], deltas: &[Vec<WeightDelta>]) -> Vec<LayerMatrix> {
+        let mut mats = clean.to_vec();
+        for (i, ds) in deltas.iter().enumerate() {
+            for d in ds {
+                mats[i].data[d.slot as usize] = d.value;
+            }
+        }
+        mats
+    }
+
+    fn delta_cases() -> Vec<Vec<Vec<WeightDelta>>> {
+        let d = |slot: u32, value: f32| WeightDelta { slot, value };
+        vec![
+            vec![Vec::new(), Vec::new()],
+            vec![vec![d(5, 2.0)], Vec::new()],
+            vec![Vec::new(), vec![d(1, -4.0)]],
+            vec![vec![d(0, 9.0), d(17, -9.0)], vec![d(3, 0.25)]],
+        ]
+    }
+
+    /// The clean-prefix fast path must be bit-identical to materializing
+    /// the faults, across fault positions, reused scratch state, and key
+    /// switches.
+    #[test]
+    fn network_eval_deltas_is_bit_exact_with_materialized() {
+        let eval = trained_eval();
+        let clean = eval.network().weight_matrices();
+        let mut scratch = EvalScratch::default();
+        for deltas in &delta_cases() {
+            assert_eq!(
+                eval.eval_deltas(7, &clean, deltas, &mut scratch),
+                eval.eval(&materialize(&clean, deltas)),
+                "prefix path must match the materialized evaluation"
+            );
+        }
+        // No faults on a reused (previously corrupted) scratch: the exact
+        // clean baseline, no residue.
+        assert_eq!(
+            eval.eval_deltas(7, &clean, &[Vec::new(), Vec::new()], &mut scratch),
+            eval.baseline_error()
+        );
+        // A key switch rebuilds the cache for the new clean matrices and
+        // back again.
+        let mut other = clean.clone();
+        for v in &mut other[0].data {
+            *v = -*v;
+        }
+        assert_eq!(
+            eval.eval_deltas(8, &other, &[Vec::new(), Vec::new()], &mut scratch),
+            eval.eval(&other)
+        );
+        assert_eq!(
+            eval.eval_deltas(7, &clean, &[Vec::new(), Vec::new()], &mut scratch),
+            eval.baseline_error()
+        );
+    }
+
+    /// Residual networks have no prefix cache; `eval_deltas` must fall
+    /// back to the materializing path and still agree exactly.
+    #[test]
+    fn network_eval_deltas_falls_back_on_residual_networks() {
+        use maxnvm_dnn::layer::Layer;
+        let net = maxnvm_dnn::network::Network::new(
+            "res",
+            vec![Layer::Residual {
+                body: vec![Layer::linear("b", 4, 4)],
+                shortcut: vec![],
+            }],
+        );
+        let test: Vec<(Tensor, usize)> = (0..6)
+            .map(|i| {
+                let data = (0..4).map(|j| ((i * 3 + j) % 5) as f32 - 2.0).collect();
+                (Tensor::from_vec(&[4], data), i % 4)
+            })
+            .collect();
+        let eval = NetworkEval::new(net, test);
+        let clean = eval.network().weight_matrices();
+        let deltas = vec![vec![WeightDelta {
+            slot: 2,
+            value: 30.0,
+        }]];
+        let mut scratch = EvalScratch::default();
+        assert_eq!(
+            eval.eval_deltas(0, &clean, &deltas, &mut scratch),
+            eval.eval(&materialize(&clean, &deltas))
+        );
+        assert_eq!(
+            eval.eval_deltas(0, &clean, &[Vec::new()], &mut scratch),
+            eval.baseline_error()
+        );
+    }
+
+    /// With the reference equal to the clean decode (the DSE
+    /// configuration), the incremental numerator must reproduce the full
+    /// scan bit for bit.
+    #[test]
+    fn proxy_eval_deltas_is_bit_exact_when_reference_is_clean() {
+        let refm = vec![
+            LayerMatrix::new("a", 4, 6, (0..24).map(|i| i as f32 * 0.3 - 2.0).collect()),
+            LayerMatrix::new("b", 2, 5, (0..10).map(|i| (i as f32).sin()).collect()),
+        ];
+        let proxy = ProxyEval::new(refm.clone(), 0.1, 0.9);
+        let mut scratch = EvalScratch::default();
+        for deltas in &delta_cases() {
+            assert_eq!(
+                proxy.eval_deltas(3, &refm, deltas, &mut scratch),
+                proxy.eval(&materialize(&refm, deltas)),
+                "incremental proxy must match the full scan"
+            );
+        }
+    }
+
+    /// A clean decode that differs from the reference (lossy clustering)
+    /// disables the shortcut; the fallback still agrees with `eval`.
+    #[test]
+    fn proxy_eval_deltas_falls_back_on_lossy_clean_decodes() {
+        let refm = vec![LayerMatrix::new(
+            "l",
+            3,
+            3,
+            (0..9).map(|i| i as f32).collect(),
+        )];
+        let proxy = ProxyEval::new(refm.clone(), 0.1, 0.9);
+        let mut clean = refm.clone();
+        clean[0].data[4] += 0.125;
+        let deltas = vec![vec![WeightDelta {
+            slot: 7,
+            value: -3.0,
+        }]];
+        let mut scratch = EvalScratch::default();
+        assert_eq!(
+            proxy.eval_deltas(1, &clean, &deltas, &mut scratch),
+            proxy.eval(&materialize(&clean, &deltas))
+        );
+        // And with no faults, exactly the clean evaluation.
+        assert_eq!(
+            proxy.eval_deltas(1, &clean, &[Vec::new()], &mut scratch),
+            proxy.eval(&clean)
+        );
     }
 }

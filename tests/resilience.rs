@@ -215,9 +215,10 @@ fn mid_run_cancellation_yields_clean_partial_result() {
     let c = campaign();
     let token = CancelToken::new();
     let cancelling = InstrumentedEval::cancelling(&eval, 5, token.clone());
-    // A single worker makes the cut deterministic: the token fires
-    // during trial 4's evaluation, so trial 5 is skipped at its
-    // cancellation check and exactly five trials complete.
+    // The token fires during the fifth evaluation, so at least five
+    // trials complete; the scope caller helps the single pool worker run
+    // jobs, so one more trial may already be in flight when the token
+    // lands — the completed set is a contiguous trial prefix either way.
     let ctx = EvalContext::with_workers(TECH, &sa(), RATE_SCALE, 1).expect("ctx");
     let result = ctx
         .run_campaign_controlled(
@@ -229,14 +230,19 @@ fn mid_run_cancellation_yields_clean_partial_result() {
         )
         .expect("cancelled run returns partial result");
     assert!(result.cancelled);
-    assert_eq!(result.completed_trials, 5);
+    assert!(
+        result.completed_trials >= 5 && result.completed_trials < c.trials,
+        "cut landed at {} of {}",
+        result.completed_trials,
+        c.trials
+    );
     assert_eq!(result.requested_trials, c.trials);
     // The completed prefix keeps its per-trial streams: it matches the
-    // uninterrupted run's first five trials exactly.
+    // uninterrupted run's leading trials exactly.
     let plain = c
         .run(std::slice::from_ref(&stored), TECH, &sa(), &eval)
         .expect("plain");
-    assert_eq!(result.errors, plain.errors[..5]);
+    assert_eq!(result.errors, plain.errors[..result.completed_trials]);
 }
 
 #[test]
