@@ -8,8 +8,10 @@
 //! the workspace root with before/after trials-per-second and the
 //! speedup, for CI and regression tracking.
 
-use maxnvm_dnn::gemm::{gemm_into, GemmScratch};
-use maxnvm_dnn::network::{LayerMatrix, WeightDelta};
+use maxnvm_dnn::gemm::{gemm_into, sparse_gemm_into, GemmScratch};
+use maxnvm_dnn::layer::Layer;
+use maxnvm_dnn::network::{LayerMatrix, Network, WeightDelta};
+use maxnvm_dnn::sparse::SparseMatrix;
 use maxnvm_dnn::zoo;
 use maxnvm_encoding::cluster::ClusteredLayer;
 use maxnvm_encoding::storage::{PreparedLayer, StorageScheme, StoredLayer};
@@ -17,9 +19,12 @@ use maxnvm_encoding::EncodingKind;
 use maxnvm_envm::{CellTechnology, MlcConfig, SenseAmp};
 use maxnvm_faultsim::campaign::fault_maps;
 use maxnvm_faultsim::dse::{minimal_cells, DseConfig};
-use maxnvm_faultsim::evaluate::EvalScratch;
-use maxnvm_faultsim::{AccuracyEval, Campaign, EarlyStop, EvalContext, ProxyEval, RunControl};
+use maxnvm_faultsim::evaluate::{EvalScratch, SparseModel};
+use maxnvm_faultsim::{
+    AccuracyEval, Campaign, EarlyStop, EvalContext, NetworkEval, ProxyEval, RunControl,
+};
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Trials per second of `trial` over a ~2 s measurement window (one
@@ -111,6 +116,8 @@ fn main() {
     };
 
     let gemm_gflops = gemm_gflops();
+    let sparse_gemm_gflops = sparse_gemm_gflops();
+    let vgg = vgg12_scale_arm();
 
     println!(
         "trial_throughput: {} / {}, {cells} cells, {expected:.3} expected faults/trial",
@@ -123,6 +130,24 @@ fn main() {
     println!("  full trial (deltas + incremental eval):   {trials_per_sec:>10.1} trials/s");
     println!("  prefix skip rate: {prefix_skip_rate:.4} of layers clean before first fault");
     println!("  gemm: {gemm_gflops:.2} GFLOP/s (256x256x256 blocked kernel)");
+    println!(
+        "  sparse gemm: {sparse_gemm_gflops:.2} dense-equivalent GFLOP/s \
+         (256x256x256, {:.1}% pruned lhs)",
+        zoo::vgg12().paper.sparsity * 100.0
+    );
+    println!(
+        "vgg12_scale: {} weights, {:.3} density, {:.3} expected faults/trial",
+        vgg.weights, vgg.density, vgg.expected_faults
+    );
+    println!(
+        "  dense (materialize + full dense forward):  {:>10.1} trials/s",
+        vgg.dense_trials_per_sec
+    );
+    println!(
+        "  sparse (deltas + prefix + sparse suffix):  {:>10.1} trials/s",
+        vgg.sparse_trials_per_sec
+    );
+    println!("  sparse speedup: {:.1}x", vgg.speedup);
 
     let es = early_stopping_arm();
 
@@ -133,9 +158,15 @@ fn main() {
     let lint_pass_version = lint_pass_version().unwrap_or(0);
 
     let json = format!(
-        "{{\n  \"benchmark\": \"trial_throughput\",\n  \"git_sha\": \"{git_sha}\",\n  \"lint_pass_version\": {lint_pass_version},\n  \"model\": \"{}\",\n  \"scheme\": \"{}\",\n  \"total_cells\": {cells},\n  \"expected_faults_per_trial\": {expected:.6},\n  \"before_trials_per_sec\": {before:.3},\n  \"after_trials_per_sec\": {after:.3},\n  \"speedup\": {speedup:.3},\n  \"trials_per_sec\": {trials_per_sec:.3},\n  \"prefix_skip_rate\": {prefix_skip_rate:.4},\n  \"gemm_gflops\": {gemm_gflops:.2},\n  \"dse_fixed_trials\": {},\n  \"dse_early_stop_trials\": {},\n  \"dse_trial_savings\": {:.3},\n  \"dse_same_optimal\": {}\n}}\n",
+        "{{\n  \"benchmark\": \"trial_throughput\",\n  \"git_sha\": \"{git_sha}\",\n  \"lint_pass_version\": {lint_pass_version},\n  \"model\": \"{}\",\n  \"scheme\": \"{}\",\n  \"total_cells\": {cells},\n  \"expected_faults_per_trial\": {expected:.6},\n  \"before_trials_per_sec\": {before:.3},\n  \"after_trials_per_sec\": {after:.3},\n  \"speedup\": {speedup:.3},\n  \"trials_per_sec\": {trials_per_sec:.3},\n  \"prefix_skip_rate\": {prefix_skip_rate:.4},\n  \"gemm_gflops\": {gemm_gflops:.2},\n  \"sparse_gemm_gflops\": {sparse_gemm_gflops:.2},\n  \"vgg12_weights\": {},\n  \"vgg12_density\": {:.4},\n  \"vgg12_expected_faults_per_trial\": {:.3},\n  \"vgg12_dense_trials_per_sec\": {:.3},\n  \"vgg12_sparse_trials_per_sec\": {:.3},\n  \"vgg12_sparse_speedup\": {:.3},\n  \"dse_fixed_trials\": {},\n  \"dse_early_stop_trials\": {},\n  \"dse_trial_savings\": {:.3},\n  \"dse_same_optimal\": {}\n}}\n",
         spec.name,
         scheme.label(),
+        vgg.weights,
+        vgg.density,
+        vgg.expected_faults,
+        vgg.dense_trials_per_sec,
+        vgg.sparse_trials_per_sec,
+        vgg.speedup,
         es.fixed_trials,
         es.early_trials,
         es.savings,
@@ -166,6 +197,133 @@ fn gemm_gflops() -> f64 {
         reps += 1;
     }
     2.0 * (N as f64).powi(3) * reps as f64 / start.elapsed().as_secs_f64() / 1e9
+}
+
+/// Dense-equivalent arithmetic throughput of the sparse GEMM on the same
+/// 256×256×256 multiply with the left operand magnitude-pruned to the
+/// VGG12 Table-2 sparsity. FLOPs are counted as if the skipped zero
+/// terms were performed (2N³ per call), so this number is directly
+/// comparable to `gemm_gflops`: the ratio is the effective speedup the
+/// compute format buys at that density.
+fn sparse_gemm_gflops() -> f64 {
+    const N: usize = 256;
+    let mut a: Vec<f32> = (0..N * N).map(|i| (i % 17) as f32 * 0.25 - 2.0).collect();
+    zoo::prune_to_sparsity(&mut a, zoo::vgg12().paper.sparsity);
+    let sa = SparseMatrix::from_dense(N, N, &a);
+    let b: Vec<f32> = (0..N * N).map(|i| (i % 13) as f32 * 0.5 - 3.0).collect();
+    let mut c = vec![0.0f32; N * N];
+    let mut scratch = GemmScratch::default();
+    sparse_gemm_into(&mut c, &sa, &b, N, &mut scratch); // warmup
+    let start = Instant::now();
+    let mut reps = 0u64;
+    while start.elapsed().as_secs_f64() < 1.0 {
+        sparse_gemm_into(&mut c, &sa, &b, N, &mut scratch);
+        std::hint::black_box(&mut c);
+        reps += 1;
+    }
+    2.0 * (N as f64).powi(3) * reps as f64 / start.elapsed().as_secs_f64() / 1e9
+}
+
+struct Vgg12ScaleArm {
+    weights: u64,
+    density: f64,
+    expected_faults: f64,
+    dense_trials_per_sec: f64,
+    sparse_trials_per_sec: f64,
+    speedup: f64,
+}
+
+/// VGG12-scale end-to-end trials at the Table-2 sparsity (0.409): a
+/// ~2.2M-weight fully-connected stack, magnitude-pruned, clustered and
+/// stored under the paper scheme. The dense arm is the fully
+/// materializing reference path (per-cell fault injection, full decode
+/// of every layer, full dense forward over the test batch — what
+/// `run_reference` does and `run_chips` used to do); the sparse arm is
+/// the engine's actual trial since this refactor (sparse-sampled fault
+/// deltas against the shared clean decode, clean-prefix reuse, sparse
+/// suffix forward). Both draw the identical fault stream per trial, and
+/// the evaluator parity tests pin their results bit-for-bit equal — the
+/// speedup is pure storage-format-as-compute-format.
+fn vgg12_scale_arm() -> Vgg12ScaleArm {
+    let paper = zoo::vgg12().paper;
+    let mut net = Network::new(
+        "vgg12-scale",
+        vec![
+            Layer::linear("fc1", 1024, 512),
+            Layer::ReLU,
+            Layer::linear("fc2", 1024, 1024),
+            Layer::ReLU,
+            Layer::linear("fc3", 512, 1024),
+            Layer::ReLU,
+            Layer::linear("fc4", 256, 512),
+            Layer::ReLU,
+            Layer::linear("fc5", 10, 256),
+        ],
+    );
+    maxnvm_dnn::train::he_init(&mut net, 17);
+    let scheme = StorageScheme::uniform(EncodingKind::BitMask, MlcConfig::MLC3).with_idx_sync();
+    let stored: Vec<StoredLayer> = net
+        .weight_matrices()
+        .iter()
+        .map(|m| {
+            let mut pruned = m.clone();
+            zoo::prune_to_sparsity(&mut pruned.data, paper.sparsity);
+            StoredLayer::store(
+                &ClusteredLayer::from_matrix(&pruned, paper.cluster_index_bits, 21),
+                &scheme,
+            )
+        })
+        .collect();
+    let sa = SenseAmp::paper_default();
+    let fault_for = fault_maps(CellTechnology::MlcCtt, &sa);
+    let prepared: Vec<PreparedLayer> = stored.iter().map(PreparedLayer::prepare).collect();
+    let expected_faults: f64 = prepared
+        .iter()
+        .map(|p| p.expected_faults(None, &fault_for))
+        .sum();
+    let clean: Vec<LayerMatrix> = prepared.iter().map(|p| p.clean().matrix.clone()).collect();
+    let sparse: Vec<Arc<SparseMatrix>> = prepared
+        .iter()
+        .map(|p| Arc::new(p.clean().sparse.clone()))
+        .collect();
+    let weights: u64 = clean.iter().map(|m| (m.rows * m.cols) as u64).sum();
+    let model = SparseModel {
+        dense: &clean,
+        sparse: &sparse,
+    };
+    let density = model.density();
+    let eval = NetworkEval::new(net, maxnvm_dnn::data::gaussian_clusters(512, 10, 16, 2.5, 9));
+
+    let dense_trials_per_sec = throughput(|t| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(t);
+        let mats: Vec<LayerMatrix> = stored
+            .iter()
+            .map(|l| l.decode_with_faults(&fault_for, &mut rng).0)
+            .collect();
+        std::hint::black_box(eval.eval(&mats));
+    });
+    let mut scratch = EvalScratch::default();
+    let sparse_trials_per_sec = throughput(|t| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(t);
+        let deltas: Vec<Vec<WeightDelta>> = prepared
+            .iter()
+            .map(|layer| layer.deltas_with_faults(&fault_for, &mut rng).0)
+            .collect();
+        std::hint::black_box(eval.eval_deltas_sparse(0, &model, &deltas, &mut scratch));
+    });
+    let speedup = sparse_trials_per_sec / dense_trials_per_sec;
+    assert!(
+        speedup >= 2.0,
+        "sparse trials under 2x the materializing path: {speedup:.2}"
+    );
+    Vgg12ScaleArm {
+        weights,
+        density,
+        expected_faults,
+        dense_trials_per_sec,
+        sparse_trials_per_sec,
+        speedup,
+    }
 }
 
 /// Short revision hash of the workspace, if `git` is available and the

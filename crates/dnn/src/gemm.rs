@@ -26,11 +26,20 @@
 //! bit. That property is what lets the fault-delta forward pass
 //! recompute only the rows a fault touched (see `network`/`prefix`).
 //!
-//! Unlike the old naive kernel, zero-valued `a` entries are *not*
-//! skipped: `x + 0.0·b` is executed. This keeps the per-element
-//! operation sequence input-independent (a skipped `+0.0` changes the
-//! result when the running sum is `-0.0`, and data-dependent branches
-//! defeat vectorization anyway).
+//! The dense kernel does not branch on zero-valued `a` entries —
+//! data-dependent branches defeat vectorization — but skipping a term
+//! whose `a` entry is exactly `±0.0` *is* a bitwise no-op: every
+//! accumulator starts at `+0.0`, and under round-to-nearest a running
+//! sum that starts at `+0.0` can never become `-0.0` (`+0.0 + ±0.0 =
+//! +0.0`, and exact cancellation of nonzero terms also yields `+0.0`),
+//! so adding `0.0·b` leaves both value and sign bits unchanged for any
+//! finite `b`. That invariant is what makes the sparse path
+//! ([`sparse_gemm_into`], [`sparse_row_into`]) bit-identical to the
+//! dense one: it performs the same ascending-k additions minus the
+//! skippable zero terms. The one caveat is non-finite activations — the
+//! dense path would compute `0.0 · inf = NaN` where the sparse path
+//! skips — which cannot arise from the finite inputs this crate feeds
+//! the kernels (see `DESIGN.md` §13).
 
 /// Micro-kernel tile rows (register-blocked output rows per strip).
 pub const MR: usize = 4;
@@ -51,6 +60,11 @@ pub const NC: usize = 1024;
 pub struct GemmScratch {
     packed_a: Vec<f32>,
     packed_b: Vec<f32>,
+    /// Per-`KC`-block nonzero counts of the sparse left operand, used by
+    /// [`sparse_gemm_into`] to elide packing for all-zero k panels.
+    kblock_nnz: Vec<u32>,
+    /// Per-row walk positions into the sparse left operand's entries.
+    cursors: Vec<usize>,
 }
 
 /// `c = a · b` for row-major `a` (`m`×`k`), `b` (`k`×`n`), `c` (`m`×`n`).
@@ -122,6 +136,118 @@ pub fn gemm_row_into(out: &mut [f32], row: &[f32], b: &[f32], k: usize, n: usize
     out.fill(0.0);
     for (kk, &av) in row.iter().enumerate() {
         let brow = &b[kk * n..(kk + 1) * n];
+        for (o, &bv) in out.iter_mut().zip(brow) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// `c = a · b` for a sparse-encoded left operand: row-major `b`
+/// (`a.cols()`×`n`), `c` (`a.rows()`×`n`), with no dense materialization
+/// of `a`. O(nnz · n) plus packing.
+///
+/// Blocking mirrors [`gemm_into`]: the right operand is packed into the
+/// same `NR`-wide `KC`-deep panels, but k panels with no nonzero `a`
+/// entry are elided entirely (never packed, never touched), and within a
+/// live panel each row walks only its stored entries via per-row
+/// cursors. Per output element the additions are the dense kernel's
+/// ascending-k sequence minus the exact-zero terms, which the module
+/// docs show is bitwise identical for finite `b` — so this routine's
+/// output equals [`gemm_into`] of the materialized matrix bit for bit.
+///
+/// # Panics
+///
+/// Asserts that the slice lengths match `a`'s shape and `n`.
+pub fn sparse_gemm_into(
+    c: &mut [f32],
+    a: &crate::sparse::SparseMatrix,
+    b: &[f32],
+    n: usize,
+    scratch: &mut GemmScratch,
+) {
+    let (m, k) = (a.rows(), a.cols());
+    assert_eq!(b.len(), k * n, "rhs length vs {k}x{n}");
+    assert_eq!(c.len(), m * n, "out length vs {m}x{n}");
+    c.fill(0.0);
+    if m == 0 || k == 0 || n == 0 || a.nnz() == 0 {
+        return;
+    }
+    let GemmScratch {
+        packed_b,
+        kblock_nnz,
+        cursors,
+        ..
+    } = scratch;
+    a.kblock_nnz(KC, kblock_nnz);
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let strips = nc.div_ceil(NR);
+        cursors.clear();
+        cursors.resize(m, 0);
+        let mut pc = 0;
+        let mut block = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            if kblock_nnz[block] == 0 {
+                // Zero panel elided: no row has an entry here, so the
+                // cursors are already past it.
+                pc += KC;
+                block += 1;
+                continue;
+            }
+            pack_b(packed_b, b, n, pc, kc, jc, nc);
+            for i in 0..m {
+                let (cols, vals) = a.row(i);
+                let mut cur = cursors[i];
+                let crow = &mut c[i * n + jc..i * n + jc + nc];
+                while cur < cols.len() && (cols[cur] as usize) < pc + kc {
+                    let kk = cols[cur] as usize - pc;
+                    let av = vals[cur];
+                    for s in 0..strips {
+                        let width = NR.min(nc - s * NR);
+                        let pb = &packed_b[(s * kc + kk) * NR..(s * kc + kk) * NR + width];
+                        let dst = &mut crow[s * NR..s * NR + width];
+                        for (o, &bv) in dst.iter_mut().zip(pb) {
+                            *o += av * bv;
+                        }
+                    }
+                    cur += 1;
+                }
+                cursors[i] = cur;
+            }
+            pc += KC;
+            block += 1;
+        }
+        jc += NC;
+    }
+}
+
+/// One output row from a sparse weight row: `out[j] = Σ a[c]·b[c,j]`
+/// over the stored `(cols, vals)` entries in ascending-column order —
+/// bit-identical to [`gemm_row_into`] of the materialized row (and
+/// hence to the same row of [`gemm_into`] / [`sparse_gemm_into`]) for
+/// finite `b`, by the zero-skip argument in the module docs. Used by
+/// the clean-prefix fault path.
+///
+/// # Panics
+///
+/// Asserts that the slice lengths match the given dimensions.
+pub fn sparse_row_into(
+    out: &mut [f32],
+    cols: &[u32],
+    vals: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(cols.len(), vals.len(), "sparse row entry mismatch");
+    assert_eq!(b.len(), k * n, "rhs length vs {k}x{n}");
+    assert_eq!(out.len(), n, "out length vs n={n}");
+    out.fill(0.0);
+    for (&col, &av) in cols.iter().zip(vals) {
+        let kk = col as usize;
+        let brow = &b[kk * n..kk * n + n];
         for (o, &bv) in out.iter_mut().zip(brow) {
             *o += av * bv;
         }
@@ -367,6 +493,124 @@ mod tests {
         assert_eq!(c, vec![0.0; 6]);
     }
 
+    /// Random matrix with an exact fraction of slots forced to zero.
+    fn random_sparse(len: usize, seed: u64, sparsity: f64) -> Vec<f32> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut data = random(len, seed);
+        let zeros = (len as f64 * sparsity).round() as usize;
+        let mut slots: Vec<usize> = (0..len).collect();
+        for i in (1..slots.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            slots.swap(i, j);
+        }
+        for &s in slots.iter().take(zeros.min(len)) {
+            data[s] = 0.0;
+        }
+        data
+    }
+
+    fn run_sparse(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let sp = crate::sparse::SparseMatrix::from_dense(m, k, a);
+        let mut c = vec![0.0f32; m * n];
+        sparse_gemm_into(&mut c, &sp, b, n, &mut GemmScratch::default());
+        c
+    }
+
+    fn assert_bitwise_eq(got: &[f32], want: &[f32], ctx: &str) {
+        assert_eq!(got.len(), want.len(), "{ctx}: length");
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "{ctx}: element {i} {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn sparse_matches_dense_bitwise_across_sparsities() {
+        // 0% (fully dense), the Table-2 extremes (VGG12 0.409, LeNet5
+        // 0.899), and 100% pruned, on shapes straddling the blocking
+        // constants (incl. a k spanning multiple KC panels).
+        let shapes = [(3, 5, 7), (MR + 1, KC + 3, NR * 2 + 5), (9, 2 * KC + 1, 33)];
+        for sparsity in [0.0, 0.409, 0.899, 1.0] {
+            for (m, k, n) in shapes {
+                let a = random_sparse(m * k, 21 + (sparsity * 100.0) as u64, sparsity);
+                let b = random(k * n, 22);
+                assert_bitwise_eq(
+                    &run_sparse(&a, &b, m, k, n),
+                    &run_gemm(&a, &b, m, k, n),
+                    &format!("{m}x{k}x{n} @ {sparsity}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_elides_zero_k_panels() {
+        // Middle KC panel entirely zero: the sparse path skips packing
+        // it; the result must still match the dense kernel bitwise.
+        let (m, k, n) = (5, 3 * KC, 11);
+        let mut a = random(m * k, 31);
+        for row in 0..m {
+            for kk in KC..2 * KC {
+                a[row * k + kk] = 0.0;
+            }
+        }
+        let b = random(k * n, 32);
+        assert_bitwise_eq(
+            &run_sparse(&a, &b, m, k, n),
+            &run_gemm(&a, &b, m, k, n),
+            "zero middle panel",
+        );
+    }
+
+    #[test]
+    fn all_zero_rows_and_columns_round_trip_both_paths() {
+        // 100%-pruned regression: an all-zero layer, plus a mixed layer
+        // with one all-zero row and one all-zero column, must produce
+        // finite (all-zero / matching) outputs on both paths — no NaN,
+        // no sign-of-zero divergence.
+        let (m, k, n) = (6, 10, 9);
+        let zeros = vec![0.0f32; m * k];
+        let b = random(k * n, 41);
+        let dense = run_gemm(&zeros, &b, m, k, n);
+        assert!(dense.iter().all(|v| v.to_bits() == 0.0f32.to_bits()));
+        assert_bitwise_eq(&run_sparse(&zeros, &b, m, k, n), &dense, "all-zero layer");
+
+        let mut mixed = random(m * k, 42);
+        for kk in 0..k {
+            mixed[2 * k + kk] = 0.0; // all-zero output row
+        }
+        for row in 0..m {
+            mixed[row * k + 4] = 0.0; // all-zero input column
+        }
+        let d = run_gemm(&mixed, &b, m, k, n);
+        assert!(d.iter().all(|v| v.is_finite()));
+        assert!(d[2 * n..3 * n].iter().all(|v| v.to_bits() == 0.0f32.to_bits()));
+        assert_bitwise_eq(&run_sparse(&mixed, &b, m, k, n), &d, "zero row+col");
+    }
+
+    #[test]
+    fn sparse_row_matches_dense_row_bitwise() {
+        let (m, k, n) = (7, KC + 9, 13);
+        let a = random_sparse(m * k, 51, 0.7);
+        let b = random(k * n, 52);
+        let sp = crate::sparse::SparseMatrix::from_dense(m, k, &a);
+        let mut dense_row = vec![0.0f32; n];
+        let mut sparse_row = vec![0.0f32; n];
+        for i in 0..m {
+            gemm_row_into(&mut dense_row, &a[i * k..(i + 1) * k], &b, k, n);
+            let (cols, vals) = sp.row(i);
+            sparse_row_into(&mut sparse_row, cols, vals, &b, k, n);
+            assert_bitwise_eq(&sparse_row, &dense_row, &format!("row {i}"));
+        }
+    }
+
+    #[test]
+    fn sparse_zero_dimensions_yield_zero_output() {
+        let sp = crate::sparse::SparseMatrix::from_dense(2, 0, &[]);
+        let mut c = vec![1.0f32; 6];
+        sparse_gemm_into(&mut c, &sp, &[], 3, &mut GemmScratch::default());
+        assert_eq!(c, vec![0.0; 6]);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -382,6 +626,22 @@ mod tests {
             let got = run_gemm(&a, &b, m, k, n);
             let want = naive(&a, &b, m, k, n);
             prop_assert_eq!(got, want);
+        }
+
+        /// The sparse kernel equals the dense kernel bit for bit at any
+        /// sparsity, including shapes with whole zero rows/columns.
+        #[test]
+        fn prop_sparse_matches_dense_bitwise(
+            m in 1usize..10, k in 1usize..33, n in 1usize..17,
+            sparsity in 0.0f64..1.0, seed in any::<u64>()
+        ) {
+            let a = random_sparse(m * k, seed, sparsity);
+            let b = random(k * n, seed.wrapping_add(3));
+            let got = run_sparse(&a, &b, m, k, n);
+            let want = run_gemm(&a, &b, m, k, n);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(g.to_bits(), w.to_bits());
+            }
         }
 
         /// Every row of the blocked product is reproduced bit-exactly

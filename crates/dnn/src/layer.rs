@@ -5,7 +5,8 @@
 //! compatible 2-D mapping of the 3-D filters) and linear weights
 //! `[out, in]`.
 
-use crate::gemm::{gemm_into, GemmScratch};
+use crate::gemm::{gemm_into, sparse_gemm_into, GemmScratch};
+use crate::sparse::SparseMatrix;
 use crate::tensor::{conv_out_dims, im2col, im2col_into, Tensor};
 use serde::{Deserialize, Serialize};
 
@@ -430,6 +431,46 @@ impl Layer {
         out.clear();
         out.resize(meta.rows * total, 0.0);
         gemm_into(out, weight.data(), rhs, meta.rows, meta.k, total, gs);
+        Self::bias_and_split(out, bias, meta, n)
+    }
+
+    /// [`Self::forward_from_rhs`] computed from a sparse-encoded weight
+    /// matrix instead of the layer's dense tensor: same packed right-hand
+    /// matrix, same bias and per-sample split, but the multiply runs
+    /// O(nnz) via [`sparse_gemm_into`] — bit-identical to the dense
+    /// product of `w`'s materialization (see [`crate::gemm`]).
+    ///
+    /// # Panics
+    ///
+    /// Asserts `w` matches the layer's weight shape.
+    pub fn forward_from_rhs_sparse(
+        &self,
+        w: &SparseMatrix,
+        rhs: &[f32],
+        meta: &RhsMeta,
+        n: usize,
+        out: &mut Vec<f32>,
+        gs: &mut GemmScratch,
+    ) -> Vec<Tensor> {
+        let Some((weight, bias)) = self.weight_bias() else {
+            return Vec::new();
+        };
+        assert_eq!(
+            (w.rows(), w.cols()),
+            (weight.shape()[0], weight.shape()[1]),
+            "sparse weight shape vs layer"
+        );
+        let total = n * meta.per_cols;
+        out.clear();
+        out.resize(meta.rows * total, 0.0);
+        sparse_gemm_into(out, w, rhs, total, gs);
+        Self::bias_and_split(out, bias, meta, n)
+    }
+
+    /// Shared tail of the RHS paths: adds the per-row bias to the GEMM
+    /// result and splits it into per-sample tensors.
+    fn bias_and_split(out: &mut [f32], bias: &[f32], meta: &RhsMeta, n: usize) -> Vec<Tensor> {
+        let total = n * meta.per_cols;
         for (o, row) in out.chunks_mut(total).enumerate() {
             for v in row.iter_mut() {
                 *v += bias[o];
@@ -455,6 +496,22 @@ impl Layer {
             Layer::Residual { body, shortcut } => {
                 body.iter().chain(shortcut).map(Layer::weight_count).sum()
             }
+            _ => 0,
+        }
+    }
+
+    /// Number of weight matrices this layer contributes to
+    /// [`crate::Network::weight_matrices`] (recursing into residual
+    /// blocks) — used to keep per-matrix side tables aligned with layer
+    /// positions.
+    pub fn weight_matrix_count(&self) -> usize {
+        match self {
+            Layer::Conv2d { .. } | Layer::Linear { .. } => 1,
+            Layer::Residual { body, shortcut } => body
+                .iter()
+                .chain(shortcut)
+                .map(Layer::weight_matrix_count)
+                .sum(),
             _ => 0,
         }
     }

@@ -37,13 +37,15 @@ pub mod layer;
 pub mod network;
 pub mod prefix;
 pub mod rnn;
+pub mod sparse;
 pub mod tensor;
 pub mod train;
 pub mod zoo;
 
-pub use gemm::{gemm_into, gemm_row_into, GemmScratch};
+pub use gemm::{gemm_into, gemm_row_into, sparse_gemm_into, sparse_row_into, GemmScratch};
 pub use layer::{ForwardScratch, Layer};
 pub use network::{Network, WeightDelta};
 pub use prefix::PrefixCache;
+pub use sparse::SparseMatrix;
 pub use tensor::{Tensor, TensorError};
 pub use zoo::{LayerSpec, ModelSpec};

@@ -136,6 +136,58 @@ impl Network {
         cur
     }
 
+    /// [`Network::forward_suffix`] with sparse-encoded weights: layer
+    /// `i`'s weight matrix (in [`Network::weight_matrices`] order) is
+    /// multiplied from `weights[i]` when present, falling back to the
+    /// layer's dense tensor when `None` (or for residual blocks, whose
+    /// nested matrices keep the dense path). Bit-identical to
+    /// [`Network::forward_suffix`] when each present entry materializes
+    /// to the layer's dense weights (see [`crate::gemm`]) — the caller
+    /// keeps the dense tensors authoritative (e.g. fault deltas are
+    /// applied to both representations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` exceeds the layer count or a sparse matrix
+    /// disagrees with its layer's weight shape.
+    pub fn forward_suffix_sparse(
+        &self,
+        start: usize,
+        xs: Vec<Tensor>,
+        weights: &[Option<&crate::sparse::SparseMatrix>],
+        scratch: &mut ForwardScratch,
+    ) -> Vec<Tensor> {
+        let mut wi: usize = self.layers[..start]
+            .iter()
+            .map(Layer::weight_matrix_count)
+            .sum();
+        let mut cur = xs;
+        for l in &self.layers[start..] {
+            let nmat = l.weight_matrix_count();
+            let sparse = if nmat == 1 {
+                weights.get(wi).copied().flatten()
+            } else {
+                None // weightless, or residual (nested matrices stay dense)
+            };
+            cur = match sparse {
+                Some(sp) if !cur.is_empty() => match l.weight_rhs_into(&cur, &mut scratch.cols) {
+                    Some(meta) => l.forward_from_rhs_sparse(
+                        sp,
+                        &scratch.cols,
+                        &meta,
+                        cur.len(),
+                        &mut scratch.out,
+                        &mut scratch.gemm,
+                    ),
+                    None => l.forward_batch_scratch(&cur, scratch),
+                },
+                _ => l.forward_batch_scratch(&cur, scratch),
+            };
+            wi += nmat;
+        }
+        cur
+    }
+
     /// Predicted class (argmax of logits).
     pub fn predict(&self, x: &Tensor) -> usize {
         argmax(&self.forward(x))
@@ -445,6 +497,44 @@ mod tests {
         let preds = net.predict_batch(&xs);
         for (x, p) in xs.iter().zip(&preds) {
             assert_eq!(net.predict(x), *p);
+        }
+    }
+
+    #[test]
+    fn sparse_suffix_matches_dense_bitwise() {
+        use crate::sparse::SparseMatrix;
+        let mut net = conv_net();
+        // Prune some weights to exact zero so the sparse path has work
+        // to skip.
+        let mut mats = net.weight_matrices();
+        for m in &mut mats {
+            for (i, v) in m.data.iter_mut().enumerate() {
+                if i % 3 == 0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        net.set_weight_matrices(&mats);
+        let sparse: Vec<SparseMatrix> = mats.iter().map(SparseMatrix::from_matrix).collect();
+        let xs: Vec<Tensor> = (0..4)
+            .map(|s| {
+                let data = (0..64)
+                    .map(|i| ((i * (s + 3)) % 13) as f32 * 0.09 - 0.5)
+                    .collect();
+                Tensor::from_vec(&[1, 8, 8], data)
+            })
+            .collect();
+        let mut scratch = ForwardScratch::default();
+        let dense = net.forward_suffix(0, xs.clone(), &mut scratch);
+        // Full overlay, partial overlay, and all-None must all agree.
+        let full: Vec<Option<&SparseMatrix>> = sparse.iter().map(Some).collect();
+        let partial: Vec<Option<&SparseMatrix>> = vec![Some(&sparse[0]), None];
+        for table in [&full[..], &partial[..], &[][..]] {
+            let got = net.forward_suffix_sparse(0, xs.clone(), table, &mut scratch);
+            assert_eq!(dense.len(), got.len());
+            for (a, b) in dense.iter().zip(&got) {
+                assert_eq!(a.data(), b.data(), "sparse suffix must be bit-exact");
+            }
         }
     }
 

@@ -24,9 +24,10 @@
 //! [`PrefixCache::build`] returns `None` otherwise and callers fall back
 //! to a full forward pass.
 
-use crate::gemm::gemm_row_into;
+use crate::gemm::{gemm_row_into, sparse_row_into};
 use crate::layer::{ForwardScratch, Layer, RhsMeta};
 use crate::network::Network;
+use crate::sparse::SparseMatrix;
 use crate::tensor::Tensor;
 
 /// One weight layer's cached geometry: where it sits in the network and
@@ -61,24 +62,54 @@ impl PrefixCache {
     /// weight layers are nested, which the row-patching path does not
     /// model) — callers fall back to full forward passes.
     pub fn build(net: &Network, inputs: &[Tensor], scratch: &mut ForwardScratch) -> Option<Self> {
+        Self::build_sparse(net, inputs, &[], scratch)
+    }
+
+    /// [`PrefixCache::build`] with clean activations computed from
+    /// sparse-encoded weights: weight layer `i` (in site order, ==
+    /// [`Network::weight_matrices`] order) multiplies from `weights[i]`
+    /// when present, reusing the site's already-packed right-hand matrix
+    /// — so the clean build runs O(nnz) per weight layer. Missing /
+    /// `None` entries fall back to the dense tensor. Bit-identical to
+    /// the dense build when each present entry materializes to the
+    /// layer's dense weights (see [`crate::gemm`]).
+    pub fn build_sparse(
+        net: &Network,
+        inputs: &[Tensor],
+        weights: &[Option<&SparseMatrix>],
+        scratch: &mut ForwardScratch,
+    ) -> Option<Self> {
         let layers = net.layers();
         let mut acts: Vec<Vec<Tensor>> = Vec::with_capacity(layers.len() + 1);
         acts.push(inputs.to_vec());
-        let mut sites = Vec::new();
+        let mut sites: Vec<Site> = Vec::new();
         for (pos, l) in layers.iter().enumerate() {
             if matches!(l, Layer::Residual { .. }) {
                 return None;
             }
             let cur = &acts[pos];
             let mut rhs = Vec::new();
-            if let Some(meta) = l.weight_rhs_into(cur, &mut rhs) {
+            let next = if let Some(meta) = l.weight_rhs_into(cur, &mut rhs) {
+                let next = match weights.get(sites.len()).copied().flatten() {
+                    Some(sp) if !cur.is_empty() => l.forward_from_rhs_sparse(
+                        sp,
+                        &rhs,
+                        &meta,
+                        cur.len(),
+                        &mut scratch.out,
+                        &mut scratch.gemm,
+                    ),
+                    _ => l.forward_batch_scratch(cur, scratch),
+                };
                 sites.push(Site {
                     layer_pos: pos,
                     rhs,
                     meta,
                 });
-            }
-            let next = l.forward_batch_scratch(cur, scratch);
+                next
+            } else {
+                l.forward_batch_scratch(cur, scratch)
+            };
             acts.push(next);
         }
         Some(Self { acts, sites })
@@ -148,6 +179,49 @@ impl PrefixCache {
                 s.meta.k,
                 total,
             );
+            for v in row_buf.iter_mut() {
+                *v += bias[o];
+            }
+            for (sx, t) in outs.iter_mut().enumerate() {
+                t.data_mut()[o * p..(o + 1) * p].copy_from_slice(&row_buf[sx * p..(sx + 1) * p]);
+            }
+        }
+        outs
+    }
+
+    /// [`PrefixCache::patched_outputs`] from a sparse-encoded (already
+    /// fault-patched) weight matrix: each dirty row is one
+    /// [`sparse_row_into`] over its stored entries — O(row nnz · batch)
+    /// — and bit-identical to the dense row recompute of `w`'s
+    /// materialization (see [`crate::gemm`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` does not match the site's geometry or a row is out
+    /// of range.
+    pub fn patched_outputs_sparse(
+        &self,
+        site: usize,
+        w: &SparseMatrix,
+        bias: &[f32],
+        dirty_rows: &[usize],
+        row_buf: &mut Vec<f32>,
+    ) -> Vec<Tensor> {
+        let s = &self.sites[site];
+        assert_eq!(
+            (w.rows(), w.cols()),
+            (s.meta.rows, s.meta.k),
+            "sparse weight shape vs site geometry"
+        );
+        let mut outs = self.acts[s.layer_pos + 1].clone();
+        let n = outs.len();
+        let p = s.meta.per_cols;
+        let total = n * p;
+        row_buf.clear();
+        row_buf.resize(total, 0.0);
+        for &o in dirty_rows {
+            let (cols, vals) = w.row(o);
+            sparse_row_into(row_buf, cols, vals, &s.rhs, s.meta.k, total);
             for v in row_buf.iter_mut() {
                 *v += bias[o];
             }
@@ -268,6 +342,86 @@ mod tests {
             assert_eq!(full.len(), logits.len());
             for (a, b) in full.iter().zip(&logits) {
                 assert_eq!(a.data(), b.data(), "prefix path must be bit-exact");
+            }
+        }
+    }
+
+    /// Prunes ~the given fraction of each weight matrix to exact zero
+    /// (smallest magnitudes first) and returns the net plus its sparse
+    /// clean weights.
+    fn pruned_net(seed: u64, sparsity: f64) -> (Network, Vec<SparseMatrix>) {
+        let mut net = lenet_mini(seed);
+        let mut mats = net.weight_matrices();
+        for m in &mut mats {
+            let mut mags: Vec<f32> = m.data.iter().map(|v| v.abs()).collect();
+            mags.sort_by(f32::total_cmp);
+            let cut = mags[((mags.len() - 1) as f64 * sparsity) as usize];
+            for v in &mut m.data {
+                if v.abs() <= cut {
+                    *v = 0.0;
+                }
+            }
+        }
+        net.set_weight_matrices(&mats);
+        let sparse = mats
+            .iter()
+            .map(|m| SparseMatrix::from_dense(m.rows, m.cols, &m.data))
+            .collect();
+        (net, sparse)
+    }
+
+    /// The whole sparse trial path — sparse clean build, sparse dirty-row
+    /// patching of the first faulty site, sparse suffix — must reproduce
+    /// the dense full faulty forward bit for bit.
+    #[test]
+    fn sparse_prefix_path_is_bit_exact_with_dense() {
+        let (net, sparse) = pruned_net(7, 0.7);
+        let xs = batch(3, 5);
+        let mut scratch = ForwardScratch::default();
+        let overlay: Vec<Option<&SparseMatrix>> = sparse.iter().map(Some).collect();
+        let dense_cache = PrefixCache::build(&net, &xs, &mut scratch).expect("flat network");
+        let cache =
+            PrefixCache::build_sparse(&net, &xs, &overlay, &mut scratch).expect("flat network");
+        for (a, b) in cache.clean_logits().iter().zip(dense_cache.clean_logits()) {
+            assert_eq!(a.data(), b.data(), "sparse clean build must be bit-exact");
+        }
+
+        let mats = net.weight_matrices();
+        let nmats = mats.len();
+        for (first, slots) in [(0usize, vec![3u32, 9]), (1, vec![11, 95]), (nmats - 1, vec![1])] {
+            let mut deltas: Vec<Vec<WeightDelta>> = vec![Vec::new(); nmats];
+            deltas[first] = slots
+                .iter()
+                .map(|&slot| WeightDelta {
+                    slot,
+                    value: 0.75 + slot as f32 * 0.1,
+                })
+                .collect();
+            let mut faulty = net.clone();
+            let mut undo = Vec::new();
+            faulty.apply_weight_deltas(&deltas, &mut undo);
+            let full = faulty.forward_batch_scratch(&xs, &mut scratch);
+
+            // Patch only the faulty layer's sparse stream.
+            let patched_sparse = sparse[first].with_deltas(&deltas[first]);
+            let mut trial_overlay = overlay.clone();
+            trial_overlay[first] = Some(&patched_sparse);
+            let pos = cache.site_layer(first);
+            let (_, b) = faulty.layers()[pos].weight_bias().expect("weight layer");
+            let mut rows: Vec<usize> = deltas[first]
+                .iter()
+                .map(|d| d.slot as usize / mats[first].cols)
+                .collect();
+            rows.sort_unstable();
+            rows.dedup();
+            let mut row_buf = Vec::new();
+            let patched =
+                cache.patched_outputs_sparse(first, &patched_sparse, b, &rows, &mut row_buf);
+            let logits =
+                faulty.forward_suffix_sparse(pos + 1, patched, &trial_overlay, &mut scratch);
+            assert_eq!(full.len(), logits.len());
+            for (a, b) in full.iter().zip(&logits) {
+                assert_eq!(a.data(), b.data(), "sparse prefix path must be bit-exact");
             }
         }
     }

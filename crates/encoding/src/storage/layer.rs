@@ -195,6 +195,36 @@ impl StoredLayer {
         ProgrammedLayer::new(self.clone(), read_cells)
     }
 
+    /// Samples one chip instance as a sparse flip list instead of a full
+    /// [`ProgrammedLayer`]: per structure (in storage order), every
+    /// cell's analog read is drawn exactly as [`Self::program_chip`]
+    /// draws it — the RNG stream is identical — but only the cells whose
+    /// read level differs from the programmed level are recorded, as
+    /// `(cell index, read level)` pairs per structure. Feeding these to
+    /// `PreparedLayer::deltas_flips` decodes the same faulty matrix as
+    /// programming and fully decoding the chip, in O(faults) instead of
+    /// O(cells).
+    pub fn sample_chip_flips<R: Rng + ?Sized>(
+        &self,
+        cell_for: &dyn Fn(MlcConfig) -> CellModel,
+        rng: &mut R,
+    ) -> Vec<Vec<(u32, u8)>> {
+        self.structures
+            .iter()
+            .map(|s| {
+                let cell = cell_for(s.bpc);
+                s.cells
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &lvl)| {
+                        let read = cell.sample_read(lvl as usize, rng) as u8;
+                        (read != lvl).then_some((i as u32, read))
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
     /// The shared decode core: pulls each structure's read levels from
     /// `codec` (in storage order), unpacks them through Gray/ECC, and
     /// reassembles the weight matrix via the encoding's alignment
@@ -324,6 +354,18 @@ impl DecodedEncoding {
             DecodedEncoding::Dense(d) => d.entry_slots(),
             DecodedEncoding::Csr(c) => c.entry_slots(),
             DecodedEncoding::BitMask(b) => b.entry_slots(),
+        }
+    }
+
+    /// Walks the non-zero cluster indices in row-major order via each
+    /// encoding's run walk (`f(row, col, index)`) without materializing
+    /// the dense index matrix — the storage-side feed of the sparse
+    /// compute path.
+    pub(crate) fn for_each_nonzero(&self, f: impl FnMut(usize, usize, u16)) {
+        match self {
+            DecodedEncoding::Dense(d) => d.for_each_nonzero(f),
+            DecodedEncoding::Csr(c) => c.for_each_nonzero(f),
+            DecodedEncoding::BitMask(b) => b.for_each_nonzero(f),
         }
     }
 }

@@ -510,6 +510,110 @@ fn prepared_sampled_decode_is_deterministic_and_calibrated() {
 }
 
 #[test]
+fn clean_sparse_decode_matches_dense_build_all_encodings() {
+    use maxnvm_dnn::sparse::SparseMatrix;
+    // The run-walk-built sparse clean decode must equal the from_dense
+    // build exactly — same entries, same bits — for every encoding,
+    // bpc, and alignment variant, including a fully-zero layer.
+    for (rows, cols, sparsity, seed) in [(12, 40, 0.6, 1), (6, 32, 1.0, 2), (5, 48, 0.0, 3)] {
+        let c = clustered(rows, cols, sparsity, seed);
+        for enc in EncodingKind::ALL {
+            for bpc in [MlcConfig::SLC, MlcConfig::MLC3] {
+                for idx_sync in [false, true] {
+                    let mut scheme = StorageScheme::uniform(enc, bpc);
+                    scheme.idx_sync = idx_sync;
+                    let stored = StoredLayer::store(&c, &scheme);
+                    let clean = CleanLayerDecode::of(&stored);
+                    let want = SparseMatrix::from_dense(
+                        clean.matrix.rows,
+                        clean.matrix.cols,
+                        &clean.matrix.data,
+                    );
+                    assert_eq!(clean.sparse, want, "{} sync={idx_sync}", scheme.label());
+                    let expect_nnz = clean.matrix.data.iter().filter(|v| **v != 0.0).count();
+                    assert_eq!(clean.sparse.nnz(), expect_nnz);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sampled_chip_flips_reproduce_programmed_chip() {
+    // `sample_chip_flips` must consume the RNG exactly as `program_chip`
+    // does: same seed → the flip list is precisely the cells where the
+    // programmed chip disagrees with the stored levels, so decoding the
+    // flips reproduces the chip's decode bit for bit.
+    let c = clustered(16, 256, 0.5, 21);
+    for scheme in [
+        StorageScheme::uniform(EncodingKind::BitMask, MlcConfig::MLC3).with_idx_sync(),
+        StorageScheme::uniform(EncodingKind::Csr, MlcConfig::MLC2).with_ecc(),
+        StorageScheme::uniform(EncodingKind::DenseClustered, MlcConfig::MLC2),
+    ] {
+        let stored = StoredLayer::store(&c, &scheme);
+        let cell_for = |bpc: MlcConfig| {
+            let levels = (0..bpc.levels())
+                .map(|i| {
+                    maxnvm_envm::LevelDistribution::new(
+                        i as f64 / (bpc.levels() - 1).max(1) as f64,
+                        0.06,
+                    )
+                })
+                .collect();
+            CellModel::new(levels)
+        };
+        for seed in 0..10u64 {
+            let mut ra = rand::rngs::StdRng::seed_from_u64(seed);
+            let chip = stored.program_chip(&cell_for, &mut ra);
+            let mut rb = rand::rngs::StdRng::seed_from_u64(seed);
+            let flips = stored.sample_chip_flips(&cell_for, &mut rb);
+            let label = scheme.label();
+            assert_eq!(flips.len(), stored.structures().len(), "{label}");
+            assert_eq!(
+                flips.iter().map(Vec::len).sum::<usize>(),
+                chip.fault_count(),
+                "{label} seed {seed}"
+            );
+            let injected: Vec<Vec<u8>> = stored
+                .structures()
+                .iter()
+                .zip(&flips)
+                .map(|(s, f)| {
+                    let mut cells = s.cells.clone();
+                    for &(p, new) in f {
+                        cells[p as usize] = new;
+                    }
+                    cells
+                })
+                .collect();
+            let (via_flips, flip_stats) = stored.decode_with_codec(&mut FixedReadCodec::new(&injected));
+            let (via_chip, chip_stats) = chip.decode();
+            assert_eq!(via_flips.data, via_chip.data, "{label} seed {seed}");
+            assert_eq!(flip_stats.ecc_corrected, chip_stats.ecc_corrected, "{label}");
+            assert_eq!(
+                flip_stats.ecc_uncorrectable, chip_stats.ecc_uncorrectable,
+                "{label}"
+            );
+            // And the delta path over the same flips stays bitwise exact,
+            // closing the chain chip → flips → deltas the fault-sim engine
+            // relies on.
+            let prepared = PreparedLayer::prepare(&stored);
+            let (deltas, d_stats) = prepared.deltas_flips(&flips);
+            assert_eq!(d_stats.cell_faults, chip.fault_count(), "{label}");
+            let mut applied = prepared.clean().matrix.data.clone();
+            for d in &deltas {
+                applied[d.slot as usize] = d.value;
+            }
+            let same = applied
+                .iter()
+                .zip(&via_chip.data)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{label} seed {seed}: chip deltas drifted");
+        }
+    }
+}
+
+#[test]
 fn clean_decode_cache_shares_across_protection() {
     let c = clustered(10, 64, 0.5, 90);
     let cache = EncodeCache::new();

@@ -137,6 +137,15 @@ pub struct CampaignResult {
     pub mean_ecc_corrected: f64,
     /// Mean uncorrectable codewords per trial.
     pub mean_ecc_uncorrectable: f64,
+    /// Non-zero weights per stored layer (clean decode). Engine-run
+    /// campaigns report it; older serialized results and the pre-engine
+    /// reference arm leave it empty.
+    #[serde(default)]
+    pub layer_nnz: Vec<u64>,
+    /// Achieved model density: total non-zeros over total weights
+    /// (`0.0` when unreported).
+    #[serde(default)]
+    pub density: f64,
 }
 
 impl CampaignResult {
@@ -192,8 +201,18 @@ impl CampaignResult {
             expected_cell_faults: 0.0,
             mean_ecc_corrected: stats_sum.ecc_corrected as f64 / n,
             mean_ecc_uncorrectable: stats_sum.ecc_uncorrectable as f64 / n,
+            layer_nnz: Vec::new(),
+            density: 0.0,
             errors,
         }
+    }
+
+    /// Attaches the clean model's per-layer non-zero counts and achieved
+    /// density (see [`crate::evaluate::SparseModel`]).
+    pub(crate) fn with_density(mut self, layer_nnz: Vec<u64>, density: f64) -> Self {
+        self.layer_nnz = layer_nnz;
+        self.density = density;
+        self
     }
 
     /// Attaches the analytically exact expected fault count per trial
@@ -621,6 +640,52 @@ mod tests {
             maps.mean_cell_faults,
             chips.mean_cell_faults
         );
+    }
+
+    #[test]
+    fn chip_campaign_is_bit_exact_with_materialized_reference() {
+        // The engine's chip path no longer materializes anything: it
+        // samples only the mis-programmed cells and evaluates sparse
+        // deltas through the sparse inference path. It must reproduce
+        // the old materializing semantics — program every cell, decode
+        // the chip, evaluate the matrices — bit for bit, trial by trial.
+        let (c, stored) = stored_layer(1.0, MlcConfig::MLC3);
+        let eval = ProxyEval::new(vec![c.reconstruct()], 0.05, 0.9);
+        let (trials, seed) = (48usize, 13u64);
+        let chips = Campaign {
+            trials,
+            seed,
+            rate_scale: 1.0,
+        }
+        .run_chips(
+            std::slice::from_ref(&stored),
+            CellTechnology::MlcRram,
+            &SenseAmp::paper_default(),
+            &eval,
+        )
+        .expect("chip campaign");
+        let sa = SenseAmp::paper_default();
+        let cell_for =
+            |cfg: MlcConfig| CellTechnology::MlcRram.cell_model(cfg).with_sense_amp(&sa);
+        let mut ref_errors = Vec::with_capacity(trials);
+        let mut total_faults = 0usize;
+        for t in 0..trials {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(t as u64));
+            let mut stats = DecodeStats::default();
+            let chip = stored.program_chip(&cell_for, &mut rng);
+            let (m, s) = chip.decode();
+            stats.absorb(s);
+            total_faults += stats.cell_faults;
+            ref_errors.push(eval.eval(std::slice::from_ref(&m)));
+        }
+        assert!(total_faults > 0, "no chip faults: the lock is vacuous");
+        assert_eq!(chips.errors, ref_errors, "chip trials drifted");
+        assert!(
+            (chips.mean_cell_faults - total_faults as f64 / trials as f64).abs() < 1e-12
+        );
+        // The sparse path also reports the clean model's density.
+        assert_eq!(chips.layer_nnz, vec![c.nonzeros() as u64]);
+        assert!(chips.density > 0.0 && chips.density < 1.0);
     }
 
     #[test]

@@ -31,6 +31,14 @@ pub struct DsePoint {
     /// early stopping decided the scheme sooner, and `0` for analytic
     /// (spec-level) exploration, which runs no trials at all.
     pub trials_run: usize,
+    /// Non-zero weights per layer (clean decode; spec-level exploration
+    /// reports the geometry's nnz estimate).
+    #[serde(default)]
+    pub layer_nnz: Vec<u64>,
+    /// Achieved model density: total non-zeros over total weights
+    /// (`0.0` when unreported, e.g. deserialized from an old sweep).
+    #[serde(default)]
+    pub density: f64,
 }
 
 /// DSE configuration.
@@ -145,6 +153,13 @@ pub fn explore_concrete_reference(
     cfg: &DseConfig,
 ) -> Vec<DsePoint> {
     let baseline = eval.baseline_error();
+    let layer_nnz: Vec<u64> = layers.iter().map(|l| l.nonzeros() as u64).collect();
+    let total: u64 = layers.iter().map(|l| (l.rows * l.cols) as u64).sum();
+    let density = if total == 0 {
+        0.0
+    } else {
+        layer_nnz.iter().sum::<u64>() as f64 / total as f64
+    };
     candidate_schemes(tech)
         .into_iter()
         .map(|scheme| {
@@ -160,6 +175,8 @@ pub fn explore_concrete_reference(
                 mean_error: result.mean_error,
                 passes: result.within_itn(baseline, cfg.itn_bound),
                 trials_run: result.completed_trials,
+                layer_nnz: layer_nnz.clone(),
+                density,
             }
         })
         .collect()
@@ -181,6 +198,13 @@ pub fn explore_spec(
         .iter()
         .map(|l| LayerGeometry::from_sparsity(l.rows as u64, l.cols as u64, spec.paper.sparsity))
         .collect();
+    let layer_nnz: Vec<u64> = geoms.iter().map(|g| g.nnz).collect();
+    let total: u64 = geoms.iter().map(|g| g.rows * g.cols).sum();
+    let density = if total == 0 {
+        0.0
+    } else {
+        layer_nnz.iter().sum::<u64>() as f64 / total as f64
+    };
     candidate_schemes(tech)
         .into_iter()
         .map(|scheme| {
@@ -204,6 +228,8 @@ pub fn explore_spec(
                 mean_error,
                 passes: mean_error <= baseline + itn_bound,
                 trials_run: 0,
+                layer_nnz: layer_nnz.clone(),
+                density,
             }
         })
         .collect()
@@ -485,6 +511,8 @@ mod tests {
             mean_error: err,
             passes,
             trials_run: 0,
+            layer_nnz: Vec::new(),
+            density: 0.0,
         };
         let pts = vec![mk(100, 0.1, true), mk(50, 0.2, true), mk(10, 0.1, false)];
         let best = minimal_cells(&pts).unwrap();

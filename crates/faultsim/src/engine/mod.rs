@@ -22,9 +22,14 @@
 //! [`crate::evaluate::NetworkEval`] patches only the dirty rows of the
 //! first fault-touched layer atop a cached clean-prefix forward pass,
 //! [`crate::evaluate::ProxyEval`] adjusts a cached MSE numerator —
-//! both bit-identical to materializing the faulty matrices. Chip
-//! campaigns ([`EvalContext::run_chips`]), whose faults are dense analog
-//! programming outcomes, keep the materializing path.
+//! both bit-identical to materializing the faulty matrices. The clean
+//! model additionally travels as a [`SparseModel`] — the storage
+//! format's compute-side twin — so network evaluations run the sparse
+//! GEMM path end to end ([`AccuracyEval::eval_deltas_sparse`]). Chip
+//! campaigns ([`EvalContext::run_chips`]) are O(nnz + faults) too: each
+//! trial samples only the cells a chip instance mis-programs
+//! (`StoredLayer::sample_chip_flips`, RNG-identical to programming the
+//! full chip) and reduces them to the same sparse deltas.
 //!
 //! On top of that sits the **resilience layer** (`*_controlled` entry
 //! points taking a [`RunControl`]):
@@ -67,8 +72,9 @@ use crate::campaign::{wilson_interval, CampaignResult, TrialOutcome};
 use crate::cancel::CancelToken;
 use crate::checkpoint::{CampaignCheckpoint, CheckpointConfig, Fingerprint};
 use crate::dse::{candidate_schemes, DseConfig, DsePoint};
-use crate::evaluate::{AccuracyEval, EvalScratch};
+use crate::evaluate::{AccuracyEval, EvalScratch, SparseModel};
 use maxnvm_dnn::network::{LayerMatrix, WeightDelta};
+use maxnvm_dnn::sparse::SparseMatrix;
 use maxnvm_encoding::cluster::ClusteredLayer;
 use maxnvm_encoding::storage::{DecodeStats, EncodeCache, PreparedLayer, StoredLayer};
 use maxnvm_encoding::StructureKind;
@@ -91,27 +97,20 @@ impl ScratchPool {
         Self(Mutex::new(Vec::new()))
     }
 
-    fn eval(&self, eval: &(dyn AccuracyEval + Sync), mats: &[LayerMatrix]) -> f64 {
-        let mut scratch = self.0.lock().pop().unwrap_or_default();
-        let error = eval.eval_scratch(mats, &mut scratch);
-        self.0.lock().push(scratch);
-        error
-    }
-
-    /// [`AccuracyEval::eval_deltas`] on a pooled scratch: the sparse
-    /// trial path. `key` identifies which clean configuration the deltas
-    /// are against (campaigns use `0`; a DSE keys by candidate scheme),
-    /// so a scratch checked out by a different scheme's trial rebuilds
-    /// its caches deterministically instead of mixing state.
-    fn eval_deltas(
+    /// [`AccuracyEval::eval_deltas_sparse`] on a pooled scratch: the
+    /// sparse trial path. `key` identifies which clean configuration the
+    /// deltas are against (campaigns use `0`; a DSE keys by candidate
+    /// scheme), so a scratch checked out by a different scheme's trial
+    /// rebuilds its caches deterministically instead of mixing state.
+    fn eval_deltas_sparse(
         &self,
         eval: &(dyn AccuracyEval + Sync),
         key: u64,
-        clean: &[LayerMatrix],
+        clean: &SparseModel,
         deltas: &[Vec<WeightDelta>],
     ) -> f64 {
         let mut scratch = self.0.lock().pop().unwrap_or_default();
-        let error = eval.eval_deltas(key, clean, deltas, &mut scratch);
+        let error = eval.eval_deltas_sparse(key, clean, deltas, &mut scratch);
         self.0.lock().push(scratch);
         error
     }
@@ -681,8 +680,17 @@ impl EvalContext {
             .sum();
         // Trials never materialize faulty matrices: each samples sparse
         // deltas against these shared clean decodes and evaluates them
-        // through the evaluator's O(deltas) path.
+        // through the evaluator's O(deltas) path, with the clean model
+        // also in the compute-side sparse format.
         let clean: Vec<LayerMatrix> = prepared.iter().map(|p| p.clean().matrix.clone()).collect();
+        let sparse: Vec<Arc<SparseMatrix>> = prepared
+            .iter()
+            .map(|p| Arc::new(p.clean().sparse.clone()))
+            .collect();
+        let model = SparseModel {
+            dense: &clean,
+            sparse: &sparse,
+        };
         let scratch = ScratchPool::new();
         let kind = match target {
             Some(_) => "isolated",
@@ -725,7 +733,7 @@ impl EvalContext {
                         d
                     })
                     .collect();
-                (scratch.eval_deltas(eval, 0, &clean, &deltas), stats)
+                (scratch.eval_deltas_sparse(eval, 0, &model, &deltas), stats)
             },
         )?;
         let group = driven.pop().ok_or_else(|| EngineError::Internal {
@@ -733,7 +741,8 @@ impl EvalContext {
         })?;
         Ok(CampaignResult::from_outcomes(trials, group.outcomes)
             .with_termination(group.stopped_early, group.cancelled)
-            .with_expected_faults(expected))
+            .with_expected_faults(expected)
+            .with_density(model.layer_nnz(), model.density()))
     }
 
     /// Runs a campaign with the paper's exact chip semantics: each
@@ -742,6 +751,12 @@ impl EvalContext {
     /// [`EngineError::ChipRateScale`] unless the context uses physical
     /// rates (`rate_scale == 1.0`), since analog programming outcomes
     /// cannot be rate-scaled.
+    ///
+    /// Trials never materialize the chip: only the mis-programmed cells
+    /// are recorded (`StoredLayer::sample_chip_flips`, drawing the RNG
+    /// exactly as programming the full chip would), reduced to sparse
+    /// [`WeightDelta`]s, and evaluated through the sparse path — bit-
+    /// identical to programming, decoding, and evaluating every cell.
     pub fn run_chips(
         &self,
         trials: usize,
@@ -770,6 +785,18 @@ impl EvalContext {
             .iter()
             .map(|l| l.expected_faults_in(None, &fault_for))
             .sum();
+        let prepared: Vec<PreparedLayer> = self
+            .pool
+            .scope_map(stored.len(), |i| PreparedLayer::prepare(&stored[i]));
+        let clean: Vec<LayerMatrix> = prepared.iter().map(|p| p.clean().matrix.clone()).collect();
+        let sparse: Vec<Arc<SparseMatrix>> = prepared
+            .iter()
+            .map(|p| Arc::new(p.clean().sparse.clone()))
+            .collect();
+        let model = SparseModel {
+            dense: &clean,
+            sparse: &sparse,
+        };
         let scratch = ScratchPool::new();
         let fingerprint = self.run_fingerprint(
             "chips",
@@ -795,16 +822,16 @@ impl EvalContext {
             |_, trial| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(trial as u64));
                 let mut stats = DecodeStats::default();
-                let mats: Vec<_> = stored
+                let deltas: Vec<Vec<WeightDelta>> = prepared
                     .iter()
                     .map(|layer| {
-                        let chip = layer.program_chip(&cell_for, &mut rng);
-                        let (m, s) = chip.decode();
+                        let flips = layer.stored().sample_chip_flips(&cell_for, &mut rng);
+                        let (d, s) = layer.deltas_flips(&flips);
                         stats.absorb(s);
-                        m
+                        d
                     })
                     .collect();
-                (scratch.eval(eval, &mats), stats)
+                (scratch.eval_deltas_sparse(eval, 0, &model, &deltas), stats)
             },
         )?;
         let group = driven.pop().ok_or_else(|| EngineError::Internal {
@@ -812,7 +839,8 @@ impl EvalContext {
         })?;
         Ok(CampaignResult::from_outcomes(trials, group.outcomes)
             .with_termination(group.stopped_early, group.cancelled)
-            .with_expected_faults(expected))
+            .with_expected_faults(expected)
+            .with_density(model.layer_nnz(), model.density()))
     }
 
     /// Concrete design-space exploration on the engine: every candidate
@@ -888,10 +916,19 @@ impl EvalContext {
                 .map(|(i, l)| PreparedLayer::new(l, cache.clean_decode(i, l)))
                 .collect()
         });
-        // Per-scheme clean matrices for the sparse-delta trial path.
+        // Per-scheme clean matrices for the sparse-delta trial path,
+        // plus their compute-side sparse twins.
         let clean: Vec<Vec<LayerMatrix>> = prepared
             .iter()
             .map(|ps| ps.iter().map(|p| p.clean().matrix.clone()).collect())
+            .collect();
+        let sparse: Vec<Vec<Arc<SparseMatrix>>> = prepared
+            .iter()
+            .map(|ps| {
+                ps.iter()
+                    .map(|p| Arc::new(p.clean().sparse.clone()))
+                    .collect()
+            })
             .collect();
         // Fingerprint the whole sweep: every scheme's identity and cell
         // count participates, so adding/removing candidates invalidates
@@ -949,8 +986,12 @@ impl EvalContext {
                         d
                     })
                     .collect();
+                let model = SparseModel {
+                    dense: &clean[s],
+                    sparse: &sparse[s],
+                };
                 (
-                    scratch.eval_deltas(eval, s as u64, &clean[s], &deltas),
+                    scratch.eval_deltas_sparse(eval, s as u64, &model, &deltas),
                     stats,
                 )
             },
@@ -967,12 +1008,18 @@ impl EvalContext {
                 let result = CampaignResult::from_outcomes(trials, group.outcomes)
                     .with_termination(group.stopped_early, group.cancelled)
                     .with_expected_faults(expected);
+                let model = SparseModel {
+                    dense: &clean[s],
+                    sparse: &sparse[s],
+                };
                 DsePoint {
                     scheme,
                     cells: stored[s].1,
                     mean_error: result.mean_error,
                     passes: result.within_itn(baseline, cfg.itn_bound),
                     trials_run: result.completed_trials,
+                    layer_nnz: model.layer_nnz(),
+                    density: model.density(),
                 }
             })
             .collect())
@@ -1031,6 +1078,89 @@ mod tests {
                 },
                 "{bad:?}"
             );
+        }
+    }
+
+    #[test]
+    fn sparse_campaign_is_bit_exact_and_worker_invariant() {
+        // Full-chain lock on the sparse trial path: a network campaign
+        // over encoded pruned layers must reproduce the materializing
+        // reference (decode every trial's faulty matrices in full,
+        // evaluate end to end) bit for bit, at any worker count —
+        // including trials whose faults span multiple layers.
+        use crate::evaluate::NetworkEval;
+        use maxnvm_dnn::data::gaussian_clusters;
+        use maxnvm_dnn::zoo::mlp_mini;
+        use maxnvm_encoding::storage::StorageScheme;
+        use maxnvm_encoding::EncodingKind;
+        let net = mlp_mini(8, 3, 16, 1);
+        let test = gaussian_clusters(8, 3, 60, 2.5, 7);
+        let eval = NetworkEval::new(net.clone(), test);
+        let clustered: Vec<ClusteredLayer> = net
+            .weight_matrices()
+            .iter()
+            .map(|m| {
+                let mut pruned = m.clone();
+                let mut mags: Vec<f32> = pruned.data.iter().map(|v| v.abs()).collect();
+                mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let t = mags[((mags.len() - 1) as f64 * 0.6) as usize];
+                for v in &mut pruned.data {
+                    if v.abs() <= t {
+                        *v = 0.0;
+                    }
+                }
+                ClusteredLayer::from_matrix(&pruned, 4, 9)
+            })
+            .collect();
+        let scheme = StorageScheme::uniform(EncodingKind::Csr, MlcConfig::MLC3);
+        let stored: Vec<StoredLayer> = clustered
+            .iter()
+            .map(|c| StoredLayer::store(c, &scheme))
+            .collect();
+        let sa = SenseAmp::paper_default();
+        let (trials, seed, scale) = (24usize, 5u64, 3000.0);
+        let run = |workers| {
+            EvalContext::with_workers(CellTechnology::MlcCtt, &sa, scale, workers)
+                .unwrap()
+                .run_campaign(trials, seed, &stored, &eval)
+                .unwrap()
+        };
+        let w1 = run(1);
+        // Materializing reference over the identical RNG stream (the
+        // sparse sampler and the full decoder consume it identically).
+        let ctx = EvalContext::with_workers(CellTechnology::MlcCtt, &sa, scale, 1).unwrap();
+        let fault_for = ctx.fault_for();
+        let prepared: Vec<PreparedLayer> = stored.iter().map(PreparedLayer::prepare).collect();
+        let mut multi_layer_trials = 0usize;
+        let ref_errors: Vec<f64> = (0..trials)
+            .map(|t| {
+                let mut rng =
+                    rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(t as u64));
+                let mats: Vec<LayerMatrix> = prepared
+                    .iter()
+                    .map(|p| p.decode_with_faults(&fault_for, &mut rng).0)
+                    .collect();
+                let mut replay =
+                    rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(t as u64));
+                let faulted = prepared
+                    .iter()
+                    .filter(|p| !p.deltas_with_faults(&fault_for, &mut replay).0.is_empty())
+                    .count();
+                if faulted >= 2 {
+                    multi_layer_trials += 1;
+                }
+                eval.eval(&mats)
+            })
+            .collect();
+        assert!(
+            multi_layer_trials > 0,
+            "no multi-layer fault trials: raise the rate scale"
+        );
+        assert_eq!(w1.errors, ref_errors, "sparse campaign drifted");
+        assert_eq!(w1.layer_nnz.len(), stored.len());
+        assert!(w1.density > 0.0 && w1.density < 0.7, "{}", w1.density);
+        for workers in [2, 4] {
+            assert_eq!(run(workers).errors, w1.errors, "workers={workers}");
         }
     }
 

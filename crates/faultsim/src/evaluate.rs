@@ -4,10 +4,16 @@
 //!
 //! Evaluators expose two granularities. [`AccuracyEval::eval`] (and its
 //! scratch-reusing twin) takes fully materialized weight matrices — the
-//! chip-instance path still uses it. [`AccuracyEval::eval_deltas`] takes
-//! the *clean* matrices plus a per-layer sparse list of
-//! [`WeightDelta`]s, which is what the sparse fault sampler produces;
-//! the fast implementations here never materialize the faulty matrices:
+//! reference path everything is checked against. [`AccuracyEval::eval_deltas`]
+//! takes the *clean* matrices plus a per-layer sparse list of
+//! [`WeightDelta`]s, which is what the sparse fault sampler produces
+//! (chip instances reduce to the same deltas via
+//! `StoredLayer::sample_chip_flips`); the fast implementations here
+//! never materialize the faulty matrices. On top of that,
+//! [`AccuracyEval::eval_deltas_sparse`] accepts the clean model as a
+//! [`SparseModel`] — the storage-format [`SparseMatrix`] twins next to
+//! the dense view — so the whole clean forward pass and every per-trial
+//! patch run O(nnz) instead of O(size):
 //!
 //! - [`NetworkEval`] keeps a [`PrefixCache`] of the clean batch forward
 //!   pass (keyed per configuration) and per trial only patches the dirty
@@ -27,7 +33,40 @@
 use maxnvm_dnn::layer::ForwardScratch;
 use maxnvm_dnn::network::{argmax, LayerMatrix, Network, WeightDelta};
 use maxnvm_dnn::prefix::PrefixCache;
+use maxnvm_dnn::sparse::SparseMatrix;
 use maxnvm_dnn::tensor::Tensor;
+use std::sync::Arc;
+
+/// The clean model handed to [`AccuracyEval::eval_deltas_sparse`]: the
+/// decoded weight matrices in both formats. `sparse[i]` must equal
+/// `SparseMatrix::from_dense` of `dense[i]` bit for bit (which the
+/// storage layer's clean decode guarantees) — evaluators are free to use
+/// either view and get identical results.
+#[derive(Debug, Clone, Copy)]
+pub struct SparseModel<'a> {
+    /// Clean decoded weight matrices, materialized.
+    pub dense: &'a [LayerMatrix],
+    /// The same matrices in the compute-side sparse format.
+    pub sparse: &'a [Arc<SparseMatrix>],
+}
+
+impl SparseModel<'_> {
+    /// Non-zero weights per layer.
+    pub fn layer_nnz(&self) -> Vec<u64> {
+        self.sparse.iter().map(|s| s.nnz() as u64).collect()
+    }
+
+    /// Achieved model density: total non-zeros over total weights
+    /// (`0.0` for an empty model).
+    pub fn density(&self) -> f64 {
+        let total: usize = self.sparse.iter().map(|s| s.rows() * s.cols()).sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.sparse.iter().map(|s| s.nnz()).sum::<usize>() as f64 / total as f64
+        }
+    }
+}
 
 /// Relative weight-MSE at which the sensitivity proxy has risen to
 /// `1 - 1/e` of its saturation error. Chosen so that (a) sub-0.1% relative
@@ -47,6 +86,10 @@ struct PrefixState {
     net: Network,
     cache: PrefixCache,
     clean_error: f64,
+    /// One sparse clean weight matrix per prefix site, in site order —
+    /// what the sparse trial path patches with `with_deltas` and feeds
+    /// to [`Network::forward_suffix_sparse`].
+    sparse: Vec<Arc<SparseMatrix>>,
 }
 
 /// Reusable per-worker evaluation state: the network clone a
@@ -110,6 +153,22 @@ pub trait AccuracyEval {
         scratch: &mut EvalScratch,
     ) -> f64 {
         eval_deltas_materialized(self, key, clean, deltas, scratch)
+    }
+    /// [`AccuracyEval::eval_deltas`] with the clean model available in
+    /// the compute-side sparse format too. The default ignores the
+    /// sparse view and delegates to `eval_deltas` (exact by contract,
+    /// since both views decode the same weights); [`NetworkEval`]
+    /// overrides it to build its clean prefix and per-trial patches from
+    /// the sparse stream, making trials O(nnz) — still bit-identical to
+    /// the materializing path.
+    fn eval_deltas_sparse(
+        &self,
+        key: u64,
+        clean: &SparseModel,
+        deltas: &[Vec<WeightDelta>],
+        scratch: &mut EvalScratch,
+    ) -> f64 {
+        self.eval_deltas(key, clean.dense, deltas, scratch)
     }
 }
 
@@ -213,10 +272,18 @@ impl AccuracyEval for NetworkEval {
             let xs: Vec<Tensor> = self.test.iter().map(|(x, _)| x.clone()).collect();
             let state = PrefixCache::build(&net, &xs, &mut scratch.forward).map(|cache| {
                 let clean_error = error_over(cache.clean_logits(), &self.test);
+                // Same-key sparse calls may reuse this state, so give it
+                // the sparse twins (equal to any caller-provided ones by
+                // the `eval_deltas_sparse` contract).
+                let sparse = clean
+                    .iter()
+                    .map(|m| Arc::new(SparseMatrix::from_matrix(m)))
+                    .collect();
                 PrefixState {
                     net,
                     cache,
                     clean_error,
+                    sparse,
                 }
             });
             scratch.prefix = Some((key, state));
@@ -263,6 +330,122 @@ impl AccuracyEval for NetworkEval {
                 error
             }
             _ => eval_deltas_materialized(self, key, clean, deltas, scratch),
+        }
+    }
+
+    /// Fully sparse trial path: the clean prefix is built straight from
+    /// the sparse weight streams ([`PrefixCache::build_sparse`]), dirty
+    /// rows are recomputed from the delta-patched sparse matrix
+    /// ([`SparseMatrix::with_deltas`] +
+    /// [`PrefixCache::patched_outputs_sparse`]), and the suffix runs
+    /// through [`Network::forward_suffix_sparse`] — O(nnz) end to end
+    /// and bit-identical to the materializing path (see
+    /// [`maxnvm_dnn::sparse`] for the exactness argument). Residual
+    /// networks fall back to the dense `eval_deltas`.
+    fn eval_deltas_sparse(
+        &self,
+        key: u64,
+        clean: &SparseModel,
+        deltas: &[Vec<WeightDelta>],
+        scratch: &mut EvalScratch,
+    ) -> f64 {
+        if self.test.is_empty() {
+            return 0.0; // matches `Network::error_rate` on an empty set
+        }
+        if !matches!(&scratch.prefix, Some((k, _)) if *k == key) {
+            assert_eq!(
+                clean.dense.len(),
+                clean.sparse.len(),
+                "sparse/dense layer count mismatch"
+            );
+            let mut net = self.net.clone();
+            net.set_weight_matrices(clean.dense);
+            let xs: Vec<Tensor> = self.test.iter().map(|(x, _)| x.clone()).collect();
+            let overlay: Vec<Option<&SparseMatrix>> =
+                clean.sparse.iter().map(|s| Some(&**s)).collect();
+            let state = PrefixCache::build_sparse(&net, &xs, &overlay, &mut scratch.forward).map(
+                |cache| {
+                    let clean_error = error_over(cache.clean_logits(), &self.test);
+                    PrefixState {
+                        net,
+                        cache,
+                        clean_error,
+                        sparse: clean.sparse.to_vec(),
+                    }
+                },
+            );
+            scratch.prefix = Some((key, state));
+        }
+        match scratch {
+            EvalScratch {
+                prefix: Some((k, Some(state))),
+                forward,
+                row_buf,
+                dirty_rows,
+                undo,
+                ..
+            } if *k == key => {
+                let Some(first) = deltas.iter().position(|d| !d.is_empty()) else {
+                    return state.clean_error;
+                };
+                dirty_rows.clear();
+                dirty_rows.extend(
+                    deltas[first]
+                        .iter()
+                        .map(|d| d.slot as usize / clean.dense[first].cols),
+                );
+                dirty_rows.sort_unstable();
+                dirty_rows.dedup();
+                // The dense weights are patched too: suffix layers the
+                // sparse overlay doesn't cover (nested residual
+                // matrices) must still see the faults.
+                state.net.apply_weight_deltas(deltas, undo);
+                let pos = state.cache.site_layer(first);
+                let logits = match state.net.layers()[pos].weight_bias() {
+                    Some((_, b)) => {
+                        let patched_first = state.sparse[first].with_deltas(&deltas[first]);
+                        // Later fault-touched sites get their own
+                        // delta-patched streams; clean sites reuse the
+                        // cached clean twins untouched.
+                        let later: Vec<Option<SparseMatrix>> = state
+                            .sparse
+                            .iter()
+                            .enumerate()
+                            .map(|(i, s)| {
+                                deltas
+                                    .get(i)
+                                    .filter(|ds| i > first && !ds.is_empty())
+                                    .map(|ds| s.with_deltas(ds))
+                            })
+                            .collect();
+                        let overlay: Vec<Option<&SparseMatrix>> = state
+                            .sparse
+                            .iter()
+                            .zip(&later)
+                            .map(|(s, p)| Some(p.as_ref().unwrap_or(&**s)))
+                            .collect();
+                        let patched = state.cache.patched_outputs_sparse(
+                            first,
+                            &patched_first,
+                            b,
+                            dirty_rows,
+                            row_buf,
+                        );
+                        state
+                            .net
+                            .forward_suffix_sparse(pos + 1, patched, &overlay, forward)
+                    }
+                    // Sites address weight layers by construction; stay
+                    // total with a (still exact) full faulty forward.
+                    None => state
+                        .net
+                        .forward_batch_scratch(state.cache.input_batch(), forward),
+                };
+                let error = error_over(&logits, &self.test);
+                state.net.revert_weight_deltas(undo);
+                error
+            }
+            _ => self.eval_deltas(key, clean.dense, deltas, scratch),
         }
     }
 }
@@ -601,6 +784,96 @@ mod tests {
         );
     }
 
+    /// Magnitude-prunes every matrix to roughly the given sparsity (the
+    /// same rule `zoo::prune_to_sparsity` uses).
+    fn prune(mats: &[LayerMatrix], sparsity: f64) -> Vec<LayerMatrix> {
+        mats.iter()
+            .map(|m| {
+                let mut out = m.clone();
+                if sparsity >= 1.0 {
+                    out.data.iter_mut().for_each(|v| *v = 0.0);
+                } else if sparsity > 0.0 {
+                    let mut mags: Vec<f32> = out.data.iter().map(|v| v.abs()).collect();
+                    mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    let t = mags[((mags.len() - 1) as f64 * sparsity) as usize];
+                    for v in &mut out.data {
+                        if v.abs() <= t {
+                            *v = 0.0;
+                        }
+                    }
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// The fully sparse trial path must be bit-identical to materializing
+    /// the faults — at 0% (dense), Table-2 (0.409), and 100% sparsity,
+    /// including multi-layer fault deltas through the prefix cache.
+    #[test]
+    fn network_eval_deltas_sparse_is_bit_exact_across_sparsities() {
+        let eval = trained_eval();
+        let base = eval.network().weight_matrices();
+        for (ki, sparsity) in [0.0, 0.409, 1.0].into_iter().enumerate() {
+            let clean = prune(&base, sparsity);
+            let sparse: Vec<Arc<SparseMatrix>> = clean
+                .iter()
+                .map(|m| Arc::new(SparseMatrix::from_matrix(m)))
+                .collect();
+            let model = SparseModel {
+                dense: &clean,
+                sparse: &sparse,
+            };
+            let mut scratch = EvalScratch::default();
+            for deltas in &delta_cases() {
+                assert_eq!(
+                    eval.eval_deltas_sparse(20 + ki as u64, &model, deltas, &mut scratch),
+                    eval.eval(&materialize(&clean, deltas)),
+                    "sparsity {sparsity}: sparse trial path drifted"
+                );
+            }
+            // And the sparse path agrees with the dense prefix path on a
+            // fresh scratch, multi-layer case included.
+            let multi = &delta_cases()[3];
+            assert_eq!(
+                eval.eval_deltas_sparse(20 + ki as u64, &model, multi, &mut scratch),
+                eval.eval_deltas(30 + ki as u64, &clean, multi, &mut EvalScratch::default()),
+                "sparsity {sparsity}: sparse vs dense prefix paths drifted"
+            );
+        }
+    }
+
+    /// A dense-built prefix state reused by a same-key sparse call (and
+    /// vice versa) stays exact — the two entry points share the cache.
+    #[test]
+    fn network_eval_sparse_and_dense_entry_points_share_state() {
+        let eval = trained_eval();
+        let clean = eval.network().weight_matrices();
+        let sparse: Vec<Arc<SparseMatrix>> = clean
+            .iter()
+            .map(|m| Arc::new(SparseMatrix::from_matrix(m)))
+            .collect();
+        let model = SparseModel {
+            dense: &clean,
+            sparse: &sparse,
+        };
+        let mut scratch = EvalScratch::default();
+        let deltas = &delta_cases()[3];
+        let want = eval.eval(&materialize(&clean, deltas));
+        // Dense first (builds the state), then sparse on the same key.
+        assert_eq!(eval.eval_deltas(5, &clean, deltas, &mut scratch), want);
+        assert_eq!(
+            eval.eval_deltas_sparse(5, &model, deltas, &mut scratch),
+            want
+        );
+        // Sparse first on a fresh key, then dense reuses it.
+        assert_eq!(
+            eval.eval_deltas_sparse(6, &model, deltas, &mut scratch),
+            want
+        );
+        assert_eq!(eval.eval_deltas(6, &clean, deltas, &mut scratch), want);
+    }
+
     /// Residual networks have no prefix cache; `eval_deltas` must fall
     /// back to the materializing path and still agree exactly.
     #[test]
@@ -633,6 +906,19 @@ mod tests {
         assert_eq!(
             eval.eval_deltas(0, &clean, &[Vec::new()], &mut scratch),
             eval.baseline_error()
+        );
+        // The sparse entry point falls back identically.
+        let sparse: Vec<Arc<SparseMatrix>> = clean
+            .iter()
+            .map(|m| Arc::new(SparseMatrix::from_matrix(m)))
+            .collect();
+        let model = SparseModel {
+            dense: &clean,
+            sparse: &sparse,
+        };
+        assert_eq!(
+            eval.eval_deltas_sparse(0, &model, &deltas, &mut scratch),
+            eval.eval(&materialize(&clean, &deltas))
         );
     }
 

@@ -689,6 +689,43 @@ mod tests {
     }
 
     #[test]
+    fn sparse_modules_are_in_the_d1_scan() {
+        // The sparse compute format is result-affecting end to end: the
+        // walk-built matrices, the sparse GEMM, and the prefix cache all
+        // feed Monte-Carlo error rates. Lock them into the D1 scan so a
+        // module move can't silently drop them from enforcement.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files: Vec<String> = workspace_sources(&root)
+            .iter()
+            .map(|p| {
+                p.strip_prefix(&root)
+                    .unwrap_or(p)
+                    .to_string_lossy()
+                    .replace('\\', "/")
+            })
+            .collect();
+        for rel in [
+            "crates/dnn/src/sparse.rs",
+            "crates/dnn/src/gemm.rs",
+            "crates/dnn/src/prefix.rs",
+            "crates/encoding/src/storage/prepared.rs",
+            "crates/faultsim/src/evaluate.rs",
+        ] {
+            assert!(
+                files.iter().any(|f| f == rel),
+                "{rel} missing from the lint scan"
+            );
+            assert!(is_result_affecting(rel), "{rel} exempt from D1");
+        }
+        let r = lint_str(
+            "crates/dnn/src/sparse.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "D1/hash-container");
+    }
+
+    #[test]
     fn json_report_is_well_formed_enough() {
         let r = lint_str(
             "crates/envm/src/x.rs",
