@@ -8,7 +8,7 @@
 //! the workspace root with before/after trials-per-second and the
 //! speedup, for CI and regression tracking.
 
-use maxnvm_dnn::gemm::{gemm_into, sparse_gemm_into, GemmScratch};
+use maxnvm_dnn::gemm::{self, gemm_into, sparse_gemm_into, GemmScratch};
 use maxnvm_dnn::layer::Layer;
 use maxnvm_dnn::network::{LayerMatrix, Network, WeightDelta};
 use maxnvm_dnn::sparse::SparseMatrix;
@@ -115,8 +115,15 @@ fn main() {
         sum / SKIP_TRIALS as f64
     };
 
-    let gemm_gflops = gemm_gflops();
-    let sparse_gemm_gflops = sparse_gemm_gflops();
+    // Kernel arms: the headline numbers run on whatever tier runtime
+    // dispatch selected for this host (`simd_tier`); the per-tier table
+    // pins each supported tier in turn so the cost of every rung is on
+    // record alongside the bit-identity the tests lock.
+    let simd_tier = gemm::active_tier().name();
+    let gemm_gflops = gemm_gflops(1.0);
+    let sparse_gemm_gflops = sparse_gemm_gflops(zoo::vgg12().paper.sparsity, 1.0);
+    let tier_table = per_tier_gflops();
+    let (crossover_sweep, crossover_density) = density_crossover(gemm_gflops);
     let vgg = vgg12_scale_arm();
 
     println!(
@@ -129,12 +136,24 @@ fn main() {
     println!("  speedup: {speedup:.1}x");
     println!("  full trial (deltas + incremental eval):   {trials_per_sec:>10.1} trials/s");
     println!("  prefix skip rate: {prefix_skip_rate:.4} of layers clean before first fault");
+    println!("  simd tier: {simd_tier}");
     println!("  gemm: {gemm_gflops:.2} GFLOP/s (256x256x256 blocked kernel)");
     println!(
         "  sparse gemm: {sparse_gemm_gflops:.2} dense-equivalent GFLOP/s \
          (256x256x256, {:.1}% pruned lhs)",
         zoo::vgg12().paper.sparsity * 100.0
     );
+    for (name, dense, sparse) in &tier_table {
+        println!("  tier {name:<7} gemm {dense:>8.2} GFLOP/s   sparse gemm {sparse:>8.2} GFLOP/s");
+    }
+    println!(
+        "  sparse/dense crossover: sparse walk wins up to density {crossover_density:.2} \
+         (routing cutover fixed at {:.2})",
+        gemm::SPARSE_DENSE_CUTOVER
+    );
+    for (d, ratio) in &crossover_sweep {
+        println!("    density {d:.2}: sparse/dense throughput ratio {ratio:.2}");
+    }
     println!(
         "vgg12_scale: {} weights, {:.3} density, {:.3} expected faults/trial",
         vgg.weights, vgg.density, vgg.expected_faults
@@ -157,10 +176,29 @@ fn main() {
     let git_sha = git_sha().unwrap_or_else(|| "unknown".to_string());
     let lint_pass_version = lint_pass_version().unwrap_or(0);
 
+    // Hand-rolled nested objects for the per-tier table and the
+    // crossover sweep (the bench stays dependency-free).
+    let gemm_by_tier = tier_table
+        .iter()
+        .map(|(name, dense, _)| format!("\"{name}\": {dense:.2}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let sparse_by_tier = tier_table
+        .iter()
+        .map(|(name, _, sparse)| format!("\"{name}\": {sparse:.2}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let sweep_json = crossover_sweep
+        .iter()
+        .map(|(d, ratio)| format!("\"{d:.2}\": {ratio:.3}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+
     let json = format!(
-        "{{\n  \"benchmark\": \"trial_throughput\",\n  \"git_sha\": \"{git_sha}\",\n  \"lint_pass_version\": {lint_pass_version},\n  \"model\": \"{}\",\n  \"scheme\": \"{}\",\n  \"total_cells\": {cells},\n  \"expected_faults_per_trial\": {expected:.6},\n  \"before_trials_per_sec\": {before:.3},\n  \"after_trials_per_sec\": {after:.3},\n  \"speedup\": {speedup:.3},\n  \"trials_per_sec\": {trials_per_sec:.3},\n  \"prefix_skip_rate\": {prefix_skip_rate:.4},\n  \"gemm_gflops\": {gemm_gflops:.2},\n  \"sparse_gemm_gflops\": {sparse_gemm_gflops:.2},\n  \"vgg12_weights\": {},\n  \"vgg12_density\": {:.4},\n  \"vgg12_expected_faults_per_trial\": {:.3},\n  \"vgg12_dense_trials_per_sec\": {:.3},\n  \"vgg12_sparse_trials_per_sec\": {:.3},\n  \"vgg12_sparse_speedup\": {:.3},\n  \"dse_fixed_trials\": {},\n  \"dse_early_stop_trials\": {},\n  \"dse_trial_savings\": {:.3},\n  \"dse_same_optimal\": {}\n}}\n",
+        "{{\n  \"benchmark\": \"trial_throughput\",\n  \"git_sha\": \"{git_sha}\",\n  \"lint_pass_version\": {lint_pass_version},\n  \"model\": \"{}\",\n  \"scheme\": \"{}\",\n  \"total_cells\": {cells},\n  \"expected_faults_per_trial\": {expected:.6},\n  \"before_trials_per_sec\": {before:.3},\n  \"after_trials_per_sec\": {after:.3},\n  \"speedup\": {speedup:.3},\n  \"trials_per_sec\": {trials_per_sec:.3},\n  \"prefix_skip_rate\": {prefix_skip_rate:.4},\n  \"simd_tier\": \"{simd_tier}\",\n  \"gemm_gflops\": {gemm_gflops:.2},\n  \"sparse_gemm_gflops\": {sparse_gemm_gflops:.2},\n  \"gemm_gflops_by_tier\": {{{gemm_by_tier}}},\n  \"sparse_gemm_gflops_by_tier\": {{{sparse_by_tier}}},\n  \"sparse_dense_cutover_density\": {:.2},\n  \"sparse_dense_crossover_density\": {crossover_density:.2},\n  \"sparse_dense_crossover_sweep\": {{{sweep_json}}},\n  \"vgg12_weights\": {},\n  \"vgg12_density\": {:.4},\n  \"vgg12_expected_faults_per_trial\": {:.3},\n  \"vgg12_dense_trials_per_sec\": {:.3},\n  \"vgg12_sparse_trials_per_sec\": {:.3},\n  \"vgg12_sparse_speedup\": {:.3},\n  \"dse_fixed_trials\": {},\n  \"dse_early_stop_trials\": {},\n  \"dse_trial_savings\": {:.3},\n  \"dse_same_optimal\": {}\n}}\n",
         spec.name,
         scheme.label(),
+        gemm::SPARSE_DENSE_CUTOVER,
         vgg.weights,
         vgg.density,
         vgg.expected_faults,
@@ -181,8 +219,9 @@ fn main() {
 }
 
 /// Sustained arithmetic throughput of the blocked GEMM microkernel on a
-/// square 256×256×256 multiply (~33 MFLOP per call), over a ~1 s window.
-fn gemm_gflops() -> f64 {
+/// square 256×256×256 multiply (~33 MFLOP per call) over a ~`secs`
+/// window, on whichever dispatch tier is currently active.
+fn gemm_gflops(secs: f64) -> f64 {
     const N: usize = 256;
     let a: Vec<f32> = (0..N * N).map(|i| (i % 17) as f32 * 0.25 - 2.0).collect();
     let b: Vec<f32> = (0..N * N).map(|i| (i % 13) as f32 * 0.5 - 3.0).collect();
@@ -191,7 +230,7 @@ fn gemm_gflops() -> f64 {
     gemm_into(&mut c, &a, &b, N, N, N, &mut scratch); // warmup
     let start = Instant::now();
     let mut reps = 0u64;
-    while start.elapsed().as_secs_f64() < 1.0 {
+    while start.elapsed().as_secs_f64() < secs {
         gemm_into(&mut c, &a, &b, N, N, N, &mut scratch);
         std::hint::black_box(&mut c);
         reps += 1;
@@ -200,15 +239,24 @@ fn gemm_gflops() -> f64 {
 }
 
 /// Dense-equivalent arithmetic throughput of the sparse GEMM on the same
-/// 256×256×256 multiply with the left operand magnitude-pruned to the
-/// VGG12 Table-2 sparsity. FLOPs are counted as if the skipped zero
-/// terms were performed (2N³ per call), so this number is directly
-/// comparable to `gemm_gflops`: the ratio is the effective speedup the
-/// compute format buys at that density.
-fn sparse_gemm_gflops() -> f64 {
+/// 256×256×256 multiply with the left operand magnitude-pruned to
+/// `sparsity`. FLOPs are counted as if the skipped zero terms were
+/// performed (2N³ per call), so this number is directly comparable to
+/// `gemm_gflops`: the ratio is the effective speedup the compute format
+/// buys at that density. Above `SPARSE_DENSE_CUTOVER` the kernel routes
+/// through the dense path (materializing into scratch), which this arm
+/// measures as-is — that *is* the shipped behavior.
+fn sparse_gemm_gflops(sparsity: f64, secs: f64) -> f64 {
     const N: usize = 256;
-    let mut a: Vec<f32> = (0..N * N).map(|i| (i % 17) as f32 * 0.25 - 2.0).collect();
-    zoo::prune_to_sparsity(&mut a, zoo::vgg12().paper.sparsity);
+    // Continuous random magnitudes: the periodic pattern the dense arm
+    // uses has only 17 distinct |values|, so magnitude pruning it to a
+    // target sparsity collapses onto whole residue classes and the
+    // realized density bears no relation to the request.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+    let mut a: Vec<f32> = (0..N * N)
+        .map(|_| rand::Rng::gen::<f32>(&mut rng) * 2.0 - 1.0)
+        .collect();
+    zoo::prune_to_sparsity(&mut a, sparsity);
     let sa = SparseMatrix::from_dense(N, N, &a);
     let b: Vec<f32> = (0..N * N).map(|i| (i % 13) as f32 * 0.5 - 3.0).collect();
     let mut c = vec![0.0f32; N * N];
@@ -216,12 +264,52 @@ fn sparse_gemm_gflops() -> f64 {
     sparse_gemm_into(&mut c, &sa, &b, N, &mut scratch); // warmup
     let start = Instant::now();
     let mut reps = 0u64;
-    while start.elapsed().as_secs_f64() < 1.0 {
+    while start.elapsed().as_secs_f64() < secs {
         sparse_gemm_into(&mut c, &sa, &b, N, &mut scratch);
         std::hint::black_box(&mut c);
         reps += 1;
     }
     2.0 * (N as f64).powi(3) * reps as f64 / start.elapsed().as_secs_f64() / 1e9
+}
+
+/// Per-tier kernel throughput: `(tier name, dense GFLOP/s, sparse
+/// dense-equivalent GFLOP/s at the VGG12 Table-2 sparsity)` for every
+/// tier this host supports, measured by pinning the dispatch override.
+/// All tiers produce identical bits (DESIGN.md §14); this records what
+/// each one costs.
+fn per_tier_gflops() -> Vec<(&'static str, f64, f64)> {
+    let vgg_sparsity = zoo::vgg12().paper.sparsity;
+    let out = gemm::supported_tiers()
+        .into_iter()
+        .map(|tier| {
+            gemm::force_tier_for_tests(Some(tier));
+            let dense = gemm_gflops(1.0);
+            let sparse = sparse_gemm_gflops(vgg_sparsity, 1.0);
+            (tier.name(), dense, sparse)
+        })
+        .collect();
+    gemm::force_tier_for_tests(None);
+    out
+}
+
+/// The sparse/dense crossover on the active tier: sweeps stored density
+/// and reports each density's sparse-to-dense throughput ratio plus the
+/// highest swept density at which the sparse walk still wins — the
+/// empirical justification for the fixed `SPARSE_DENSE_CUTOVER` routing
+/// constant (densities above it run the dense kernel on a materialized
+/// copy, so their ratio reads ≈ 1).
+fn density_crossover(dense_gflops: f64) -> (Vec<(f64, f64)>, f64) {
+    let densities = [0.05, 0.1, 0.2, 0.3, 0.35, 0.45, 0.6];
+    let sweep: Vec<(f64, f64)> = densities
+        .iter()
+        .map(|&d| (d, sparse_gemm_gflops(1.0 - d, 0.4) / dense_gflops))
+        .collect();
+    let crossover = sweep
+        .iter()
+        .filter(|&&(d, ratio)| d <= gemm::SPARSE_DENSE_CUTOVER && ratio >= 1.0)
+        .map(|&(d, _)| d)
+        .fold(0.0f64, f64::max);
+    (sweep, crossover)
 }
 
 struct Vgg12ScaleArm {
@@ -292,7 +380,10 @@ fn vgg12_scale_arm() -> Vgg12ScaleArm {
         sparse: &sparse,
     };
     let density = model.density();
-    let eval = NetworkEval::new(net, maxnvm_dnn::data::gaussian_clusters(512, 10, 16, 2.5, 9));
+    let eval = NetworkEval::new(
+        net,
+        maxnvm_dnn::data::gaussian_clusters(512, 10, 16, 2.5, 9),
+    );
 
     let dense_trials_per_sec = throughput(|t| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(t);

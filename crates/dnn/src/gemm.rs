@@ -1,76 +1,199 @@
-//! Cache-blocked f32 GEMM with a fixed, input-independent summation order.
+//! Cache-blocked f32 GEMM with a fixed, input-independent summation
+//! order and runtime-dispatched SIMD micro-kernels.
 //!
 //! The naive i-k-j matmul this replaces re-reads the whole right-hand
 //! matrix from memory for every output row; at LeNet5 batch sizes the
 //! trial loop spends most of its time there. This kernel uses the
 //! classic three-level blocking (GotoBLAS / BLIS structure): the right
-//! operand is packed into `NR`-wide column panels, the left operand
-//! into `MR`-tall row panels, and an `MR`×`NR` register-tile
-//! micro-kernel runs over `KC`-deep slices. The micro-kernel is written
-//! as fixed-size accumulator arrays so the compiler autovectorizes it —
-//! no `std::simd`, no intrinsics, no extra dependencies.
+//! operand is packed into `nr`-wide column panels, the left operand
+//! into `mr`-tall row panels, and an `mr`×`nr` register-tile
+//! micro-kernel runs over [`KC`]-deep slices. The tile shape is chosen
+//! per instruction set by [`active_tier`] — a 4×8 portable tile
+//! ([`SimdTier::Scalar`]), a 6×16 AVX2/FMA tile, an 8×32 AVX-512 tile,
+//! or an 8×8 NEON tile — detected **once per process** from CPU
+//! features (plus the `MAXNVM_FORCE_SCALAR` escape hatch), never from
+//! the data being multiplied.
 //!
 //! # Summation order (determinism contract D1)
 //!
 //! Every output element `c[i, j]` is accumulated in **pure ascending-k
-//! order**: `(((0 + a[i,0]·b[0,j]) + a[i,1]·b[1,j]) + …)`. The
-//! micro-kernel loads the current `c` tile into its accumulators, adds
-//! the panel's `kc` products in k order, and stores the tile back, so
-//! splitting `k` into `KC`-deep panels does not reorder any element's
-//! additions — the sequence is identical to one long sequential dot
-//! product. Rust never contracts `a*b + c` into a fused multiply-add,
-//! so the result is a pure function of that operation sequence: the
-//! kernel is bit-identical run to run, at any blocking interaction,
-//! and [`gemm_row_into`] (a plain sequential dot used to re-derive
-//! single output rows) reproduces any row of [`gemm_into`] bit for
-//! bit. That property is what lets the fault-delta forward pass
-//! recompute only the rows a fault touched (see `network`/`prefix`).
+//! order** as a chain of IEEE-754 *fused* multiply-adds, one single
+//! rounding per term: `fma(a[i,k], b[k,j], … fma(a[i,1], b[1,j],
+//! fma(a[i,0], b[0,j], 0.0)) …)`. The micro-kernel keeps exactly one
+//! accumulator per output element, loads the current `c` tile into it,
+//! adds the panel's `kc` terms in k order, and stores the tile back, so
+//! splitting `k` into `KC`-deep panels — or `n` into per-worker column
+//! bands — does not reorder or re-associate any element's chain.
+//!
+//! Crucially, the chain is **tier-independent**: `f32::mul_add`, an
+//! x86 `vfmadd` lane, and a NEON `vfma` lane are all the same
+//! correctly-rounded fused operation, so every tier (and every
+//! architecture) produces identical bits. SIMD dispatch is therefore a
+//! pure performance knob; [`gemm_row_into`] (a sequential fused dot,
+//! one `mul_add` per term) reproduces any row of [`gemm_into`] bit for
+//! bit on any machine. That property is what lets the fault-delta
+//! forward pass recompute only the rows a fault touched (see
+//! `network`/`prefix`), and what makes campaign results byte-identical
+//! between scalar-forced and SIMD runs.
 //!
 //! The dense kernel does not branch on zero-valued `a` entries —
 //! data-dependent branches defeat vectorization — but skipping a term
-//! whose `a` entry is exactly `±0.0` *is* a bitwise no-op: every
-//! accumulator starts at `+0.0`, and under round-to-nearest a running
-//! sum that starts at `+0.0` can never become `-0.0` (`+0.0 + ±0.0 =
-//! +0.0`, and exact cancellation of nonzero terms also yields `+0.0`),
-//! so adding `0.0·b` leaves both value and sign bits unchanged for any
-//! finite `b`. That invariant is what makes the sparse path
-//! ([`sparse_gemm_into`], [`sparse_row_into`]) bit-identical to the
-//! dense one: it performs the same ascending-k additions minus the
-//! skippable zero terms. The one caveat is non-finite activations — the
-//! dense path would compute `0.0 · inf = NaN` where the sparse path
-//! skips — which cannot arise from the finite inputs this crate feeds
-//! the kernels (see `DESIGN.md` §13).
+//! whose `a` entry is exactly `±0.0` *is* a bitwise no-op under fused
+//! arithmetic too: `fma(±0.0, b, acc)` rounds `±0.0·b + acc = acc`
+//! exactly for any finite `b`, and an accumulator that starts at `+0.0`
+//! can never become `-0.0` (under round-to-nearest `+0.0 + ±0.0 = +0.0`
+//! and exact cancellation of nonzero terms yields `+0.0`; a fused term
+//! behaves the same because its product's sign only matters when the
+//! sum is exactly zero). So the sparse path ([`sparse_gemm_into`],
+//! [`sparse_row_into`]) — the same ascending-k additions minus the
+//! skippable zero terms — is bit-identical to the dense one. The one
+//! caveat is non-finite activations (`0.0 · inf = NaN` on the dense
+//! path only), which cannot arise from the finite inputs this crate
+//! feeds the kernels (see `DESIGN.md` §13).
+//!
+//! # Within-trial parallelism
+//!
+//! A [`GemmParallel`] handle installed on the [`GemmScratch`] lets one
+//! large multiply fan out over the engine's worker pool: the `n`
+//! dimension is split into `nr`-aligned column bands with **fixed
+//! ownership** — job `i` owns band `i`, no stealing — so each output
+//! element is still computed serially, in the same ascending-k order,
+//! by exactly one job. Results are byte-identical at any worker count
+//! (including the serial path) because band boundaries never split an
+//! element's chain; the split only decides *who* computes it. Small
+//! multiplies ([`PAR_MIN_WORK`], [`PAR_MIN_COLS`]) stay serial — the
+//! shape gate depends on dimensions only, never on data, and both
+//! routes are bit-identical anyway.
 
-/// Micro-kernel tile rows (register-blocked output rows per strip).
-pub const MR: usize = 4;
-/// Micro-kernel tile columns; `MR`×`NR` accumulators live in registers.
-pub const NR: usize = 8;
-/// Depth of one packed panel (L1-resident slice of the k dimension).
+mod dispatch;
+#[cfg(target_arch = "aarch64")]
+mod kernel_neon;
+#[cfg(target_arch = "x86_64")]
+mod kernel_x86;
+
+pub use dispatch::{
+    active_tier, env_force_scalar, force_tier_for_tests, parse_force_scalar, supported_tiers,
+    InvalidForceScalar, SimdTier, FORCE_SCALAR_ENV,
+};
+
+use std::sync::Arc;
+
+/// Depth of one packed panel (L1-resident slice of the k dimension);
+/// shared by every tier.
 pub const KC: usize = 256;
-/// Row-block height (L2-resident slab of the packed left operand).
-pub const MC: usize = 64;
-/// Column-block width (L3-resident slab of the packed right operand).
+/// Column-block width (L3-resident slab of the packed right operand);
+/// shared by every tier and divisible by every tier's `nr`.
 pub const NC: usize = 1024;
 
-/// Reusable packing buffers for [`gemm_into`]. Holding one per worker
-/// (inside the evaluation scratch) keeps the trial loop allocation-free:
-/// the buffers grow to `MC`×`KC` and `KC`×`NC` floats once and are
-/// reused by every subsequent multiply.
+/// Largest `mr`×`nr` register tile across tiers (the AVX-512 8×32);
+/// sizes the edge-tile staging buffer.
+const MAX_TILE: usize = 8 * 32;
+
+/// Stored-density threshold above which [`sparse_gemm_into`] routes
+/// through the dense kernel on a materialized copy. Near-dense layers
+/// (e.g. VGG12's 0.591 overall density, Table 2) pay more for the
+/// per-row cursor walk than the skipped zeros save. The decision reads
+/// only `a.density()` — a pure function of the stored operand, not of
+/// the activations — and both routes are bit-identical (see module
+/// docs), so the cutover can never change a result, only its speed.
+pub const SPARSE_DENSE_CUTOVER: f64 = 0.35;
+
+/// Minimum columns per job before a multiply fans out; keeps each
+/// band's packing amortized and bands `nr`-aligned and non-trivial.
+pub const PAR_MIN_COLS: usize = 256;
+/// Minimum multiply-add count (`m·k·n` dense, `nnz·n` sparse) before a
+/// multiply fans out; below this the pool hand-off costs more than the
+/// compute. Shape-only, never data-dependent.
+pub const PAR_MIN_WORK: usize = 1 << 21;
+
+/// Deterministic fan-out used by [`gemm_into`]/[`sparse_gemm_into`] to
+/// run one multiply's column bands on the engine's worker pool.
+///
+/// Implementations must run `task(0..jobs)` exactly once each and
+/// return only when all calls finished; calls may run concurrently.
+/// Job indices carry **fixed ownership** of disjoint column bands, so
+/// the schedule (which thread runs which index, in what order) can
+/// never affect results.
+pub trait GemmParallel: Send + Sync + std::fmt::Debug {
+    /// Upper bound on useful concurrent jobs (e.g. pool workers + the
+    /// caller). The kernels may use fewer for small shapes.
+    fn max_jobs(&self) -> usize;
+    /// Runs `task(j)` for every `j in 0..jobs`, returning when all are
+    /// done.
+    fn run(&self, jobs: usize, task: &(dyn Fn(usize) + Sync));
+}
+
+/// One set of packing buffers (one serial multiply, or one parallel
+/// job's band).
 #[derive(Debug, Clone, Default)]
-pub struct GemmScratch {
+struct PackBufs {
     packed_a: Vec<f32>,
     packed_b: Vec<f32>,
-    /// Per-`KC`-block nonzero counts of the sparse left operand, used by
-    /// [`sparse_gemm_into`] to elide packing for all-zero k panels.
+    /// Per-`KC`-block nonzero counts of the sparse left operand, used
+    /// by [`sparse_gemm_into`] to elide packing for all-zero k panels.
     kblock_nnz: Vec<u32>,
     /// Per-row walk positions into the sparse left operand's entries.
     cursors: Vec<usize>,
 }
 
+/// Reusable state for [`gemm_into`]/[`sparse_gemm_into`]. Holding one
+/// per worker (inside the evaluation scratch) keeps the trial loop
+/// allocation-free: the buffers grow once and are reused by every
+/// subsequent multiply. Optionally carries a [`GemmParallel`] handle
+/// (plus per-job buffers) so large multiplies fan out within a trial.
+#[derive(Debug, Clone, Default)]
+pub struct GemmScratch {
+    bufs: PackBufs,
+    /// Per-job packing buffers for parallel column bands; `par_bufs[j]`
+    /// is owned exclusively by job `j` while a fan-out runs.
+    par_bufs: Vec<PackBufs>,
+    /// Materialization buffer for the sparse→dense cutover.
+    dense_a: Vec<f32>,
+    parallel: Option<Arc<dyn GemmParallel>>,
+}
+
+impl GemmScratch {
+    /// Installs (or removes) the fan-out handle used for within-trial
+    /// GEMM parallelism. `None` (the default) keeps every multiply on
+    /// the calling thread. Results are byte-identical either way.
+    pub fn set_parallel(&mut self, parallel: Option<Arc<dyn GemmParallel>>) {
+        self.parallel = parallel;
+    }
+
+    /// The installed fan-out handle, if any.
+    pub fn parallel(&self) -> Option<&Arc<dyn GemmParallel>> {
+        self.parallel.as_ref()
+    }
+}
+
+/// Raw base pointer smuggled into fan-out jobs.
+struct SendPtr<T>(*mut T);
+
+// Manual Copy/Clone: the derive would demand `T: Copy`, but only the
+// pointer is copied.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: `SendPtr` is only constructed inside this module's fan-out
+// paths, where every job dereferences a *disjoint* region (its own
+// column band of `c`, or its own `par_bufs[j]` entry) under the fixed
+// job↔band ownership documented on `GemmParallel`, and the fan-out
+// call completes before the owning `&mut` borrow is used again.
+unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: see the `Send` justification above — shared access is only
+// ever to disjoint regions selected by the job index.
+unsafe impl<T> Sync for SendPtr<T> {}
+
 /// `c = a · b` for row-major `a` (`m`×`k`), `b` (`k`×`n`), `c` (`m`×`n`).
 ///
 /// `c` is overwritten (zeroed first). See the module docs for the
-/// summation-order guarantee.
+/// summation-order guarantee; if `scratch` carries a [`GemmParallel`]
+/// handle and the shape clears the fan-out gate, column bands run on
+/// the pool with byte-identical results.
 ///
 /// # Panics
 ///
@@ -91,40 +214,45 @@ pub fn gemm_into(
     if m == 0 || k == 0 || n == 0 {
         return;
     }
-    let mut jc = 0;
-    while jc < n {
-        let nc = NC.min(n - jc);
-        let mut pc = 0;
-        while pc < k {
-            let kc = KC.min(k - pc);
-            pack_b(&mut scratch.packed_b, b, n, pc, kc, jc, nc);
-            let mut ic = 0;
-            while ic < m {
-                let mc = MC.min(m - ic);
-                pack_a(&mut scratch.packed_a, a, k, ic, mc, pc, kc);
-                macro_kernel(
-                    c,
-                    &scratch.packed_a,
-                    &scratch.packed_b,
-                    n,
-                    ic,
-                    mc,
-                    kc,
-                    jc,
-                    nc,
-                );
-                ic += MC;
+    let tier = active_tier();
+    let GemmScratch {
+        bufs,
+        par_bufs,
+        parallel,
+        ..
+    } = scratch;
+    if let Some(par) = parallel.as_deref() {
+        let work = m.saturating_mul(k).saturating_mul(n);
+        let jobs = plan_jobs(par.max_jobs(), work, n);
+        if jobs > 1 {
+            if par_bufs.len() < jobs {
+                par_bufs.resize_with(jobs, PackBufs::default);
             }
-            pc += KC;
+            let cp = SendPtr(c.as_mut_ptr());
+            let bp = SendPtr(par_bufs.as_mut_ptr());
+            let nr = tier.nr();
+            par.run(jobs, &|j| {
+                // Capture the whole `SendPtr` wrappers (not their raw
+                // fields) so the closure is Sync.
+                let (cp, bp) = (cp, bp);
+                // SAFETY: fixed ownership — job j is the only accessor
+                // of `par_bufs[j]` (j < jobs ≤ par_bufs.len()) for the
+                // duration of the fan-out.
+                let job_bufs = unsafe { &mut *bp.0.add(j) };
+                let (j0, j1) = (band_edge(n, jobs, nr, j), band_edge(n, jobs, nr, j + 1));
+                gemm_cols(tier, cp, a, b, k, n, j0, j1, m, job_bufs);
+            });
+            return;
         }
-        jc += NC;
     }
+    gemm_cols(tier, SendPtr(c.as_mut_ptr()), a, b, k, n, 0, n, m, bufs);
 }
 
-/// One output row by a plain sequential dot: `out[j] = Σ_k row[k]·b[k,j]`
-/// accumulated in ascending-k order — bit-identical to the same row of
-/// [`gemm_into`] (see the module docs). Used by the clean-prefix fault
-/// path to recompute only the weight rows a fault touched.
+/// One output row by a sequential fused dot: `out[j] = fma(row[k-1],
+/// b[k-1,j], … fma(row[0], b[0,j], 0.0))` in ascending-k order —
+/// bit-identical to the same row of [`gemm_into`] on every tier (see
+/// the module docs). Used by the clean-prefix fault path to recompute
+/// only the weight rows a fault touched.
 ///
 /// # Panics
 ///
@@ -134,26 +262,47 @@ pub fn gemm_row_into(out: &mut [f32], row: &[f32], b: &[f32], k: usize, n: usize
     assert_eq!(b.len(), k * n, "rhs length vs {k}x{n}");
     assert_eq!(out.len(), n, "out length vs n={n}");
     out.fill(0.0);
+    let tier = active_tier();
     for (kk, &av) in row.iter().enumerate() {
-        let brow = &b[kk * n..(kk + 1) * n];
-        for (o, &bv) in out.iter_mut().zip(brow) {
-            *o += av * bv;
-        }
+        axpy(tier, out, &b[kk * n..(kk + 1) * n], av);
     }
 }
 
+/// Sequential fused dot product — the scalar form of the kernels'
+/// per-element chain: `fma(a[k-1], b[k-1], … fma(a[0], b[0], 0.0))`.
+/// Bit-identical to one element of [`gemm_into`] (`n = 1` column) on
+/// every tier; used wherever a single output needs the same bits as
+/// the batched kernels (e.g. the single-sample linear layer).
+///
+/// # Panics
+///
+/// Asserts that the slices have equal length.
+pub fn fused_dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot operand lengths");
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc = x.mul_add(y, acc);
+    }
+    acc
+}
+
 /// `c = a · b` for a sparse-encoded left operand: row-major `b`
-/// (`a.cols()`×`n`), `c` (`a.rows()`×`n`), with no dense materialization
-/// of `a`. O(nnz · n) plus packing.
+/// (`a.cols()`×`n`), `c` (`a.rows()`×`n`), with no dense
+/// materialization of `a` below [`SPARSE_DENSE_CUTOVER`]. O(nnz · n)
+/// plus packing.
 ///
 /// Blocking mirrors [`gemm_into`]: the right operand is packed into the
-/// same `NR`-wide `KC`-deep panels, but k panels with no nonzero `a`
-/// entry are elided entirely (never packed, never touched), and within a
-/// live panel each row walks only its stored entries via per-row
-/// cursors. Per output element the additions are the dense kernel's
-/// ascending-k sequence minus the exact-zero terms, which the module
-/// docs show is bitwise identical for finite `b` — so this routine's
-/// output equals [`gemm_into`] of the materialized matrix bit for bit.
+/// same `nr`-wide `KC`-deep panels (widened to the active tier's tile),
+/// but k panels with no nonzero `a` entry are elided entirely (never
+/// packed, never touched), and within a live panel each row walks only
+/// its stored entries via per-row cursors. Per output element the
+/// additions are the dense kernel's ascending-k fused chain minus the
+/// exact-zero terms, which the module docs show is bitwise identical
+/// for finite `b` — so this routine's output equals [`gemm_into`] of
+/// the materialized matrix bit for bit. Above the cutover the kernel
+/// *does* materialize (into scratch) and runs the dense path, which by
+/// the same argument cannot change the result. Fans out over column
+/// bands like the dense kernel when a [`GemmParallel`] handle is set.
 ///
 /// # Panics
 ///
@@ -172,49 +321,203 @@ pub fn sparse_gemm_into(
     if m == 0 || k == 0 || n == 0 || a.nnz() == 0 {
         return;
     }
+    if a.density() > SPARSE_DENSE_CUTOVER {
+        // Near-dense: materialize once into scratch and run the dense
+        // kernel — bit-identical (module docs), strictly faster.
+        let mut dense = core::mem::take(&mut scratch.dense_a);
+        a.to_dense_into(&mut dense);
+        gemm_into(c, &dense, b, m, k, n, scratch);
+        scratch.dense_a = dense;
+        return;
+    }
+    let tier = active_tier();
     let GemmScratch {
-        packed_b,
-        kblock_nnz,
-        cursors,
+        bufs,
+        par_bufs,
+        parallel,
         ..
     } = scratch;
-    a.kblock_nnz(KC, kblock_nnz);
-    let mut jc = 0;
-    while jc < n {
-        let nc = NC.min(n - jc);
-        let strips = nc.div_ceil(NR);
-        cursors.clear();
-        cursors.resize(m, 0);
+    a.kblock_nnz(KC, &mut bufs.kblock_nnz);
+    let kblocks = &bufs.kblock_nnz;
+    if let Some(par) = parallel.as_deref() {
+        let work = (a.nnz()).saturating_mul(n);
+        let jobs = plan_jobs(par.max_jobs(), work, n);
+        if jobs > 1 {
+            if par_bufs.len() < jobs {
+                par_bufs.resize_with(jobs, PackBufs::default);
+            }
+            let cp = SendPtr(c.as_mut_ptr());
+            let bp = SendPtr(par_bufs.as_mut_ptr());
+            let nr = tier.nr();
+            par.run(jobs, &|j| {
+                // Capture the whole `SendPtr` wrappers (not their raw
+                // fields) so the closure is Sync.
+                let (cp, bp) = (cp, bp);
+                // SAFETY: fixed ownership — job j is the only accessor
+                // of `par_bufs[j]` (j < jobs ≤ par_bufs.len()) for the
+                // duration of the fan-out.
+                let job_bufs = unsafe { &mut *bp.0.add(j) };
+                let (j0, j1) = (band_edge(n, jobs, nr, j), band_edge(n, jobs, nr, j + 1));
+                sparse_cols(tier, cp, a, b, n, j0, j1, kblocks, job_bufs);
+            });
+            return;
+        }
+    }
+    let cp = SendPtr(c.as_mut_ptr());
+    // The serial path reuses the per-job buffer slot 0 so the borrow of
+    // `bufs.kblock_nnz` (shared) and the packing buffers (mutable)
+    // don't alias.
+    if par_bufs.is_empty() {
+        par_bufs.resize_with(1, PackBufs::default);
+    }
+    sparse_cols(tier, cp, a, b, n, 0, n, kblocks, &mut par_bufs[0]);
+}
+
+/// One output row from a sparse weight row: `out[j] = Σ a[c]·b[c,j]`
+/// over the stored `(cols, vals)` entries in ascending-column order,
+/// one fused multiply-add per term — bit-identical to [`gemm_row_into`]
+/// of the materialized row (and hence to the same row of [`gemm_into`]
+/// / [`sparse_gemm_into`]) for finite `b`, by the zero-skip argument in
+/// the module docs. Used by the clean-prefix fault path.
+///
+/// # Panics
+///
+/// Asserts that the slice lengths match the given dimensions.
+pub fn sparse_row_into(out: &mut [f32], cols: &[u32], vals: &[f32], b: &[f32], k: usize, n: usize) {
+    assert_eq!(cols.len(), vals.len(), "sparse row entry mismatch");
+    assert_eq!(b.len(), k * n, "rhs length vs {k}x{n}");
+    assert_eq!(out.len(), n, "out length vs n={n}");
+    out.fill(0.0);
+    let tier = active_tier();
+    for (&col, &av) in cols.iter().zip(vals) {
+        let kk = col as usize;
+        axpy(tier, out, &b[kk * n..kk * n + n], av);
+    }
+}
+
+/// Jobs for one fan-out: 1 (serial) unless the multiply is big enough
+/// on both the work and column axes. Depends on shape only.
+fn plan_jobs(max_jobs: usize, work: usize, n: usize) -> usize {
+    if work < PAR_MIN_WORK || n < 2 * PAR_MIN_COLS {
+        return 1;
+    }
+    max_jobs.clamp(1, n / PAR_MIN_COLS)
+}
+
+/// Start column of job `j`'s band: an `nr`-aligned balanced partition
+/// of `0..n` (job `jobs` maps to `n`). Monotone in `j`, so bands are
+/// disjoint and cover `0..n` exactly.
+fn band_edge(n: usize, jobs: usize, nr: usize, j: usize) -> usize {
+    if j >= jobs {
+        n
+    } else {
+        n * j / jobs / nr * nr
+    }
+}
+
+/// Serial driver over the column range `j0..j1` of `c`: the classic
+/// jc/pc/ic loop nest with the active tier's packing shapes. Safe to
+/// run concurrently for *disjoint* column ranges — all writes land in
+/// `jc..jc+nc ⊆ j0..j1`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_cols(
+    tier: SimdTier,
+    cp: SendPtr<f32>,
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    j0: usize,
+    j1: usize,
+    m: usize,
+    bufs: &mut PackBufs,
+) {
+    let (mr, nr, mc_blk) = (tier.mr(), tier.nr(), tier.mc());
+    let mut jc = j0;
+    while jc < j1 {
+        let nc = NC.min(j1 - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            pack_b(&mut bufs.packed_b, b, n, pc, kc, jc, nc, nr);
+            let mut ic = 0;
+            while ic < m {
+                let mc = mc_blk.min(m - ic);
+                pack_a(&mut bufs.packed_a, a, k, ic, mc, pc, kc, mr);
+                macro_kernel(
+                    tier,
+                    cp,
+                    &bufs.packed_a,
+                    &bufs.packed_b,
+                    n,
+                    ic,
+                    mc,
+                    kc,
+                    jc,
+                    nc,
+                );
+                ic += mc_blk;
+            }
+            pc += KC;
+        }
+        jc += NC;
+    }
+}
+
+/// Sparse counterpart of [`gemm_cols`] over the column range `j0..j1`:
+/// elides all-zero k panels via the shared `kblocks` census and walks
+/// each row's stored entries with per-range cursors.
+#[allow(clippy::too_many_arguments)]
+fn sparse_cols(
+    tier: SimdTier,
+    cp: SendPtr<f32>,
+    a: &crate::sparse::SparseMatrix,
+    b: &[f32],
+    n: usize,
+    j0: usize,
+    j1: usize,
+    kblocks: &[u32],
+    bufs: &mut PackBufs,
+) {
+    let (m, k) = (a.rows(), a.cols());
+    let nr = tier.nr();
+    let mut jc = j0;
+    while jc < j1 {
+        let nc = NC.min(j1 - jc);
+        let strips = nc.div_ceil(nr);
+        bufs.cursors.clear();
+        bufs.cursors.resize(m, 0);
         let mut pc = 0;
         let mut block = 0;
         while pc < k {
             let kc = KC.min(k - pc);
-            if kblock_nnz[block] == 0 {
+            if kblocks[block] == 0 {
                 // Zero panel elided: no row has an entry here, so the
                 // cursors are already past it.
                 pc += KC;
                 block += 1;
                 continue;
             }
-            pack_b(packed_b, b, n, pc, kc, jc, nc);
+            pack_b(&mut bufs.packed_b, b, n, pc, kc, jc, nc, nr);
             for i in 0..m {
                 let (cols, vals) = a.row(i);
-                let mut cur = cursors[i];
-                let crow = &mut c[i * n + jc..i * n + jc + nc];
+                let mut cur = bufs.cursors[i];
+                // SAFETY: rows are disjoint between loop iterations and
+                // the column range `jc..jc+nc ⊆ j0..j1` is owned by
+                // this job (fixed band ownership), so no other slice or
+                // job aliases this region; dropped before the next row.
+                let crow = unsafe { core::slice::from_raw_parts_mut(cp.0.add(i * n + jc), nc) };
                 while cur < cols.len() && (cols[cur] as usize) < pc + kc {
                     let kk = cols[cur] as usize - pc;
                     let av = vals[cur];
                     for s in 0..strips {
-                        let width = NR.min(nc - s * NR);
-                        let pb = &packed_b[(s * kc + kk) * NR..(s * kc + kk) * NR + width];
-                        let dst = &mut crow[s * NR..s * NR + width];
-                        for (o, &bv) in dst.iter_mut().zip(pb) {
-                            *o += av * bv;
-                        }
+                        let width = nr.min(nc - s * nr);
+                        let pb = &bufs.packed_b[(s * kc + kk) * nr..(s * kc + kk) * nr + width];
+                        axpy(tier, &mut crow[s * nr..s * nr + width], pb, av);
                     }
                     cur += 1;
                 }
-                cursors[i] = cur;
+                bufs.cursors[i] = cur;
             }
             pc += KC;
             block += 1;
@@ -223,83 +526,76 @@ pub fn sparse_gemm_into(
     }
 }
 
-/// One output row from a sparse weight row: `out[j] = Σ a[c]·b[c,j]`
-/// over the stored `(cols, vals)` entries in ascending-column order —
-/// bit-identical to [`gemm_row_into`] of the materialized row (and
-/// hence to the same row of [`gemm_into`] / [`sparse_gemm_into`]) for
-/// finite `b`, by the zero-skip argument in the module docs. Used by
-/// the clean-prefix fault path.
-///
-/// # Panics
-///
-/// Asserts that the slice lengths match the given dimensions.
-pub fn sparse_row_into(
-    out: &mut [f32],
-    cols: &[u32],
-    vals: &[f32],
-    b: &[f32],
-    k: usize,
-    n: usize,
-) {
-    assert_eq!(cols.len(), vals.len(), "sparse row entry mismatch");
-    assert_eq!(b.len(), k * n, "rhs length vs {k}x{n}");
-    assert_eq!(out.len(), n, "out length vs n={n}");
-    out.fill(0.0);
-    for (&col, &av) in cols.iter().zip(vals) {
-        let kk = col as usize;
-        let brow = &b[kk * n..kk * n + n];
-        for (o, &bv) in out.iter_mut().zip(brow) {
-            *o += av * bv;
-        }
-    }
-}
-
-/// Packs `a[ic.., pc..]` (`mc`×`kc`) into `MR`-tall strips:
-/// `packed[(strip·kc + kk)·MR + i] = a[ic + strip·MR + i, pc + kk]`,
+/// Packs `a[ic.., pc..]` (`mc`×`kc`) into `mr`-tall strips:
+/// `packed[(strip·kc + kk)·mr + i] = a[ic + strip·mr + i, pc + kk]`,
 /// zero-padded past `mc` so the micro-kernel never branches on edges.
-fn pack_a(packed: &mut Vec<f32>, a: &[f32], k: usize, ic: usize, mc: usize, pc: usize, kc: usize) {
-    let strips = mc.div_ceil(MR);
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    packed: &mut Vec<f32>,
+    a: &[f32],
+    k: usize,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    mr: usize,
+) {
+    let strips = mc.div_ceil(mr);
     packed.clear();
-    packed.resize(strips * kc * MR, 0.0);
+    packed.resize(strips * kc * mr, 0.0);
     for s in 0..strips {
-        let base = s * kc * MR;
-        for i in 0..MR {
-            let row = s * MR + i;
+        let base = s * kc * mr;
+        for i in 0..mr {
+            let row = s * mr + i;
             if row >= mc {
                 continue; // padding stays zero
             }
             let src = &a[(ic + row) * k + pc..(ic + row) * k + pc + kc];
             for (kk, &v) in src.iter().enumerate() {
-                packed[base + kk * MR + i] = v;
+                packed[base + kk * mr + i] = v;
             }
         }
     }
 }
 
-/// Packs `b[pc.., jc..]` (`kc`×`nc`) into `NR`-wide strips:
-/// `packed[(strip·kc + kk)·NR + j] = b[pc + kk, jc + strip·NR + j]`,
+/// Packs `b[pc.., jc..]` (`kc`×`nc`) into `nr`-wide strips:
+/// `packed[(strip·kc + kk)·nr + j] = b[pc + kk, jc + strip·nr + j]`,
 /// zero-padded past `nc`.
-fn pack_b(packed: &mut Vec<f32>, b: &[f32], n: usize, pc: usize, kc: usize, jc: usize, nc: usize) {
-    let strips = nc.div_ceil(NR);
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    packed: &mut Vec<f32>,
+    b: &[f32],
+    n: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    nr: usize,
+) {
+    let strips = nc.div_ceil(nr);
     packed.clear();
-    packed.resize(strips * kc * NR, 0.0);
+    packed.resize(strips * kc * nr, 0.0);
     for s in 0..strips {
-        let base = s * kc * NR;
-        let col = jc + s * NR;
-        let width = NR.min(nc - s * NR);
+        let base = s * kc * nr;
+        let col = jc + s * nr;
+        let width = nr.min(nc - s * nr);
         for kk in 0..kc {
             let src = &b[(pc + kk) * n + col..(pc + kk) * n + col + width];
-            let dst = &mut packed[base + kk * NR..base + kk * NR + width];
+            let dst = &mut packed[base + kk * nr..base + kk * nr + width];
             dst.copy_from_slice(src);
         }
     }
 }
 
-/// Runs the `MR`×`NR` micro-kernel over every strip pair of one
-/// (`mc`×`kc`)·(`kc`×`nc`) block, accumulating into `c`.
+/// Runs the tier's `mr`×`nr` micro-kernel over every strip pair of one
+/// (`mc`×`kc`)·(`kc`×`nc`) block, accumulating into `c`. Full tiles run
+/// in place; edge tiles bounce through a zero-padded staging tile —
+/// the live lanes' chains are identical either way, and padded lanes
+/// multiply packed zeros (a bitwise no-op never stored back).
 #[allow(clippy::too_many_arguments)]
 fn macro_kernel(
-    c: &mut [f32],
+    tier: SimdTier,
+    cp: SendPtr<f32>,
     packed_a: &[f32],
     packed_b: &[f32],
     n: usize,
@@ -309,62 +605,227 @@ fn macro_kernel(
     jc: usize,
     nc: usize,
 ) {
-    let a_strips = mc.div_ceil(MR);
-    let b_strips = nc.div_ceil(NR);
-    for bs in 0..b_strips {
-        let pb = &packed_b[bs * kc * NR..(bs + 1) * kc * NR];
-        let cols = NR.min(nc - bs * NR);
-        for asx in 0..a_strips {
-            let pa = &packed_a[asx * kc * MR..(asx + 1) * kc * MR];
-            let rows = MR.min(mc - asx * MR);
-            micro_kernel(
-                c,
-                pa,
-                pb,
-                kc,
-                (ic + asx * MR) * n + jc + bs * NR,
-                n,
-                rows,
-                cols,
-            );
+    let (mr, nr) = (tier.mr(), tier.nr());
+    let mut stage = [0.0f32; MAX_TILE];
+    for bs in 0..nc.div_ceil(nr) {
+        let pb = &packed_b[bs * kc * nr..(bs + 1) * kc * nr];
+        let cols = nr.min(nc - bs * nr);
+        for asx in 0..mc.div_ceil(mr) {
+            let pa = &packed_a[asx * kc * mr..(asx + 1) * kc * mr];
+            let rows = mr.min(mc - asx * mr);
+            let off = (ic + asx * mr) * n + jc + bs * nr;
+            if rows == mr && cols == nr {
+                // SAFETY: the full tile is in bounds (`ic + asx·mr + mr
+                // ≤ m` rows of `n`-strided memory, `jc + bs·nr + nr ≤
+                // jc + nc` columns inside this call's owned band) and
+                // unaliased — fixed band ownership, serial within a
+                // job.
+                unsafe { micro_tile(tier, cp.0.add(off), n, pa, pb, kc) };
+            } else {
+                for (i, srow) in stage.chunks_mut(nr).enumerate().take(rows) {
+                    // SAFETY: live-corner row `i` (`rows ≤ mr`, `cols ≤
+                    // nr`) is in bounds and owned by this job; the
+                    // shared slice is dropped before any write below.
+                    let crow = unsafe { core::slice::from_raw_parts(cp.0.add(off + i * n), cols) };
+                    srow[..cols].copy_from_slice(crow);
+                }
+                // SAFETY: `stage` holds mr·nr ≤ MAX_TILE floats at
+                // stride nr; `pa`/`pb` hold kc·mr / kc·nr floats.
+                unsafe { micro_tile(tier, stage.as_mut_ptr(), nr, pa, pb, kc) };
+                for (i, srow) in stage.chunks(nr).enumerate().take(rows) {
+                    // SAFETY: as above; rows are disjoint and each
+                    // slice is dropped at the end of its iteration.
+                    let crow =
+                        unsafe { core::slice::from_raw_parts_mut(cp.0.add(off + i * n), cols) };
+                    crow.copy_from_slice(&srow[..cols]);
+                }
+            }
         }
     }
 }
 
-/// The register-tile kernel: loads the live `rows`×`cols` corner of the
-/// `c` tile, adds `kc` rank-1 updates in ascending-k order, stores it
-/// back. `MR`/`NR` are compile-time constants so the two inner loops
-/// unroll and autovectorize; padded lanes compute on zeros and are
-/// simply not stored.
-#[allow(clippy::too_many_arguments)]
-fn micro_kernel(
-    c: &mut [f32],
+/// Dispatches one full `mr`×`nr` tile to the active tier's kernel.
+///
+/// # Safety
+///
+/// `cp` must point at the tile's top-left element of a buffer where all
+/// `mr` rows of `nr` elements at `stride` spacing are in bounds and not
+/// concurrently accessed; `pa`/`pb` must hold `kc·mr` / `kc·nr` floats.
+// SAFETY: `unsafe fn` — the pointer contract above is forwarded
+// verbatim to the tier kernels; tier values other than Scalar are only
+// produced by dispatch after feature detection, which is exactly the
+// precondition the `#[target_feature]` kernels need.
+unsafe fn micro_tile(
+    tier: SimdTier,
+    cp: *mut f32,
+    stride: usize,
     pa: &[f32],
     pb: &[f32],
     kc: usize,
-    c_off: usize,
-    n: usize,
-    rows: usize,
-    cols: usize,
 ) {
-    let mut acc = [[0.0f32; NR]; MR];
-    for (i, acc_row) in acc.iter_mut().enumerate().take(rows) {
-        let crow = &c[c_off + i * n..c_off + i * n + cols];
-        acc_row[..cols].copy_from_slice(crow);
+    debug_assert!(pa.len() >= kc * tier.mr() && pb.len() >= kc * tier.nr());
+    match tier {
+        SimdTier::Scalar => {
+            #[cfg(target_arch = "x86_64")]
+            if dispatch::scalar_fma_available() {
+                // SAFETY: hardware FMA detected; same pointer contract,
+                // same per-element fused chain as the portable body.
+                unsafe { kernel_x86::micro_4x8_fma(cp, stride, pa.as_ptr(), pb.as_ptr(), kc) };
+                return;
+            }
+            // SAFETY: caller contract (4×8 tile in bounds).
+            unsafe { micro_tile_mul_add::<4, 8>(cp, stride, pa.as_ptr(), pb.as_ptr(), kc) };
+        }
+        SimdTier::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: dispatch yields Avx2 only after detecting
+            // avx2+fma; caller contract covers the 6×16 tile.
+            unsafe {
+                kernel_x86::micro_6x16_avx2(cp, stride, pa.as_ptr(), pb.as_ptr(), kc)
+            };
+            #[cfg(not(target_arch = "x86_64"))]
+            // SAFETY: caller contract; dispatch never yields Avx2 off
+            // x86-64, but the portable body keeps this arm total (and
+            // bit-identical).
+            unsafe {
+                micro_tile_mul_add::<6, 16>(cp, stride, pa.as_ptr(), pb.as_ptr(), kc)
+            };
+        }
+        SimdTier::Avx512 => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: dispatch yields Avx512 only after detecting
+            // avx512f; caller contract covers the 8×32 tile.
+            unsafe {
+                kernel_x86::micro_8x32_avx512(cp, stride, pa.as_ptr(), pb.as_ptr(), kc)
+            };
+            #[cfg(not(target_arch = "x86_64"))]
+            // SAFETY: caller contract; unreachable off x86-64 in
+            // practice, portable body keeps this arm total.
+            unsafe {
+                micro_tile_mul_add::<8, 32>(cp, stride, pa.as_ptr(), pb.as_ptr(), kc)
+            };
+        }
+        SimdTier::Neon => {
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: NEON is baseline on aarch64; caller contract
+            // covers the 8×8 tile.
+            unsafe {
+                kernel_neon::micro_8x8_neon(cp, stride, pa.as_ptr(), pb.as_ptr(), kc)
+            };
+            #[cfg(not(target_arch = "aarch64"))]
+            // SAFETY: caller contract; dispatch never yields Neon off
+            // aarch64, portable body keeps this arm total.
+            unsafe {
+                micro_tile_mul_add::<8, 8>(cp, stride, pa.as_ptr(), pb.as_ptr(), kc)
+            };
+        }
+    }
+}
+
+/// Portable register-tile body: one accumulator per output element,
+/// `f32::mul_add` per term, ascending k — the reference semantics every
+/// SIMD kernel must (and does) match bit for bit. `#[inline(always)]`
+/// so `#[target_feature]` clones (e.g. `micro_4x8_fma`) compile it with
+/// hardware FMA without changing semantics.
+///
+/// # Safety
+///
+/// Same pointer contract as [`micro_tile`] with `mr = TMR`, `nr = TNR`.
+// SAFETY: `unsafe fn` — pointer contract documented above, discharged
+// at each call site.
+#[inline(always)]
+unsafe fn micro_tile_mul_add<const TMR: usize, const TNR: usize>(
+    cp: *mut f32,
+    stride: usize,
+    pa: *const f32,
+    pb: *const f32,
+    kc: usize,
+) {
+    // SAFETY: caller guarantees `pa`/`pb` hold kc·TMR / kc·TNR floats.
+    let (pa, pb) = unsafe {
+        (
+            core::slice::from_raw_parts(pa, kc * TMR),
+            core::slice::from_raw_parts(pb, kc * TNR),
+        )
+    };
+    let mut acc = [[0.0f32; TNR]; TMR];
+    for (i, arow) in acc.iter_mut().enumerate() {
+        // SAFETY: caller guarantees row i of the tile is in bounds.
+        let crow = unsafe { core::slice::from_raw_parts(cp.add(i * stride), TNR) };
+        arow.copy_from_slice(crow);
     }
     for kk in 0..kc {
-        let av = &pa[kk * MR..kk * MR + MR];
-        let bv = &pb[kk * NR..kk * NR + NR];
-        for (i, acc_row) in acc.iter_mut().enumerate() {
+        let av = &pa[kk * TMR..kk * TMR + TMR];
+        let bv = &pb[kk * TNR..kk * TNR + TNR];
+        for (i, arow) in acc.iter_mut().enumerate() {
             let ai = av[i];
-            for (j, av_acc) in acc_row.iter_mut().enumerate() {
-                *av_acc += ai * bv[j];
+            for (cell, &bvj) in arow.iter_mut().zip(bv) {
+                *cell = ai.mul_add(bvj, *cell);
             }
         }
     }
-    for (i, acc_row) in acc.iter().enumerate().take(rows) {
-        let crow = &mut c[c_off + i * n..c_off + i * n + cols];
-        crow.copy_from_slice(&acc_row[..cols]);
+    for (i, arow) in acc.iter().enumerate() {
+        // SAFETY: caller guarantees row i is in bounds and unaliased;
+        // each row slice is dropped at the end of its iteration.
+        let crow = unsafe { core::slice::from_raw_parts_mut(cp.add(i * stride), TNR) };
+        crow.copy_from_slice(arow);
+    }
+}
+
+/// `dst[j] = fma(a, src[j], dst[j])` on the active tier — the shared
+/// building block of the row kernels and the sparse strip updates. One
+/// fused rounding per element on every tier, so all routes are
+/// bit-identical.
+fn axpy(tier: SimdTier, dst: &mut [f32], src: &[f32], a: f32) {
+    debug_assert_eq!(dst.len(), src.len());
+    match tier {
+        SimdTier::Scalar => {
+            #[cfg(target_arch = "x86_64")]
+            if dispatch::scalar_fma_available() {
+                // SAFETY: hardware FMA detected; equal lengths checked
+                // by the kernel itself.
+                unsafe { kernel_x86::axpy_fma(dst, src, a) };
+                return;
+            }
+            axpy_portable(dst, src, a);
+        }
+        SimdTier::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: dispatch yields Avx2 only after detecting
+            // avx2+fma.
+            unsafe {
+                kernel_x86::axpy_avx2(dst, src, a)
+            };
+            #[cfg(not(target_arch = "x86_64"))]
+            axpy_portable(dst, src, a);
+        }
+        SimdTier::Avx512 => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: dispatch yields Avx512 only after detecting
+            // avx512f.
+            unsafe {
+                kernel_x86::axpy_avx512(dst, src, a)
+            };
+            #[cfg(not(target_arch = "x86_64"))]
+            axpy_portable(dst, src, a);
+        }
+        SimdTier::Neon => {
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: NEON is baseline on aarch64.
+            unsafe {
+                kernel_neon::axpy_neon(dst, src, a)
+            };
+            #[cfg(not(target_arch = "aarch64"))]
+            axpy_portable(dst, src, a);
+        }
+    }
+}
+
+/// Portable axpy body: one `f32::mul_add` per element — the reference
+/// semantics for every tier's vector axpy and its tail.
+fn axpy_portable(dst: &mut [f32], src: &[f32], a: f32) {
+    for (o, &s) in dst.iter_mut().zip(src) {
+        *o = a.mul_add(s, *o);
     }
 }
 
@@ -375,14 +836,14 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     /// The reference: textbook triple loop, no blocking, ascending-k
-    /// accumulation per element (the order the kernel promises).
+    /// fused accumulation per element (the chain the kernels promise).
     fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
         let mut c = vec![0.0f32; m * n];
         for i in 0..m {
             for j in 0..n {
                 let mut acc = 0.0f32;
                 for kk in 0..k {
-                    acc += a[i * k + kk] * b[kk * n + j];
+                    acc = a[i * k + kk].mul_add(b[kk * n + j], acc);
                 }
                 c[i * n + j] = acc;
             }
@@ -411,8 +872,8 @@ mod tests {
     #[test]
     fn matches_naive_bitwise_on_small_shapes() {
         // The kernel's per-element summation order equals the naive
-        // ascending-k order, so results are bit-identical, not just
-        // close — the property the fault-delta forward relies on.
+        // ascending-k fused chain, so results are bit-identical, not
+        // just close — the property the fault-delta forward relies on.
         for (m, k, n) in [(1, 1, 1), (3, 5, 7), (4, 8, 8), (5, 9, 17), (16, 16, 16)] {
             let a = random(m * k, 1 + (m * 100 + k * 10 + n) as u64);
             let b = random(k * n, 2 + (m * 100 + k * 10 + n) as u64);
@@ -426,14 +887,18 @@ mod tests {
 
     #[test]
     fn matches_naive_across_tile_and_panel_boundaries() {
-        // Shapes straddling every blocking constant: MR/NR edges, the
-        // KC panel split (where the C-tile reload must not reorder
-        // additions), and MC/NC block edges.
+        // Shapes straddling every blocking constant of the *widest*
+        // tier (mr/nr edges smaller than the tile, the KC panel split
+        // where the C-tile reload must not reorder additions, and
+        // mc/NC block edges), plus the scalar tier's narrow tile.
+        let tier = active_tier();
+        let (mr, nr, mc) = (tier.mr(), tier.nr(), tier.mc());
         let dims = [
-            (MR - 1, KC - 1, NR - 1),
-            (MR + 1, KC, NR + 1),
-            (MC + 3, KC + 1, NR * 2 + 5),
-            (2, 2 * KC + 3, NC.min(64) + 7),
+            (mr - 1, KC - 1, nr - 1),
+            (mr + 1, KC, nr + 1),
+            (mc + 3, KC + 1, nr * 2 + 5),
+            (2, 2 * KC + 3, 71),
+            (3, 5, 33),
         ];
         for (m, k, n) in dims {
             let a = random(m * k, 77);
@@ -486,11 +951,117 @@ mod tests {
     }
 
     #[test]
+    fn fused_dot_matches_single_column_gemm() {
+        let k = 2 * KC + 7;
+        let a = random(k, 15);
+        let b = random(k, 16);
+        let mut c = [0.0f32];
+        gemm_into(&mut c, &a, &b, 1, k, 1, &mut GemmScratch::default());
+        assert_eq!(fused_dot(&a, &b).to_bits(), c[0].to_bits());
+    }
+
+    #[test]
     fn zero_dimensions_yield_zero_output() {
         // k = 0: the product is all zeros (and must not read the inputs).
         let mut c = vec![1.0f32; 6];
         gemm_into(&mut c, &[], &[], 2, 0, 3, &mut GemmScratch::default());
         assert_eq!(c, vec![0.0; 6]);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn scalar_fma_clone_matches_portable_body() {
+        // The scalar tier's FMA-compiled clone is the same source as
+        // the portable body; on a host with FMA both must produce the
+        // same bits (hardware vfmadd vs libm fmaf — both one rounding).
+        if !std::arch::is_x86_feature_detected!("fma") {
+            return;
+        }
+        let kc = KC + 3;
+        let pa = random(kc * 4, 61);
+        let pb = random(kc * 8, 62);
+        let init = random(4 * 8, 63);
+        let mut hw = init.clone();
+        let mut portable = init.clone();
+        // SAFETY: FMA detected above; both buffers hold a full 4×8 tile
+        // at stride 8, and pa/pb hold kc·4 / kc·8 floats.
+        unsafe {
+            kernel_x86::micro_4x8_fma(hw.as_mut_ptr(), 8, pa.as_ptr(), pb.as_ptr(), kc);
+            micro_tile_mul_add::<4, 8>(portable.as_mut_ptr(), 8, pa.as_ptr(), pb.as_ptr(), kc);
+        }
+        for (h, p) in hw.iter().zip(&portable) {
+            assert_eq!(h.to_bits(), p.to_bits());
+        }
+        let src = random(37, 64);
+        let mut d_hw = random(37, 65);
+        let mut d_po = d_hw.clone();
+        // SAFETY: FMA detected above; equal slice lengths.
+        unsafe { kernel_x86::axpy_fma(&mut d_hw, &src, 0.37) };
+        axpy_portable(&mut d_po, &src, 0.37);
+        for (h, p) in d_hw.iter().zip(&d_po) {
+            assert_eq!(h.to_bits(), p.to_bits());
+        }
+    }
+
+    /// A deterministic in-process stand-in for the engine pool: runs
+    /// jobs sequentially (order irrelevant by fixed ownership).
+    #[derive(Debug)]
+    struct SeqParallel(usize);
+    impl GemmParallel for SeqParallel {
+        fn max_jobs(&self) -> usize {
+            self.0
+        }
+        fn run(&self, jobs: usize, task: &(dyn Fn(usize) + Sync)) {
+            // Reverse order on purpose: band ownership makes schedule
+            // order irrelevant, and this exercises that.
+            for j in (0..jobs).rev() {
+                task(j);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_bands_are_bit_identical_to_serial() {
+        // Large enough to clear the fan-out gate on both axes.
+        let (m, k, n) = (24, 170, 2 * PAR_MIN_COLS + 2 * active_tier().nr() + 3);
+        assert!(m * k * n >= PAR_MIN_WORK);
+        let a = random(m * k, 101);
+        let b = random(k * n, 102);
+        let serial = run_gemm(&a, &b, m, k, n);
+        for jobs in [2, 3, 4, 7] {
+            let mut scratch = GemmScratch::default();
+            scratch.set_parallel(Some(Arc::new(SeqParallel(jobs))));
+            let mut c = vec![0.0f32; m * n];
+            gemm_into(&mut c, &a, &b, m, k, n, &mut scratch);
+            assert_eq!(c, serial, "jobs={jobs}");
+            // Sparse fan-out over the same bands (density below the
+            // cutover so the genuinely sparse path runs).
+            let sa = random_sparse(m * k, 103, 0.8);
+            let sp = crate::sparse::SparseMatrix::from_dense(m, k, &sa);
+            assert!(sp.density() <= SPARSE_DENSE_CUTOVER);
+            let mut cs = vec![0.0f32; m * n];
+            sparse_gemm_into(&mut cs, &sp, &b, n, &mut scratch);
+            assert_bitwise_eq(
+                &cs,
+                &run_gemm(&sa, &b, m, k, n),
+                &format!("sparse jobs={jobs}"),
+            );
+        }
+    }
+
+    #[test]
+    fn band_edges_partition_and_align() {
+        for (n, jobs, nr) in [(1024, 3, 32), (777, 2, 8), (4096, 7, 16), (513, 4, 8)] {
+            let mut prev = 0;
+            for j in 0..=jobs {
+                let e = band_edge(n, jobs, nr, j);
+                assert!(e >= prev, "monotone");
+                assert!(j == jobs || e.is_multiple_of(nr), "aligned");
+                prev = e;
+            }
+            assert_eq!(band_edge(n, jobs, nr, 0), 0);
+            assert_eq!(band_edge(n, jobs, nr, jobs), n);
+        }
     }
 
     /// Random matrix with an exact fraction of slots forced to zero.
@@ -525,10 +1096,14 @@ mod tests {
 
     #[test]
     fn sparse_matches_dense_bitwise_across_sparsities() {
-        // 0% (fully dense), the Table-2 extremes (VGG12 0.409, LeNet5
-        // 0.899), and 100% pruned, on shapes straddling the blocking
-        // constants (incl. a k spanning multiple KC panels).
-        let shapes = [(3, 5, 7), (MR + 1, KC + 3, NR * 2 + 5), (9, 2 * KC + 1, 33)];
+        // 0% (fully dense — routed through the density cutover), the
+        // Table-2 extremes (VGG12 0.409, LeNet5 0.899), and 100%
+        // pruned, on shapes straddling the blocking constants (incl. a
+        // k spanning multiple KC panels). 0.409 sparsity = 0.591
+        // density sits *above* the cutover, 0.899 below — both routes
+        // must agree with the dense kernel bitwise.
+        let nr = active_tier().nr();
+        let shapes = [(3, 5, 7), (5, KC + 3, nr * 2 + 5), (9, 2 * KC + 1, 33)];
         for sparsity in [0.0, 0.409, 0.899, 1.0] {
             for (m, k, n) in shapes {
                 let a = random_sparse(m * k, 21 + (sparsity * 100.0) as u64, sparsity);
@@ -539,6 +1114,25 @@ mod tests {
                     &format!("{m}x{k}x{n} @ {sparsity}"),
                 );
             }
+        }
+    }
+
+    #[test]
+    fn density_cutover_routes_both_ways_bitwise() {
+        // Just-below and just-above the cutover around a fixed shape;
+        // also exercises to_dense_into via the dense route.
+        let (m, k, n) = (12, KC + 9, 29);
+        for sparsity in [
+            1.0 - SPARSE_DENSE_CUTOVER + 0.05,
+            1.0 - SPARSE_DENSE_CUTOVER - 0.05,
+        ] {
+            let a = random_sparse(m * k, 333, sparsity);
+            let b = random(k * n, 334);
+            assert_bitwise_eq(
+                &run_sparse(&a, &b, m, k, n),
+                &run_gemm(&a, &b, m, k, n),
+                &format!("cutover straddle @ {sparsity}"),
+            );
         }
     }
 
@@ -583,7 +1177,9 @@ mod tests {
         }
         let d = run_gemm(&mixed, &b, m, k, n);
         assert!(d.iter().all(|v| v.is_finite()));
-        assert!(d[2 * n..3 * n].iter().all(|v| v.to_bits() == 0.0f32.to_bits()));
+        assert!(d[2 * n..3 * n]
+            .iter()
+            .all(|v| v.to_bits() == 0.0f32.to_bits()));
         assert_bitwise_eq(&run_sparse(&mixed, &b, m, k, n), &d, "zero row+col");
     }
 
@@ -615,11 +1211,11 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
         /// GEMM equals the naive reference on odd shapes around the
-        /// tile sizes (1..17 covers MR±1 and NR±1; the explicit tests
-        /// above cover KC±1).
+        /// tile sizes (1..34 covers every tier's mr±1 and nr±1; the
+        /// explicit tests above cover KC±1).
         #[test]
         fn prop_matches_naive(
-            m in 1usize..17, k in 1usize..17, n in 1usize..17, seed in any::<u64>()
+            m in 1usize..11, k in 1usize..17, n in 1usize..34, seed in any::<u64>()
         ) {
             let a = random(m * k, seed);
             let b = random(k * n, seed.wrapping_add(1));
@@ -629,10 +1225,11 @@ mod tests {
         }
 
         /// The sparse kernel equals the dense kernel bit for bit at any
-        /// sparsity, including shapes with whole zero rows/columns.
+        /// sparsity (both sides of the density cutover), including
+        /// shapes with whole zero rows/columns.
         #[test]
         fn prop_sparse_matches_dense_bitwise(
-            m in 1usize..10, k in 1usize..33, n in 1usize..17,
+            m in 1usize..10, k in 1usize..33, n in 1usize..34,
             sparsity in 0.0f64..1.0, seed in any::<u64>()
         ) {
             let a = random_sparse(m * k, seed, sparsity);
@@ -648,7 +1245,7 @@ mod tests {
         /// by the sequential row kernel.
         #[test]
         fn prop_row_kernel_matches(
-            m in 1usize..9, k in 1usize..33, n in 1usize..17, seed in any::<u64>()
+            m in 1usize..9, k in 1usize..33, n in 1usize..34, seed in any::<u64>()
         ) {
             let a = random(m * k, seed);
             let b = random(k * n, seed.wrapping_add(2));

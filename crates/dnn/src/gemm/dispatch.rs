@@ -1,0 +1,295 @@
+//! SIMD tier selection for the GEMM kernels.
+//!
+//! The tier is chosen **once per process** from CPU feature detection
+//! (and the `MAXNVM_FORCE_SCALAR` escape hatch) — never from the data
+//! being multiplied — so kernel routing is input-independent per the D1
+//! determinism contract. Because every tier computes the identical
+//! per-element fused-multiply-add chain (see the `gemm` module docs),
+//! the tier only ever changes *speed*, not bits; the dispatch cache
+//! exists so the choice is still made exactly once and is observable
+//! (benchmarks record it, tests can pin it).
+
+use core::sync::atomic::{AtomicU8, Ordering};
+
+/// Environment variable that pins the kernel dispatch to the scalar
+/// tier (`1`/`true`; `0`/`false`/unset leave detection alone). Any
+/// other value is a configuration error: [`env_force_scalar`] returns a
+/// typed error, and the engine surfaces it before running a campaign.
+pub const FORCE_SCALAR_ENV: &str = "MAXNVM_FORCE_SCALAR";
+
+/// Instruction-set tier the GEMM kernels run on. Selected once at
+/// startup by [`active_tier`]; all tiers produce bit-identical results
+/// (each output element is the same ascending-k chain of
+/// single-rounding fused multiply-adds), so the tier is a pure
+/// performance knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimdTier {
+    /// Portable fallback: `f32::mul_add` loops, no intrinsics. Slow —
+    /// it exists as the escape hatch (`MAXNVM_FORCE_SCALAR=1`) and for
+    /// hosts with none of the detected feature sets.
+    Scalar,
+    /// AVX2 + FMA 6×16 micro-kernel (256-bit lanes).
+    Avx2,
+    /// AVX-512F 8×32 micro-kernel (512-bit lanes).
+    Avx512,
+    /// AArch64 NEON 8×8 micro-kernel (128-bit lanes).
+    Neon,
+}
+
+impl SimdTier {
+    /// Micro-kernel tile rows for this tier.
+    pub const fn mr(self) -> usize {
+        match self {
+            SimdTier::Scalar => 4,
+            SimdTier::Avx2 => 6,
+            SimdTier::Avx512 => 8,
+            SimdTier::Neon => 8,
+        }
+    }
+
+    /// Micro-kernel tile columns (packed right-panel strip width).
+    pub const fn nr(self) -> usize {
+        match self {
+            SimdTier::Scalar => 8,
+            SimdTier::Avx2 => 16,
+            SimdTier::Avx512 => 32,
+            SimdTier::Neon => 8,
+        }
+    }
+
+    /// Row-block height (L2-resident slab of the packed left operand);
+    /// always a multiple of [`SimdTier::mr`].
+    pub const fn mc(self) -> usize {
+        match self {
+            SimdTier::Scalar => 64,
+            SimdTier::Avx2 => 72,
+            SimdTier::Avx512 => 64,
+            SimdTier::Neon => 64,
+        }
+    }
+
+    /// Stable lowercase name, recorded in benchmark output.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Avx2 => "avx2",
+            SimdTier::Avx512 => "avx512",
+            SimdTier::Neon => "neon",
+        }
+    }
+}
+
+/// Invalid `MAXNVM_FORCE_SCALAR` value (anything other than `1`,
+/// `true`, `0`, `false`, case-insensitively, after trimming).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidForceScalar {
+    /// The offending value, verbatim.
+    pub value: String,
+}
+
+impl core::fmt::Display for InvalidForceScalar {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "invalid {FORCE_SCALAR_ENV}={:?}: expected 1/true or 0/false",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for InvalidForceScalar {}
+
+/// Parses a `MAXNVM_FORCE_SCALAR` value: `Ok(true)` pins the scalar
+/// tier, `Ok(false)` leaves detection alone.
+pub fn parse_force_scalar(raw: &str) -> Result<bool, InvalidForceScalar> {
+    let v = raw.trim();
+    if v.eq_ignore_ascii_case("1") || v.eq_ignore_ascii_case("true") {
+        Ok(true)
+    } else if v.eq_ignore_ascii_case("0") || v.eq_ignore_ascii_case("false") {
+        Ok(false)
+    } else {
+        Err(InvalidForceScalar {
+            value: raw.to_string(),
+        })
+    }
+}
+
+/// Reads `MAXNVM_FORCE_SCALAR` from the environment. `Ok(None)` when
+/// unset. Callers that can surface errors (the engine context
+/// constructor) should do so; [`active_tier`] itself falls back to
+/// normal detection on garbage after a one-time warning, mirroring how
+/// `MAXNVM_THREADS` degrades.
+pub fn env_force_scalar() -> Result<Option<bool>, InvalidForceScalar> {
+    match std::env::var(FORCE_SCALAR_ENV) {
+        Ok(v) => parse_force_scalar(&v).map(Some),
+        Err(_) => Ok(None),
+    }
+}
+
+/// Cached tier: 0 = not yet detected, otherwise `tier_to_cache`.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+/// Test override: 0 = none, otherwise `tier_to_cache`. `#[doc(hidden)]`
+/// — differential tests pin tiers in their own process; production code
+/// never writes it.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+const fn tier_to_cache(t: SimdTier) -> u8 {
+    match t {
+        SimdTier::Scalar => 1,
+        SimdTier::Avx2 => 2,
+        SimdTier::Avx512 => 3,
+        SimdTier::Neon => 4,
+    }
+}
+
+fn tier_from_cache(v: u8) -> Option<SimdTier> {
+    match v {
+        1 => Some(SimdTier::Scalar),
+        2 => Some(SimdTier::Avx2),
+        3 => Some(SimdTier::Avx512),
+        4 => Some(SimdTier::Neon),
+        _ => None,
+    }
+}
+
+/// Feature-detected tiers this host can run, lowest first (always
+/// starts with [`SimdTier::Scalar`]). Benchmarks and differential
+/// tests iterate this to measure/compare every runnable tier.
+pub fn supported_tiers() -> Vec<SimdTier> {
+    let mut tiers = vec![SimdTier::Scalar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            tiers.push(SimdTier::Avx2);
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            tiers.push(SimdTier::Avx512);
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // NEON is architecturally guaranteed on AArch64.
+        tiers.push(SimdTier::Neon);
+    }
+    tiers
+}
+
+fn detect_tier() -> SimdTier {
+    match env_force_scalar() {
+        Ok(Some(true)) => return SimdTier::Scalar,
+        Ok(_) => {}
+        Err(err) => {
+            // Same degradation contract as MAXNVM_THREADS: warn once on
+            // stderr and continue with detection. Contexts that can
+            // return errors validate the variable up front instead.
+            static WARN: std::sync::Once = std::sync::Once::new();
+            WARN.call_once(|| {
+                eprintln!("maxnvm: {err}; using feature detection");
+            });
+        }
+    }
+    // Highest supported tier wins; `supported_tiers` is ascending.
+    supported_tiers().pop().unwrap_or(SimdTier::Scalar)
+}
+
+/// The SIMD tier every kernel in this module routes through. Detected
+/// once per process (CPU features + `MAXNVM_FORCE_SCALAR`) and cached;
+/// pure of the matrices being multiplied, so kernel routing never
+/// depends on data (D1).
+pub fn active_tier() -> SimdTier {
+    if let Some(t) = tier_from_cache(OVERRIDE.load(Ordering::Relaxed)) {
+        return t;
+    }
+    if let Some(t) = tier_from_cache(ACTIVE.load(Ordering::Relaxed)) {
+        return t;
+    }
+    let t = detect_tier();
+    ACTIVE.store(tier_to_cache(t), Ordering::Relaxed);
+    t
+}
+
+/// Whether the scalar tier may run its FMA-compiled clones
+/// (`micro_4x8_fma`/`axpy_fma`): identical source and identical fused
+/// per-element semantics as the portable loops, so this is purely a
+/// "hardware fma vs libm fmaf" speed choice — detected once, never
+/// data-dependent.
+#[cfg(target_arch = "x86_64")]
+pub(super) fn scalar_fma_available() -> bool {
+    // 0 = unknown, 1 = no, 2 = yes.
+    static FMA: AtomicU8 = AtomicU8::new(0);
+    match FMA.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            let has = std::arch::is_x86_feature_detected!("fma");
+            FMA.store(if has { 2 } else { 1 }, Ordering::Relaxed);
+            has
+        }
+    }
+}
+
+/// Pins [`active_tier`] to `tier` (or clears the pin with `None`) for
+/// differential tests and per-tier benchmarks. Not part of the public
+/// API contract; production code must never call it.
+#[doc(hidden)]
+pub fn force_tier_for_tests(tier: Option<SimdTier>) {
+    OVERRIDE.store(tier.map_or(0, tier_to_cache), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_canonical_values() {
+        for v in ["1", "true", "TRUE", " 1 ", "True"] {
+            assert_eq!(parse_force_scalar(v), Ok(true), "{v:?}");
+        }
+        for v in ["0", "false", "FALSE", " 0 "] {
+            assert_eq!(parse_force_scalar(v), Ok(false), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_typed_error() {
+        for v in ["", "yes", "2", "scalar", "on"] {
+            let err = parse_force_scalar(v).unwrap_err();
+            assert_eq!(err.value, v);
+            let msg = err.to_string();
+            assert!(msg.contains(FORCE_SCALAR_ENV), "{msg}");
+        }
+    }
+
+    #[test]
+    fn supported_tiers_start_scalar_and_ascend() {
+        let tiers = supported_tiers();
+        assert_eq!(tiers[0], SimdTier::Scalar);
+        assert!(tiers.windows(2).all(|w| w[0] < w[1]));
+        assert!(tiers.contains(&active_tier()) || active_tier() == SimdTier::Scalar);
+    }
+
+    #[test]
+    fn tier_params_are_consistent() {
+        for t in [
+            SimdTier::Scalar,
+            SimdTier::Avx2,
+            SimdTier::Avx512,
+            SimdTier::Neon,
+        ] {
+            assert!(t.mr() > 0 && t.nr() > 0);
+            assert_eq!(t.mc() % t.mr(), 0, "{:?}: mc must be a multiple of mr", t);
+            assert!(t.mr() * t.nr() <= super::super::MAX_TILE, "{:?}", t);
+            assert!(!t.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn override_roundtrip() {
+        let detected = active_tier();
+        force_tier_for_tests(Some(SimdTier::Scalar));
+        assert_eq!(active_tier(), SimdTier::Scalar);
+        force_tier_for_tests(None);
+        assert_eq!(active_tier(), detected);
+    }
+}

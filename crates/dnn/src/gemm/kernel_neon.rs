@@ -1,0 +1,70 @@
+//! AArch64 NEON micro-kernels.
+//!
+//! Same contract as the x86 kernels: one single-rounding fused
+//! multiply-add per `(k, element)` term, ascending k — `vfmaq_f32`
+//! lanes are IEEE-754 fused operations bit-identical to
+//! `f32::mul_add`, so this tier produces the same bits as every other
+//! tier. NEON is architecturally guaranteed on AArch64, so the
+//! dispatch layer selects this tier unconditionally there.
+
+use core::arch::aarch64::*;
+
+/// NEON micro-kernel: one full 8×8 tile, two 128-bit accumulator lanes
+/// per row.
+///
+/// # Safety
+///
+/// `cp` must point at the tile's top-left element of a row-major buffer
+/// with row stride `stride` such that all 8 rows of 8 elements are in
+/// bounds and unaliased by other concurrent writers; `pa`/`pb` must
+/// hold at least `kc*8` packed floats each.
+// SAFETY: `unsafe fn` — caller contract in the doc `# Safety` section above.
+pub(super) unsafe fn micro_8x8_neon(
+    cp: *mut f32,
+    stride: usize,
+    pa: *const f32,
+    pb: *const f32,
+    kc: usize,
+) {
+    let mut acc = [[vdupq_n_f32(0.0); 2]; 8];
+    for (i, row) in acc.iter_mut().enumerate() {
+        row[0] = vld1q_f32(cp.add(i * stride));
+        row[1] = vld1q_f32(cp.add(i * stride + 4));
+    }
+    for kk in 0..kc {
+        let b0 = vld1q_f32(pb.add(kk * 8));
+        let b1 = vld1q_f32(pb.add(kk * 8 + 4));
+        for (i, row) in acc.iter_mut().enumerate() {
+            let ai = vdupq_n_f32(*pa.add(kk * 8 + i));
+            row[0] = vfmaq_f32(row[0], ai, b0);
+            row[1] = vfmaq_f32(row[1], ai, b1);
+        }
+    }
+    for (i, row) in acc.iter().enumerate() {
+        vst1q_f32(cp.add(i * stride), row[0]);
+        vst1q_f32(cp.add(i * stride + 4), row[1]);
+    }
+}
+
+/// NEON `dst[j] = fma(a, src[j], dst[j])`: 4-lane vector body,
+/// `f32::mul_add` tail — one fused rounding per element either way.
+///
+/// # Safety
+///
+/// `dst` and `src` must be the same length.
+// SAFETY: `unsafe fn` — caller contract in the doc `# Safety` section above.
+pub(super) unsafe fn axpy_neon(dst: &mut [f32], src: &[f32], a: f32) {
+    let n = dst.len().min(src.len());
+    let av = vdupq_n_f32(a);
+    let mut j = 0;
+    while j + 4 <= n {
+        let d = vld1q_f32(dst.as_ptr().add(j));
+        let s = vld1q_f32(src.as_ptr().add(j));
+        vst1q_f32(dst.as_mut_ptr().add(j), vfmaq_f32(d, av, s));
+        j += 4;
+    }
+    while j < n {
+        dst[j] = a.mul_add(src[j], dst[j]);
+        j += 1;
+    }
+}

@@ -180,7 +180,9 @@ impl Layer {
                 let mut y = vec![0.0f32; out];
                 for (o, yo) in y.iter_mut().enumerate() {
                     let row = &weight.data()[o * inp..(o + 1) * inp];
-                    *yo = bias[o] + row.iter().zip(x.data()).map(|(w, v)| w * v).sum::<f32>();
+                    // Fused dot so the single-sample path is bit-identical
+                    // to the batched GEMM column (then + bias, as there).
+                    *yo = bias[o] + crate::gemm::fused_dot(row, x.data());
                 }
                 Tensor::from_vec(&[out], y)
             }

@@ -42,7 +42,11 @@ pub mod tensor;
 pub mod train;
 pub mod zoo;
 
-pub use gemm::{gemm_into, gemm_row_into, sparse_gemm_into, sparse_row_into, GemmScratch};
+pub use gemm::{
+    active_tier, env_force_scalar, fused_dot, gemm_into, gemm_row_into, parse_force_scalar,
+    sparse_gemm_into, sparse_row_into, supported_tiers, GemmParallel, GemmScratch,
+    InvalidForceScalar, SimdTier, FORCE_SCALAR_ENV,
+};
 pub use layer::{ForwardScratch, Layer};
 pub use network::{Network, WeightDelta};
 pub use prefix::PrefixCache;

@@ -1,5 +1,13 @@
 //! A runnable network: an ordered list of layers with weight-matrix
 //! extraction for the storage pipeline.
+//!
+//! Forward passes are reproducible to the bit across hosts and runs: all
+//! weight-layer arithmetic funnels into [`crate::gemm`], whose dispatch
+//! tiers (scalar / AVX2 / AVX-512 / NEON) compute the identical
+//! fused-multiply-add chains and are selected once per process from CPU
+//! features alone, never from the data (DESIGN.md §14). The same logits
+//! come back whether a batch runs serially, under the within-trial GEMM
+//! fan-out, or pinned to the scalar tier via `MAXNVM_FORCE_SCALAR`.
 
 use crate::layer::{ForwardScratch, Layer};
 use crate::tensor::Tensor;

@@ -19,6 +19,12 @@
 //! pass: [`gemm_row_into`] reproduces any row of the blocked kernel bit
 //! for bit (see [`crate::gemm`]), untouched rows are byte-copies of the
 //! clean output, and the suffix runs the very same code either way.
+//! This holds on every SIMD dispatch tier: the row kernels route through
+//! the same tier table as the blocked GEMM, and all tiers compute the
+//! identical fused-multiply-add chains (DESIGN.md §14), so a cache built
+//! while one tier is active replays bit-identically under any other —
+//! including under the within-trial GEMM fan-out, whose fixed N-panel
+//! ownership never changes per-element operation order.
 //!
 //! Only "flat" networks (no [`Layer::Residual`]) are supported —
 //! [`PrefixCache::build`] returns `None` otherwise and callers fall back
@@ -388,7 +394,11 @@ mod tests {
 
         let mats = net.weight_matrices();
         let nmats = mats.len();
-        for (first, slots) in [(0usize, vec![3u32, 9]), (1, vec![11, 95]), (nmats - 1, vec![1])] {
+        for (first, slots) in [
+            (0usize, vec![3u32, 9]),
+            (1, vec![11, 95]),
+            (nmats - 1, vec![1]),
+        ] {
             let mut deltas: Vec<Vec<WeightDelta>> = vec![Vec::new(); nmats];
             deltas[first] = slots
                 .iter()

@@ -52,9 +52,7 @@ impl SparseMatrix {
         Self::from_entries(
             rows,
             cols,
-            data.iter()
-                .enumerate()
-                .map(|(slot, &v)| (slot as u32, v)),
+            data.iter().enumerate().map(|(slot, &v)| (slot as u32, v)),
         )
     }
 
@@ -87,7 +85,7 @@ impl SparseMatrix {
                 "entry slot {slot} out of range for {rows}x{cols}"
             );
             assert!(
-                prev.map_or(true, |p| p < slot),
+                prev.is_none_or(|p| p < slot),
                 "entry slots must be strictly ascending"
             );
             prev = Some(slot);
@@ -142,10 +140,7 @@ impl SparseMatrix {
 
     /// Row `r`'s entries: ascending column indices and their values.
     pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
-        let (a, b) = (
-            self.row_starts[r] as usize,
-            self.row_starts[r + 1] as usize,
-        );
+        let (a, b) = (self.row_starts[r] as usize, self.row_starts[r + 1] as usize);
         (&self.col_idx[a..b], &self.values[a..b])
     }
 
@@ -161,14 +156,23 @@ impl SparseMatrix {
 
     /// Materializes the dense row-major matrix (zeros filled in).
     pub fn to_dense(&self) -> Vec<f32> {
-        let mut out = vec![0.0f32; self.rows * self.cols];
+        let mut out = Vec::new();
+        self.to_dense_into(&mut out);
+        out
+    }
+
+    /// Materializes into a reusable buffer (resized and zero-filled),
+    /// so the GEMM density cutover can densify without allocating in
+    /// the trial loop.
+    pub fn to_dense_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.rows * self.cols, 0.0);
         for r in 0..self.rows {
             let (cols, vals) = self.row(r);
             for (&c, &v) in cols.iter().zip(vals) {
                 out[r * self.cols + c as usize] = v;
             }
         }
-        out
     }
 
     /// A copy with slot-sorted fault `deltas` merged into the runs:

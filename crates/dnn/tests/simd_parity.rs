@@ -1,0 +1,242 @@
+//! Cross-tier differential tests: every SIMD tier this host supports
+//! must produce bit-identical results to the scalar tier on the dense,
+//! sparse, and row kernels — the uniform fused-multiply-add semantics
+//! the `gemm` module documents. Tier pinning mutates process-global
+//! dispatch state, so every test serializes on [`tier_lock`] and
+//! restores detection before releasing it.
+
+use maxnvm_dnn::gemm::{self, force_tier_for_tests, supported_tiers, SimdTier};
+use maxnvm_dnn::{gemm_into, gemm_row_into, sparse_row_into, GemmScratch, SparseMatrix};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Serializes tests that pin the dispatch tier (process-global state).
+fn tier_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Clears the tier pin even if the test body panics. The held lock is
+/// never read — it serializes the test for the guard's lifetime.
+struct TierGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+impl TierGuard {
+    fn new() -> Self {
+        Self { _lock: tier_lock() }
+    }
+}
+impl Drop for TierGuard {
+    fn drop(&mut self) {
+        force_tier_for_tests(None);
+    }
+}
+
+fn random(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect()
+}
+
+/// Random matrix with roughly `sparsity` of the slots forced to zero.
+fn random_sparse(len: usize, seed: u64, sparsity: f64) -> Vec<f32> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            if rng.gen::<f64>() < sparsity {
+                0.0
+            } else {
+                rng.gen::<f32>() * 2.0 - 1.0
+            }
+        })
+        .collect()
+}
+
+fn gemm_on_tier(tier: SimdTier, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    force_tier_for_tests(Some(tier));
+    let mut c = vec![0.0f32; m * n];
+    gemm_into(&mut c, a, b, m, k, n, &mut GemmScratch::default());
+    c
+}
+
+fn sparse_on_tier(tier: SimdTier, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    force_tier_for_tests(Some(tier));
+    let sp = SparseMatrix::from_dense(m, k, a);
+    let mut c = vec![0.0f32; m * n];
+    gemm::sparse_gemm_into(&mut c, &sp, b, n, &mut GemmScratch::default());
+    c
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{ctx}: element {i}: {g} vs {w}");
+    }
+}
+
+/// Shapes with M/N/K remainders smaller than every tier's tile (the
+/// widest is 8×32), straddling the KC panel split, plus exact-tile
+/// shapes for each tier.
+fn edge_shapes() -> Vec<(usize, usize, usize)> {
+    let mut shapes = vec![
+        (1, 1, 1),
+        (7, 13, 31), // below every tile dimension
+        (3, gemm::KC + 1, 5),
+        (9, 2 * gemm::KC + 3, 33),
+        (17, 40, 70),
+    ];
+    for t in supported_tiers() {
+        shapes.push((t.mr(), 19, t.nr()));
+        shapes.push((t.mr() + 1, gemm::KC, t.nr() + 1));
+        shapes.push((t.mr() - 1, 9, t.nr() * 2 + 3));
+        shapes.push((t.mc() + 1, 11, t.nr()));
+    }
+    shapes
+}
+
+#[test]
+fn dense_kernel_is_bit_identical_across_tiers() {
+    let _guard = TierGuard::new();
+    let tiers = supported_tiers();
+    for (m, k, n) in edge_shapes() {
+        let a = random(m * k, 1000 + (m * 31 + k * 7 + n) as u64);
+        let b = random(k * n, 2000 + (m * 31 + k * 7 + n) as u64);
+        let reference = gemm_on_tier(SimdTier::Scalar, &a, &b, m, k, n);
+        for &tier in &tiers[1..] {
+            assert_bits_eq(
+                &gemm_on_tier(tier, &a, &b, m, k, n),
+                &reference,
+                &format!("{m}x{k}x{n} on {}", tier.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn sparse_kernel_is_bit_identical_across_tiers_and_to_dense() {
+    let _guard = TierGuard::new();
+    let tiers = supported_tiers();
+    // 0% (dense, routed through the density cutover), the Table-2
+    // extremes (VGG12 prunes to 0.409 sparsity, LeNet5 to 0.899), and
+    // 100% pruned.
+    for sparsity in [0.0, 0.409, 0.899, 1.0] {
+        for (m, k, n) in [(5, gemm::KC + 3, 21), (9, 37, 67), (8, 64, 32)] {
+            let a = random_sparse(m * k, 7000 + (sparsity * 1000.0) as u64, sparsity);
+            let b = random(k * n, 8000 + (m + n) as u64);
+            let dense_ref = gemm_on_tier(SimdTier::Scalar, &a, &b, m, k, n);
+            for &tier in &tiers {
+                assert_bits_eq(
+                    &sparse_on_tier(tier, &a, &b, m, k, n),
+                    &dense_ref,
+                    &format!("sparse {m}x{k}x{n} @ {sparsity} on {}", tier.name()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn row_kernels_are_bit_identical_across_tiers() {
+    let _guard = TierGuard::new();
+    let (m, k, n) = (6, gemm::KC + 5, 45);
+    let a = random_sparse(m * k, 91, 0.6);
+    let b = random(k * n, 92);
+    let sp = SparseMatrix::from_dense(m, k, &a);
+    let reference = gemm_on_tier(SimdTier::Scalar, &a, &b, m, k, n);
+    for tier in supported_tiers() {
+        force_tier_for_tests(Some(tier));
+        let mut row = vec![0.0f32; n];
+        for i in 0..m {
+            gemm_row_into(&mut row, &a[i * k..(i + 1) * k], &b, k, n);
+            assert_bits_eq(
+                &row,
+                &reference[i * n..(i + 1) * n],
+                &format!("dense row {i} on {}", tier.name()),
+            );
+            let (cols, vals) = sp.row(i);
+            sparse_row_into(&mut row, cols, vals, &b, k, n);
+            assert_bits_eq(
+                &row,
+                &reference[i * n..(i + 1) * n],
+                &format!("sparse row {i} on {}", tier.name()),
+            );
+        }
+    }
+}
+
+/// Real-thread fan-out (unlike the in-crate sequential fake): jobs run
+/// concurrently on scoped threads.
+#[derive(Debug)]
+struct ThreadParallel(usize);
+impl gemm::GemmParallel for ThreadParallel {
+    fn max_jobs(&self) -> usize {
+        self.0
+    }
+    fn run(&self, jobs: usize, task: &(dyn Fn(usize) + Sync)) {
+        std::thread::scope(|s| {
+            for j in 0..jobs {
+                s.spawn(move || task(j));
+            }
+        });
+    }
+}
+
+#[test]
+fn parallel_fanout_is_bit_identical_on_every_tier() {
+    let _guard = TierGuard::new();
+    let (m, k, n) = (16, 300, 2 * gemm::PAR_MIN_COLS + 37);
+    assert!(m * k * n >= gemm::PAR_MIN_WORK);
+    let a = random(m * k, 171);
+    let b = random(k * n, 172);
+    let sa = random_sparse(m * k, 173, 0.8);
+    let sp = SparseMatrix::from_dense(m, k, &sa);
+    for tier in supported_tiers() {
+        let serial = gemm_on_tier(tier, &a, &b, m, k, n);
+        let sparse_serial = sparse_on_tier(tier, &sa, &b, m, k, n);
+        for jobs in [2, 3, 5] {
+            force_tier_for_tests(Some(tier));
+            let mut scratch = GemmScratch::default();
+            scratch.set_parallel(Some(std::sync::Arc::new(ThreadParallel(jobs))));
+            let mut c = vec![0.0f32; m * n];
+            gemm_into(&mut c, &a, &b, m, k, n, &mut scratch);
+            assert_bits_eq(&c, &serial, &format!("{} jobs={jobs}", tier.name()));
+            let mut cs = vec![0.0f32; m * n];
+            gemm::sparse_gemm_into(&mut cs, &sp, &b, n, &mut scratch);
+            assert_bits_eq(
+                &cs,
+                &sparse_serial,
+                &format!("sparse {} jobs={jobs}", tier.name()),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random shapes and sparsities: all supported tiers agree bitwise
+    /// with the scalar tier on the dense and sparse kernels.
+    #[test]
+    fn prop_tiers_agree_bitwise(
+        m in 1usize..12, k in 1usize..40, n in 1usize..40,
+        sparsity in 0.0f64..1.0, seed in any::<u64>()
+    ) {
+        let _guard = TierGuard::new();
+        let a = random_sparse(m * k, seed, sparsity);
+        let b = random(k * n, seed.wrapping_add(1));
+        let reference = gemm_on_tier(SimdTier::Scalar, &a, &b, m, k, n);
+        for tier in supported_tiers() {
+            let dense = gemm_on_tier(tier, &a, &b, m, k, n);
+            let sparse = sparse_on_tier(tier, &a, &b, m, k, n);
+            for (g, w) in dense.iter().zip(&reference) {
+                prop_assert_eq!(g.to_bits(), w.to_bits());
+            }
+            for (g, w) in sparse.iter().zip(&reference) {
+                prop_assert_eq!(g.to_bits(), w.to_bits());
+            }
+        }
+    }
+}

@@ -396,9 +396,11 @@ mod tests {
 
     #[test]
     fn walk_matches_reconstruction() {
-        for (rows, cols, sparsity, idx_sync) in
-            [(8, 32, 0.6, false), (20, 100, 0.8, true), (3, 200, 0.95, true)]
-        {
+        for (rows, cols, sparsity, idx_sync) in [
+            (8, 32, 0.6, false),
+            (20, 100, 0.8, true),
+            (3, 200, 0.95, true),
+        ] {
             let c = clustered(rows, cols, sparsity, 9);
             let enc = BitMaskLayer::encode(&c, idx_sync);
             let mut walked = Vec::new();

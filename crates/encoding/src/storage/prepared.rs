@@ -66,8 +66,7 @@ impl CleanLayerDecode {
         let indices = enc.reconstruct_indices();
         let matrix = stored.matrix_from_indices(&indices);
         let value_slots = enc.entry_slots();
-        let zero_centroid =
-            stored.centroids.first().map(|c| c.to_bits()) == Some(0f32.to_bits());
+        let zero_centroid = stored.centroids.first().map(|c| c.to_bits()) == Some(0f32.to_bits());
         let sparse = if zero_centroid {
             // Run-walk build: structurally skipped slots decode to
             // centroid 0 == exactly +0.0, and the builder drops any

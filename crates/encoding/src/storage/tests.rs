@@ -586,10 +586,14 @@ fn sampled_chip_flips_reproduce_programmed_chip() {
                     cells
                 })
                 .collect();
-            let (via_flips, flip_stats) = stored.decode_with_codec(&mut FixedReadCodec::new(&injected));
+            let (via_flips, flip_stats) =
+                stored.decode_with_codec(&mut FixedReadCodec::new(&injected));
             let (via_chip, chip_stats) = chip.decode();
             assert_eq!(via_flips.data, via_chip.data, "{label} seed {seed}");
-            assert_eq!(flip_stats.ecc_corrected, chip_stats.ecc_corrected, "{label}");
+            assert_eq!(
+                flip_stats.ecc_corrected, chip_stats.ecc_corrected,
+                "{label}"
+            );
             assert_eq!(
                 flip_stats.ecc_uncorrectable, chip_stats.ecc_uncorrectable,
                 "{label}"

@@ -665,8 +665,7 @@ mod tests {
         )
         .expect("chip campaign");
         let sa = SenseAmp::paper_default();
-        let cell_for =
-            |cfg: MlcConfig| CellTechnology::MlcRram.cell_model(cfg).with_sense_amp(&sa);
+        let cell_for = |cfg: MlcConfig| CellTechnology::MlcRram.cell_model(cfg).with_sense_amp(&sa);
         let mut ref_errors = Vec::with_capacity(trials);
         let mut total_faults = 0usize;
         for t in 0..trials {
@@ -680,9 +679,7 @@ mod tests {
         }
         assert!(total_faults > 0, "no chip faults: the lock is vacuous");
         assert_eq!(chips.errors, ref_errors, "chip trials drifted");
-        assert!(
-            (chips.mean_cell_faults - total_faults as f64 / trials as f64).abs() < 1e-12
-        );
+        assert!((chips.mean_cell_faults - total_faults as f64 / trials as f64).abs() < 1e-12);
         // The sparse path also reports the clean model's density.
         assert_eq!(chips.layer_nnz, vec![c.nonzeros() as u64]);
         assert!(chips.density > 0.0 && chips.density < 1.0);

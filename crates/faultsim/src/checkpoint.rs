@@ -42,7 +42,13 @@ pub const CHECKPOINT_FORMAT: &str = "maxnvm-campaign-checkpoint v1";
 /// can differ in the last bit), and trials evaluate sparse weight
 /// deltas against the cached clean decode instead of materializing
 /// faulty matrices.
-pub const TRIAL_SEMANTICS_VERSION: u32 = 3;
+///
+/// Version 4: every kernel accumulates with single-rounding fused
+/// multiply-adds (`fma`) instead of separate multiply + add, so the
+/// SIMD tiers, the scalar tier, and per-row recomputation all produce
+/// identical bits on every architecture; logits differ in the last bit
+/// from version 3's unfused chains.
+pub const TRIAL_SEMANTICS_VERSION: u32 = 4;
 
 /// Where and how often to checkpoint a run.
 #[derive(Debug, Clone, PartialEq, Eq)]

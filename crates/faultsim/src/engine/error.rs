@@ -40,6 +40,12 @@ pub enum EngineError {
         /// The rejected value, verbatim.
         value: String,
     },
+    /// The `MAXNVM_FORCE_SCALAR` environment variable is set but is not
+    /// a recognized boolean (`1`/`true`/`0`/`false`).
+    InvalidSimdConfig {
+        /// The rejected value, verbatim.
+        value: String,
+    },
     /// A checkpoint's configuration fingerprint does not match the run
     /// trying to resume from it — resuming would silently mix trials
     /// from different configurations.
@@ -97,6 +103,10 @@ impl fmt::Display for EngineError {
                 f,
                 "MAXNVM_THREADS must be a positive integer, got {value:?}"
             ),
+            Self::InvalidSimdConfig { value } => write!(
+                f,
+                "MAXNVM_FORCE_SCALAR must be 1/true or 0/false, got {value:?}"
+            ),
             Self::CheckpointMismatch { expected, found } => write!(
                 f,
                 "checkpoint fingerprint {found:016x} does not match this run's \
@@ -148,6 +158,11 @@ mod tests {
         let w = EngineError::InvalidWorkerConfig { value: "-3".into() };
         assert!(w.to_string().contains("MAXNVM_THREADS"));
         assert!(w.to_string().contains("-3"));
+        let s = EngineError::InvalidSimdConfig {
+            value: "yes".into(),
+        };
+        assert!(s.to_string().contains("MAXNVM_FORCE_SCALAR"));
+        assert!(s.to_string().contains("yes"));
         let c = EngineError::CheckpointMismatch {
             expected: 0xabc,
             found: 0xdef,

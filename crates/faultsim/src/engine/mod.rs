@@ -90,11 +90,23 @@ use std::sync::{Arc, Once, OnceLock};
 /// evaluation pops one (or starts fresh) and pushes it back, so at most
 /// `workers + 1` scratch networks ever exist per run, independent of the
 /// trial count.
-struct ScratchPool(Mutex<Vec<EvalScratch>>);
+///
+/// Every scratch handed out carries the run's [`pool::PoolParallel`]
+/// handle, so a single large GEMM inside one trial can fan out over the
+/// same worker pool the trials themselves run on (nested scopes are
+/// safe; results are byte-identical at any worker count per the fixed
+/// column-band ownership in `maxnvm_dnn::gemm`).
+struct ScratchPool {
+    scratches: Mutex<Vec<EvalScratch>>,
+    parallel: Arc<dyn maxnvm_dnn::GemmParallel>,
+}
 
 impl ScratchPool {
-    fn new() -> Self {
-        Self(Mutex::new(Vec::new()))
+    fn new(pool: &Arc<WorkerPool>) -> Self {
+        Self {
+            scratches: Mutex::new(Vec::new()),
+            parallel: Arc::new(pool::PoolParallel::new(Arc::clone(pool))),
+        }
     }
 
     /// [`AccuracyEval::eval_deltas_sparse`] on a pooled scratch: the
@@ -109,9 +121,10 @@ impl ScratchPool {
         clean: &SparseModel,
         deltas: &[Vec<WeightDelta>],
     ) -> f64 {
-        let mut scratch = self.0.lock().pop().unwrap_or_default();
+        let mut scratch = self.scratches.lock().pop().unwrap_or_default();
+        scratch.set_gemm_parallel(Some(Arc::clone(&self.parallel)));
         let error = eval.eval_deltas_sparse(key, clean, deltas, &mut scratch);
-        self.0.lock().push(scratch);
+        self.scratches.lock().push(scratch);
         error
     }
 }
@@ -463,9 +476,15 @@ impl EvalContext {
     /// A context running on the process-wide pool.
     ///
     /// Errors with [`EngineError::InvalidWorkerConfig`] if
-    /// `MAXNVM_THREADS` is set but not a positive integer.
+    /// `MAXNVM_THREADS` is set but not a positive integer, and with
+    /// [`EngineError::InvalidSimdConfig`] if `MAXNVM_FORCE_SCALAR` is
+    /// set but not a recognized boolean — kernel dispatch itself would
+    /// fall back to feature detection with a warning, but the engine
+    /// boundary surfaces the typo as a typed error instead.
     pub fn new(tech: CellTechnology, sa: &SenseAmp, rate_scale: f64) -> Result<Self, EngineError> {
         env_workers()?;
+        maxnvm_dnn::env_force_scalar()
+            .map_err(|e| EngineError::InvalidSimdConfig { value: e.value })?;
         Self::with_pool(tech, sa, rate_scale, Arc::clone(global_pool()))
     }
 
@@ -691,7 +710,7 @@ impl EvalContext {
             dense: &clean,
             sparse: &sparse,
         };
-        let scratch = ScratchPool::new();
+        let scratch = ScratchPool::new(&self.pool);
         let kind = match target {
             Some(_) => "isolated",
             None => "campaign",
@@ -797,7 +816,7 @@ impl EvalContext {
             dense: &clean,
             sparse: &sparse,
         };
-        let scratch = ScratchPool::new();
+        let scratch = ScratchPool::new(&self.pool);
         let fingerprint = self.run_fingerprint(
             "chips",
             trials,
@@ -966,7 +985,7 @@ impl EvalContext {
             }
             f.finish()
         };
-        let scratch = ScratchPool::new();
+        let scratch = ScratchPool::new(&self.pool);
         let driven = drive_trials(
             &self.pool,
             schemes.len(),
@@ -1134,14 +1153,12 @@ mod tests {
         let mut multi_layer_trials = 0usize;
         let ref_errors: Vec<f64> = (0..trials)
             .map(|t| {
-                let mut rng =
-                    rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(t as u64));
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(t as u64));
                 let mats: Vec<LayerMatrix> = prepared
                     .iter()
                     .map(|p| p.decode_with_faults(&fault_for, &mut rng).0)
                     .collect();
-                let mut replay =
-                    rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(t as u64));
+                let mut replay = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(t as u64));
                 let faulted = prepared
                     .iter()
                     .filter(|p| !p.deltas_with_faults(&fault_for, &mut replay).0.is_empty())

@@ -118,6 +118,20 @@ pub struct EvalScratch {
     proxy: Option<(u64, Option<f64>)>,
 }
 
+impl EvalScratch {
+    /// Installs (or removes) the fan-out handle the GEMM kernels use to
+    /// split one large multiply across the worker pool within a trial.
+    /// Byte-identical results either way (fixed column-band ownership;
+    /// see `maxnvm_dnn::gemm`); the engine installs its pool here so
+    /// VGG16-scale forward passes use the whole machine.
+    pub fn set_gemm_parallel(
+        &mut self,
+        parallel: Option<std::sync::Arc<dyn maxnvm_dnn::GemmParallel>>,
+    ) {
+        self.forward.gemm.set_parallel(parallel);
+    }
+}
+
 /// Maps decoded weight matrices to a classification error estimate.
 pub trait AccuracyEval {
     /// Error of the unperturbed model.
@@ -363,8 +377,8 @@ impl AccuracyEval for NetworkEval {
             let xs: Vec<Tensor> = self.test.iter().map(|(x, _)| x.clone()).collect();
             let overlay: Vec<Option<&SparseMatrix>> =
                 clean.sparse.iter().map(|s| Some(&**s)).collect();
-            let state = PrefixCache::build_sparse(&net, &xs, &overlay, &mut scratch.forward).map(
-                |cache| {
+            let state =
+                PrefixCache::build_sparse(&net, &xs, &overlay, &mut scratch.forward).map(|cache| {
                     let clean_error = error_over(cache.clean_logits(), &self.test);
                     PrefixState {
                         net,
@@ -372,8 +386,7 @@ impl AccuracyEval for NetworkEval {
                         clean_error,
                         sparse: clean.sparse.to_vec(),
                     }
-                },
-            );
+                });
             scratch.prefix = Some((key, state));
         }
         match scratch {

@@ -707,6 +707,9 @@ mod tests {
         for rel in [
             "crates/dnn/src/sparse.rs",
             "crates/dnn/src/gemm.rs",
+            "crates/dnn/src/gemm/dispatch.rs",
+            "crates/dnn/src/gemm/kernel_x86.rs",
+            "crates/dnn/src/gemm/kernel_neon.rs",
             "crates/dnn/src/prefix.rs",
             "crates/encoding/src/storage/prepared.rs",
             "crates/faultsim/src/evaluate.rs",

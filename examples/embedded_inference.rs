@@ -27,7 +27,11 @@ fn main() {
         &data.train,
         &TrainConfig {
             epochs: 6,
-            lr: 0.005,
+            // 0.005 sits right on this config's divergence edge: under
+            // the §14 fused-multiply-add semantics this seed's
+            // trajectory tips into a loss spike at epoch 2 and never
+            // recovers. 0.004 trains to 0% with margin.
+            lr: 0.004,
             momentum: 0.9,
             seed: 1,
         },
