@@ -169,6 +169,7 @@ fn main() {
     println!("  sparse speedup: {:.1}x", vgg.speedup);
 
     let es = early_stopping_arm();
+    let srv = server_arm();
 
     // Provenance: which revision produced the row, and which lint-pass
     // rule set it was checked under (the `version` in lint-allow.toml),
@@ -195,7 +196,7 @@ fn main() {
         .join(", ");
 
     let json = format!(
-        "{{\n  \"benchmark\": \"trial_throughput\",\n  \"git_sha\": \"{git_sha}\",\n  \"lint_pass_version\": {lint_pass_version},\n  \"model\": \"{}\",\n  \"scheme\": \"{}\",\n  \"total_cells\": {cells},\n  \"expected_faults_per_trial\": {expected:.6},\n  \"before_trials_per_sec\": {before:.3},\n  \"after_trials_per_sec\": {after:.3},\n  \"speedup\": {speedup:.3},\n  \"trials_per_sec\": {trials_per_sec:.3},\n  \"prefix_skip_rate\": {prefix_skip_rate:.4},\n  \"simd_tier\": \"{simd_tier}\",\n  \"gemm_gflops\": {gemm_gflops:.2},\n  \"sparse_gemm_gflops\": {sparse_gemm_gflops:.2},\n  \"gemm_gflops_by_tier\": {{{gemm_by_tier}}},\n  \"sparse_gemm_gflops_by_tier\": {{{sparse_by_tier}}},\n  \"sparse_dense_cutover_density\": {:.2},\n  \"sparse_dense_crossover_density\": {crossover_density:.2},\n  \"sparse_dense_crossover_sweep\": {{{sweep_json}}},\n  \"vgg12_weights\": {},\n  \"vgg12_density\": {:.4},\n  \"vgg12_expected_faults_per_trial\": {:.3},\n  \"vgg12_dense_trials_per_sec\": {:.3},\n  \"vgg12_sparse_trials_per_sec\": {:.3},\n  \"vgg12_sparse_speedup\": {:.3},\n  \"dse_fixed_trials\": {},\n  \"dse_early_stop_trials\": {},\n  \"dse_trial_savings\": {:.3},\n  \"dse_same_optimal\": {}\n}}\n",
+        "{{\n  \"benchmark\": \"trial_throughput\",\n  \"git_sha\": \"{git_sha}\",\n  \"lint_pass_version\": {lint_pass_version},\n  \"model\": \"{}\",\n  \"scheme\": \"{}\",\n  \"total_cells\": {cells},\n  \"expected_faults_per_trial\": {expected:.6},\n  \"before_trials_per_sec\": {before:.3},\n  \"after_trials_per_sec\": {after:.3},\n  \"speedup\": {speedup:.3},\n  \"trials_per_sec\": {trials_per_sec:.3},\n  \"prefix_skip_rate\": {prefix_skip_rate:.4},\n  \"simd_tier\": \"{simd_tier}\",\n  \"gemm_gflops\": {gemm_gflops:.2},\n  \"sparse_gemm_gflops\": {sparse_gemm_gflops:.2},\n  \"gemm_gflops_by_tier\": {{{gemm_by_tier}}},\n  \"sparse_gemm_gflops_by_tier\": {{{sparse_by_tier}}},\n  \"sparse_dense_cutover_density\": {:.2},\n  \"sparse_dense_crossover_density\": {crossover_density:.2},\n  \"sparse_dense_crossover_sweep\": {{{sweep_json}}},\n  \"vgg12_weights\": {},\n  \"vgg12_density\": {:.4},\n  \"vgg12_expected_faults_per_trial\": {:.3},\n  \"vgg12_dense_trials_per_sec\": {:.3},\n  \"vgg12_sparse_trials_per_sec\": {:.3},\n  \"vgg12_sparse_speedup\": {:.3},\n  \"dse_fixed_trials\": {},\n  \"dse_early_stop_trials\": {},\n  \"dse_trial_savings\": {:.3},\n  \"dse_same_optimal\": {},\n  \"server_streams\": {},\n  \"server_p99_ms\": {:.3},\n  \"server_trials_per_sec\": {:.3}\n}}\n",
         spec.name,
         scheme.label(),
         gemm::SPARSE_DENSE_CUTOVER,
@@ -209,6 +210,9 @@ fn main() {
         es.early_trials,
         es.savings,
         es.same_optimal,
+        srv.streams,
+        srv.p99_ms,
+        srv.trials_per_sec,
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
@@ -514,5 +518,92 @@ fn early_stopping_arm() -> EarlyStoppingArm {
         early_trials,
         savings,
         same_optimal,
+    }
+}
+
+struct ServerArm {
+    streams: usize,
+    p99_ms: f64,
+    trials_per_sec: f64,
+}
+
+/// The supervisor under a burst load: 100 concurrent small campaign
+/// streams submitted at once against the service's default concurrency,
+/// each spooling per-trial checkpoints through the real filesystem
+/// store. Reports the p99 submit-to-terminal stream latency and the
+/// aggregate trial throughput the multiplexed service sustains — the
+/// serving-path numbers the robustness layer must not regress.
+fn server_arm() -> ServerArm {
+    use maxnvm_server::{Supervisor, SupervisorConfig};
+
+    const STREAMS: usize = 100;
+    let spec = zoo::lenet5();
+    let m = spec.layers[2].sample_matrix(spec.paper.sparsity, 40, 64, 256);
+    let layer = ClusteredLayer::from_matrix(&m, spec.paper.cluster_index_bits, 5);
+    let stored = vec![StoredLayer::store(
+        &layer,
+        &StorageScheme::uniform(EncodingKind::Csr, MlcConfig::MLC3),
+    )];
+    let eval: Arc<ProxyEval> = Arc::new(ProxyEval::new(vec![layer.reconstruct()], 0.1, 0.9));
+    let spool = std::env::temp_dir().join(format!("maxnvm-bench-server-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let sup = Supervisor::start(
+        SupervisorConfig::new(&spool)
+            .max_running(workers)
+            .max_inflight(STREAMS)
+            .checkpoint_every(1)
+            .watchdog(std::time::Duration::from_secs(120)),
+    )
+    .expect("bench supervisor");
+    let trials_per_stream = 16usize;
+    let start = Instant::now();
+    let ids: Vec<_> = (0..STREAMS)
+        .map(|i| {
+            let job = maxnvm_server::CampaignJob {
+                campaign: Campaign {
+                    trials: trials_per_stream,
+                    seed: 1000 + i as u64,
+                    rate_scale: 120.0,
+                },
+                stored: stored.clone(),
+                tech: CellTechnology::MlcCtt,
+                sa: SenseAmp::paper_default(),
+                eval: eval.clone(),
+            };
+            let submitted = Instant::now();
+            let id = sup.submit(format!("bench-{i}"), job).expect("bench submit");
+            (id, submitted)
+        })
+        .collect();
+    let mut latencies_ms: Vec<f64> = ids
+        .iter()
+        .map(|(id, submitted)| {
+            let status = sup.wait(id).expect("bench stream");
+            assert!(
+                status.state == maxnvm_server::StreamState::Done,
+                "bench stream failed: {:?}",
+                status.error
+            );
+            submitted.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    let wall = start.elapsed().as_secs_f64();
+    sup.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let p99_ms = latencies_ms[(STREAMS * 99).div_ceil(100).min(STREAMS) - 1];
+    let trials_per_sec = (STREAMS * trials_per_stream) as f64 / wall;
+
+    println!("server: {STREAMS} concurrent streams x {trials_per_stream} trials");
+    println!("  p99 stream latency: {p99_ms:>8.1} ms");
+    println!("  aggregate:          {trials_per_sec:>8.1} trials/s");
+
+    ServerArm {
+        streams: STREAMS,
+        p99_ms,
+        trials_per_sec,
     }
 }

@@ -22,11 +22,26 @@
 //! checkpoints from an engine whose trial loop changed are rejected
 //! the same way.
 
+//!
+//! All checkpoint I/O goes through a [`CheckpointStore`]: the real
+//! [`FsStore`] keeps the tmp + fsync + rename discipline, while the
+//! deterministic [`FaultyStore`] injects seeded I/O errors, torn
+//! writes, disk-full, and slow writes for testing the resilience layer
+//! itself. Transient failures are absorbed by a bounded-retry
+//! [`RetryPolicy`] with exponential backoff; disk-full surfaces as the
+//! distinct [`EngineError::CheckpointDiskFull`] so a supervisor can
+//! evict the stream instead of retrying hopelessly.
+
 use crate::campaign::TrialOutcome;
 use crate::engine::EngineError;
 use maxnvm_encoding::storage::DecodeStats;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Once};
+use std::time::Duration;
 
 /// On-disk format tag; bumped only when the file layout itself changes.
 pub const CHECKPOINT_FORMAT: &str = "maxnvm-campaign-checkpoint v1";
@@ -50,8 +65,347 @@ pub const CHECKPOINT_FORMAT: &str = "maxnvm-campaign-checkpoint v1";
 /// from version 3's unfused chains.
 pub const TRIAL_SEMANTICS_VERSION: u32 = 4;
 
-/// Where and how often to checkpoint a run.
+/// The checkpoint storage backend: text-level read/write of snapshot
+/// files. The engine talks only to this trait, so the real filesystem
+/// implementation ([`FsStore`]) and the deterministic fault-injecting
+/// one ([`FaultyStore`]) are interchangeable — campaigns, the
+/// supervisor, and the retry layer behave identically against both.
+///
+/// `write_atomic` must be all-or-nothing with respect to process death
+/// (the `FsStore` contract: tmp + fsync + rename), but is allowed to
+/// *fail* having left either the previous content or — for an injected
+/// torn write — a corrupted file; the parser's `end <count>` trailer
+/// and the caller's typed-error handling cover that case.
+pub trait CheckpointStore: std::fmt::Debug + Send + Sync {
+    /// Writes `text` to `path` atomically (crash leaves old or new
+    /// content, never a silent mix).
+    fn write_atomic(&self, path: &Path, text: &str) -> Result<(), EngineError>;
+    /// Reads the full text content of `path`.
+    fn read(&self, path: &Path) -> Result<String, EngineError>;
+    /// Whether a snapshot exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+    /// Removes the snapshot at `path` (missing file is not an error).
+    fn remove(&self, path: &Path) -> Result<(), EngineError>;
+}
+
+/// Maps an I/O error to the typed engine error: out-of-space conditions
+/// (`StorageFull`, `WriteZero`, raw `ENOSPC`) become the distinct
+/// [`EngineError::CheckpointDiskFull`] so callers can evict instead of
+/// retrying; everything else is the transient
+/// [`EngineError::CheckpointIo`].
+fn map_io_error(path: &Path, e: std::io::Error) -> EngineError {
+    let disk_full = matches!(
+        e.kind(),
+        std::io::ErrorKind::StorageFull | std::io::ErrorKind::WriteZero
+    ) || e.raw_os_error() == Some(28); // ENOSPC
+    if disk_full {
+        EngineError::CheckpointDiskFull {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        }
+    } else {
+        EngineError::CheckpointIo {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+/// The real filesystem store: snapshots go to a sibling `<path>.tmp`,
+/// are fsynced, and renamed over the target, so a SIGKILL at any
+/// instant leaves either the previous snapshot or the new one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FsStore;
+
+impl CheckpointStore for FsStore {
+    fn write_atomic(&self, path: &Path, text: &str) -> Result<(), EngineError> {
+        let io = |e: std::io::Error| map_io_error(path, e);
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        {
+            use std::io::Write;
+            let mut file = std::fs::File::create(&tmp).map_err(io)?;
+            file.write_all(text.as_bytes()).map_err(io)?;
+            file.sync_all().map_err(io)?;
+        }
+        std::fs::rename(&tmp, path).map_err(io)
+    }
+
+    fn read(&self, path: &Path) -> Result<String, EngineError> {
+        std::fs::read_to_string(path).map_err(|e| map_io_error(path, e))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn remove(&self, path: &Path) -> Result<(), EngineError> {
+        match std::fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(map_io_error(path, e)),
+        }
+    }
+}
+
+/// What a [`FaultyStore`] injects, as independent per-operation
+/// probabilities. All draws come from one seeded RNG, so a given
+/// (seed, operation sequence) reproduces the identical fault schedule.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Probability a write/read fails with a *transient*
+    /// [`EngineError::CheckpointIo`] (nothing written; a retry may
+    /// succeed).
+    pub io_error: f64,
+    /// Probability a write is torn: a strict prefix of the text lands
+    /// at the final path (bypassing the atomic rename, as a dying disk
+    /// or lying filesystem would) and the write reports failure.
+    pub torn_write: f64,
+    /// Probability a write fails with
+    /// [`EngineError::CheckpointDiskFull`] (not retried; previous
+    /// snapshot intact).
+    pub disk_full: f64,
+    /// Added latency per write, modeling a slow device.
+    pub slow_write: Option<Duration>,
+}
+
+impl FaultPlan {
+    /// A moderately hostile default: 20% transient errors, 5% torn
+    /// writes, no disk-full, no latency.
+    pub fn flaky() -> Self {
+        Self {
+            io_error: 0.2,
+            torn_write: 0.05,
+            disk_full: 0.0,
+            slow_write: None,
+        }
+    }
+
+    /// No injected faults at all (useful as a neutral baseline).
+    pub fn none() -> Self {
+        Self {
+            io_error: 0.0,
+            torn_write: 0.0,
+            disk_full: 0.0,
+            slow_write: None,
+        }
+    }
+}
+
+/// A deterministic fault-injecting [`CheckpointStore`]: wraps an inner
+/// store and, per operation, draws from a seeded RNG whether to fail
+/// transiently, tear the write, report disk-full, or stall. Used by the
+/// fault-injection test suite and the CI `fault-injection` job; the
+/// injected schedule is a pure function of the seed and the operation
+/// sequence.
+pub struct FaultyStore<S: CheckpointStore = FsStore> {
+    inner: S,
+    plan: FaultPlan,
+    rng: Mutex<StdRng>,
+}
+
+impl<S: CheckpointStore> std::fmt::Debug for FaultyStore<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The vendored parking_lot Mutex has no Debug impl; the RNG
+        // state is not informative anyway.
+        f.debug_struct("FaultyStore")
+            .field("inner", &self.inner)
+            .field("plan", &self.plan)
+            .finish()
+    }
+}
+
+impl FaultyStore<FsStore> {
+    /// A faulty wrapper over the real filesystem store.
+    pub fn new(seed: u64, plan: FaultPlan) -> Self {
+        Self::wrap(FsStore, seed, plan)
+    }
+}
+
+impl<S: CheckpointStore> FaultyStore<S> {
+    /// Wraps `inner` with the given fault plan and RNG seed.
+    pub fn wrap(inner: S, seed: u64, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl<S: CheckpointStore> CheckpointStore for FaultyStore<S> {
+    fn write_atomic(&self, path: &Path, text: &str) -> Result<(), EngineError> {
+        // Draw the whole schedule for this operation up front so the
+        // RNG stream advances identically whichever branch fires.
+        let (io_err, torn, full, cut) = {
+            let mut rng = self.rng.lock();
+            (
+                rng.gen_bool(self.plan.io_error),
+                rng.gen_bool(self.plan.torn_write),
+                rng.gen_bool(self.plan.disk_full),
+                rng.gen_range(0..text.len().max(1)),
+            )
+        };
+        if let Some(delay) = self.plan.slow_write {
+            std::thread::sleep(delay);
+        }
+        if full {
+            return Err(EngineError::CheckpointDiskFull {
+                path: path.display().to_string(),
+                detail: "injected: no space left on device".to_string(),
+            });
+        }
+        if torn {
+            // Tear the file in place: a strict prefix lands at the
+            // *final* path, as if the device died mid-write without the
+            // rename discipline. The parser's end-marker must catch it.
+            let _ = std::fs::write(path, &text.as_bytes()[..cut]);
+            return Err(EngineError::CheckpointIo {
+                path: path.display().to_string(),
+                detail: format!("injected: torn write after {cut} bytes"),
+            });
+        }
+        if io_err {
+            return Err(EngineError::CheckpointIo {
+                path: path.display().to_string(),
+                detail: "injected: transient I/O error".to_string(),
+            });
+        }
+        self.inner.write_atomic(path, text)
+    }
+
+    fn read(&self, path: &Path) -> Result<String, EngineError> {
+        let io_err = self.rng.lock().gen_bool(self.plan.io_error);
+        if io_err {
+            return Err(EngineError::CheckpointIo {
+                path: path.display().to_string(),
+                detail: "injected: transient read error".to_string(),
+            });
+        }
+        self.inner.read(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn remove(&self, path: &Path) -> Result<(), EngineError> {
+        self.inner.remove(path)
+    }
+}
+
+/// Environment variable overriding the checkpoint retry budget.
+pub const CHECKPOINT_RETRIES_ENV: &str = "MAXNVM_CHECKPOINT_RETRIES";
+
+/// Default retry budget when `MAXNVM_CHECKPOINT_RETRIES` is unset.
+pub const DEFAULT_CHECKPOINT_RETRIES: u32 = 3;
+
+/// Base backoff delay; attempt `k` sleeps `base << k` before retrying.
+pub const RETRY_BASE_DELAY: Duration = Duration::from_millis(10);
+
+/// Parses a `MAXNVM_CHECKPOINT_RETRIES` override: a non-negative
+/// integer (0 disables retries). Anything else is a typed
+/// [`EngineError::InvalidConfig`], never a silent default.
+pub fn parse_checkpoint_retries(raw: &str) -> Result<u32, EngineError> {
+    raw.trim()
+        .parse::<u32>()
+        .map_err(|_| EngineError::InvalidConfig {
+            var: CHECKPOINT_RETRIES_ENV.to_string(),
+            value: raw.to_string(),
+        })
+}
+
+/// The validated retry-budget override from the environment: `Ok(None)`
+/// when `MAXNVM_CHECKPOINT_RETRIES` is unset,
+/// [`EngineError::InvalidConfig`] when set but malformed.
+pub fn env_checkpoint_retries() -> Result<Option<u32>, EngineError> {
+    match std::env::var(CHECKPOINT_RETRIES_ENV) {
+        Ok(raw) => parse_checkpoint_retries(&raw).map(Some),
+        Err(_) => Ok(None),
+    }
+}
+
+/// Bounded retry with exponential backoff for checkpoint I/O.
+///
+/// Only the transient [`EngineError::CheckpointIo`] class is retried;
+/// [`EngineError::CheckpointDiskFull`] (retrying cannot help),
+/// [`EngineError::CheckpointParse`], and
+/// [`EngineError::CheckpointMismatch`] (retrying would return the same
+/// bytes) propagate immediately. After the budget is exhausted the last
+/// `CheckpointIo` is returned as-is.
 #[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (0 = single attempt).
+    pub retries: u32,
+    /// Backoff before retry `k` is `base_delay << k`.
+    pub base_delay: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy with the given retry budget and the default base delay.
+    pub fn new(retries: u32) -> Self {
+        Self {
+            retries,
+            base_delay: RETRY_BASE_DELAY,
+        }
+    }
+
+    /// No retries at all: one attempt, errors propagate immediately.
+    pub fn none() -> Self {
+        Self::new(0)
+    }
+
+    /// The budget from `MAXNVM_CHECKPOINT_RETRIES` when set to a valid
+    /// value, otherwise [`DEFAULT_CHECKPOINT_RETRIES`]. A malformed
+    /// override cannot be reported here, so it falls back with a
+    /// one-time warning; [`crate::engine::EvalContext::new`] surfaces
+    /// the typed [`EngineError::InvalidConfig`] at the API boundary.
+    pub fn from_env() -> Self {
+        match env_checkpoint_retries() {
+            Ok(Some(n)) => Self::new(n),
+            Ok(None) => Self::new(DEFAULT_CHECKPOINT_RETRIES),
+            Err(e) => {
+                static WARN_ONCE: Once = Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "maxnvm: warning: {e}; falling back to {DEFAULT_CHECKPOINT_RETRIES} retries"
+                    );
+                });
+                Self::new(DEFAULT_CHECKPOINT_RETRIES)
+            }
+        }
+    }
+
+    /// Runs `op`, retrying transient [`EngineError::CheckpointIo`]
+    /// failures up to the budget with exponential backoff. Any other
+    /// error — and success — returns immediately.
+    pub fn run<T>(&self, mut op: impl FnMut() -> Result<T, EngineError>) -> Result<T, EngineError> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Err(EngineError::CheckpointIo { path, detail }) if attempt < self.retries => {
+                    // Exponential backoff, capped shifts so a huge
+                    // budget cannot overflow the Duration multiply.
+                    let delay = self.base_delay * (1u32 << attempt.min(10));
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                    let _ = (path, detail);
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Where and how often to checkpoint a run, and through which store.
+#[derive(Debug, Clone)]
 pub struct CheckpointConfig {
     /// Snapshot file; a sibling `<path>.tmp` is used for atomic writes.
     pub path: PathBuf,
@@ -60,15 +414,37 @@ pub struct CheckpointConfig {
     /// Keep the file after a run completes (default: remove it, so a
     /// finished campaign cannot be accidentally "resumed").
     pub keep_on_success: bool,
+    /// The storage backend all checkpoint I/O goes through (default:
+    /// the real [`FsStore`]).
+    pub store: Arc<dyn CheckpointStore>,
+    /// Bounded retry with backoff applied to every load and save.
+    pub retry: RetryPolicy,
 }
 
+// The trait object has no meaningful equality; two configs are equal
+// when their observable policy (path, cadence, retention, retry) is.
+impl PartialEq for CheckpointConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.path == other.path
+            && self.every == other.every
+            && self.keep_on_success == other.keep_on_success
+            && self.retry == other.retry
+    }
+}
+
+impl Eq for CheckpointConfig {}
+
 impl CheckpointConfig {
-    /// Checkpoints to `path` every 64 trials, removing on success.
+    /// Checkpoints to `path` every 64 trials, removing on success,
+    /// through the real filesystem store with the environment-derived
+    /// retry budget.
     pub fn new(path: impl Into<PathBuf>) -> Self {
         Self {
             path: path.into(),
             every: 64,
             keep_on_success: false,
+            store: Arc::new(FsStore),
+            retry: RetryPolicy::from_env(),
         }
     }
 
@@ -82,6 +458,34 @@ impl CheckpointConfig {
     pub fn keep_on_success(mut self) -> Self {
         self.keep_on_success = true;
         self
+    }
+
+    /// Routes all checkpoint I/O through `store` (e.g. a
+    /// [`FaultyStore`] in the fault-injection suite).
+    pub fn with_store(mut self, store: Arc<dyn CheckpointStore>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Overrides the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Loads, parses, and — retrying transient I/O per the policy —
+    /// returns the snapshot at this config's path.
+    pub fn load_snapshot(&self) -> Result<CampaignCheckpoint, EngineError> {
+        let text = self.retry.run(|| self.store.read(&self.path))?;
+        CampaignCheckpoint::from_text(&text)
+    }
+
+    /// Saves `snapshot` through the store, retrying transient I/O per
+    /// the policy.
+    pub fn save_snapshot(&self, snapshot: &CampaignCheckpoint) -> Result<(), EngineError> {
+        let text = snapshot.to_text();
+        self.retry
+            .run(|| self.store.write_atomic(&self.path, &text))
     }
 }
 
@@ -356,33 +760,16 @@ impl CampaignCheckpoint {
         })
     }
 
-    /// Atomically writes the snapshot: serialize to `<path>.tmp`, fsync,
-    /// rename over `path`. A crash mid-write leaves the previous
-    /// snapshot intact.
+    /// Atomically writes the snapshot through the real [`FsStore`]:
+    /// serialize to `<path>.tmp`, fsync, rename over `path`. A crash
+    /// mid-write leaves the previous snapshot intact.
     pub fn save(&self, path: &Path) -> Result<(), EngineError> {
-        let io = |detail: std::io::Error| EngineError::CheckpointIo {
-            path: path.display().to_string(),
-            detail: detail.to_string(),
-        };
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = PathBuf::from(tmp);
-        {
-            use std::io::Write;
-            let mut file = std::fs::File::create(&tmp).map_err(io)?;
-            file.write_all(self.to_text().as_bytes()).map_err(io)?;
-            file.sync_all().map_err(io)?;
-        }
-        std::fs::rename(&tmp, path).map_err(io)
+        FsStore.write_atomic(path, &self.to_text())
     }
 
-    /// Loads and parses a snapshot.
+    /// Loads and parses a snapshot through the real [`FsStore`].
     pub fn load(path: &Path) -> Result<Self, EngineError> {
-        let text = std::fs::read_to_string(path).map_err(|e| EngineError::CheckpointIo {
-            path: path.display().to_string(),
-            detail: e.to_string(),
-        })?;
-        Self::from_text(&text)
+        Self::from_text(&FsStore.read(path)?)
     }
 }
 
@@ -537,6 +924,181 @@ mod tests {
     fn escape_round_trips_control_characters() {
         for s in ["plain", "with\nnewline", "back\\slash", "\r\n\\n mix \\"] {
             assert_eq!(unescape(&escape(s)), s, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn disk_full_io_errors_map_to_the_distinct_variant() {
+        let path = Path::new("/spool/s.ckpt");
+        for kind in [
+            std::io::ErrorKind::StorageFull,
+            std::io::ErrorKind::WriteZero,
+        ] {
+            let err = map_io_error(path, std::io::Error::new(kind, "full"));
+            assert!(
+                matches!(err, EngineError::CheckpointDiskFull { ref path, .. } if path.contains("s.ckpt")),
+                "{kind:?} -> {err:?}"
+            );
+        }
+        let enospc = map_io_error(path, std::io::Error::from_raw_os_error(28));
+        assert!(
+            matches!(enospc, EngineError::CheckpointDiskFull { .. }),
+            "{enospc:?}"
+        );
+        let other = map_io_error(
+            path,
+            std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        );
+        assert!(
+            matches!(other, EngineError::CheckpointIo { .. }),
+            "{other:?}"
+        );
+    }
+
+    #[test]
+    fn retry_policy_retries_only_transient_io() {
+        let policy = RetryPolicy {
+            retries: 3,
+            base_delay: Duration::ZERO,
+        };
+        // Transient errors are retried until the budget runs out...
+        let mut calls = 0;
+        let err = policy
+            .run(|| -> Result<(), EngineError> {
+                calls += 1;
+                Err(EngineError::CheckpointIo {
+                    path: "p".into(),
+                    detail: "flaky".into(),
+                })
+            })
+            .expect_err("exhausted budget must surface the error");
+        assert_eq!(calls, 4, "1 attempt + 3 retries");
+        assert!(matches!(err, EngineError::CheckpointIo { .. }));
+        // ...and success within the budget wins.
+        let mut calls = 0;
+        policy
+            .run(|| {
+                calls += 1;
+                if calls < 3 {
+                    Err(EngineError::CheckpointIo {
+                        path: "p".into(),
+                        detail: "flaky".into(),
+                    })
+                } else {
+                    Ok(())
+                }
+            })
+            .expect("third attempt succeeds");
+        assert_eq!(calls, 3);
+        // Disk-full and parse errors are never retried.
+        for err in [
+            EngineError::CheckpointDiskFull {
+                path: "p".into(),
+                detail: "full".into(),
+            },
+            EngineError::CheckpointParse {
+                detail: "torn".into(),
+            },
+        ] {
+            let mut calls = 0;
+            let got = policy
+                .run(|| -> Result<(), EngineError> {
+                    calls += 1;
+                    Err(err.clone())
+                })
+                .expect_err("must propagate");
+            assert_eq!(calls, 1, "{err:?} must not be retried");
+            assert_eq!(got, err);
+        }
+    }
+
+    #[test]
+    fn checkpoint_retry_overrides_parse_strictly() {
+        assert_eq!(parse_checkpoint_retries("0").ok(), Some(0));
+        assert_eq!(parse_checkpoint_retries(" 7 ").ok(), Some(7));
+        for bad in ["-1", "", "  ", "three", "2.5", "4x"] {
+            let err = parse_checkpoint_retries(bad).expect_err(bad);
+            assert_eq!(
+                err,
+                EngineError::InvalidConfig {
+                    var: CHECKPOINT_RETRIES_ENV.to_string(),
+                    value: bad.to_string(),
+                },
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_store_is_deterministic_per_seed_and_tears_real_prefixes() {
+        let dir = std::env::temp_dir().join(format!("maxnvm-faulty-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.ckpt");
+        let text = sample().to_text();
+        let schedule = |seed: u64| -> Vec<bool> {
+            let _ = std::fs::remove_file(&path);
+            let store = FaultyStore::new(
+                seed,
+                FaultPlan {
+                    io_error: 0.4,
+                    torn_write: 0.3,
+                    disk_full: 0.1,
+                    slow_write: None,
+                },
+            );
+            (0..32)
+                .map(|_| store.write_atomic(&path, &text).is_ok())
+                .collect()
+        };
+        assert_eq!(schedule(9), schedule(9), "same seed, same fault schedule");
+        assert_ne!(schedule(9), schedule(10), "different seeds must differ");
+        // A torn write leaves a strict prefix at the final path that the
+        // parser rejects with a typed error.
+        let _ = std::fs::remove_file(&path);
+        let torn_only = FaultyStore::new(
+            0,
+            FaultPlan {
+                io_error: 0.0,
+                torn_write: 1.0,
+                disk_full: 0.0,
+                slow_write: None,
+            },
+        );
+        let err = torn_only.write_atomic(&path, &text).expect_err("torn");
+        assert!(matches!(err, EngineError::CheckpointIo { .. }));
+        if path.exists() {
+            let left = std::fs::read_to_string(&path).unwrap();
+            assert!(text.starts_with(&left), "must be a prefix");
+            assert!(left.len() < text.len(), "must be strict");
+            assert!(CampaignCheckpoint::from_text(&left).is_err());
+        }
+        // Disk-full injection surfaces the distinct variant.
+        let full_only = FaultyStore::new(
+            0,
+            FaultPlan {
+                io_error: 0.0,
+                torn_write: 0.0,
+                disk_full: 1.0,
+                slow_write: None,
+            },
+        );
+        let err = full_only.write_atomic(&path, &text).expect_err("full");
+        assert!(matches!(err, EngineError::CheckpointDiskFull { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_config_equality_ignores_the_store() {
+        let a = CheckpointConfig::new("/tmp/a.ckpt").every(8);
+        let b = CheckpointConfig::new("/tmp/a.ckpt")
+            .every(8)
+            .with_store(Arc::new(FaultyStore::new(1, FaultPlan::flaky())));
+        assert_eq!(a, b, "store backend is not part of the config identity");
+        let c = CheckpointConfig::new("/tmp/a.ckpt")
+            .every(8)
+            .with_retry(RetryPolicy::none());
+        if a.retry != RetryPolicy::none() {
+            assert_ne!(a, c, "retry policy is part of the config identity");
         }
     }
 }

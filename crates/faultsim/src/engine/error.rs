@@ -55,9 +55,21 @@ pub enum EngineError {
         /// Fingerprint recorded in the checkpoint file.
         found: u64,
     },
-    /// Reading or writing a checkpoint file failed.
+    /// Reading or writing a checkpoint file failed (transient class:
+    /// bounded retry with backoff is appropriate).
     CheckpointIo {
         /// The file involved.
+        path: String,
+        /// The underlying I/O error, as text.
+        detail: String,
+    },
+    /// Writing a checkpoint failed because the device is out of space
+    /// (`ErrorKind::StorageFull`/`WriteZero`). Distinct from
+    /// [`EngineError::CheckpointIo`] so a supervisor can *evict* the
+    /// stream (its previous snapshot is still resumable) instead of
+    /// retrying hopelessly against a full disk.
+    CheckpointDiskFull {
+        /// The file that could not be written.
         path: String,
         /// The underlying I/O error, as text.
         detail: String,
@@ -67,6 +79,17 @@ pub enum EngineError {
     CheckpointParse {
         /// What was wrong, with the offending line where possible.
         detail: String,
+    },
+    /// An environment override (`MAXNVM_CHECKPOINT_RETRIES`,
+    /// `MAXNVM_WATCHDOG_SECS`, …) is set but malformed. Surfaced at
+    /// context/supervisor construction, mirroring how `MAXNVM_THREADS`
+    /// and `MAXNVM_FORCE_SCALAR` are handled; bare-library paths fall
+    /// back to the default with a one-time warning instead.
+    InvalidConfig {
+        /// The environment variable involved.
+        var: String,
+        /// The rejected value, verbatim.
+        value: String,
     },
     /// An internal invariant failed. Surfaced as a typed error instead
     /// of a panic so callers never unwind through worker threads; seeing
@@ -115,6 +138,16 @@ impl fmt::Display for EngineError {
             ),
             Self::CheckpointIo { path, detail } => {
                 write!(f, "checkpoint I/O failed for {path}: {detail}")
+            }
+            Self::CheckpointDiskFull { path, detail } => {
+                write!(
+                    f,
+                    "checkpoint write to {path} failed: device out of space ({detail}); \
+                     evict the stream instead of retrying"
+                )
+            }
+            Self::InvalidConfig { var, value } => {
+                write!(f, "invalid environment override {var}={value:?}")
             }
             Self::CheckpointParse { detail } => {
                 write!(f, "checkpoint file is corrupt or unreadable: {detail}")
@@ -174,5 +207,28 @@ mod tests {
             detail: "permission denied".into(),
         };
         assert!(io.to_string().contains("/tmp/x.ckpt"));
+    }
+
+    #[test]
+    fn storage_errors_are_distinguishable_and_informative() {
+        let full = EngineError::CheckpointDiskFull {
+            path: "/spool/s1.ckpt".into(),
+            detail: "No space left on device".into(),
+        };
+        assert!(full.to_string().contains("/spool/s1.ckpt"));
+        assert!(full.to_string().contains("out of space"));
+        assert_ne!(
+            full,
+            EngineError::CheckpointIo {
+                path: "/spool/s1.ckpt".into(),
+                detail: "No space left on device".into(),
+            }
+        );
+        let cfg = EngineError::InvalidConfig {
+            var: "MAXNVM_CHECKPOINT_RETRIES".into(),
+            value: "-1".into(),
+        };
+        assert!(cfg.to_string().contains("MAXNVM_CHECKPOINT_RETRIES"));
+        assert!(cfg.to_string().contains("-1"));
     }
 }

@@ -306,8 +306,8 @@ fn drive_trials(
     // statistics (for the early-stop rule) are well-defined.
     let mut done: Vec<BTreeMap<usize, TrialOutcome>> = vec![BTreeMap::new(); groups];
     if let Some(cp) = &control.checkpoint {
-        if cp.path.exists() {
-            let snapshot = CampaignCheckpoint::load(&cp.path)?;
+        if cp.store.exists(&cp.path) {
+            let snapshot = cp.load_snapshot()?;
             snapshot.verify(fingerprint)?;
             for (group, trial, outcome) in snapshot.entries {
                 if group < groups && trial < group_trials {
@@ -430,7 +430,7 @@ fn drive_trials(
             save_checkpoint(cp, fingerprint, label, groups, group_trials, seed, &done)?;
         } else {
             // A finished campaign must not be accidentally "resumed".
-            let _ = std::fs::remove_file(&cp.path);
+            let _ = cp.store.remove(&cp.path);
         }
     }
     Ok((0..groups)
@@ -457,7 +457,7 @@ fn save_checkpoint(
             snapshot.record(g, *t, outcome.clone());
         }
     }
-    snapshot.save(&cp.path)
+    cp.save_snapshot(&snapshot)
 }
 
 /// Shared evaluation state for one (technology, sense-amp, rate-scale)
@@ -476,15 +476,19 @@ impl EvalContext {
     /// A context running on the process-wide pool.
     ///
     /// Errors with [`EngineError::InvalidWorkerConfig`] if
-    /// `MAXNVM_THREADS` is set but not a positive integer, and with
+    /// `MAXNVM_THREADS` is set but not a positive integer, with
     /// [`EngineError::InvalidSimdConfig`] if `MAXNVM_FORCE_SCALAR` is
-    /// set but not a recognized boolean — kernel dispatch itself would
-    /// fall back to feature detection with a warning, but the engine
-    /// boundary surfaces the typo as a typed error instead.
+    /// set but not a recognized boolean, and with
+    /// [`EngineError::InvalidConfig`] if `MAXNVM_CHECKPOINT_RETRIES` is
+    /// set but not a non-negative integer — the bare-library paths
+    /// (kernel dispatch, [`crate::checkpoint::RetryPolicy::from_env`])
+    /// would fall back with a one-time warning, but the engine boundary
+    /// surfaces the typo as a typed error instead.
     pub fn new(tech: CellTechnology, sa: &SenseAmp, rate_scale: f64) -> Result<Self, EngineError> {
         env_workers()?;
         maxnvm_dnn::env_force_scalar()
             .map_err(|e| EngineError::InvalidSimdConfig { value: e.value })?;
+        crate::checkpoint::env_checkpoint_retries()?;
         Self::with_pool(tech, sa, rate_scale, Arc::clone(global_pool()))
     }
 

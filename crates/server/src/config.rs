@@ -1,0 +1,185 @@
+//! Supervisor policy knobs and their environment overrides.
+
+use maxnvm_faultsim::checkpoint::{CheckpointStore, FsStore, RetryPolicy};
+use maxnvm_faultsim::EngineError;
+use std::path::PathBuf;
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+/// Environment variable overriding the per-stream watchdog deadline, in
+/// whole seconds.
+pub const WATCHDOG_ENV: &str = "MAXNVM_WATCHDOG_SECS";
+
+/// Watchdog deadline when `MAXNVM_WATCHDOG_SECS` is unset: a stream
+/// whose evaluator makes no progress for this long is
+/// cancelled-and-quarantined.
+pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
+
+/// Parses a `MAXNVM_WATCHDOG_SECS` override: a positive integer number
+/// of seconds. Anything else is a typed
+/// [`EngineError::InvalidConfig`], never a silent default.
+pub fn parse_watchdog_secs(raw: &str) -> Result<Duration, EngineError> {
+    match raw.trim().parse::<u64>() {
+        Ok(n) if n > 0 => Ok(Duration::from_secs(n)),
+        _ => Err(EngineError::InvalidConfig {
+            var: WATCHDOG_ENV.to_string(),
+            value: raw.to_string(),
+        }),
+    }
+}
+
+/// The validated watchdog override from the environment: `Ok(None)`
+/// when `MAXNVM_WATCHDOG_SECS` is unset,
+/// [`EngineError::InvalidConfig`] when it is set but malformed.
+pub fn env_watchdog_secs() -> Result<Option<Duration>, EngineError> {
+    match std::env::var(WATCHDOG_ENV) {
+        Ok(raw) => parse_watchdog_secs(&raw).map(Some),
+        Err(_) => Ok(None),
+    }
+}
+
+/// The watchdog deadline from the environment when valid, otherwise
+/// [`DEFAULT_WATCHDOG`]. A malformed override cannot be reported here,
+/// so it falls back with a one-time warning;
+/// [`crate::Supervisor::start`] surfaces the typed error at the API
+/// boundary.
+fn default_watchdog() -> Duration {
+    match env_watchdog_secs() {
+        Ok(Some(d)) => d,
+        Ok(None) => DEFAULT_WATCHDOG,
+        Err(e) => {
+            static WARN_ONCE: Once = Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "maxnvm: warning: {e}; falling back to {}s watchdog",
+                    DEFAULT_WATCHDOG.as_secs()
+                );
+            });
+            DEFAULT_WATCHDOG
+        }
+    }
+}
+
+/// Everything a [`crate::Supervisor`] is parameterized by. Build with
+/// [`SupervisorConfig::new`] and override per field; validation of the
+/// environment overrides happens in [`crate::Supervisor::start`].
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Directory holding one `<stream-id>.ckpt` spool file per stream.
+    pub spool_dir: PathBuf,
+    /// Streams running concurrently (each on the shared engine pool).
+    pub max_running: usize,
+    /// Hard cap on streams in flight (queued + running); admission
+    /// beyond it is [`crate::Rejected::QueueFull`].
+    pub max_inflight: usize,
+    /// Per-stream watchdog: no evaluator progress for this long
+    /// cancels-and-quarantines the stream. Default honours
+    /// `MAXNVM_WATCHDOG_SECS`.
+    pub watchdog: Duration,
+    /// Event-loop tick (watchdog scan cadence, and the upper bound on
+    /// how stale a watchdog decision can be).
+    pub tick: Duration,
+    /// Checkpoint flush cadence per stream, in completed trials.
+    pub checkpoint_every: usize,
+    /// How long shutdown waits for stalled (quarantined) jobs before
+    /// detaching their threads.
+    pub shutdown_grace: Duration,
+    /// The checkpoint backend every stream spools through (default: the
+    /// real [`FsStore`]; the fault-injection suite swaps in a
+    /// [`maxnvm_faultsim::FaultyStore`]).
+    pub store: Arc<dyn CheckpointStore>,
+    /// Retry policy for each stream's checkpoint I/O. Default honours
+    /// `MAXNVM_CHECKPOINT_RETRIES`.
+    pub retry: RetryPolicy,
+}
+
+impl SupervisorConfig {
+    /// Defaults: 2 concurrent streams, 64 in flight, environment-driven
+    /// watchdog and retry budget, 25 ms tick, checkpoint every 8
+    /// trials, 5 s shutdown grace, real filesystem store.
+    pub fn new(spool_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            spool_dir: spool_dir.into(),
+            max_running: 2,
+            max_inflight: 64,
+            watchdog: default_watchdog(),
+            tick: Duration::from_millis(25),
+            checkpoint_every: 8,
+            shutdown_grace: Duration::from_secs(5),
+            store: Arc::new(FsStore),
+            retry: RetryPolicy::from_env(),
+        }
+    }
+
+    /// Sets the concurrent-stream count (clamped to ≥ 1).
+    pub fn max_running(mut self, n: usize) -> Self {
+        self.max_running = n.max(1);
+        self
+    }
+
+    /// Sets the in-flight bound (clamped to ≥ 1).
+    pub fn max_inflight(mut self, n: usize) -> Self {
+        self.max_inflight = n.max(1);
+        self
+    }
+
+    /// Sets the watchdog deadline.
+    pub fn watchdog(mut self, d: Duration) -> Self {
+        self.watchdog = d;
+        self
+    }
+
+    /// Sets the checkpoint flush cadence (clamped to ≥ 1).
+    pub fn checkpoint_every(mut self, trials: usize) -> Self {
+        self.checkpoint_every = trials.max(1);
+        self
+    }
+
+    /// Routes every stream's checkpoint I/O through `store`.
+    pub fn with_store(mut self, store: Arc<dyn CheckpointStore>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Overrides the checkpoint retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watchdog_overrides_parse_strictly() {
+        assert_eq!(parse_watchdog_secs("5").ok(), Some(Duration::from_secs(5)));
+        assert_eq!(
+            parse_watchdog_secs(" 120 ").ok(),
+            Some(Duration::from_secs(120))
+        );
+        for bad in ["0", "-3", "", "  ", "fast", "1.5", "30s"] {
+            let err = parse_watchdog_secs(bad).expect_err(bad);
+            assert_eq!(
+                err,
+                EngineError::InvalidConfig {
+                    var: WATCHDOG_ENV.to_string(),
+                    value: bad.to_string(),
+                },
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_clamps_degenerate_values() {
+        let cfg = SupervisorConfig::new("/tmp/spool")
+            .max_running(0)
+            .max_inflight(0)
+            .checkpoint_every(0);
+        assert_eq!(cfg.max_running, 1);
+        assert_eq!(cfg.max_inflight, 1);
+        assert_eq!(cfg.checkpoint_every, 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Typed admission-control rejections.
+
+use std::fmt;
+
+/// Why the supervisor refused a request. Admission control is bounded
+/// end to end, so overload is a typed, immediate `QueueFull` — never
+/// unbounded queue growth, never a silent drop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejected {
+    /// The supervisor is at its in-flight capacity (queued + running);
+    /// resubmit after a stream finishes.
+    QueueFull {
+        /// The configured in-flight bound that was hit.
+        capacity: usize,
+    },
+    /// A stream with this id is already queued or running. Terminal
+    /// streams (done/cancelled/quarantined/evicted/failed) *can* be
+    /// resubmitted — that is how eviction resume works.
+    DuplicateStream {
+        /// The offending id.
+        id: String,
+    },
+    /// The supervisor is shutting down and accepts no new streams.
+    ShuttingDown,
+    /// The stream id is not a safe spool-file stem (empty, too long, or
+    /// containing characters outside `[A-Za-z0-9._-]`).
+    InvalidStreamId {
+        /// The rejected id, verbatim.
+        id: String,
+    },
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::QueueFull { capacity } => {
+                write!(f, "supervisor at capacity ({capacity} streams in flight)")
+            }
+            Self::DuplicateStream { id } => {
+                write!(f, "stream {id:?} is already queued or running")
+            }
+            Self::ShuttingDown => write!(f, "supervisor is shutting down"),
+            Self::InvalidStreamId { id } => write!(
+                f,
+                "stream id {id:?} is not a safe spool-file stem \
+                 (need 1-64 chars from [A-Za-z0-9._-], not starting with '.')"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let full = Rejected::QueueFull { capacity: 8 };
+        assert!(full.to_string().contains('8'));
+        let dup = Rejected::DuplicateStream { id: "s1".into() };
+        assert!(dup.to_string().contains("s1"));
+        let bad = Rejected::InvalidStreamId { id: "../x".into() };
+        assert!(bad.to_string().contains("../x"));
+        let e: Box<dyn std::error::Error> = Box::new(Rejected::ShuttingDown);
+        assert!(e.to_string().contains("shutting down"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Stream identities, job definitions, and the public state machine.
+
+use crate::error::Rejected;
+use maxnvm_encoding::storage::StoredLayer;
+use maxnvm_envm::{CellTechnology, SenseAmp};
+use maxnvm_faultsim::evaluate::AccuracyEval;
+use maxnvm_faultsim::{Campaign, CampaignResult, EngineError};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A validated stream identifier: 1–64 characters from
+/// `[A-Za-z0-9._-]`, not starting with `.`. The id doubles as the
+/// spool-file stem (`<spool_dir>/<id>.ckpt`), so validation is what
+/// keeps one stream from ever touching another's snapshot (or escaping
+/// the spool directory).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(String);
+
+impl StreamId {
+    /// Validates and wraps a stream id.
+    pub fn new(id: impl Into<String>) -> Result<Self, Rejected> {
+        let id = id.into();
+        let ok = !id.is_empty()
+            && id.len() <= 64
+            && !id.starts_with('.')
+            && id
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+        if ok {
+            Ok(Self(id))
+        } else {
+            Err(Rejected::InvalidStreamId { id })
+        }
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// This stream's spool file under `dir`.
+    pub fn spool_path(&self, dir: &Path) -> PathBuf {
+        dir.join(format!("{}.ckpt", self.0))
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// One campaign stream: the full recipe for a controlled engine run.
+/// Everything is owned (or `Arc`-shared) so the job can travel to a
+/// runner thread; the evaluator must be `Send + Sync` because trials
+/// fan out over the engine's worker pool.
+#[derive(Clone)]
+pub struct CampaignJob {
+    /// Trial budget, base seed, and rate scale.
+    pub campaign: Campaign,
+    /// The encoded layers the campaign injects into.
+    pub stored: Vec<StoredLayer>,
+    /// Cell technology the fault maps are built for.
+    pub tech: CellTechnology,
+    /// Sense-amp model (offset folded into the fault maps).
+    pub sa: SenseAmp,
+    /// The accuracy evaluator (shared across resubmissions).
+    pub eval: Arc<dyn AccuracyEval + Send + Sync>,
+}
+
+impl fmt::Debug for CampaignJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CampaignJob")
+            .field("campaign", &self.campaign)
+            .field("layers", &self.stored.len())
+            .field("tech", &self.tech)
+            .finish()
+    }
+}
+
+/// Where a stream is in its lifecycle (DESIGN.md §15):
+/// `Submitted → Running → {Done, Cancelled, Quarantined, Evicted,
+/// Failed}`. Every non-`Submitted`/`Running` state is terminal; a
+/// terminal stream id may be resubmitted (that is how eviction resume
+/// works — the fresh run picks up the spool checkpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamState {
+    /// Accepted and queued; not yet running.
+    Submitted,
+    /// Executing on a runner thread.
+    Running,
+    /// Ran its full budget (or early-stopped) successfully.
+    Done,
+    /// Cancelled by the caller; partial result, spool file retained.
+    Cancelled,
+    /// The watchdog saw no evaluator progress within the deadline and
+    /// fired the stream's cancel token. Partial result once the stalled
+    /// thread drains; the slot was reclaimed immediately.
+    Quarantined,
+    /// Removed to protect the service (disk-full during checkpointing,
+    /// or supervisor shutdown). The spool snapshot — if any — survives;
+    /// resubmitting the stream resumes it byte-identically.
+    Evicted,
+    /// The engine returned a typed error (bad configuration, exhausted
+    /// checkpoint retries, …).
+    Failed,
+}
+
+impl StreamState {
+    /// Whether the stream still occupies admission capacity.
+    pub fn is_active(self) -> bool {
+        matches!(self, Self::Submitted | Self::Running)
+    }
+
+    /// Whether the stream reached a final state ([`crate::Supervisor`]'s
+    /// `wait` returns once this is true).
+    pub fn is_terminal(self) -> bool {
+        !self.is_active()
+    }
+}
+
+impl fmt::Display for StreamState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Submitted => "submitted",
+            Self::Running => "running",
+            Self::Done => "done",
+            Self::Cancelled => "cancelled",
+            Self::Quarantined => "quarantined",
+            Self::Evicted => "evicted",
+            Self::Failed => "failed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A stream's publicly visible condition: its state plus whatever the
+/// engine produced. `result` is present for `Done` and for the partial
+/// outcomes of `Cancelled`/`Quarantined` (once the job drained) and
+/// may accompany `Evicted`; `error` carries the typed engine error for
+/// `Failed` and the disk-full detail for `Evicted`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStatus {
+    /// Lifecycle state.
+    pub state: StreamState,
+    /// The campaign result, when one exists (full or partial).
+    pub result: Option<CampaignResult>,
+    /// The typed engine error that ended the stream, if any.
+    pub error: Option<EngineError>,
+}
+
+impl StreamStatus {
+    pub(crate) fn submitted() -> Self {
+        Self {
+            state: StreamState::Submitted,
+            result: None,
+            error: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_ids_validate_as_spool_stems() {
+        let long_ok = "x".repeat(64);
+        let long_bad = "x".repeat(65);
+        for ok in ["s1", "vgg12-sweep.3", "A_b-c.d", long_ok.as_str()] {
+            assert!(StreamId::new(ok).is_ok(), "{ok:?}");
+        }
+        for bad in [
+            "",
+            ".hidden",
+            "a/b",
+            "a\\b",
+            "sp ace",
+            "nul\0",
+            "../escape",
+            long_bad.as_str(),
+        ] {
+            let err = StreamId::new(bad).expect_err("invalid id must be rejected");
+            assert!(matches!(err, Rejected::InvalidStreamId { .. }), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn spool_path_is_id_dot_ckpt() {
+        let id = StreamId::new("job-7").expect("valid id");
+        assert_eq!(
+            id.spool_path(Path::new("/spool")),
+            PathBuf::from("/spool/job-7.ckpt")
+        );
+    }
+
+    #[test]
+    fn state_machine_classifies_terminal_states() {
+        use StreamState::*;
+        for s in [Submitted, Running] {
+            assert!(s.is_active());
+            assert!(!s.is_terminal());
+        }
+        for s in [Done, Cancelled, Quarantined, Evicted, Failed] {
+            assert!(s.is_terminal());
+            assert!(!s.is_active());
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! The campaign supervisor: a long-running service multiplexing many
+//! concurrent Monte-Carlo campaign streams over the faultsim engine.
+//!
+//! The paper's design-space exploration is a batch job; this crate
+//! turns it into a *service*. A [`Supervisor`] owns a job table keyed
+//! by stream id and an event-loop thread selecting over {submit,
+//! cancel, evict, job completion, watchdog tick, shutdown}. Admission
+//! is bounded end to end — a bounded event channel plus a hard cap on
+//! in-flight streams — so overload surfaces as the typed
+//! [`Rejected::QueueFull`] instead of unbounded queue growth.
+//!
+//! Robustness applies the paper's error-mitigation philosophy to the
+//! harness itself:
+//!
+//! - every stream checkpoints to its own spool file through the
+//!   [`maxnvm_faultsim::CheckpointStore`] abstraction, with bounded
+//!   retry + exponential backoff on transient I/O
+//!   ([`maxnvm_faultsim::RetryPolicy`]);
+//! - disk-full ([`EngineError::CheckpointDiskFull`]) **evicts** the
+//!   stream — its previous snapshot stays resumable — instead of
+//!   retrying hopelessly;
+//! - a corrupt/torn spool snapshot self-heals: the supervisor discards
+//!   it and reruns the stream from scratch (same bytes by D1);
+//! - a per-stream watchdog cancels-and-quarantines stalled jobs via
+//!   the engine's [`maxnvm_faultsim::CancelToken`], degrading to a
+//!   clean partial [`maxnvm_faultsim::CampaignResult`] instead of
+//!   wedging a slot forever;
+//! - SIGKILL at any instant loses nothing durable: on restart,
+//!   resubmitting a stream resumes its spool checkpoint and produces a
+//!   result byte-identical to an uninterrupted run (determinism
+//!   contract D1 — locked by the kill-and-resume test).
+//!
+//! The state machine (DESIGN.md §15):
+//! `submitted → running → {done, cancelled, quarantined, evicted,
+//! failed}`.
+//!
+//! [`EngineError`]: maxnvm_faultsim::EngineError
+
+mod config;
+mod error;
+mod job;
+mod supervisor;
+
+pub use config::{
+    env_watchdog_secs, parse_watchdog_secs, SupervisorConfig, DEFAULT_WATCHDOG, WATCHDOG_ENV,
+};
+pub use error::Rejected;
+pub use job::{CampaignJob, StreamId, StreamState, StreamStatus};
+pub use supervisor::{spooled_streams, Supervisor};

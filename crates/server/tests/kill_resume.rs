@@ -1,0 +1,118 @@
+//! Kill-and-resume at service scale: a child process running a
+//! supervisor with 24 active streams is SIGKILLed mid-flight; a fresh
+//! supervisor over the same spool directory resumes every stream by
+//! resubmission, and each result is byte-identical to an uninterrupted
+//! run (determinism contract D1 under process death).
+
+mod common;
+
+use common::{direct, job, slow_job, temp_spool};
+use maxnvm_server::{spooled_streams, StreamState, Supervisor, SupervisorConfig};
+use std::time::{Duration, Instant};
+
+const SPOOL_ENV: &str = "MAXNVM_SERVER_CHILD_SPOOL";
+const STREAMS: u64 = 24;
+const SEED_BASE: u64 = 900;
+
+fn stream_name(seed: u64) -> String {
+    format!("kr-{seed}")
+}
+
+/// Child half: a supervisor over the spool directory from the
+/// environment, all streams submitted with a slowed evaluator and
+/// per-trial checkpointing, then blocked in `wait` — the parent kills
+/// the process without warning. Ignored unless re-executed by
+/// `sigkilled_supervisor_resumes_every_stream_byte_identical`.
+#[test]
+#[ignore = "child process entry point for the kill-and-resume test"]
+fn child_supervisor_runner() {
+    let Ok(spool) = std::env::var(SPOOL_ENV) else {
+        return;
+    };
+    let config = SupervisorConfig::new(&spool)
+        .max_running(4)
+        .max_inflight(STREAMS as usize)
+        .checkpoint_every(1)
+        .watchdog(Duration::from_secs(120));
+    let sup = Supervisor::start(config).expect("child supervisor");
+    let ids: Vec<_> = (0..STREAMS)
+        .map(|i| {
+            let seed = SEED_BASE + i;
+            sup.submit(stream_name(seed), slow_job(seed, Duration::from_millis(15)))
+                .expect("child submit")
+        })
+        .collect();
+    for id in &ids {
+        sup.wait(id);
+    }
+}
+
+#[test]
+fn sigkilled_supervisor_resumes_every_stream_byte_identical() {
+    let spool = temp_spool("sigkill");
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = std::process::Command::new(exe)
+        .args([
+            "child_supervisor_runner",
+            "--exact",
+            "--ignored",
+            "--nocapture",
+        ])
+        .env(SPOOL_ENV, &spool)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child");
+    // Wait until several streams have durably checkpointed — the
+    // supervisor is mid-flight with all 24 streams active (4 running,
+    // the rest queued) — then kill it without warning (SIGKILL on unix).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let spooled = spooled_streams(&spool).unwrap_or_default();
+        if spooled.len() >= 3 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child never spooled enough checkpoints ({spooled:?})"
+        );
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("child exited before the kill: {status}");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("kill child");
+    let _ = child.wait();
+    // "Restart" the service: a fresh supervisor over the same spool
+    // directory. Every surviving spool file names a resumable stream;
+    // resubmitting each job resumes its checkpoint (streams the child
+    // never started simply run from scratch). Either way, the result
+    // must be byte-identical to an uninterrupted run.
+    let spooled = spooled_streams(&spool).expect("spool listing");
+    assert!(!spooled.is_empty(), "the kill must leave spooled streams");
+    for stem in &spooled {
+        assert!(stem.starts_with("kr-"), "foreign spool file {stem}");
+    }
+    let sup = Supervisor::start(
+        SupervisorConfig::new(&spool)
+            .max_running(4)
+            .max_inflight(STREAMS as usize),
+    )
+    .expect("restart supervisor");
+    let ids: Vec<_> = (0..STREAMS)
+        .map(|i| {
+            let seed = SEED_BASE + i;
+            sup.submit(stream_name(seed), job(seed)).expect("resubmit")
+        })
+        .collect();
+    for (id, i) in ids.iter().zip(0..STREAMS) {
+        let seed = SEED_BASE + i;
+        let status = sup.wait(id).expect("known stream");
+        assert_eq!(status.state, StreamState::Done, "{id}: {:?}", status.error);
+        assert_eq!(status.result.expect("result"), direct(seed), "{id}");
+    }
+    // Every resumed stream completed, so no spool files remain.
+    assert!(spooled_streams(&spool).expect("spool listing").is_empty());
+    sup.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}

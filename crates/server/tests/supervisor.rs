@@ -1,0 +1,318 @@
+//! The supervisor end to end: bounded typed admission, byte-identical
+//! stream results, cooperative cancellation, watchdog quarantine,
+//! disk-full eviction with resumable spools, shutdown-evicted streams
+//! resuming in a fresh supervisor, and D1 byte-identity under a
+//! deterministic fault-injecting checkpoint store.
+
+mod common;
+
+use common::{direct, job, slow_job, temp_spool};
+use maxnvm_faultsim::checkpoint::{FaultPlan, FaultyStore, RetryPolicy};
+use maxnvm_faultsim::EngineError;
+use maxnvm_server::{spooled_streams, Rejected, StreamState, Supervisor, SupervisorConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The deterministic fault seed for injection tests: CI's
+/// `fault-injection` job sweeps it; locally it defaults to a fixed
+/// value so runs stay reproducible.
+fn fault_seed() -> u64 {
+    std::env::var("MAXNVM_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(42)
+}
+
+/// Polls `status` until the stream carries a result (the runner thread
+/// may drain slightly after the state turns terminal).
+fn wait_for_result(sup: &Supervisor, id: &maxnvm_server::StreamId) -> maxnvm_server::StreamStatus {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let status = sup.wait(id).expect("known stream");
+        if status.result.is_some() || status.error.is_some() {
+            return status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stream never drained: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn concurrent_streams_complete_byte_identical_to_direct_runs() {
+    let spool = temp_spool("byte-identical");
+    let sup = Supervisor::start(SupervisorConfig::new(&spool).max_running(3)).expect("start");
+    let seeds: Vec<u64> = (0..8).map(|i| 100 + i).collect();
+    let ids: Vec<_> = seeds
+        .iter()
+        .map(|&s| sup.submit(format!("stream-{s}"), job(s)).expect("submit"))
+        .collect();
+    for (id, &seed) in ids.iter().zip(&seeds) {
+        let status = sup.wait(id).expect("known stream");
+        assert_eq!(status.state, StreamState::Done, "{id}: {:?}", status.error);
+        assert_eq!(status.result.expect("result"), direct(seed), "{id}");
+    }
+    // Completed streams leave no spool files behind.
+    assert_eq!(
+        spooled_streams(&spool).expect("spool listing"),
+        Vec::<String>::new()
+    );
+    sup.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn admission_is_bounded_and_typed() {
+    let spool = temp_spool("admission");
+    let config = SupervisorConfig::new(&spool)
+        .max_running(1)
+        .max_inflight(3)
+        .watchdog(Duration::from_secs(120));
+    let sup = Supervisor::start(config).expect("start");
+    let slow = Duration::from_millis(30);
+    let s1 = sup.submit("s1", slow_job(1, slow)).expect("s1");
+    let s2 = sup.submit("s2", slow_job(2, slow)).expect("s2");
+    // An *active* duplicate is rejected as such.
+    assert_eq!(
+        sup.submit("s1", slow_job(1, slow)).expect_err("dup"),
+        Rejected::DuplicateStream { id: "s1".into() }
+    );
+    let s3 = sup.submit("s3", slow_job(3, slow)).expect("s3");
+    // In-flight bound hit: typed QueueFull, nothing queued.
+    assert_eq!(
+        sup.submit("s4", slow_job(4, slow)).expect_err("full"),
+        Rejected::QueueFull { capacity: 3 }
+    );
+    assert!(sup
+        .status(&maxnvm_server::StreamId::new("s4").expect("id"))
+        .is_none());
+    // Invalid ids never reach the queue.
+    for bad in ["", "../escape", "a b", ".hidden"] {
+        assert!(matches!(
+            sup.submit(bad, job(9)).expect_err("invalid id"),
+            Rejected::InvalidStreamId { .. }
+        ));
+    }
+    for id in [&s1, &s2, &s3] {
+        let status = sup.wait(id).expect("known stream");
+        assert_eq!(status.state, StreamState::Done);
+    }
+    // With every stream terminal, capacity is free again and a terminal
+    // id may be resubmitted (the resume path).
+    sup.submit("s1", job(1)).expect("terminal id resubmits");
+    sup.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn cancelled_stream_degrades_to_a_clean_partial_result() {
+    let spool = temp_spool("cancel");
+    let config = SupervisorConfig::new(&spool).watchdog(Duration::from_secs(120));
+    let sup = Supervisor::start(config).expect("start");
+    let id = sup
+        .submit("c1", slow_job(5, Duration::from_millis(40)))
+        .expect("submit");
+    // Let it start, then cancel mid-run.
+    std::thread::sleep(Duration::from_millis(120));
+    assert!(sup.cancel(&id));
+    let status = wait_for_result(&sup, &id);
+    assert_eq!(status.state, StreamState::Cancelled);
+    let partial = status.result.expect("partial result");
+    assert!(partial.cancelled);
+    assert!(partial.completed_trials < partial.requested_trials);
+    // The completed prefix keeps its per-trial streams (D1): it matches
+    // the uninterrupted run's leading trials exactly.
+    let truth = direct(5);
+    assert_eq!(partial.errors, truth.errors[..partial.completed_trials]);
+    // Cancelling a terminal stream is a no-op.
+    assert!(!sup.cancel(&id));
+    sup.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn watchdog_quarantines_a_stalled_stream_and_frees_its_slot() {
+    let spool = temp_spool("watchdog");
+    let config = SupervisorConfig::new(&spool)
+        .max_running(1)
+        .watchdog(Duration::from_millis(80));
+    let sup = Supervisor::start(config).expect("start");
+    // Each evaluation stalls for 400 ms >> the 80 ms deadline: the
+    // watchdog sees no progress and fires the stream's cancel token.
+    let id = sup
+        .submit("stall", slow_job(6, Duration::from_millis(400)))
+        .expect("submit");
+    let status = sup.wait(&id).expect("known stream");
+    assert_eq!(status.state, StreamState::Quarantined);
+    // The slot was reclaimed immediately: a healthy stream completes
+    // while the stalled one is still draining.
+    let healthy = sup.submit("healthy", job(7)).expect("submit");
+    let done = sup.wait(&healthy).expect("known stream");
+    assert_eq!(done.state, StreamState::Done, "{:?}", done.error);
+    assert_eq!(done.result.expect("result"), direct(7));
+    // Once the stalled thread drains, the quarantined stream carries a
+    // clean partial result (the token cut it between trials).
+    let drained = wait_for_result(&sup, &id);
+    assert_eq!(drained.state, StreamState::Quarantined);
+    let partial = drained.result.expect("partial result");
+    assert!(partial.cancelled);
+    assert!(partial.completed_trials < partial.requested_trials);
+    sup.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn disk_full_evicts_the_stream_and_resubmission_completes() {
+    let spool = temp_spool("disk-full");
+    // Every checkpoint write hits a full disk.
+    let full = FaultPlan {
+        io_error: 0.0,
+        torn_write: 0.0,
+        disk_full: 1.0,
+        slow_write: None,
+    };
+    let config = SupervisorConfig::new(&spool)
+        .checkpoint_every(1)
+        .with_store(Arc::new(FaultyStore::new(fault_seed(), full)))
+        .with_retry(RetryPolicy::new(2));
+    let sup = Supervisor::start(config).expect("start");
+    let id = sup.submit("evictee", job(11)).expect("submit");
+    let status = sup.wait(&id).expect("known stream");
+    // Disk-full is not retried: the stream is evicted with the typed
+    // error (and the offending path) attached.
+    assert_eq!(status.state, StreamState::Evicted);
+    match status.error.expect("typed error") {
+        EngineError::CheckpointDiskFull { path, .. } => {
+            assert!(path.contains("evictee.ckpt"), "{path}")
+        }
+        other => panic!("expected CheckpointDiskFull, got {other}"),
+    }
+    sup.shutdown();
+    // The operator frees space (here: a supervisor over a healthy
+    // store); resubmitting the evicted stream completes byte-identically.
+    let sup = Supervisor::start(SupervisorConfig::new(&spool)).expect("restart");
+    let id = sup.submit("evictee", job(11)).expect("resubmit");
+    let status = sup.wait(&id).expect("known stream");
+    assert_eq!(status.state, StreamState::Done, "{:?}", status.error);
+    assert_eq!(status.result.expect("result"), direct(11));
+    sup.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn shutdown_evicts_in_flight_streams_and_a_fresh_supervisor_resumes_them() {
+    let spool = temp_spool("shutdown-resume");
+    let config = SupervisorConfig::new(&spool)
+        .max_running(1)
+        .checkpoint_every(1)
+        .watchdog(Duration::from_secs(120));
+    let sup = Supervisor::start(config).expect("start");
+    let seeds = [21u64, 22, 23];
+    let ids: Vec<_> = seeds
+        .iter()
+        .map(|&s| {
+            sup.submit(format!("sd-{s}"), slow_job(s, Duration::from_millis(25)))
+                .expect("submit")
+        })
+        .collect();
+    // Wait until the running stream has durably checkpointed at least
+    // one trial, then shut down with work still in flight.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while spooled_streams(&spool).expect("listing").is_empty() {
+        assert!(Instant::now() < deadline, "no checkpoint ever appeared");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let table = sup.shutdown();
+    for id in &ids {
+        let state = table.get(id).expect("tracked").state;
+        assert!(
+            matches!(state, StreamState::Evicted | StreamState::Done),
+            "{id}: {state}"
+        );
+    }
+    assert!(
+        table.values().any(|s| s.state == StreamState::Evicted),
+        "shutdown landed after everything finished; nothing was evicted"
+    );
+    // Restart: the spool directory names the resumable streams; a fresh
+    // supervisor picks each one up (checkpointed or not) and every
+    // result is byte-identical to an uninterrupted run.
+    let listed = spooled_streams(&spool).expect("listing");
+    for stem in &listed {
+        assert!(
+            seeds.iter().any(|s| stem == &format!("sd-{s}")),
+            "foreign spool file {stem}"
+        );
+    }
+    let sup = Supervisor::start(SupervisorConfig::new(&spool)).expect("restart");
+    for (id, &seed) in ids.iter().zip(&seeds) {
+        if table.get(id).expect("tracked").state == StreamState::Done {
+            continue;
+        }
+        let resumed = sup.submit(id.as_str(), job(seed)).expect("resubmit");
+        let status = sup.wait(&resumed).expect("known stream");
+        assert_eq!(status.state, StreamState::Done, "{id}: {:?}", status.error);
+        assert_eq!(status.result.expect("result"), direct(seed), "{id}");
+    }
+    sup.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn fault_injected_checkpointing_preserves_byte_identity() {
+    // The whole point of the robustness layer: under seeded I/O faults
+    // (transient errors, torn writes) every stream either completes
+    // byte-identically or fails *typed* — and a failed stream resumed by
+    // resubmission still converges to the exact uninterrupted bytes.
+    let spool = temp_spool("fault-injected");
+    let seeds: Vec<u64> = (0..6).map(|i| 300 + i).collect();
+    let config = SupervisorConfig::new(&spool)
+        .max_running(2)
+        .checkpoint_every(1)
+        .with_store(Arc::new(FaultyStore::new(fault_seed(), FaultPlan::flaky())))
+        .with_retry(RetryPolicy {
+            retries: 3,
+            base_delay: Duration::from_millis(1),
+        });
+    let sup = Supervisor::start(config).expect("start");
+    for &seed in &seeds {
+        let name = format!("fi-{seed}");
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            assert!(attempts <= 50, "stream {name} never converged");
+            let id = match sup.submit(&name, job(seed)) {
+                Ok(id) => id,
+                Err(Rejected::DuplicateStream { .. }) => unreachable!("waited to terminal"),
+                Err(other) => panic!("unexpected rejection: {other}"),
+            };
+            let status = sup.wait(&id).expect("known stream");
+            match status.state {
+                StreamState::Done => {
+                    assert_eq!(status.result.expect("result"), direct(seed), "{name}");
+                    break;
+                }
+                // Exhausted retries (CheckpointIo → Failed) or injected
+                // disk-full (→ Evicted): typed, never silent — resubmit
+                // and let the spool snapshot (possibly torn, then
+                // self-healed) carry the stream forward.
+                StreamState::Failed | StreamState::Evicted => {
+                    let err = status.error.expect("typed error");
+                    assert!(
+                        matches!(
+                            err,
+                            EngineError::CheckpointIo { .. }
+                                | EngineError::CheckpointDiskFull { .. }
+                        ),
+                        "untyped failure for {name}: {err}"
+                    );
+                }
+                other => panic!("unexpected terminal state for {name}: {other}"),
+            }
+        }
+    }
+    sup.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}

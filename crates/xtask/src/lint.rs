@@ -729,6 +729,53 @@ mod tests {
     }
 
     #[test]
+    fn server_and_checkpoint_modules_have_the_right_scan_status() {
+        // The checkpoint substrate (stores, retry, parsing) feeds
+        // resumed campaign results, so it must stay under the full D1
+        // scan. The supervisor crate is service plumbing — its watchdog
+        // legitimately reads wall clocks — so it must be *in* the scan
+        // (D2 no-panic still applies) but *not* result-affecting.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files: Vec<String> = workspace_sources(&root)
+            .iter()
+            .map(|p| {
+                p.strip_prefix(&root)
+                    .unwrap_or(p)
+                    .to_string_lossy()
+                    .replace('\\', "/")
+            })
+            .collect();
+        for rel in [
+            "crates/faultsim/src/checkpoint.rs",
+            "crates/server/src/supervisor.rs",
+            "crates/server/src/config.rs",
+            "crates/server/src/job.rs",
+        ] {
+            assert!(
+                files.iter().any(|f| f == rel),
+                "{rel} missing from the lint scan"
+            );
+        }
+        assert!(is_result_affecting("crates/faultsim/src/checkpoint.rs"));
+        assert!(!is_result_affecting("crates/server/src/supervisor.rs"));
+        // D2 holds for the server crate even though it is D1-exempt.
+        let r = lint_str(
+            "crates/server/src/supervisor.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); }\n",
+        );
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "D2/unwrap");
+        // And Instant stays banned where it matters: the checkpoint
+        // module retries with Duration arithmetic only.
+        let r = lint_str(
+            "crates/faultsim/src/checkpoint.rs",
+            "use std::time::Instant;\n",
+        );
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "D1/wallclock");
+    }
+
+    #[test]
     fn json_report_is_well_formed_enough() {
         let r = lint_str(
             "crates/envm/src/x.rs",
