@@ -11,8 +11,14 @@ use std::time::Duration;
 pub const WATCHDOG_ENV: &str = "MAXNVM_WATCHDOG_SECS";
 
 /// Watchdog deadline when `MAXNVM_WATCHDOG_SECS` is unset: a stream
-/// whose evaluator makes no progress for this long is
-/// cancelled-and-quarantined.
+/// that makes no progress — no evaluator call and no checkpoint-store
+/// I/O attempt — for this long is cancelled-and-quarantined. The
+/// default comfortably exceeds the worst single silent gap a healthy
+/// stream can produce: one capped retry backoff
+/// (`RETRY_BASE_DELAY · 2¹⁰` ≈ 10 s) plus the I/O attempt around it.
+/// An override must also cover a stream's pre-first-eval setup
+/// (snapshot parse, fault-map build), which only the spawn timestamp
+/// covers.
 pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
 
 /// Parses a `MAXNVM_WATCHDOG_SECS` override: a positive integer number
@@ -72,9 +78,11 @@ pub struct SupervisorConfig {
     /// Hard cap on streams in flight (queued + running); admission
     /// beyond it is [`crate::Rejected::QueueFull`].
     pub max_inflight: usize,
-    /// Per-stream watchdog: no evaluator progress for this long
-    /// cancels-and-quarantines the stream. Default honours
-    /// `MAXNVM_WATCHDOG_SECS`.
+    /// Per-stream watchdog: no progress (evaluator calls and
+    /// checkpoint-store I/O attempts both count) for this long
+    /// cancels-and-quarantines the stream. Must exceed the longest
+    /// single retry backoff and the stream's pre-first-eval setup; see
+    /// [`DEFAULT_WATCHDOG`]. Default honours `MAXNVM_WATCHDOG_SECS`.
     pub watchdog: Duration,
     /// Event-loop tick (watchdog scan cadence, and the upper bound on
     /// how stale a watchdog decision can be).

@@ -12,7 +12,7 @@ use crate::config::SupervisorConfig;
 use crate::error::Rejected;
 use crate::job::{CampaignJob, StreamId, StreamState, StreamStatus};
 use maxnvm_dnn::network::{LayerMatrix, WeightDelta};
-use maxnvm_faultsim::checkpoint::CheckpointConfig;
+use maxnvm_faultsim::checkpoint::{CheckpointConfig, CheckpointStore};
 use maxnvm_faultsim::evaluate::{AccuracyEval, EvalScratch, SparseModel};
 use maxnvm_faultsim::{CampaignResult, CancelToken, EngineError, RunControl};
 use parking_lot::{Condvar, Mutex};
@@ -77,6 +77,46 @@ impl AccuracyEval for HeartbeatEval {
     }
 }
 
+/// Wraps a job's checkpoint store so every snapshot I/O attempt — the
+/// resume-time load, each retry attempt inside the backoff loop, the
+/// self-heal removal — bumps the same progress counter the evaluator
+/// does. Without it, a stream riding out transient spool faults (whose
+/// per-attempt backoff can dwarf the eval cadence) would look stalled
+/// to the watchdog and be spuriously quarantined.
+#[derive(Debug)]
+struct HeartbeatStore {
+    inner: Arc<dyn CheckpointStore>,
+    beats: Arc<AtomicU64>,
+}
+
+impl HeartbeatStore {
+    fn beat(&self) {
+        self.beats.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl CheckpointStore for HeartbeatStore {
+    fn write_atomic(&self, path: &Path, text: &str) -> Result<(), EngineError> {
+        self.beat();
+        self.inner.write_atomic(path, text)
+    }
+
+    fn read(&self, path: &Path) -> Result<String, EngineError> {
+        self.beat();
+        self.inner.read(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.beat();
+        self.inner.exists(path)
+    }
+
+    fn remove(&self, path: &Path) -> Result<(), EngineError> {
+        self.beat();
+        self.inner.remove(path)
+    }
+}
+
 /// Messages into the event loop. Client-facing sends go through the
 /// bounded channel, so a wedged loop turns into backpressure at the
 /// API, never unbounded queue growth.
@@ -93,6 +133,10 @@ enum Event {
     },
     Done {
         id: StreamId,
+        /// The generation of the runner reporting in; a `Done` whose
+        /// generation does not match the live [`Running`] entry is
+        /// stale and must not touch the current run.
+        gen: u64,
         outcome: Result<CampaignResult, EngineError>,
     },
     Shutdown,
@@ -118,6 +162,9 @@ impl Shared {
 
 /// A stream currently on a runner thread.
 struct Running {
+    /// Monotonic per-spawn generation; pairs this entry with the `Done`
+    /// event of exactly the runner it describes.
+    gen: u64,
     token: CancelToken,
     beats: Arc<AtomicU64>,
     last_beat: u64,
@@ -191,13 +238,16 @@ impl Supervisor {
     /// Resubmitting a *terminal* stream id is allowed and is the resume
     /// path: the fresh run picks up the stream's spool checkpoint (if
     /// one survived) and completes byte-identically to an uninterrupted
-    /// run.
+    /// run. A quarantined id resubmitted while its stalled runner is
+    /// still draining is accepted but deferred — the fresh run starts
+    /// only once the old runner exits, so two runners never share one
+    /// spool file.
     pub fn submit(&self, id: impl Into<String>, job: CampaignJob) -> Result<StreamId, Rejected> {
         let id = StreamId::new(id)?;
         if self.shared.shutting_down.load(Ordering::Acquire) {
             return Err(Rejected::ShuttingDown);
         }
-        {
+        let prev = {
             let mut table = self.shared.table.lock();
             let active = table.values().filter(|s| s.state.is_active()).count();
             if active >= self.capacity {
@@ -210,16 +260,29 @@ impl Supervisor {
                     id: id.as_str().to_string(),
                 });
             }
-            table.insert(id.clone(), StreamStatus::submitted());
-        }
+            table.insert(id.clone(), StreamStatus::submitted())
+        };
         match self.tx.try_send(Event::Submit {
             id: id.clone(),
             job,
         }) {
             Ok(()) => Ok(id),
             Err(e) => {
-                // Roll the reservation back; the stream never existed.
-                self.shared.table.lock().remove(&id);
+                // Roll the reservation back. A first submission never
+                // existed; a failed *re*submission must restore the
+                // prior terminal status — the client may still query
+                // the finished stream — not erase it.
+                {
+                    let mut table = self.shared.table.lock();
+                    match prev {
+                        Some(prior) => {
+                            table.insert(id.clone(), prior);
+                        }
+                        None => {
+                            table.remove(&id);
+                        }
+                    }
+                }
                 self.shared.cond.notify_all();
                 match e {
                     TrySendError::Full(_) => Err(Rejected::QueueFull {
@@ -331,6 +394,13 @@ fn run_stream(
     token: CancelToken,
     beats: Arc<AtomicU64>,
 ) -> Result<CampaignResult, EngineError> {
+    // Both the evaluator and the checkpoint store feed the same
+    // liveness counter: a stream deep in retry backoff (or loading a
+    // large snapshot at resume) is making progress, not stalling.
+    let store: Arc<dyn CheckpointStore> = Arc::new(HeartbeatStore {
+        inner: Arc::clone(&config.store),
+        beats: Arc::clone(&beats),
+    });
     let eval = HeartbeatEval {
         inner: Arc::clone(&job.eval),
         beats,
@@ -340,7 +410,7 @@ fn run_stream(
         checkpoint: Some(
             CheckpointConfig::new(spool)
                 .every(config.checkpoint_every)
-                .with_store(Arc::clone(&config.store))
+                .with_store(Arc::clone(&store))
                 .with_retry(config.retry.clone()),
         ),
         ..RunControl::default()
@@ -354,7 +424,7 @@ fn run_stream(
             // The spool file is torn or belongs to a different
             // configuration of this stream id. It cannot help and can
             // only block the stream: discard and run clean.
-            config.store.remove(spool)?;
+            store.remove(spool)?;
             run()
         }
         other => other,
@@ -369,6 +439,7 @@ fn event_loop(
 ) {
     let mut queue: VecDeque<(StreamId, CampaignJob)> = VecDeque::new();
     let mut running: BTreeMap<StreamId, Running> = BTreeMap::new();
+    let mut next_gen: u64 = 0;
     let mut shutting_down = false;
     let mut shutdown_deadline: Option<Instant> = None;
     loop {
@@ -402,19 +473,46 @@ fn event_loop(
                     }
                 }
             }
-            Ok(Event::Done { id, outcome }) => {
+            Ok(Event::Done { id, gen, outcome }) => {
                 if let Some(r) = running.remove(&id) {
-                    let state = terminal_state(&r, &outcome);
-                    shared.set(&id, |s| {
-                        s.state = state;
-                        match outcome {
-                            Ok(result) => s.result = Some(result),
-                            Err(e) => s.error = Some(e),
-                        }
-                    });
-                    // The runner sent Done as its last act; join is
-                    // immediate (or the thread is in its epilogue).
-                    let _ = r.handle.join();
+                    if r.gen != gen {
+                        // A Done from a superseded runner generation.
+                        // `start_queued` defers restarting an id whose
+                        // old runner has not drained, so this is pure
+                        // defense in depth: put the live entry back and
+                        // drop the stale outcome.
+                        running.insert(id, r);
+                    } else if r.quarantined {
+                        // The quarantine decision was published as the
+                        // terminal state when the watchdog fired; it is
+                        // never rewritten — even for an error drain.
+                        // Attach the drained partial outcome only while
+                        // the table entry still belongs to this run: a
+                        // resubmission of the terminal id replaces the
+                        // entry, and this stale outcome must not
+                        // clobber the new run's status.
+                        shared.set(&id, |s| {
+                            if s.state == StreamState::Quarantined {
+                                match outcome {
+                                    Ok(result) => s.result = Some(result),
+                                    Err(e) => s.error = Some(e),
+                                }
+                            }
+                        });
+                        // The runner sent Done as its last act; join is
+                        // immediate (or the thread is in its epilogue).
+                        let _ = r.handle.join();
+                    } else {
+                        let state = terminal_state(&r, &outcome);
+                        shared.set(&id, |s| {
+                            s.state = state;
+                            match outcome {
+                                Ok(result) => s.result = Some(result),
+                                Err(e) => s.error = Some(e),
+                            }
+                        });
+                        let _ = r.handle.join();
+                    }
                 }
             }
             Ok(Event::Shutdown) => {
@@ -431,13 +529,23 @@ fn event_loop(
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
-            // All senders gone can only mean the API handle was dropped
-            // without shutdown; treat as shutdown.
+            // Unreachable while the loop runs — it holds a sender clone
+            // itself (`tx`, also cloned into every runner) — but kept
+            // as a defensive exit rather than a busy branch if that
+            // ever changes. A dropped API handle without an explicit
+            // shutdown is covered by `Supervisor`'s `Drop`.
             Err(RecvTimeoutError::Disconnected) => break,
         }
         watchdog_scan(&config, &shared, &mut running);
         if !shutting_down {
-            start_queued(&config, &shared, &tx, &mut queue, &mut running);
+            start_queued(
+                &config,
+                &shared,
+                &tx,
+                &mut queue,
+                &mut running,
+                &mut next_gen,
+            );
         }
         if shutting_down {
             if running.is_empty() {
@@ -464,31 +572,34 @@ fn event_loop(
 }
 
 /// The terminal state for a drained runner: an explicit
-/// cancel/evict/quarantine decision wins over the natural outcome;
-/// disk-full is always an eviction (the previous snapshot is still
-/// resumable); any other engine error is a failure.
+/// quarantine/cancel/evict decision wins over the natural outcome —
+/// including error outcomes, so a state a client may already have
+/// observed as terminal (quarantine publishes immediately) is never
+/// rewritten; absent a decision, disk-full is an eviction (the
+/// previous snapshot is still resumable) and any other engine error is
+/// a failure.
 fn terminal_state(r: &Running, outcome: &Result<CampaignResult, EngineError>) -> StreamState {
+    if r.quarantined {
+        return StreamState::Quarantined;
+    }
+    if let Some(state) = r.override_state {
+        return state;
+    }
     match outcome {
-        Ok(result) => {
-            if r.quarantined {
-                StreamState::Quarantined
-            } else if let Some(state) = r.override_state {
-                state
-            } else if result.cancelled {
-                StreamState::Cancelled
-            } else {
-                StreamState::Done
-            }
-        }
+        Ok(result) if result.cancelled => StreamState::Cancelled,
+        Ok(_) => StreamState::Done,
         Err(EngineError::CheckpointDiskFull { .. }) => StreamState::Evicted,
         Err(_) => StreamState::Failed,
     }
 }
 
-/// Fires the watchdog for any running stream whose evaluator has made
-/// no progress within the deadline: cancel its token, mark it
-/// quarantined (terminal for clients; the stalled thread drains
-/// cooperatively), and free its execution slot immediately.
+/// Fires the watchdog for any running stream that has made no progress
+/// — neither an evaluator call nor a checkpoint-store I/O attempt —
+/// within the deadline: cancel its token, mark it quarantined
+/// (terminal for clients; the stalled thread drains cooperatively),
+/// and free its execution slot immediately. The clock starts at spawn,
+/// so the deadline must also cover a stream's pre-first-eval setup
+/// (snapshot parse, fault-map build).
 fn watchdog_scan(
     config: &SupervisorConfig,
     shared: &Shared,
@@ -513,21 +624,35 @@ fn watchdog_scan(
 
 /// Starts queued streams while execution slots are free (quarantined
 /// streams no longer count against the slots).
+///
+/// A queued id whose previous runner is still draining (a quarantined
+/// stream that was resubmitted before its stalled thread exited) is
+/// *deferred*, not started: two runners must never share one spool
+/// file, and the old runner's `Done` must never be mistakable for the
+/// new one's. The deferred stream starts on a later pass, once the old
+/// runner's `Done` retires its `running` entry; later queued streams
+/// are not blocked behind it.
 fn start_queued(
     config: &SupervisorConfig,
     shared: &Shared,
     tx: &SyncSender<Event>,
     queue: &mut VecDeque<(StreamId, CampaignJob)>,
     running: &mut BTreeMap<StreamId, Running>,
+    next_gen: &mut u64,
 ) {
     loop {
         let active = running.values().filter(|r| !r.quarantined).count();
         if active >= config.max_running.max(1) {
             return;
         }
-        let Some((id, job)) = queue.pop_front() else {
+        let Some(pos) = queue.iter().position(|(id, _)| !running.contains_key(id)) else {
             return;
         };
+        let Some((id, job)) = queue.remove(pos) else {
+            return;
+        };
+        let gen = *next_gen;
+        *next_gen = next_gen.wrapping_add(1);
         let token = CancelToken::new();
         let beats = Arc::new(AtomicU64::new(0));
         let spool = id.spool_path(&config.spool_dir);
@@ -545,6 +670,7 @@ fn start_queued(
                 // reported evicted/quarantined.
                 let _ = runner_tx.send(Event::Done {
                     id: runner_id,
+                    gen,
                     outcome,
                 });
             });
@@ -554,6 +680,7 @@ fn start_queued(
                 running.insert(
                     id,
                     Running {
+                        gen,
                         token,
                         beats,
                         last_beat: 0,
@@ -573,5 +700,91 @@ fn start_queued(
                 });
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Rejected;
+    use maxnvm_envm::{CellTechnology, SenseAmp};
+    use maxnvm_faultsim::Campaign;
+
+    /// A do-nothing evaluator; these tests never run a stream.
+    #[derive(Debug)]
+    struct NullEval;
+
+    impl AccuracyEval for NullEval {
+        fn baseline_error(&self) -> f64 {
+            0.0
+        }
+
+        fn eval(&self, _mats: &[LayerMatrix]) -> f64 {
+            0.0
+        }
+    }
+
+    fn null_job() -> CampaignJob {
+        CampaignJob {
+            campaign: Campaign {
+                trials: 1,
+                seed: 0,
+                rate_scale: 1.0,
+            },
+            stored: Vec::new(),
+            tech: CellTechnology::MlcCtt,
+            sa: SenseAmp::paper_default(),
+            eval: Arc::new(NullEval),
+        }
+    }
+
+    /// A supervisor with no event loop and an already-full channel, so
+    /// `try_send` fails deterministically. The receiver is returned so
+    /// the failure is `Full`, not `Disconnected`.
+    fn full_channel_supervisor() -> (Supervisor, Receiver<Event>) {
+        let (tx, rx) = sync_channel::<Event>(1);
+        tx.try_send(Event::Shutdown).expect("fill the only slot");
+        let sup = Supervisor {
+            shared: Arc::new(Shared {
+                table: Mutex::new(BTreeMap::new()),
+                cond: Condvar::new(),
+                shutting_down: AtomicBool::new(false),
+            }),
+            tx,
+            loop_handle: None,
+            capacity: 4,
+        };
+        (sup, rx)
+    }
+
+    #[test]
+    fn failed_enqueue_restores_the_prior_terminal_status() {
+        let (sup, _rx) = full_channel_supervisor();
+        let id = StreamId::new("finished").expect("valid id");
+        let prior = StreamStatus {
+            state: StreamState::Failed,
+            result: None,
+            error: Some(EngineError::Internal {
+                detail: "previous run's terminal error".to_string(),
+            }),
+        };
+        sup.shared.table.lock().insert(id.clone(), prior.clone());
+        // Admission passes (the id is terminal, capacity is free), but
+        // the enqueue fails: the prior terminal status must survive the
+        // rollback, not be erased.
+        let err = sup
+            .submit("finished", null_job())
+            .expect_err("full channel");
+        assert_eq!(err, Rejected::QueueFull { capacity: 4 });
+        assert_eq!(sup.status(&id), Some(prior));
+    }
+
+    #[test]
+    fn failed_enqueue_of_a_new_stream_leaves_no_trace() {
+        let (sup, _rx) = full_channel_supervisor();
+        let err = sup.submit("fresh", null_job()).expect_err("full channel");
+        assert_eq!(err, Rejected::QueueFull { capacity: 4 });
+        let id = StreamId::new("fresh").expect("valid id");
+        assert_eq!(sup.status(&id), None);
     }
 }

@@ -164,6 +164,124 @@ fn watchdog_quarantines_a_stalled_stream_and_frees_its_slot() {
 }
 
 #[test]
+fn resubmitted_quarantined_stream_defers_until_the_old_runner_drains() {
+    let spool = temp_spool("quarantine-resubmit");
+    let config = SupervisorConfig::new(&spool)
+        .max_running(2)
+        .watchdog(Duration::from_millis(300));
+    let sup = Supervisor::start(config).expect("start");
+    // Each evaluation stalls for 450 ms >> the 300 ms deadline, so the
+    // watchdog fires while the first evaluations are still in flight;
+    // the old runner drains only once they finish (~450 ms in).
+    let id = sup
+        .submit("rq", slow_job(33, Duration::from_millis(450)))
+        .expect("submit");
+    let status = sup.wait(&id).expect("known stream");
+    assert_eq!(status.state, StreamState::Quarantined);
+    // Resubmit the terminal id while the stalled runner is still
+    // draining. The resubmitted run is slow enough (100 ms per eval,
+    // well under the deadline) that the old runner's late `Done` lands
+    // mid-run. It must be deferred until the drain (two runners must
+    // never share one spool file) and then complete with its *own*
+    // full result — never the old runner's stale partial outcome, and
+    // never a wedged event loop.
+    let id2 = sup
+        .submit("rq", slow_job(33, Duration::from_millis(100)))
+        .expect("terminal id resubmits");
+    let done = sup.wait(&id2).expect("known stream");
+    assert_eq!(done.state, StreamState::Done, "{:?}", done.error);
+    let result = done.result.expect("result");
+    assert!(!result.cancelled, "stale quarantined outcome leaked");
+    assert_eq!(result, direct(33));
+    // Nothing rewrites the terminal state after the fact.
+    std::thread::sleep(Duration::from_millis(600));
+    let still = sup.status(&id2).expect("known stream");
+    assert_eq!(still.state, StreamState::Done);
+    assert_eq!(still.result.expect("result"), direct(33));
+    sup.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn quarantined_stream_stays_quarantined_when_its_drain_errors() {
+    let spool = temp_spool("quarantine-err-drain");
+    // Every checkpoint write fails transiently with no retry budget, so
+    // the stalled stream's drain ends in Err(CheckpointIo) — which must
+    // not rewrite the already-published quarantine decision to Failed.
+    let always_fail = FaultPlan {
+        io_error: 1.0,
+        torn_write: 0.0,
+        disk_full: 0.0,
+        slow_write: None,
+    };
+    let config = SupervisorConfig::new(&spool)
+        .watchdog(Duration::from_millis(80))
+        .checkpoint_every(1)
+        .with_store(Arc::new(FaultyStore::new(fault_seed(), always_fail)))
+        .with_retry(RetryPolicy::none());
+    let sup = Supervisor::start(config).expect("start");
+    let id = sup
+        .submit("qerr", slow_job(31, Duration::from_millis(400)))
+        .expect("submit");
+    let status = sup.wait(&id).expect("known stream");
+    assert_eq!(status.state, StreamState::Quarantined);
+    let drained = wait_for_result(&sup, &id);
+    assert_eq!(
+        drained.state,
+        StreamState::Quarantined,
+        "terminal quarantine decision was rewritten"
+    );
+    assert!(
+        matches!(drained.error, Some(EngineError::CheckpointIo { .. })),
+        "{:?}",
+        drained.error
+    );
+    sup.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn checkpoint_retry_backoff_is_not_a_watchdog_stall() {
+    let spool = temp_spool("retry-not-stall");
+    // Every write fails transiently; the retry ladder (100 ms · 2^k,
+    // k = 0..3) takes ~1.5 s of backoff with no *evaluator* progress —
+    // but each store attempt beats the same liveness counter, and the
+    // longest silent gap (800 ms) stays under the 1.1 s deadline. The
+    // stream must exhaust its budget and fail typed, not be spuriously
+    // quarantined mid-backoff.
+    let always_fail = FaultPlan {
+        io_error: 1.0,
+        torn_write: 0.0,
+        disk_full: 0.0,
+        slow_write: None,
+    };
+    let config = SupervisorConfig::new(&spool)
+        .checkpoint_every(1)
+        .watchdog(Duration::from_millis(1100))
+        .with_store(Arc::new(FaultyStore::new(fault_seed(), always_fail)))
+        .with_retry(RetryPolicy {
+            retries: 4,
+            base_delay: Duration::from_millis(100),
+        });
+    let sup = Supervisor::start(config).expect("start");
+    let id = sup.submit("backoff", job(41)).expect("submit");
+    let status = wait_for_result(&sup, &id);
+    assert_eq!(
+        status.state,
+        StreamState::Failed,
+        "retry backoff must count as progress: {:?}",
+        status.error
+    );
+    assert!(
+        matches!(status.error, Some(EngineError::CheckpointIo { .. })),
+        "{:?}",
+        status.error
+    );
+    sup.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
 fn disk_full_evicts_the_stream_and_resubmission_completes() {
     let spool = temp_spool("disk-full");
     // Every checkpoint write hits a full disk.
