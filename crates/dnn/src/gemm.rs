@@ -257,6 +257,7 @@ pub fn gemm_into(
 /// # Panics
 ///
 /// Asserts that the slice lengths match the given dimensions.
+// maxnvm-lint: allow(R1/index-arith): entry asserts pin row/b/out to k, k*n, n, so the kk*n..(kk+1)*n panel is in range for every kk < k.
 pub fn gemm_row_into(out: &mut [f32], row: &[f32], b: &[f32], k: usize, n: usize) {
     assert_eq!(row.len(), k, "row length vs k={k}");
     assert_eq!(b.len(), k * n, "rhs length vs {k}x{n}");
@@ -383,6 +384,7 @@ pub fn sparse_gemm_into(
 /// # Panics
 ///
 /// Asserts that the slice lengths match the given dimensions.
+// maxnvm-lint: allow(R1/index-arith): entry asserts pin b.len() to k*n and CSR columns are < k by construction, so the col*n row slice is in range.
 pub fn sparse_row_into(out: &mut [f32], cols: &[u32], vals: &[f32], b: &[f32], k: usize, n: usize) {
     assert_eq!(cols.len(), vals.len(), "sparse row entry mismatch");
     assert_eq!(b.len(), k * n, "rhs length vs {k}x{n}");
@@ -468,6 +470,7 @@ fn gemm_cols(
 /// elides all-zero k panels via the shared `kblocks` census and walks
 /// each row's stored entries with per-range cursors.
 #[allow(clippy::too_many_arguments)]
+// maxnvm-lint: allow(R1/index-arith): column offsets come from the CSR invariant cols[i] < k and the asserted b.len() == k*n, so col*n panels stay in range.
 fn sparse_cols(
     tier: SimdTier,
     cp: SendPtr<f32>,
@@ -530,6 +533,7 @@ fn sparse_cols(
 /// `packed[(strip·kc + kk)·mr + i] = a[ic + strip·mr + i, pc + kk]`,
 /// zero-padded past `mc` so the micro-kernel never branches on edges.
 #[allow(clippy::too_many_arguments)]
+// maxnvm-lint: allow(R1/index-arith): packed is resized to exactly strips*kc*MR before the copy loops; every index is a (strip, row, lane) triple inside those extents.
 fn pack_a(
     packed: &mut Vec<f32>,
     a: &[f32],
@@ -562,6 +566,7 @@ fn pack_a(
 /// `packed[(strip·kc + kk)·nr + j] = b[pc + kk, jc + strip·nr + j]`,
 /// zero-padded past `nc`.
 #[allow(clippy::too_many_arguments)]
+// maxnvm-lint: allow(R1/index-arith): packed is resized to exactly strips*kc*NR before the copy loops; every index is a (strip, row, lane) triple inside those extents.
 fn pack_b(
     packed: &mut Vec<f32>,
     b: &[f32],
@@ -593,6 +598,7 @@ fn pack_b(
 /// the live lanes' chains are identical either way, and padded lanes
 /// multiply packed zeros (a bitwise no-op never stored back).
 #[allow(clippy::too_many_arguments)]
+// maxnvm-lint: allow(R1/index-arith): indexes the packed panels with the same strip/kc/lane extents pack_a/pack_b allocated; the micro-tile loops never exceed them.
 fn macro_kernel(
     tier: SimdTier,
     cp: SendPtr<f32>,

@@ -139,6 +139,7 @@ impl Layer {
     /// # Panics
     ///
     /// Panics if the input shape is incompatible with the layer.
+    // maxnvm-lint: allow(R1/index-arith): every flattening ((ci*h+y)*w+x, o*inp row spans) uses the dims the entry match destructured from the validated input shape, so products stay within data().len().
     pub fn forward(&self, x: &Tensor) -> Tensor {
         match self {
             Layer::Conv2d {
@@ -347,6 +348,7 @@ impl Layer {
     ///
     /// Panics if the samples disagree in shape or are incompatible with
     /// the layer.
+    // maxnvm-lint: allow(R1/index-arith): rhs is resized to k*n in this fn before the k*n+s writes; the row index is asserted < inp and s < n by the sample loop.
     pub fn weight_rhs_into(&self, xs: &[Tensor], rhs: &mut Vec<f32>) -> Option<RhsMeta> {
         let n = xs.len();
         match self {
@@ -471,6 +473,7 @@ impl Layer {
 
     /// Shared tail of the RHS paths: adds the per-row bias to the GEMM
     /// result and splits it into per-sample tensors.
+    // maxnvm-lint: allow(R1/index-arith): meta describes the very buffer forward_from_rhs sized from it, so o*total+s*p+p <= out.len() by construction.
     fn bias_and_split(out: &mut [f32], bias: &[f32], meta: &RhsMeta, n: usize) -> Vec<Tensor> {
         let total = n * meta.per_cols;
         for (o, row) in out.chunks_mut(total).enumerate() {

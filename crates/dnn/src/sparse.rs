@@ -139,6 +139,7 @@ impl SparseMatrix {
     }
 
     /// Row `r`'s entries: ascending column indices and their values.
+    // maxnvm-lint: allow(R1/index-arith): the constructor guarantees rows+1 monotone row_starts entries; an out-of-range r hits the slice bound panic, and r+1 cannot wrap before it does.
     pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
         let (a, b) = (self.row_starts[r] as usize, self.row_starts[r + 1] as usize);
         (&self.col_idx[a..b], &self.values[a..b])
@@ -164,6 +165,7 @@ impl SparseMatrix {
     /// Materializes into a reusable buffer (resized and zero-filled),
     /// so the GEMM density cutover can densify without allocating in
     /// the trial loop.
+    // maxnvm-lint: allow(R1/index-arith): out is resized to rows*cols above and the CSR invariant keeps c < cols, so r*cols+c is in range.
     pub fn to_dense_into(&self, out: &mut Vec<f32>) {
         out.clear();
         out.resize(self.rows * self.cols, 0.0);

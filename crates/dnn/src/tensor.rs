@@ -142,6 +142,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the tensor is not 2-D or indices are out of bounds.
+    // maxnvm-lint: allow(R1/index-arith): shape is asserted 2-D and data.len() == rows*cols, so r*shape[1]+c cannot wrap before the documented out-of-range panic fires.
     pub fn at2(&self, r: usize, c: usize) -> f32 {
         assert_eq!(self.shape.len(), 2, "at2 on non-matrix");
         self.data[r * self.shape[1] + c]
@@ -194,6 +195,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the tensor is not 2-D.
+    // maxnvm-lint: allow(R1/index-arith): r < rows and c < cols from the iteration, and c*rows+r indexes the freshly allocated rows*cols buffer.
     pub fn transpose(&self) -> Tensor {
         assert_eq!(self.shape.len(), 2, "transpose on non-matrix");
         let (m, n) = (self.shape[0], self.shape[1]);
@@ -279,6 +281,7 @@ fn for_each_patch_index(
 /// Panics if `data` does not match `[c, h, w]` or the destination region
 /// `col_offset .. col_offset + out_h*out_w` overflows `dst_cols`.
 #[allow(clippy::too_many_arguments)]
+// maxnvm-lint: allow(R1/index-arith): tap coordinates are bounded by the entry shape asserts and the padding guards that skip out-of-image taps before indexing.
 pub fn im2col_into(
     data: &[f32],
     c: usize,
@@ -349,6 +352,7 @@ pub fn im2col(
 ///
 /// Panics if `cols`' shape is inconsistent with the geometry.
 #[allow(clippy::too_many_arguments)]
+// maxnvm-lint: allow(R1/index-arith): loop indices are bounded by the out_h/out_w/fan_in extents that sized the output buffer at the top of the fn.
 pub fn col2im(
     cols: &Tensor,
     c: usize,

@@ -119,6 +119,7 @@ fn softmax_ce(logits: &Tensor, label: usize) -> (f32, Tensor) {
 /// Forward + backward for one sample. Returns the loss and per-layer
 /// parameter gradients (None for parameter-free layers), or
 /// [`UnsupportedBackprop`] when a layer has no backward pass.
+// maxnvm-lint: allow(R1/index-arith): mirrors the forward pass's indexing: all products are over dims destructured from the validated layer shapes, and the maxpool argmax re-reads taps it just probed.
 fn forward_backward(
     net: &Network,
     x: &Tensor,

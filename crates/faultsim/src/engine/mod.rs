@@ -555,6 +555,7 @@ impl EvalContext {
     }
 
     /// The per-bits-per-cell fault-map provider (already rate-scaled).
+    // maxnvm-lint: allow(R1/index-arith): fault_maps is built over MlcConfig::ALL in bits order, so (bits()-1) indexes the matching slot and bits() >= 1 by construction.
     pub fn fault_for(&self) -> impl Fn(MlcConfig) -> Arc<FaultMap> + '_ {
         move |cfg: MlcConfig| Arc::clone(&self.fault_maps[(cfg.bits() - 1) as usize])
     }
@@ -791,6 +792,7 @@ impl EvalContext {
     }
 
     /// [`Self::run_chips`] under a [`RunControl`].
+    // maxnvm-lint: allow(R1/index-arith): cell_models is built over MlcConfig::ALL in bits order, so (bits()-1) indexes the matching slot and bits() >= 1 by construction.
     pub fn run_chips_controlled(
         &self,
         trials: usize,

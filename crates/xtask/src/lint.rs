@@ -1,7 +1,7 @@
 //! `maxnvm-lint`: the repo-specific static analysis pass.
 //!
-//! Three rule families enforce the contracts the evaluation results rest
-//! on (see DESIGN.md §11):
+//! Six rule families enforce the contracts the evaluation results rest
+//! on (see DESIGN.md §11 and §16):
 //!
 //! - **D1 determinism** — result-affecting crates (`envm`, `encoding`,
 //!   `ecc`, `dnn`, `faultsim`) must not use iteration-order-unstable
@@ -18,6 +18,24 @@
 //!   `// SAFETY:` comment, and every lint escape hatch (inline allow or
 //!   allow-list entry) must carry a justification, which the report
 //!   prints.
+//! - **S1 semantics drift** — the fingerprints of the semantics-critical
+//!   modules (see [`crate::semantics`]) must match the committed
+//!   `semantics.lock`; a fingerprint change without a
+//!   `TRIAL_SEMANTICS_VERSION` bump (or a bump without a change) fails.
+//! - **R1 panic reachability** — a crate-level call graph (see
+//!   [`crate::graph`]) turns the A1 advisory into an enforced rule for
+//!   the dangerous subset: fns of result-affecting crates containing
+//!   arithmetic-in-bracket index expressions (`x[i + 1]`) that are
+//!   reachable from the crate's `pub` API must be fixed or annotated —
+//!   in release builds the arithmetic wraps, so an overflow reads a
+//!   *wrong* element silently instead of panicking. Plain `x[i]` stays
+//!   advisory, now with a public-reachability split per crate.
+//! - **C1 event-loop hygiene** — within the supervisor's `event_loop`
+//!   span and every intra-crate fn it (non-detachedly) calls: no file
+//!   I/O, no `sleep`, no `recv` on anything but the loop's own channel
+//!   parameter, no joining runner threads; plus a crate-wide ban on
+//!   unbounded `mpsc::channel()` in the service crates (`server`,
+//!   `faultsim`) in favour of `sync_channel`.
 //!
 //! Scope: `src/` of every workspace crate plus the root package, minus
 //! `src/bin/`, `tests/`, `benches/`, `examples/`, `#[cfg(test)]` /
@@ -28,7 +46,9 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use crate::graph::{analyze_file, CrateGraph, FileAnalysis, SiteKind};
 use crate::scan::{find_word, scan, FileScan};
+use crate::semantics;
 
 /// Crates whose library code feeds Monte-Carlo results (rule D1).
 const RESULT_AFFECTING: &[&str] = &["envm", "encoding", "ecc", "dnn", "faultsim"];
@@ -65,6 +85,15 @@ const D1_BANNED: &[(&str, &str, &str)] = &[
 /// Macros banned by D2 (the `assert!` family is explicitly allowed).
 const D2_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
+/// Crates under the C1 unbounded-channel ban (rule C1). Both sides of
+/// the supervisor protocol: an unbounded queue hides backpressure
+/// failures until memory runs out.
+const C1_CRATES: &[&str] = &["server", "faultsim"];
+
+/// The crate whose `event_loop` fn anchors the C1 traversal. The fn
+/// must exist — a rename silently dropping the rule is a config error.
+const EVENT_LOOP_CRATE: &str = "server";
+
 /// One rule violation at a source location.
 pub struct Violation {
     pub path: String,
@@ -97,6 +126,36 @@ pub struct AllowList {
     pub entries: Vec<AllowEntry>,
 }
 
+/// S1 summary: the lock/tree state the gate compared.
+pub struct SemanticsInfo {
+    pub lock_format: u64,
+    pub lock_tsv: u32,
+    pub current_tsv: u32,
+    pub modules: usize,
+}
+
+/// Per-crate R1 reachability statistics (advisory context for the
+/// enforced findings).
+pub struct ReachStat {
+    pub krate: String,
+    pub fns: usize,
+    pub pub_fns: usize,
+    pub index_plain: usize,
+    pub index_plain_reachable: usize,
+    pub index_arith: usize,
+    pub index_arith_reachable: usize,
+}
+
+/// A rendered call path to a dangerous-but-sanctioned site: an
+/// inline-allowed D2 construct or an allowed R1 hotspot. Reported so
+/// reviewers see what the public API can actually reach.
+pub struct PathInfo {
+    pub path: String,
+    pub line: usize,
+    pub rule: String,
+    pub call_path: String,
+}
+
 /// Full result of a lint run.
 pub struct Report {
     pub version: u64,
@@ -106,18 +165,31 @@ pub struct Report {
     /// Advisory: direct index expressions per crate (not enforced).
     pub slice_index_counts: BTreeMap<String, usize>,
     pub errors: Vec<String>,
+    /// S1 state; `None` when the gate could not run (config errors).
+    pub semantics: Option<SemanticsInfo>,
+    /// R1 per-crate reachability statistics.
+    pub reachability: Vec<ReachStat>,
+    /// Call paths from pub APIs to allowed dangerous sites.
+    pub allowed_paths: Vec<PathInfo>,
 }
 
-/// Runs the pass over the workspace rooted at `root`.
-pub fn run(root: &Path) -> Report {
-    let mut report = Report {
+fn empty_report() -> Report {
+    Report {
         version: 0,
         files_scanned: 0,
         violations: Vec::new(),
         allowed: Vec::new(),
         slice_index_counts: BTreeMap::new(),
         errors: Vec::new(),
-    };
+        semantics: None,
+        reachability: Vec::new(),
+        allowed_paths: Vec::new(),
+    }
+}
+
+/// Runs the pass over the workspace rooted at `root`.
+pub fn run(root: &Path) -> Report {
+    let mut report = empty_report();
 
     let allow = match load_allow_list(&root.join("lint-allow.toml")) {
         Ok(a) => a,
@@ -145,6 +217,10 @@ pub fn run(root: &Path) -> Report {
         }
     }
 
+    // Per-crate caches for the graph rules: (rel, src, scan, analysis).
+    let mut crate_files: BTreeMap<String, Vec<(String, String, FileScan, FileAnalysis)>> =
+        BTreeMap::new();
+
     for file in workspace_sources(root) {
         let rel = file
             .strip_prefix(root)
@@ -159,8 +235,21 @@ pub fn run(root: &Path) -> Report {
             }
         };
         report.files_scanned += 1;
-        lint_file(&rel, &src, &allow, &mut report);
+        let fsc = scan(&src);
+        lint_file(&rel, &src, &fsc, &allow, &mut report);
+        if let Some(krate) = crate_of(&rel) {
+            if RESULT_AFFECTING.contains(&krate) || C1_CRATES.contains(&krate) {
+                let analysis = analyze_file(&rel, &fsc);
+                crate_files
+                    .entry(krate.to_string())
+                    .or_default()
+                    .push((rel, src, fsc, analysis));
+            }
+        }
     }
+
+    semantics_gate(root, &mut report);
+    graph_rules(&crate_files, &allow, &mut report);
 
     for e in &allow.entries {
         if !e.used.get() {
@@ -171,6 +260,331 @@ pub fn run(root: &Path) -> Report {
         }
     }
     report
+}
+
+/// S1: compare the tree's semantics-critical fingerprints against
+/// `semantics.lock`, keyed by `TRIAL_SEMANTICS_VERSION`.
+fn semantics_gate(root: &Path, report: &mut Report) {
+    let lock_path = root.join(semantics::LOCK_FILE);
+    if !lock_path.exists() {
+        report.errors.push(format!(
+            "{} is missing — bootstrap it with `cargo xtask lint --update-semantics-lock`",
+            semantics::LOCK_FILE
+        ));
+        return;
+    }
+    let lock = match semantics::load_lock(&lock_path) {
+        Ok(l) => l,
+        Err(e) => {
+            report.errors.push(e);
+            return;
+        }
+    };
+    let current = match semantics::current_modules(root) {
+        Ok(c) => c,
+        Err(e) => {
+            report.errors.push(e);
+            return;
+        }
+    };
+    let cur_tsv = match semantics::trial_semantics_version(root) {
+        Ok(v) => v,
+        Err(e) => {
+            report.errors.push(e);
+            return;
+        }
+    };
+    // Drift is never allow-listable: findings go straight to
+    // violations, bypassing the escape hatches.
+    for (rule, path, message) in semantics::verify(&lock, &current, cur_tsv) {
+        report.violations.push(Violation {
+            path,
+            line: 0,
+            rule,
+            message,
+            snippet: String::new(),
+        });
+    }
+    report.semantics = Some(SemanticsInfo {
+        lock_format: lock.format,
+        lock_tsv: lock.trial_semantics_version,
+        current_tsv: cur_tsv,
+        modules: current.len(),
+    });
+}
+
+/// R1 + C1: the call-graph rules over the cached per-crate analyses.
+fn graph_rules(
+    crate_files: &BTreeMap<String, Vec<(String, String, FileScan, FileAnalysis)>>,
+    allow: &AllowList,
+    report: &mut Report,
+) {
+    for (krate, files) in crate_files {
+        // Assemble the crate graph; remember which file each fn and
+        // each orphan site came from.
+        let mut fns = Vec::new();
+        let mut fn_file: Vec<usize> = Vec::new(); // fn idx -> files idx
+        for (fi, (_, _, _, analysis)) in files.iter().enumerate() {
+            for f in &analysis.fns {
+                fns.push(f.clone());
+                fn_file.push(fi);
+            }
+        }
+        let graph = CrateGraph::build(fns);
+        let pub_roots = graph.pub_roots();
+        let reachable = graph.reach(&pub_roots, true);
+
+        if RESULT_AFFECTING.contains(&krate.as_str()) {
+            r1_rules(krate, files, &graph, &fn_file, &reachable, allow, report);
+        }
+        if C1_CRATES.contains(&krate.as_str()) {
+            c1_rules(krate, files, &graph, &fn_file, allow, report);
+        }
+    }
+}
+
+/// R1: enforce arithmetic-index hotspots reachable from the pub API;
+/// collect reachability statistics and paths to allowed D2 sites.
+#[allow(clippy::too_many_arguments)]
+fn r1_rules(
+    krate: &str,
+    files: &[(String, String, FileScan, FileAnalysis)],
+    graph: &CrateGraph,
+    fn_file: &[usize],
+    reachable: &[Option<usize>],
+    allow: &AllowList,
+    report: &mut Report,
+) {
+    let mut stat = ReachStat {
+        krate: krate.to_string(),
+        fns: graph.fns.len(),
+        pub_fns: graph.pub_roots().len(),
+        index_plain: 0,
+        index_plain_reachable: 0,
+        index_arith: 0,
+        index_arith_reachable: 0,
+    };
+    for (_, _, _, analysis) in files {
+        for s in &analysis.orphan_sites {
+            match s.kind {
+                SiteKind::IndexPlain => stat.index_plain += 1,
+                SiteKind::IndexArith => stat.index_arith += 1,
+                _ => {}
+            }
+        }
+    }
+    for (i, f) in graph.fns.iter().enumerate() {
+        let is_reachable = reachable[i].is_some();
+        let mut arith_lines: Vec<usize> = Vec::new();
+        for s in &f.sites {
+            match s.kind {
+                SiteKind::IndexPlain => {
+                    stat.index_plain += 1;
+                    if is_reachable {
+                        stat.index_plain_reachable += 1;
+                    }
+                }
+                SiteKind::IndexArith => {
+                    stat.index_arith += 1;
+                    if is_reachable {
+                        stat.index_arith_reachable += 1;
+                        arith_lines.push(s.line);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if arith_lines.is_empty() {
+            continue;
+        }
+        arith_lines.dedup();
+        let call_path = graph.path_to(reachable, i);
+        let (rel, src, fsc, _) = &files[fn_file[i]];
+        let n_before = report.allowed.len();
+        // Attributed at the fn signature so one fn-level annotation
+        // covers every hotspot in the body.
+        record(
+            report,
+            fsc,
+            allow,
+            rel,
+            f.line,
+            "R1/index-arith",
+            format!(
+                "fn `{}` computes indices arithmetically ({}) and is reachable from the pub API \
+                 via `{}`; release-mode wrap makes an overflow read the wrong element silently — \
+                 bound the arithmetic or annotate the fn",
+                f.name,
+                lines_list(&arith_lines),
+                call_path,
+            ),
+            src,
+        );
+        if report.allowed.len() > n_before {
+            report.allowed_paths.push(PathInfo {
+                path: rel.clone(),
+                line: f.line,
+                rule: "R1/index-arith".to_string(),
+                call_path: call_path.clone(),
+            });
+        }
+    }
+    // Paths to D2 sites that were inline-allowed earlier in this run:
+    // the allow suppresses the violation, the path stays visible.
+    let mut d2_paths = Vec::new();
+    for a in &report.allowed {
+        if !a.rule.starts_with("D2") || crate_of(&a.path) != Some(krate) {
+            continue;
+        }
+        let Some(i) = graph
+            .fns
+            .iter()
+            .position(|f| f.file == a.path && f.line <= a.line && a.line <= f.end_line)
+        else {
+            continue;
+        };
+        if reachable[i].is_some() {
+            d2_paths.push(PathInfo {
+                path: a.path.clone(),
+                line: a.line,
+                rule: a.rule.to_string(),
+                call_path: graph.path_to(reachable, i),
+            });
+        }
+    }
+    report.allowed_paths.extend(d2_paths);
+    report.reachability.push(stat);
+}
+
+/// C1: event-loop hygiene in the supervisor plus the crate-wide
+/// unbounded-channel ban.
+fn c1_rules(
+    krate: &str,
+    files: &[(String, String, FileScan, FileAnalysis)],
+    graph: &CrateGraph,
+    fn_file: &[usize],
+    allow: &AllowList,
+    report: &mut Report,
+) {
+    // Crate-wide: unbounded channels (fn bodies and item position,
+    // detached or not — a runner-side unbounded queue is just as
+    // unbounded).
+    for (i, f) in graph.fns.iter().enumerate() {
+        for s in &f.sites {
+            if s.kind == SiteKind::UnboundedChannel {
+                let (rel, src, fsc, _) = &files[fn_file[i]];
+                record(
+                    report,
+                    fsc,
+                    allow,
+                    rel,
+                    s.line,
+                    "C1/unbounded-channel",
+                    "unbounded `mpsc::channel()` in a service crate; use `sync_channel` so \
+                     backpressure surfaces instead of growing the queue"
+                        .to_string(),
+                    src,
+                );
+            }
+        }
+    }
+    for (fi, (rel, src, fsc, analysis)) in files.iter().enumerate() {
+        let _ = fi;
+        for s in &analysis.orphan_sites {
+            if s.kind == SiteKind::UnboundedChannel {
+                record(
+                    report,
+                    fsc,
+                    allow,
+                    rel,
+                    s.line,
+                    "C1/unbounded-channel",
+                    "unbounded `mpsc::channel()` in a service crate; use `sync_channel` so \
+                     backpressure surfaces instead of growing the queue"
+                        .to_string(),
+                    src,
+                );
+            }
+        }
+    }
+
+    // Event-loop traversal only anchors in the supervisor's crate.
+    if krate != EVENT_LOOP_CRATE {
+        return;
+    }
+    let roots: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.name == "event_loop")
+        .map(|(i, _)| i)
+        .collect();
+    if roots.is_empty() {
+        report.errors.push(format!(
+            "C1: no `event_loop` fn found in crate `{krate}` — the hygiene rule has nothing to \
+             anchor on (renamed? update EVENT_LOOP_CRATE/lint)",
+        ));
+        return;
+    }
+    // The channels the loop may legitimately block on: its own
+    // Receiver-typed parameters.
+    let mut loop_receivers: Vec<String> = Vec::new();
+    for &r in &roots {
+        loop_receivers.extend(graph.fns[r].receiver_params.iter().cloned());
+    }
+    // Detached call edges are NOT followed: runner-thread code is not
+    // loop code.
+    let in_loop = graph.reach(&roots, false);
+    for (i, f) in graph.fns.iter().enumerate() {
+        if in_loop[i].is_none() {
+            continue;
+        }
+        let call_path = graph.path_to(&in_loop, i);
+        let (rel, src, fsc, _) = &files[fn_file[i]];
+        for s in &f.sites {
+            if s.detached {
+                continue; // runs on a runner thread, not the loop
+            }
+            let (rule, message) = match &s.kind {
+                SiteKind::Sleep => (
+                    "C1/sleep",
+                    format!("`sleep` on the event-loop thread (via `{call_path}`); block on the loop channel's timeout instead"),
+                ),
+                SiteKind::BlockingIo => (
+                    "C1/blocking-io",
+                    format!("file I/O on the event-loop thread (via `{call_path}`); move it to a runner thread or do it before the loop starts"),
+                ),
+                SiteKind::Join => (
+                    "C1/thread-join",
+                    format!("thread join on the event-loop thread (via `{call_path}`); joining a live runner stalls every stream"),
+                ),
+                SiteKind::Recv { receiver, method } => {
+                    let own = loop_receivers.iter().any(|r| r == receiver)
+                        || f.receiver_params.iter().any(|r| r == receiver);
+                    if own {
+                        continue;
+                    }
+                    (
+                        "C1/foreign-recv",
+                        format!("`.{method}()` on `{receiver}`, which is not the loop's own channel (via `{call_path}`); a foreign recv deadlocks the loop"),
+                    )
+                }
+                _ => continue,
+            };
+            record(report, fsc, allow, rel, s.line, rule, message, src);
+        }
+    }
+}
+
+fn lines_list(lines: &[usize]) -> String {
+    let mut out = String::from(if lines.len() == 1 { "line " } else { "lines " });
+    for (i, l) in lines.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{l}");
+    }
+    out
 }
 
 /// Library sources under `crates/*/src` and the root `src/`, minus
@@ -214,8 +628,7 @@ fn is_result_affecting(rel: &str) -> bool {
     crate_of(rel).is_some_and(|c| RESULT_AFFECTING.contains(&c))
 }
 
-fn lint_file(rel: &str, src: &str, allow: &AllowList, report: &mut Report) {
-    let fs = scan(src);
+fn lint_file(rel: &str, src: &str, fs: &FileScan, allow: &AllowList, report: &mut Report) {
     let d1 = is_result_affecting(rel);
     let mut slice_indexes = 0usize;
 
@@ -225,7 +638,7 @@ fn lint_file(rel: &str, src: &str, allow: &AllowList, report: &mut Report) {
         }
         let lineno = idx + 1;
         let mut emit = |rule: &'static str, message: String| {
-            record(report, &fs, allow, rel, lineno, rule, message, src);
+            record(report, fs, allow, rel, lineno, rule, message, src);
         };
 
         if d1 {
@@ -266,7 +679,7 @@ fn lint_file(rel: &str, src: &str, allow: &AllowList, report: &mut Report) {
 
         for at in find_word(line, "unsafe") {
             let _ = at;
-            if !has_safety_comment(&fs, idx) {
+            if !has_safety_comment(fs, idx) {
                 emit(
                     "D3/safety-comment",
                     "`unsafe` without a `// SAFETY:` comment in the preceding lines".into(),
@@ -467,12 +880,17 @@ impl Report {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "maxnvm-lint v{} — D1 determinism, D2 no-panic, D3 unsafe hygiene",
+            "maxnvm-lint v{} — D1 determinism, D2 no-panic, D3 unsafe hygiene, \
+             S1 semantics drift, R1 panic reachability, C1 event-loop hygiene",
             self.version
         );
         for v in &self.violations {
             let _ = writeln!(out, "error[{}]: {}", v.rule, v.message);
-            let _ = writeln!(out, "  --> {}:{}", v.path, v.line);
+            if v.line == 0 {
+                let _ = writeln!(out, "  --> {}", v.path);
+            } else {
+                let _ = writeln!(out, "  --> {}:{}", v.path, v.line);
+            }
             if !v.snippet.is_empty() {
                 let _ = writeln!(out, "   | {}", v.snippet);
             }
@@ -490,6 +908,26 @@ impl Report {
                 );
             }
         }
+        if let Some(s) = &self.semantics {
+            let _ = writeln!(
+                out,
+                "semantics: lock v{} @ TRIAL_SEMANTICS_VERSION {} — {} module(s), tree at version {}",
+                s.lock_format, s.lock_tsv, s.modules, s.current_tsv
+            );
+        }
+        for r in &self.reachability {
+            let _ = writeln!(
+                out,
+                "advisory[R1/reach]: {}: {}/{} fn(s) pub, {} plain index site(s) ({} pub-reachable), {} arithmetic ({} pub-reachable, enforced)",
+                r.krate,
+                r.pub_fns,
+                r.fns,
+                r.index_plain,
+                r.index_plain_reachable,
+                r.index_arith,
+                r.index_arith_reachable
+            );
+        }
         for (krate, n) in &self.slice_index_counts {
             let _ = writeln!(
                 out,
@@ -506,13 +944,87 @@ impl Report {
         out
     }
 
-    /// Machine-readable JSON report.
+    /// Violation + allow counts per rule, for the JSON report and the
+    /// bench provenance stamp.
+    pub fn rule_counts(&self) -> BTreeMap<String, (usize, usize)> {
+        let mut counts: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for v in &self.violations {
+            counts.entry(v.rule.to_string()).or_default().0 += 1;
+        }
+        for a in &self.allowed {
+            counts.entry(a.rule.to_string()).or_default().1 += 1;
+        }
+        counts
+    }
+
+    /// Machine-readable JSON report (schema v2: adds `rule_counts`,
+    /// `semantics`, `reachability`, and `allowed_paths`).
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema\": \"maxnvm-lint-report/v1\",");
+        let _ = writeln!(out, "  \"schema\": \"maxnvm-lint-report/v2\",");
         let _ = writeln!(out, "  \"lint_pass_version\": {},", self.version);
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(out, "  \"clean\": {},", self.is_clean());
+        match &self.semantics {
+            Some(s) => {
+                let _ = writeln!(
+                    out,
+                    "  \"semantics\": {{\"lock_format\": {}, \"lock_trial_semantics_version\": {}, \"current_trial_semantics_version\": {}, \"modules\": {}}},",
+                    s.lock_format, s.lock_tsv, s.current_tsv, s.modules
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  \"semantics\": null,");
+            }
+        }
+        out.push_str("  \"rule_counts\": {\n");
+        let counts = self.rule_counts();
+        for (i, (rule, (viols, allowed))) in counts.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {}: {{\"violations\": {viols}, \"allowed\": {allowed}}}",
+                json_str(rule)
+            );
+            out.push_str(if i + 1 < counts.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"reachability\": [\n");
+        for (i, r) in self.reachability.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"crate\": {}, \"fns\": {}, \"pub_fns\": {}, \"index_plain\": {}, \"index_plain_reachable\": {}, \"index_arith\": {}, \"index_arith_reachable\": {}}}",
+                json_str(&r.krate),
+                r.fns,
+                r.pub_fns,
+                r.index_plain,
+                r.index_plain_reachable,
+                r.index_arith,
+                r.index_arith_reachable
+            );
+            out.push_str(if i + 1 < self.reachability.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"allowed_paths\": [\n");
+        for (i, p) in self.allowed_paths.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"call_path\": {}}}",
+                json_str(&p.path),
+                p.line,
+                json_str(&p.rule),
+                json_str(&p.call_path)
+            );
+            out.push_str(if i + 1 < self.allowed_paths.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"violations\": [\n");
         for (i, v) in self.violations.iter().enumerate() {
             let _ = write!(
@@ -590,19 +1102,38 @@ mod tests {
     use super::*;
 
     fn lint_str(rel: &str, src: &str) -> Report {
-        let mut report = Report {
-            version: 1,
-            files_scanned: 1,
-            violations: Vec::new(),
-            allowed: Vec::new(),
-            slice_index_counts: BTreeMap::new(),
-            errors: Vec::new(),
-        };
+        let mut report = empty_report();
+        report.version = 2;
+        report.files_scanned = 1;
         let allow = AllowList {
-            version: 1,
+            version: 2,
             entries: Vec::new(),
         };
-        lint_file(rel, src, &allow, &mut report);
+        lint_file(rel, src, &scan(src), &allow, &mut report);
+        report
+    }
+
+    /// Runs the full graph-rule pass over in-memory files of one crate.
+    fn graph_str(krate: &str, files: &[(&str, &str)]) -> Report {
+        let mut report = empty_report();
+        report.version = 2;
+        let allow = AllowList {
+            version: 2,
+            entries: Vec::new(),
+        };
+        let mut crate_files: BTreeMap<String, Vec<(String, String, FileScan, FileAnalysis)>> =
+            BTreeMap::new();
+        for (rel, src) in files {
+            let fsc = scan(src);
+            let analysis = analyze_file(rel, &fsc);
+            crate_files.entry(krate.to_string()).or_default().push((
+                rel.to_string(),
+                src.to_string(),
+                fsc,
+                analysis,
+            ));
+        }
+        graph_rules(&crate_files, &allow, &mut report);
         report
     }
 
@@ -782,7 +1313,129 @@ mod tests {
             "fn f(x: Option<u8>) { x.unwrap(); }\n",
         );
         let j = r.render_json();
+        assert!(j.contains("\"schema\": \"maxnvm-lint-report/v2\""));
         assert!(j.contains("\"rule\": \"D2/unwrap\""));
         assert!(j.contains("\"clean\": false"));
+        assert!(j.contains("\"rule_counts\""));
+        assert!(j.contains("\"D2/unwrap\": {\"violations\": 1, \"allowed\": 0}"));
+    }
+
+    #[test]
+    fn r1_flags_reachable_arithmetic_index_fns() {
+        let r = graph_str(
+            "dnn",
+            &[(
+                "crates/dnn/src/x.rs",
+                "pub fn api(x: &[f32], i: usize) -> f32 { inner(x, i) }\n\
+                 fn inner(x: &[f32], i: usize) -> f32 { x[i * 4 + 1] }\n\
+                 fn dead(x: &[f32], i: usize) -> f32 { x[i + 2] }\n",
+            )],
+        );
+        assert_eq!(r.violations.len(), 1, "only the reachable fn is enforced");
+        assert_eq!(r.violations[0].rule, "R1/index-arith");
+        assert_eq!(r.violations[0].line, 2);
+        assert!(r.violations[0].message.contains("api -> inner"));
+        let stat = &r.reachability[0];
+        assert_eq!(stat.index_arith, 2);
+        assert_eq!(stat.index_arith_reachable, 1);
+    }
+
+    #[test]
+    fn r1_inline_allow_suppresses_and_reports_the_path() {
+        let r = graph_str(
+            "dnn",
+            &[(
+                "crates/dnn/src/x.rs",
+                "// maxnvm-lint: allow(R1/index-arith): i < len/4 by construction\n\
+                 pub fn api(x: &[f32], i: usize) -> f32 { x[i * 4] }\n",
+            )],
+        );
+        assert!(r.violations.is_empty());
+        assert_eq!(r.allowed.len(), 1);
+        assert_eq!(r.allowed_paths.len(), 1);
+        assert_eq!(r.allowed_paths[0].rule, "R1/index-arith");
+    }
+
+    #[test]
+    fn plain_indexing_stays_advisory() {
+        let r = graph_str(
+            "dnn",
+            &[(
+                "crates/dnn/src/x.rs",
+                "pub fn api(x: &[f32], i: usize) -> f32 { x[i] }\n",
+            )],
+        );
+        assert!(r.violations.is_empty());
+        assert_eq!(r.reachability[0].index_plain, 1);
+        assert_eq!(r.reachability[0].index_plain_reachable, 1);
+    }
+
+    #[test]
+    fn c1_event_loop_hygiene_bans_blocking_constructs() {
+        let src = "\
+use std::sync::mpsc::Receiver;
+pub fn event_loop(rx: Receiver<u32>) {
+    let _ = rx.recv_timeout(tick);
+    helper();
+}
+fn helper() {
+    let _ = std::fs::read(\"x\");
+    other_rx.recv();
+}
+";
+        let r = graph_str("server", &[("crates/server/src/supervisor.rs", src)]);
+        let rules: Vec<&str> = r.violations.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"C1/blocking-io"), "rules: {rules:?}");
+        assert!(rules.contains(&"C1/foreign-recv"), "rules: {rules:?}");
+        // The loop's own recv_timeout is fine.
+        assert!(!r
+            .violations
+            .iter()
+            .any(|v| v.rule == "C1/foreign-recv" && v.line == 3));
+    }
+
+    #[test]
+    fn c1_spawned_runner_code_is_exempt() {
+        let src = "\
+pub fn event_loop(rx: Receiver<u32>) {
+    let _ = rx.recv_timeout(tick);
+    std::thread::Builder::new().spawn(move || {
+        run_stream();
+    });
+}
+fn run_stream() {
+    let _ = std::fs::read(\"x\");
+    std::thread::sleep(d);
+}
+";
+        let r = graph_str("server", &[("crates/server/src/supervisor.rs", src)]);
+        assert!(
+            r.violations.is_empty(),
+            "runner-thread code is not loop code: {:?}",
+            r.violations
+                .iter()
+                .map(|v| (v.rule, v.line))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn c1_unbounded_channel_is_banned_in_service_crates() {
+        let src = "pub fn wire() { let (tx, rx) = std::sync::mpsc::channel(); }\n";
+        let r = graph_str("faultsim", &[("crates/faultsim/src/x.rs", src)]);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "C1/unbounded-channel");
+        // `sync_channel` is the sanctioned spelling.
+        let ok = "pub fn wire() { let (tx, rx) = std::sync::mpsc::sync_channel(8); }\n";
+        let r = graph_str("server", &[("crates/server/src/x.rs", ok)]);
+        // (missing event_loop is a config error in the server crate,
+        // but the channel itself is clean)
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn c1_missing_event_loop_is_a_config_error() {
+        let r = graph_str("server", &[("crates/server/src/x.rs", "pub fn api() {}\n")]);
+        assert!(r.errors.iter().any(|e| e.contains("event_loop")));
     }
 }

@@ -1,10 +1,15 @@
 //! Workspace automation entry point (`cargo xtask <command>`).
 //!
 //! Commands:
-//! - `lint [--json [PATH]]` — run the `maxnvm-lint` static analysis
-//!   pass (DESIGN.md §11). Exits non-zero on any non-allow-listed
-//!   violation. `--json` additionally writes a machine-readable report
-//!   (default `maxnvm-lint-report.json` at the workspace root).
+//! - `lint [--json [PATH]] [--update-semantics-lock [--same-version]]`
+//!   — run the `maxnvm-lint` static analysis pass (DESIGN.md §11, §16).
+//!   Exits non-zero on any non-allow-listed violation. `--json`
+//!   additionally writes a machine-readable report (default
+//!   `maxnvm-lint-report.json` at the workspace root).
+//!   `--update-semantics-lock` regenerates `semantics.lock` before
+//!   linting; it refuses to re-fingerprint changed modules at an
+//!   unchanged `TRIAL_SEMANTICS_VERSION` unless `--same-version`
+//!   records that the change was reviewed as value-preserving.
 //! - `miri [--strict]` — run the sanctioned Miri suite (`bits`, `ecc`,
 //!   `envm` unit tests plus the pool transmute test). Skips with a
 //!   warning when the Miri component is not installed, unless
@@ -14,8 +19,10 @@
 //! - `deny [--strict]` — run `cargo deny check` if cargo-deny is
 //!   installed; otherwise skip with a warning, unless `--strict`.
 
+mod graph;
 mod lint;
 mod scan;
+mod semantics;
 
 use std::env;
 use std::path::{Path, PathBuf};
@@ -31,11 +38,11 @@ fn main() -> ExitCode {
         Some("deny") => cmd_deny(&root, args.iter().any(|a| a == "--strict")),
         Some(other) => {
             eprintln!("unknown xtask command {other:?}");
-            eprintln!("usage: cargo xtask <lint [--json [PATH]] | miri [--strict] | loom | deny [--strict]>");
+            eprintln!("usage: cargo xtask <lint [--json [PATH]] [--update-semantics-lock [--same-version]] | miri [--strict] | loom | deny [--strict]>");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask <lint [--json [PATH]] | miri [--strict] | loom | deny [--strict]>");
+            eprintln!("usage: cargo xtask <lint [--json [PATH]] [--update-semantics-lock [--same-version]] | miri [--strict] | loom | deny [--strict]>");
             ExitCode::FAILURE
         }
     }
@@ -52,6 +59,16 @@ fn workspace_root() -> PathBuf {
 }
 
 fn cmd_lint(root: &Path, args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--update-semantics-lock") {
+        let same_version = args.iter().any(|a| a == "--same-version");
+        match semantics::update(root, same_version) {
+            Ok(msg) => println!("{msg}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let report = lint::run(root);
     print!("{}", report.render_text());
     if let Some(pos) = args.iter().position(|a| a == "--json") {

@@ -1,0 +1,564 @@
+//! S1 — the semantics-drift fingerprint gate.
+//!
+//! The repo's core guarantee — byte-identical Monte-Carlo results across
+//! workers, SIMD tiers, retries, and kill/resume — is only composable if
+//! every change to the *trial value function* rides with a
+//! `TRIAL_SEMANTICS_VERSION` bump (old checkpoints must refuse to resume
+//! under new semantics; see `faultsim::checkpoint`). Until this gate,
+//! that discipline was tribal: PR 7's mul+add→FMA change needed a
+//! hand-remembered 3→4 bump. S1 makes it mechanical:
+//!
+//! 1. Every semantics-critical module (the GEMM kernels, the prefix
+//!    cache, the sparse compute format, the fault/level/math models, the
+//!    storage codecs, the ECC codec, the checkpoint substrate) gets a
+//!    **fingerprint**: FNV-1a/64 over its comment- and
+//!    whitespace-stripped token stream ([`crate::scan::token_stream`]).
+//!    Comments, rustfmt churn, and lint annotations never move it; any
+//!    token change does.
+//! 2. The committed [`LOCK_FILE`] records every fingerprint under the
+//!    `TRIAL_SEMANTICS_VERSION` they were taken at.
+//! 3. The lint fails on any divergence: a fingerprint change without a
+//!    version bump (`S1/drift`), a version bump without any fingerprint
+//!    change (`S1/bump-without-change`), a stale lock after a legitimate
+//!    bump+change (`S1/lock-stale` — regenerate), and module-set drift
+//!    (`S1/untracked` / `S1/missing-module`).
+//!
+//! Regeneration is `cargo xtask lint --update-semantics-lock`, which
+//! refuses to launder drift: it requires the version to have moved, or
+//! the explicit `--same-version` escape for a reviewed value-preserving
+//! refactor (e.g. a pure rename). DESIGN.md §16 documents the workflow.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::scan::token_stream;
+
+/// The committed manifest, at the workspace root.
+pub const LOCK_FILE: &str = "semantics.lock";
+
+/// Bump when the lock file's syntax or fingerprint definition changes.
+pub const LOCK_FORMAT: u64 = 1;
+
+/// Semantics-critical modules. Entries ending in `/` cover every `.rs`
+/// file in that subtree, minus files named `tests.rs` (test-only
+/// modules never feed trial values). Exact entries must exist — a
+/// module move that would silently drop a file from the gate is a
+/// config error instead.
+pub const SEMANTICS_CRITICAL: &[&str] = &[
+    "crates/dnn/src/gemm.rs",
+    "crates/dnn/src/gemm/",
+    "crates/dnn/src/prefix.rs",
+    "crates/dnn/src/sparse.rs",
+    "crates/ecc/src/lib.rs",
+    "crates/encoding/src/storage/",
+    "crates/envm/src/fault.rs",
+    "crates/envm/src/level.rs",
+    "crates/envm/src/math.rs",
+    "crates/faultsim/src/checkpoint.rs",
+];
+
+/// Parsed `semantics.lock`.
+pub struct SemanticsLock {
+    pub format: u64,
+    pub trial_semantics_version: u32,
+    /// `(repo-relative path, fingerprint hex)`, sorted by path.
+    pub modules: Vec<(String, String)>,
+}
+
+/// One S1 finding: `(rule, path, message)`. `path` is the offending
+/// module, or the lock file itself for whole-manifest findings.
+pub type S1Finding = (&'static str, String, String);
+
+/// FNV-1a/64 over the normalized token stream. A `0xff` byte separates
+/// tokens so `ab`+`c` and `a`+`bc` cannot collide trivially.
+pub fn fingerprint(src: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for token in token_stream(src) {
+        for byte in token.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        hash ^= 0xff;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    format!("{hash:016x}")
+}
+
+/// Enumerates the semantics-critical files under `root` and
+/// fingerprints each. Sorted by path.
+pub fn current_modules(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for spec in SEMANTICS_CRITICAL {
+        let abs = root.join(spec);
+        if let Some(dir) = spec.strip_suffix('/') {
+            let entries = fs::read_dir(&abs).map_err(|e| {
+                format!("semantics-critical subtree {dir} is missing or unreadable: {e}")
+            })?;
+            let mut found = false;
+            let mut dirs = vec![abs];
+            while let Some(d) = dirs.pop() {
+                let entries = match fs::read_dir(&d) {
+                    Ok(en) => en,
+                    Err(_) => continue,
+                };
+                for entry in entries.flatten() {
+                    let p = entry.path();
+                    if p.is_dir() {
+                        dirs.push(p);
+                    } else if p.extension().is_some_and(|e| e == "rs")
+                        && p.file_name().is_some_and(|n| n != "tests.rs")
+                    {
+                        files.push(p);
+                        found = true;
+                    }
+                }
+            }
+            drop(entries);
+            if !found {
+                return Err(format!(
+                    "semantics-critical subtree {dir} contains no .rs files"
+                ));
+            }
+        } else {
+            if !abs.is_file() {
+                return Err(format!(
+                    "semantics-critical module {spec} is missing — if it moved, update \
+                     SEMANTICS_CRITICAL in crates/xtask/src/semantics.rs"
+                ));
+            }
+            files.push(abs);
+        }
+    }
+    files.sort();
+    files.dedup();
+    let mut out = Vec::with_capacity(files.len());
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&file).map_err(|e| format!("cannot read {rel}: {e}"))?;
+        out.push((rel, fingerprint(&src)));
+    }
+    Ok(out)
+}
+
+/// Reads `TRIAL_SEMANTICS_VERSION` out of the checkpoint module by
+/// lexing it (the xtask cannot depend on the faultsim crate: the gate
+/// must work even when the workspace does not compile).
+pub fn trial_semantics_version(root: &Path) -> Result<u32, String> {
+    let path = root.join("crates/faultsim/src/checkpoint.rs");
+    let src =
+        fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let tokens = token_stream(&src);
+    let mut it = tokens.iter();
+    while let Some(t) = it.next() {
+        if t == "TRIAL_SEMANTICS_VERSION" {
+            // `TRIAL_SEMANTICS_VERSION : u32 = N` — find the `=`, then
+            // parse the next token. Skip non-definition mentions.
+            for t in it.by_ref() {
+                if t == "=" {
+                    break;
+                }
+                if t == ";" {
+                    return Err(
+                        "TRIAL_SEMANTICS_VERSION found but not followed by `= <int>`".into(),
+                    );
+                }
+            }
+            if let Some(n) = it.next().and_then(|t| t.parse::<u32>().ok()) {
+                return Ok(n);
+            }
+            return Err("TRIAL_SEMANTICS_VERSION found but its value is not an integer".into());
+        }
+    }
+    Err("TRIAL_SEMANTICS_VERSION not found in crates/faultsim/src/checkpoint.rs".into())
+}
+
+/// Parses `semantics.lock` (the same minimal-TOML subset as
+/// `lint-allow.toml`: top-level `key = value` pairs and `[[module]]`
+/// tables).
+pub fn load_lock(path: &Path) -> Result<SemanticsLock, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut lock = SemanticsLock {
+        format: 0,
+        trial_semantics_version: 0,
+        modules: Vec::new(),
+    };
+    let mut in_module = false;
+    let mut pending: Option<(Option<String>, Option<String>)> = None;
+    let finish = |p: &mut Option<(Option<String>, Option<String>)>,
+                  modules: &mut Vec<(String, String)>|
+     -> Result<(), String> {
+        if let Some((path, fp)) = p.take() {
+            match (path, fp) {
+                (Some(path), Some(fp)) => modules.push((path, fp)),
+                _ => return Err("semantics.lock: [[module]] missing path or fingerprint".into()),
+            }
+        }
+        Ok(())
+    };
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[module]]" {
+            finish(&mut pending, &mut lock.modules)?;
+            pending = Some((None, None));
+            in_module = true;
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("semantics.lock:{}: expected `key = value`", n + 1));
+        };
+        let key = key.trim();
+        let value = value.trim().trim_matches('"').to_string();
+        if !in_module {
+            match key {
+                "format" => {
+                    lock.format = value
+                        .parse()
+                        .map_err(|_| format!("semantics.lock:{}: bad format", n + 1))?;
+                }
+                "trial_semantics_version" => {
+                    lock.trial_semantics_version = value.parse().map_err(|_| {
+                        format!("semantics.lock:{}: bad trial_semantics_version", n + 1)
+                    })?;
+                }
+                other => {
+                    return Err(format!("semantics.lock:{}: unknown key {other:?}", n + 1));
+                }
+            }
+            continue;
+        }
+        let entry = pending
+            .as_mut()
+            .ok_or_else(|| format!("semantics.lock:{}: key outside [[module]]", n + 1))?;
+        match key {
+            "path" => entry.0 = Some(value),
+            "fingerprint" => entry.1 = Some(value),
+            other => {
+                return Err(format!("semantics.lock:{}: unknown key {other:?}", n + 1));
+            }
+        }
+    }
+    finish(&mut pending, &mut lock.modules)?;
+    if lock.format != LOCK_FORMAT {
+        return Err(format!(
+            "semantics.lock has format {} but this lint understands {LOCK_FORMAT} — regenerate \
+             with `cargo xtask lint --update-semantics-lock`",
+            lock.format
+        ));
+    }
+    lock.modules.sort();
+    Ok(lock)
+}
+
+/// Renders the lock file text for `modules` at `tsv`.
+pub fn render_lock(tsv: u32, modules: &[(String, String)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# maxnvm `semantics.lock` — the S1 semantics-drift gate's manifest (DESIGN.md §16).\n\
+         # One fingerprint per semantics-critical module: FNV-1a/64 over the comment- and\n\
+         # whitespace-stripped token stream. Any fingerprint change must ride with a\n\
+         # TRIAL_SEMANTICS_VERSION bump; regenerate with\n\
+         #   cargo xtask lint --update-semantics-lock\n\
+         # (add --same-version only for a reviewed, value-preserving refactor).\n\
+         \n\
+         format = {LOCK_FORMAT}\n\
+         trial_semantics_version = {tsv}"
+    );
+    for (path, fp) in modules {
+        let _ = writeln!(
+            out,
+            "\n[[module]]\npath = \"{path}\"\nfingerprint = \"{fp}\""
+        );
+    }
+    out
+}
+
+/// The gate itself: compares the lock against the checked-out tree.
+pub fn verify(lock: &SemanticsLock, current: &[(String, String)], cur_tsv: u32) -> Vec<S1Finding> {
+    let mut findings = Vec::new();
+    let changed = diff(lock, current);
+    if lock.trial_semantics_version == cur_tsv {
+        for d in &changed {
+            match d {
+                Diff::Changed(path) => findings.push((
+                    "S1/drift",
+                    path.clone(),
+                    format!(
+                        "semantics-critical module changed without a TRIAL_SEMANTICS_VERSION \
+                         bump (still {cur_tsv}); bump it in crates/faultsim/src/checkpoint.rs \
+                         and regenerate semantics.lock"
+                    ),
+                )),
+                Diff::Added(path) => findings.push((
+                    "S1/untracked",
+                    path.clone(),
+                    "new semantics-critical module is not in semantics.lock; bump \
+                     TRIAL_SEMANTICS_VERSION if trial values can change, then regenerate"
+                        .to_string(),
+                )),
+                Diff::Removed(path) => findings.push((
+                    "S1/missing-module",
+                    path.clone(),
+                    "module recorded in semantics.lock no longer exists; regenerate the lock \
+                     (and bump TRIAL_SEMANTICS_VERSION if trial values changed)"
+                        .to_string(),
+                )),
+            }
+        }
+    } else if changed.is_empty() {
+        findings.push((
+            "S1/bump-without-change",
+            LOCK_FILE.to_string(),
+            format!(
+                "TRIAL_SEMANTICS_VERSION is {cur_tsv} but semantics.lock was taken at {} with \
+                 identical fingerprints — no semantics-critical module changed, so the bump is \
+                 spurious (or the change lives outside the fingerprinted set: extend \
+                 SEMANTICS_CRITICAL instead)",
+                lock.trial_semantics_version
+            ),
+        ));
+    } else {
+        findings.push((
+            "S1/lock-stale",
+            LOCK_FILE.to_string(),
+            format!(
+                "TRIAL_SEMANTICS_VERSION moved {} → {cur_tsv} and {} module(s) changed; \
+                 regenerate the manifest: cargo xtask lint --update-semantics-lock",
+                lock.trial_semantics_version,
+                changed.len()
+            ),
+        ));
+    }
+    findings
+}
+
+enum Diff {
+    Changed(String),
+    Added(String),
+    Removed(String),
+}
+
+fn diff(lock: &SemanticsLock, current: &[(String, String)]) -> Vec<Diff> {
+    let mut out = Vec::new();
+    for (path, fp) in current {
+        match lock.modules.iter().find(|(p, _)| p == path) {
+            Some((_, locked)) if locked == fp => {}
+            Some(_) => out.push(Diff::Changed(path.clone())),
+            None => out.push(Diff::Added(path.clone())),
+        }
+    }
+    for (path, _) in &lock.modules {
+        if !current.iter().any(|(p, _)| p == path) {
+            out.push(Diff::Removed(path.clone()));
+        }
+    }
+    out
+}
+
+/// `cargo xtask lint --update-semantics-lock [--same-version]`.
+///
+/// Refuses to launder drift: with an existing lock, either the version
+/// moved (and at least one fingerprint with it), or `--same-version`
+/// vouches for a value-preserving refactor. Bootstrapping (no lock yet)
+/// always writes.
+pub fn update(root: &Path, same_version: bool) -> Result<String, String> {
+    let current = current_modules(root)?;
+    let cur_tsv = trial_semantics_version(root)?;
+    let lock_path = root.join(LOCK_FILE);
+    if lock_path.exists() {
+        let lock = load_lock(&lock_path)?;
+        let changed = diff(&lock, &current);
+        if lock.trial_semantics_version == cur_tsv && !changed.is_empty() && !same_version {
+            return Err(format!(
+                "{} module(s) changed but TRIAL_SEMANTICS_VERSION is still {cur_tsv}: bump it \
+                 first, or pass --same-version to vouch that the refactor preserves every trial \
+                 value bit-for-bit",
+                changed.len()
+            ));
+        }
+        if lock.trial_semantics_version != cur_tsv && changed.is_empty() {
+            return Err(format!(
+                "TRIAL_SEMANTICS_VERSION moved {} → {cur_tsv} but no semantics-critical module \
+                 changed — a bump without a change; revert it or extend SEMANTICS_CRITICAL to \
+                 cover what actually changed",
+                lock.trial_semantics_version
+            ));
+        }
+    }
+    fs::write(&lock_path, render_lock(cur_tsv, &current))
+        .map_err(|e| format!("cannot write {}: {e}", lock_path.display()))?;
+    Ok(format!(
+        "wrote {} ({} modules at TRIAL_SEMANTICS_VERSION {cur_tsv})",
+        lock_path.display(),
+        current.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    fn lock_of(tsv: u32, modules: &[(String, String)]) -> SemanticsLock {
+        SemanticsLock {
+            format: LOCK_FORMAT,
+            trial_semantics_version: tsv,
+            modules: modules.to_vec(),
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_formatting_invariant() {
+        let a = fingerprint("fn f(x: u32) -> u32 { x + 1 }\n");
+        let b = fingerprint("// doc\nfn f(\n    x: u32\n) -> u32 {\n    x + 1\n}\n");
+        assert_eq!(a, b);
+        assert_ne!(a, fingerprint("fn f(x: u32) -> u32 { x + 2 }\n"));
+    }
+
+    #[test]
+    fn mutating_one_token_of_gemm_fails_the_gate() {
+        // The S1 mutation test: flip a single token in a copy of a real
+        // semantics-critical module and assert the gate turns red
+        // without a version bump.
+        let root = repo_root();
+        let tsv = trial_semantics_version(&root).expect("version parses");
+        let modules = current_modules(&root).expect("modules enumerate");
+        let lock = lock_of(tsv, &modules);
+        assert!(
+            verify(&lock, &modules, tsv).is_empty(),
+            "clean tree is clean"
+        );
+
+        let gemm = root.join("crates/dnn/src/gemm.rs");
+        let src = fs::read_to_string(&gemm).expect("gemm.rs reads");
+        let mutated_src = src.replacen("const", "static", 1);
+        assert_ne!(src, mutated_src, "gemm.rs has a `const` token to flip");
+        let mut mutated = modules.clone();
+        let entry = mutated
+            .iter_mut()
+            .find(|(p, _)| p == "crates/dnn/src/gemm.rs")
+            .expect("gemm.rs is fingerprinted");
+        entry.1 = fingerprint(&mutated_src);
+
+        let findings = verify(&lock, &mutated, tsv);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].0, "S1/drift");
+        assert_eq!(findings[0].1, "crates/dnn/src/gemm.rs");
+    }
+
+    #[test]
+    fn comment_only_edits_do_not_move_the_fingerprint() {
+        let root = repo_root();
+        let src = fs::read_to_string(root.join("crates/dnn/src/gemm.rs")).expect("gemm.rs reads");
+        let annotated = format!("// maxnvm-lint: allow(R1/index-arith): hypothetical\n{src}");
+        assert_eq!(fingerprint(&src), fingerprint(&annotated));
+    }
+
+    #[test]
+    fn bump_without_change_fails_the_gate() {
+        let root = repo_root();
+        let tsv = trial_semantics_version(&root).expect("version parses");
+        let modules = current_modules(&root).expect("modules enumerate");
+        let lock = lock_of(tsv, &modules);
+        let findings = verify(&lock, &modules, tsv + 1);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].0, "S1/bump-without-change");
+    }
+
+    #[test]
+    fn bump_with_change_requires_regeneration() {
+        let root = repo_root();
+        let tsv = trial_semantics_version(&root).expect("version parses");
+        let mut modules = current_modules(&root).expect("modules enumerate");
+        let lock = lock_of(tsv, &modules);
+        modules[0].1 = fingerprint("fn changed() {}\n");
+        let findings = verify(&lock, &modules, tsv + 1);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].0, "S1/lock-stale");
+    }
+
+    #[test]
+    fn module_set_drift_is_reported() {
+        let modules = vec![
+            ("a.rs".to_string(), "00".to_string()),
+            ("b.rs".to_string(), "11".to_string()),
+        ];
+        let lock = lock_of(4, &modules);
+        let current = vec![
+            ("a.rs".to_string(), "00".to_string()),
+            ("c.rs".to_string(), "22".to_string()),
+        ];
+        let findings = verify(&lock, &current, 4);
+        let rules: Vec<&str> = findings.iter().map(|f| f.0).collect();
+        assert!(rules.contains(&"S1/untracked"));
+        assert!(rules.contains(&"S1/missing-module"));
+    }
+
+    #[test]
+    fn lock_roundtrips_through_render_and_parse() {
+        let modules = vec![
+            (
+                "crates/a/src/x.rs".to_string(),
+                "0123456789abcdef".to_string(),
+            ),
+            (
+                "crates/b/src/y.rs".to_string(),
+                "fedcba9876543210".to_string(),
+            ),
+        ];
+        let text = render_lock(7, &modules);
+        let dir = std::env::temp_dir().join(format!("maxnvm-s1-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("semantics.lock");
+        fs::write(&path, &text).expect("write temp lock");
+        let lock = load_lock(&path).expect("parse back");
+        fs::remove_file(&path).ok();
+        assert_eq!(lock.format, LOCK_FORMAT);
+        assert_eq!(lock.trial_semantics_version, 7);
+        assert_eq!(lock.modules, modules);
+    }
+
+    #[test]
+    fn the_expected_modules_are_fingerprinted() {
+        // Pins the semantics-critical set: a module move cannot silently
+        // drop a file from the gate (current_modules errors), and the
+        // subtree expansion actually finds the kernels.
+        let modules = current_modules(&repo_root()).expect("modules enumerate");
+        for expected in [
+            "crates/dnn/src/gemm.rs",
+            "crates/dnn/src/gemm/dispatch.rs",
+            "crates/dnn/src/gemm/kernel_x86.rs",
+            "crates/dnn/src/gemm/kernel_neon.rs",
+            "crates/dnn/src/prefix.rs",
+            "crates/dnn/src/sparse.rs",
+            "crates/ecc/src/lib.rs",
+            "crates/encoding/src/storage/prepared.rs",
+            "crates/envm/src/fault.rs",
+            "crates/envm/src/level.rs",
+            "crates/envm/src/math.rs",
+            "crates/faultsim/src/checkpoint.rs",
+        ] {
+            assert!(
+                modules.iter().any(|(p, _)| p == expected),
+                "{expected} missing from the S1 fingerprint set"
+            );
+        }
+        // Test-only modules stay out: they cannot move trial values.
+        assert!(!modules
+            .iter()
+            .any(|(p, _)| p == "crates/encoding/src/storage/tests.rs"));
+    }
+}
