@@ -14,16 +14,20 @@ use maxnvm_dnn::network::{LayerMatrix, Network, WeightDelta};
 use maxnvm_dnn::sparse::SparseMatrix;
 use maxnvm_dnn::zoo;
 use maxnvm_encoding::cluster::ClusteredLayer;
-use maxnvm_encoding::storage::{PreparedLayer, StorageScheme, StoredLayer};
+use maxnvm_encoding::storage::{
+    EncodeCache, EncodeDiskCache, PreparedLayer, StorageScheme, StoredLayer,
+};
 use maxnvm_encoding::EncodingKind;
 use maxnvm_envm::{CellTechnology, MlcConfig, SenseAmp};
 use maxnvm_faultsim::campaign::fault_maps;
-use maxnvm_faultsim::dse::{minimal_cells, DseConfig};
+use maxnvm_faultsim::dse::{minimal_cells, DseConfig, DsePoint};
 use maxnvm_faultsim::evaluate::{EvalScratch, SparseModel};
 use maxnvm_faultsim::{
-    AccuracyEval, Campaign, EarlyStop, EvalContext, NetworkEval, ProxyEval, RunControl,
+    AccuracyEval, Campaign, CheckpointConfig, EarlyStop, EvalContext, NetworkEval, ProxyEval,
+    RunControl, ShardSpec,
 };
 use rand::SeedableRng;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -41,6 +45,13 @@ fn throughput(mut trial: impl FnMut(u64)) -> f64 {
 }
 
 fn main() {
+    // Re-executed as a shard worker by the sharded-DSE arm: run this
+    // process's slice of the sweep and exit (server kill-resume tests
+    // use the same self-re-exec pattern).
+    if let Ok(layout) = std::env::var(SHARD_CHILD_ENV) {
+        run_shard_child(&layout);
+        return;
+    }
     let spec = zoo::lenet5();
     let scheme = StorageScheme::uniform(EncodingKind::BitMask, MlcConfig::MLC3).with_idx_sync();
     let stored: Vec<StoredLayer> = spec
@@ -169,6 +180,7 @@ fn main() {
     println!("  sparse speedup: {:.1}x", vgg.speedup);
 
     let es = early_stopping_arm();
+    let shard = shard_arm();
     let srv = server_arm();
 
     // Provenance: which revision produced the row, which lint-pass rule
@@ -200,7 +212,7 @@ fn main() {
         .join(", ");
 
     let json = format!(
-        "{{\n  \"benchmark\": \"trial_throughput\",\n  \"git_sha\": \"{git_sha}\",\n  \"lint_pass_version\": {lint_pass_version},\n  \"semantics_lock_version\": {semantics_lock_version},\n  \"lint_rule_counts\": {lint_rule_counts},\n  \"model\": \"{}\",\n  \"scheme\": \"{}\",\n  \"total_cells\": {cells},\n  \"expected_faults_per_trial\": {expected:.6},\n  \"before_trials_per_sec\": {before:.3},\n  \"after_trials_per_sec\": {after:.3},\n  \"speedup\": {speedup:.3},\n  \"trials_per_sec\": {trials_per_sec:.3},\n  \"prefix_skip_rate\": {prefix_skip_rate:.4},\n  \"simd_tier\": \"{simd_tier}\",\n  \"gemm_gflops\": {gemm_gflops:.2},\n  \"sparse_gemm_gflops\": {sparse_gemm_gflops:.2},\n  \"gemm_gflops_by_tier\": {{{gemm_by_tier}}},\n  \"sparse_gemm_gflops_by_tier\": {{{sparse_by_tier}}},\n  \"sparse_dense_cutover_density\": {:.2},\n  \"sparse_dense_crossover_density\": {crossover_density:.2},\n  \"sparse_dense_crossover_sweep\": {{{sweep_json}}},\n  \"vgg12_weights\": {},\n  \"vgg12_density\": {:.4},\n  \"vgg12_expected_faults_per_trial\": {:.3},\n  \"vgg12_dense_trials_per_sec\": {:.3},\n  \"vgg12_sparse_trials_per_sec\": {:.3},\n  \"vgg12_sparse_speedup\": {:.3},\n  \"dse_fixed_trials\": {},\n  \"dse_early_stop_trials\": {},\n  \"dse_trial_savings\": {:.3},\n  \"dse_same_optimal\": {},\n  \"server_streams\": {},\n  \"server_p99_ms\": {:.3},\n  \"server_trials_per_sec\": {:.3}\n}}\n",
+        "{{\n  \"benchmark\": \"trial_throughput\",\n  \"git_sha\": \"{git_sha}\",\n  \"lint_pass_version\": {lint_pass_version},\n  \"semantics_lock_version\": {semantics_lock_version},\n  \"lint_rule_counts\": {lint_rule_counts},\n  \"model\": \"{}\",\n  \"scheme\": \"{}\",\n  \"total_cells\": {cells},\n  \"expected_faults_per_trial\": {expected:.6},\n  \"before_trials_per_sec\": {before:.3},\n  \"after_trials_per_sec\": {after:.3},\n  \"speedup\": {speedup:.3},\n  \"trials_per_sec\": {trials_per_sec:.3},\n  \"prefix_skip_rate\": {prefix_skip_rate:.4},\n  \"simd_tier\": \"{simd_tier}\",\n  \"gemm_gflops\": {gemm_gflops:.2},\n  \"sparse_gemm_gflops\": {sparse_gemm_gflops:.2},\n  \"gemm_gflops_by_tier\": {{{gemm_by_tier}}},\n  \"sparse_gemm_gflops_by_tier\": {{{sparse_by_tier}}},\n  \"sparse_dense_cutover_density\": {:.2},\n  \"sparse_dense_crossover_density\": {crossover_density:.2},\n  \"sparse_dense_crossover_sweep\": {{{sweep_json}}},\n  \"vgg12_weights\": {},\n  \"vgg12_density\": {:.4},\n  \"vgg12_expected_faults_per_trial\": {:.3},\n  \"vgg12_dense_trials_per_sec\": {:.3},\n  \"vgg12_sparse_trials_per_sec\": {:.3},\n  \"vgg12_sparse_speedup\": {:.3},\n  \"dse_fixed_trials\": {},\n  \"dse_early_stop_trials\": {},\n  \"dse_trial_savings\": {:.3},\n  \"dse_same_optimal\": {},\n  \"dse_shard_speedup_2\": {:.3},\n  \"dse_shard_speedup_4\": {:.3},\n  \"dse_shard_same_optimal\": {},\n  \"encode_cache_hit_rate\": {:.3},\n  \"server_streams\": {},\n  \"server_p99_ms\": {:.3},\n  \"server_trials_per_sec\": {:.3}\n}}\n",
         spec.name,
         scheme.label(),
         gemm::SPARSE_DENSE_CUTOVER,
@@ -214,6 +226,10 @@ fn main() {
         es.early_trials,
         es.savings,
         es.same_optimal,
+        shard.speedup_2,
+        shard.speedup_4,
+        shard.same_optimal,
+        shard.cache_hit_rate,
         srv.streams,
         srv.p99_ms,
         srv.trials_per_sec,
@@ -566,6 +582,178 @@ fn early_stopping_arm() -> EarlyStoppingArm {
         early_trials,
         savings,
         same_optimal,
+    }
+}
+
+const SHARD_CHILD_ENV: &str = "MAXNVM_BENCH_SHARD_CHILD";
+const SHARD_DIR_ENV: &str = "MAXNVM_BENCH_SHARD_DIR";
+
+/// The sweep the sharded arm measures, reconstructed identically by the
+/// parent and every worker process: the early-stopping arm's LeNet5
+/// layer, full MLC-CTT candidate space, fixed budget.
+fn shard_fixture() -> (Vec<ClusteredLayer>, ProxyEval, DseConfig) {
+    let spec = zoo::lenet5();
+    let m = spec.layers[2].sample_matrix(spec.paper.sparsity, 40, 64, 256);
+    let layer = ClusteredLayer::from_matrix(&m, spec.paper.cluster_index_bits, 5);
+    let eval = ProxyEval::new(vec![layer.reconstruct()], 0.1, 0.9);
+    let cfg = DseConfig {
+        campaign: Campaign {
+            trials: 24,
+            seed: 40,
+            rate_scale: 120.0,
+        },
+        itn_bound: spec.paper.itn_bound,
+    };
+    (vec![layer], eval, cfg)
+}
+
+fn shard_ckpt(dir: &std::path::Path, index: usize, count: usize) -> PathBuf {
+    dir.join(format!("shard-{index}-of-{count}.ckpt"))
+}
+
+/// Worker half of the sharded arm: run shard `index` of `count` with a
+/// checkpoint and the shared disk-backed encode cache, then exit.
+fn run_shard_child(layout: &str) {
+    let (index, count) = layout.split_once(':').expect("layout index:count");
+    let index: usize = index.parse().expect("shard index");
+    let count: usize = count.parse().expect("shard count");
+    let dir = PathBuf::from(std::env::var(SHARD_DIR_ENV).expect("shard dir env"));
+    let (layers, eval, cfg) = shard_fixture();
+    let ctx = EvalContext::new(CellTechnology::MlcCtt, &SenseAmp::paper_default(), 120.0)
+        .expect("context");
+    let control = RunControl {
+        shard: ShardSpec::of(index, count),
+        checkpoint: Some(CheckpointConfig::new(shard_ckpt(&dir, index, count)).keep_on_success()),
+        encode_cache: Some(Arc::new(
+            EncodeCache::new().with_disk(EncodeDiskCache::new(dir.join("cache"))),
+        )),
+        ..RunControl::default()
+    };
+    ctx.run_dse_controlled(&layers, &eval, &cfg, &control)
+        .expect("shard worker sweep");
+}
+
+/// One full N-process sharded sweep from a cold cache: spawn the worker
+/// fleet (self-re-exec), wait, merge the shard checkpoints. Returns the
+/// end-to-end wall time and the merged points.
+fn sharded_sweep_secs(count: usize) -> (f64, Vec<DsePoint>) {
+    let dir =
+        std::env::temp_dir().join(format!("maxnvm-bench-shard-{count}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("shard workdir");
+    let exe = std::env::current_exe().expect("bench binary path");
+    let start = Instant::now();
+    let children: Vec<_> = (0..count)
+        .map(|i| {
+            std::process::Command::new(&exe)
+                .env(SHARD_CHILD_ENV, format!("{i}:{count}"))
+                .env(SHARD_DIR_ENV, &dir)
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .expect("spawn shard worker")
+        })
+        .collect();
+    for mut child in children {
+        let status = child.wait().expect("wait shard worker");
+        assert!(status.success(), "shard worker failed: {status}");
+    }
+    let (layers, eval, cfg) = shard_fixture();
+    let ctx = EvalContext::new(CellTechnology::MlcCtt, &SenseAmp::paper_default(), 120.0)
+        .expect("context");
+    let control = RunControl {
+        merge_sources: (0..count).map(|i| shard_ckpt(&dir, i, count)).collect(),
+        encode_cache: Some(Arc::new(
+            EncodeCache::new().with_disk(EncodeDiskCache::new(dir.join("cache"))),
+        )),
+        ..RunControl::default()
+    };
+    let merged = ctx
+        .run_dse_controlled(&layers, &eval, &cfg, &control)
+        .expect("merge");
+    let secs = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+    (secs, merged)
+}
+
+struct ShardArm {
+    speedup_2: f64,
+    speedup_4: f64,
+    same_optimal: bool,
+    cache_hit_rate: f64,
+}
+
+/// The sharded-DSE arm: the identical sweep run as 1, 2, and 4 real
+/// worker processes (cold shared cache each time, merge included in the
+/// wall clock), asserting all three merges agree byte-for-byte on trial
+/// results and on the optimal design. Speedups are recorded as
+/// measured: on a box with fewer cores than workers they dip below the
+/// process count (workers time-slice), which is the honest number.
+/// The cache hit rate is the cold-then-warm single-process observation.
+fn shard_arm() -> ShardArm {
+    let (t1, p1) = sharded_sweep_secs(1);
+    let (t2, p2) = sharded_sweep_secs(2);
+    let (t4, p4) = sharded_sweep_secs(4);
+    let strip = |points: &[DsePoint]| -> Vec<DsePoint> {
+        points
+            .iter()
+            .cloned()
+            .map(|mut p| {
+                p.encode_cache = Default::default();
+                p
+            })
+            .collect()
+    };
+    assert!(
+        strip(&p1) == strip(&p2) && strip(&p1) == strip(&p4),
+        "sharded merges must be byte-identical to the 1-process run"
+    );
+    let best = minimal_cells(&p1).expect("sweep has a winner");
+    let same_optimal = [&p2, &p4]
+        .iter()
+        .all(|p| minimal_cells(p).expect("sweep has a winner").scheme == best.scheme);
+    assert!(same_optimal, "sharding changed the optimal design");
+
+    // Cold-then-warm against one disk cache: the warm run's hit rate is
+    // what a worker joining an already-swept design space observes.
+    let dir = std::env::temp_dir().join(format!("maxnvm-bench-cachewarm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (layers, eval, cfg) = shard_fixture();
+    let ctx = EvalContext::new(CellTechnology::MlcCtt, &SenseAmp::paper_default(), 120.0)
+        .expect("context");
+    let mut warm_rate = 0.0;
+    for round in 0..2 {
+        let control = RunControl {
+            encode_cache: Some(Arc::new(
+                EncodeCache::new().with_disk(EncodeDiskCache::new(&dir)),
+            )),
+            ..RunControl::default()
+        };
+        let points = ctx
+            .run_dse_controlled(&layers, &eval, &cfg, &control)
+            .expect("cache-warm sweep");
+        let stats = points.first().map(|p| p.encode_cache).unwrap_or_default();
+        if round == 1 {
+            warm_rate = stats.hit_rate();
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "sharded_dse: {} schemes x {} trials, winner {}",
+        p1.len(),
+        24,
+        best.scheme.label()
+    );
+    println!("  1 process:  {t1:>6.2} s");
+    println!("  2 processes: {t2:>6.2} s ({:.2}x)", t1 / t2);
+    println!("  4 processes: {t4:>6.2} s ({:.2}x)", t1 / t4);
+    println!("  warm encode-cache hit rate: {warm_rate:.3}");
+
+    ShardArm {
+        speedup_2: t1 / t2,
+        speedup_4: t1 / t4,
+        same_optimal,
+        cache_hit_rate: warm_rate,
     }
 }
 

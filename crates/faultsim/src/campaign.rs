@@ -146,6 +146,11 @@ pub struct CampaignResult {
     /// (`0.0` when unreported).
     #[serde(default)]
     pub density: f64,
+    /// Disk-layer counters of the run's shared encode cache (all zero
+    /// when the run had none; serde-defaulted so older serialized
+    /// results still load).
+    #[serde(default)]
+    pub encode_cache: maxnvm_encoding::storage::EncodeCacheStats,
 }
 
 impl CampaignResult {
@@ -203,8 +208,18 @@ impl CampaignResult {
             mean_ecc_uncorrectable: stats_sum.ecc_uncorrectable as f64 / n,
             layer_nnz: Vec::new(),
             density: 0.0,
+            encode_cache: maxnvm_encoding::storage::EncodeCacheStats::default(),
             errors,
         }
+    }
+
+    /// Attaches the run's encode-cache disk counters.
+    pub(crate) fn with_encode_cache(
+        mut self,
+        stats: maxnvm_encoding::storage::EncodeCacheStats,
+    ) -> Self {
+        self.encode_cache = stats;
+        self
     }
 
     /// Attaches the clean model's per-layer non-zero counts and achieved
@@ -343,6 +358,44 @@ impl Campaign {
             }
             None => CheckpointConfig::new(path),
         });
+        self.run_controlled(stored, tech, sa, eval, &control)
+    }
+
+    /// Merges the checkpoints of a sharded run: each `sources` path
+    /// holds one shard's complete (or partial) snapshot, written by a
+    /// worker running this same campaign under a
+    /// [`crate::engine::ShardSpec`]. The merge preseeds an *unsharded*
+    /// run with every source's trials — verified against this
+    /// configuration's fingerprint folded with each snapshot's own
+    /// recorded shard layout — then executes whatever is missing, so
+    /// the output is byte-identical to the uninterrupted 1-shard
+    /// [`Campaign::run_controlled`]: same trials, same early-stopping
+    /// decisions, same `failed_trials` replay seeds, same Wilson CIs.
+    /// Sources from killed shards merely leave more trials to run here.
+    ///
+    /// Errors with [`EngineError::CheckpointIo`] if a source is missing,
+    /// and with [`EngineError::CheckpointMismatch`] if one was written
+    /// by a different configuration or under a mangled shard layout.
+    pub fn merge(
+        &self,
+        sources: &[std::path::PathBuf],
+        stored: &[StoredLayer],
+        tech: CellTechnology,
+        sa: &SenseAmp,
+        eval: &(dyn AccuracyEval + Sync),
+        control: &RunControl,
+    ) -> Result<CampaignResult, EngineError> {
+        for source in sources {
+            if !source.exists() {
+                return Err(EngineError::CheckpointIo {
+                    path: source.display().to_string(),
+                    detail: "no checkpoint to merge from".to_string(),
+                });
+            }
+        }
+        let mut control = control.clone();
+        control.shard = crate::engine::ShardSpec::unsharded();
+        control.merge_sources = sources.to_vec();
         self.run_controlled(stored, tech, sa, eval, &control)
     }
 

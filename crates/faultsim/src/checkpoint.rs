@@ -44,7 +44,12 @@ use std::sync::{Arc, Once};
 use std::time::Duration;
 
 /// On-disk format tag; bumped only when the file layout itself changes.
-pub const CHECKPOINT_FORMAT: &str = "maxnvm-campaign-checkpoint v1";
+///
+/// v2 added the `shard <index> <count>` line recording which slice of a
+/// sharded sweep a snapshot holds. The format tag is folded into every
+/// fingerprint, so v1 snapshots are rejected as
+/// [`EngineError::CheckpointMismatch`] rather than misparsed.
+pub const CHECKPOINT_FORMAT: &str = "maxnvm-campaign-checkpoint v2";
 
 /// Version of the trial semantics (seeding, fault sampling, decode and
 /// summation order). Folded into every fingerprint: resuming a
@@ -504,6 +509,13 @@ impl Fingerprint {
         f
     }
 
+    /// Continues a fingerprint from a previously finished digest, so a
+    /// shard layout (or any later refinement) can be folded on top of a
+    /// base configuration fingerprint without re-walking the inputs.
+    pub fn resume(state: u64) -> Self {
+        Fingerprint(state)
+    }
+
     /// Folds raw bytes in.
     pub fn push_bytes(&mut self, bytes: &[u8]) -> &mut Self {
         for &b in bytes {
@@ -558,6 +570,11 @@ pub struct CampaignCheckpoint {
     pub trials: usize,
     /// Base RNG seed; trial `t` uses `seed.wrapping_add(t)`.
     pub seed: u64,
+    /// Which shard of the sweep this snapshot holds (0 when unsharded).
+    pub shard_index: usize,
+    /// Total shards in the layout this snapshot was produced under
+    /// (1 when unsharded).
+    pub shard_count: usize,
     /// Completed trials: `(group, trial, outcome)`.
     pub entries: Vec<(usize, usize, TrialOutcome)>,
 }
@@ -577,8 +594,20 @@ impl CampaignCheckpoint {
             groups,
             trials,
             seed,
+            shard_index: 0,
+            shard_count: 1,
             entries: Vec::new(),
         }
+    }
+
+    /// Marks this snapshot as shard `index` of `count` (the fingerprint
+    /// passed to [`Self::new`] should already have the shard layout
+    /// folded in; these fields let a merge recover each source's layout
+    /// without guessing).
+    pub fn with_shard(mut self, index: usize, count: usize) -> Self {
+        self.shard_index = index;
+        self.shard_count = count;
+        self
     }
 
     /// Records one finished trial.
@@ -616,6 +645,10 @@ impl CampaignCheckpoint {
         out.push_str(&format!("groups {}\n", self.groups));
         out.push_str(&format!("trials {}\n", self.trials));
         out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!(
+            "shard {} {}\n",
+            self.shard_index, self.shard_count
+        ));
         out.push_str(&format!("label {}\n", escape(&self.label)));
         for (group, trial, outcome) in &entries {
             match outcome {
@@ -668,6 +701,11 @@ impl CampaignCheckpoint {
         let seed = field("seed")?
             .parse()
             .map_err(|e| parse(format!("bad seed: {e}")))?;
+        let shard_line = field("shard")?;
+        let (shard_index, shard_count) = shard_line
+            .split_once(' ')
+            .and_then(|(i, c)| Some((i.parse().ok()?, c.parse().ok()?)))
+            .ok_or_else(|| parse(format!("bad shard line: {shard_line:?}")))?;
         let label = unescape(&field("label")?);
         let mut entries = Vec::new();
         let mut ended = false;
@@ -756,6 +794,8 @@ impl CampaignCheckpoint {
             groups,
             trials,
             seed,
+            shard_index,
+            shard_count,
             entries,
         })
     }
@@ -770,6 +810,40 @@ impl CampaignCheckpoint {
     /// Loads and parses a snapshot through the real [`FsStore`].
     pub fn load(path: &Path) -> Result<Self, EngineError> {
         Self::from_text(&FsStore.read(path)?)
+    }
+}
+
+/// Adapts any [`CheckpointStore`] onto the encoding crate's
+/// `ArtifactStore`, so the on-disk encode cache
+/// ([`maxnvm_encoding::storage::EncodeDiskCache`]) can reuse the same
+/// backends as campaign checkpoints — including the fault-injecting
+/// [`FaultyStore`] in the resilience suite. Typed engine errors are
+/// flattened to `std::io::Error` text; the cache treats any failure as
+/// a miss, so nothing downstream needs the structure back.
+#[derive(Debug, Clone)]
+pub struct CheckpointArtifactStore(pub Arc<dyn CheckpointStore>);
+
+impl maxnvm_encoding::storage::ArtifactStore for CheckpointArtifactStore {
+    fn write_atomic(&self, path: &Path, text: &str) -> std::io::Result<()> {
+        self.0
+            .write_atomic(path, text)
+            .map_err(|e| std::io::Error::other(e.to_string()))
+    }
+
+    fn read(&self, path: &Path) -> std::io::Result<String> {
+        self.0
+            .read(path)
+            .map_err(|e| std::io::Error::other(e.to_string()))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.0.exists(path)
+    }
+
+    fn remove(&self, path: &Path) -> std::io::Result<()> {
+        self.0
+            .remove(path)
+            .map_err(|e| std::io::Error::other(e.to_string()))
     }
 }
 
@@ -885,6 +959,21 @@ mod tests {
             matches!(err, EngineError::CheckpointParse { .. }),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn shard_layout_round_trips_and_defaults_to_unsharded() {
+        let cp = sample();
+        assert_eq!((cp.shard_index, cp.shard_count), (0, 1));
+        let sharded = sample().with_shard(2, 5);
+        let parsed = CampaignCheckpoint::from_text(&sharded.to_text()).expect("parse");
+        assert_eq!((parsed.shard_index, parsed.shard_count), (2, 5));
+        // A snapshot with a mangled shard line is rejected, not guessed.
+        let bad = sharded.to_text().replace("shard 2 5", "shard 2");
+        assert!(matches!(
+            CampaignCheckpoint::from_text(&bad),
+            Err(EngineError::CheckpointParse { .. })
+        ));
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub struct DsePoint {
     /// (`0.0` when unreported, e.g. deserialized from an old sweep).
     #[serde(default)]
     pub density: f64,
+    /// Disk-layer counters of the sweep's shared encode cache at the
+    /// moment all encode/decode work finished (identical on every point
+    /// of one sweep; all zero without a disk-backed cache, and
+    /// serde-defaulted so older serialized sweeps still load).
+    #[serde(default)]
+    pub encode_cache: maxnvm_encoding::storage::EncodeCacheStats,
 }
 
 /// DSE configuration.
@@ -177,6 +183,7 @@ pub fn explore_concrete_reference(
                 trials_run: result.completed_trials,
                 layer_nnz: layer_nnz.clone(),
                 density,
+                encode_cache: Default::default(),
             }
         })
         .collect()
@@ -230,6 +237,7 @@ pub fn explore_spec(
                 trials_run: 0,
                 layer_nnz: layer_nnz.clone(),
                 density,
+                encode_cache: Default::default(),
             }
         })
         .collect()
@@ -513,6 +521,7 @@ mod tests {
             trials_run: 0,
             layer_nnz: Vec::new(),
             density: 0.0,
+            encode_cache: Default::default(),
         };
         let pts = vec![mk(100, 0.1, true), mk(50, 0.2, true), mk(10, 0.1, false)];
         let best = minimal_cells(&pts).unwrap();

@@ -46,6 +46,15 @@ pub enum EngineError {
         /// The rejected value, verbatim.
         value: String,
     },
+    /// A shard layout that cannot partition anything: a sweep must be
+    /// split into `count >= 1` shards and this process's `index` must
+    /// name one of them (`index < count`).
+    InvalidShardConfig {
+        /// The rejected shard index.
+        index: usize,
+        /// The rejected shard count.
+        count: usize,
+    },
     /// A checkpoint's configuration fingerprint does not match the run
     /// trying to resume from it — resuming would silently mix trials
     /// from different configurations.
@@ -130,6 +139,11 @@ impl fmt::Display for EngineError {
                 f,
                 "MAXNVM_FORCE_SCALAR must be 1/true or 0/false, got {value:?}"
             ),
+            Self::InvalidShardConfig { index, count } => write!(
+                f,
+                "invalid shard layout: index {index} of count {count} \
+                 (need count >= 1 and index < count)"
+            ),
             Self::CheckpointMismatch { expected, found } => write!(
                 f,
                 "checkpoint fingerprint {found:016x} does not match this run's \
@@ -207,6 +221,10 @@ mod tests {
             detail: "permission denied".into(),
         };
         assert!(io.to_string().contains("/tmp/x.ckpt"));
+        let sh = EngineError::InvalidShardConfig { index: 3, count: 3 };
+        assert!(sh.to_string().contains("index 3"));
+        assert!(sh.to_string().contains("count 3"));
+        assert!(sh.to_string().contains("index < count"));
     }
 
     #[test]

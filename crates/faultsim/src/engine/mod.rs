@@ -64,9 +64,11 @@
 
 mod error;
 mod pool;
+mod shard;
 
 pub use error::EngineError;
 pub use pool::WorkerPool;
+pub use shard::ShardSpec;
 
 use crate::campaign::{wilson_interval, CampaignResult, TrialOutcome};
 use crate::cancel::CancelToken;
@@ -76,6 +78,7 @@ use crate::evaluate::{AccuracyEval, EvalScratch, SparseModel};
 use maxnvm_dnn::network::{LayerMatrix, WeightDelta};
 use maxnvm_dnn::sparse::SparseMatrix;
 use maxnvm_encoding::cluster::ClusteredLayer;
+use maxnvm_encoding::storage::EncodeCacheStats;
 use maxnvm_encoding::storage::{DecodeStats, EncodeCache, PreparedLayer, StoredLayer};
 use maxnvm_encoding::StructureKind;
 use maxnvm_envm::{CellModel, CellTechnology, FaultMap, MlcConfig, SenseAmp};
@@ -84,6 +87,7 @@ use rand::SeedableRng;
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::{Arc, Once, OnceLock};
 
 /// A checkout pool of reusable [`EvalScratch`] values: each in-flight
@@ -265,6 +269,29 @@ pub struct RunControl {
     /// these trial indices panic instead of evaluating. Folded into the
     /// checkpoint fingerprint so hooked and unhooked runs never mix.
     pub panic_trials: Vec<usize>,
+    /// Which slice of the sweep this process runs. The default is the
+    /// unsharded layout (everything); shard workers set `index` of
+    /// `count` and execute only the (group, trial) pairs the pure
+    /// assignment function gives them — with RNG streams identical to
+    /// the unsharded run's, so shard outputs merge byte-identically.
+    /// The layout is folded into the checkpoint fingerprint, so
+    /// resuming a snapshot under a different layout is a typed
+    /// [`EngineError::CheckpointMismatch`].
+    pub shard: ShardSpec,
+    /// Shard checkpoints to preseed this run with before executing
+    /// anything: each is loaded, verified against this sweep's base
+    /// fingerprint folded with the *snapshot's own* recorded shard
+    /// layout, and its completed trials absorbed. Running an unsharded
+    /// layout over the sources of a complete N-shard sweep is the merge
+    /// operation — no trials re-run, early stopping replays its
+    /// decisions over the merged prefix, and the output is
+    /// byte-identical to the 1-shard run.
+    pub merge_sources: Vec<PathBuf>,
+    /// When set, prepared-layer encode/decode artifacts are shared
+    /// through this cache (optionally disk-backed for cross-process
+    /// sharing between shards); its disk counters are surfaced on the
+    /// run's results.
+    pub encode_cache: Option<Arc<EncodeCache>>,
 }
 
 impl RunControl {
@@ -274,6 +301,15 @@ impl RunControl {
             cancel,
             ..Self::default()
         }
+    }
+
+    /// The disk-layer counters of this control's encode cache (all zero
+    /// without one).
+    fn cache_stats(&self) -> EncodeCacheStats {
+        self.encode_cache
+            .as_ref()
+            .map(|c| c.stats())
+            .unwrap_or_default()
     }
 }
 
@@ -291,6 +327,10 @@ struct DrivenTrials {
 /// cadence, and applying the early-stop rule per group at fixed batch
 /// boundaries. `trial_fn(group, trial)` must be a pure function of its
 /// arguments.
+///
+/// `fingerprint` is the shard-independent base digest of the run
+/// configuration: trial assignment hashes against it, and the
+/// checkpoint fingerprint is it with `control.shard` folded on top.
 #[allow(clippy::too_many_arguments)]
 fn drive_trials(
     pool: &WorkerPool,
@@ -302,17 +342,45 @@ fn drive_trials(
     label: &str,
     trial_fn: impl Fn(usize, usize) -> (f64, DecodeStats) + Sync,
 ) -> Result<Vec<DrivenTrials>, EngineError> {
+    control.shard.validate()?;
+    let shard = control.shard;
+    let ckpt_fingerprint = shard.fold_fingerprint(fingerprint);
     // Completed outcomes per group, keyed by trial index so prefix
     // statistics (for the early-stop rule) are well-defined.
     let mut done: Vec<BTreeMap<usize, TrialOutcome>> = vec![BTreeMap::new(); groups];
     if let Some(cp) = &control.checkpoint {
         if cp.store.exists(&cp.path) {
             let snapshot = cp.load_snapshot()?;
-            snapshot.verify(fingerprint)?;
+            snapshot.verify(ckpt_fingerprint)?;
             for (group, trial, outcome) in snapshot.entries {
                 if group < groups && trial < group_trials {
                     done[group].insert(trial, outcome);
                 }
+            }
+        }
+    }
+    // Preseed with completed shard snapshots: each source is verified
+    // against the base fingerprint folded with *its own* recorded
+    // layout, so a snapshot from a different configuration — or a
+    // mangled shard header — is a typed mismatch, never silently-wrong
+    // trials. Duplicate (group, trial) pairs across sources are
+    // harmless: trials are pure functions of their index, so any
+    // overwrite is byte-identical.
+    for source in &control.merge_sources {
+        let snapshot = match &control.checkpoint {
+            Some(cp) => {
+                let mut src = cp.clone();
+                src.path = source.clone();
+                src.load_snapshot()?
+            }
+            None => CampaignCheckpoint::load(source)?,
+        };
+        let src_shard = ShardSpec::of(snapshot.shard_index, snapshot.shard_count);
+        src_shard.validate()?;
+        snapshot.verify(src_shard.fold_fingerprint(fingerprint))?;
+        for (group, trial, outcome) in snapshot.entries {
+            if group < groups && trial < group_trials {
+                done[group].insert(trial, outcome);
             }
         }
     }
@@ -352,26 +420,33 @@ fn drive_trials(
             break;
         }
         // Apply the early-stop rule at each group's current boundary,
-        // over the trial-ordered prefix below it.
-        if let Some(es) = &control.early_stop {
-            for g in 0..groups {
-                if group_stopped[g] || cursor[g] == 0 {
-                    continue;
-                }
-                let (mut sum, mut n) = (0.0f64, 0usize);
-                for (_, outcome) in done[g].range(..cursor[g]) {
-                    if let TrialOutcome::Ok { error, .. } = outcome {
-                        sum += error;
-                        n += 1;
+        // over the trial-ordered prefix below it. Shard workers
+        // (count > 1) never decide: their prefix is missing the other
+        // shards' trials, so any decision would diverge from the
+        // unsharded run's. The merge run — unsharded over the preseeded
+        // union — replays the rule over complete prefixes and stops at
+        // exactly the trial counts the 1-shard run would have.
+        if shard.count == 1 {
+            if let Some(es) = &control.early_stop {
+                for g in 0..groups {
+                    if group_stopped[g] || cursor[g] == 0 {
+                        continue;
                     }
-                }
-                if n > 0 && es.decided(sum / n as f64, n) {
-                    group_stopped[g] = true;
+                    let (mut sum, mut n) = (0.0f64, 0usize);
+                    for (_, outcome) in done[g].range(..cursor[g]) {
+                        if let TrialOutcome::Ok { error, .. } = outcome {
+                            sum += error;
+                            n += 1;
+                        }
+                    }
+                    if n > 0 && es.decided(sum / n as f64, n) {
+                        group_stopped[g] = true;
+                    }
                 }
             }
         }
         // Next round: one batch per still-active group, minus trials a
-        // checkpoint already covers.
+        // checkpoint already covers and pairs other shards own.
         let mut jobs: Vec<(usize, usize)> = Vec::new();
         for g in 0..groups {
             if group_stopped[g] || cursor[g] >= group_trials {
@@ -380,7 +455,7 @@ fn drive_trials(
             let end = (cursor[g] + batch).min(group_trials);
             jobs.extend(
                 (cursor[g]..end)
-                    .filter(|t| !done[g].contains_key(t))
+                    .filter(|t| !done[g].contains_key(t) && shard.owns(fingerprint, g, *t))
                     .map(|t| (g, t)),
             );
             cursor[g] = end;
@@ -410,7 +485,16 @@ fn drive_trials(
         since_flush += ran;
         if let Some(cp) = &control.checkpoint {
             if dirty && (since_flush >= cp.every || cancelled) {
-                save_checkpoint(cp, fingerprint, label, groups, group_trials, seed, &done)?;
+                save_checkpoint(
+                    cp,
+                    ckpt_fingerprint,
+                    label,
+                    groups,
+                    group_trials,
+                    seed,
+                    shard,
+                    &done,
+                )?;
                 dirty = false;
                 since_flush = 0;
             }
@@ -419,15 +503,46 @@ fn drive_trials(
             break;
         }
     }
+    if !cancelled {
+        // An early-stopped group keeps only the trials below its stop
+        // boundary: preseeded sources (a merge, or a resumed snapshot
+        // that outran the decision point before being killed) may hold
+        // outcomes past it, and an uninterrupted run would never have
+        // executed those.
+        for g in 0..groups {
+            if group_stopped[g] {
+                let keep = cursor[g];
+                done[g].retain(|t, _| *t < keep);
+            }
+        }
+    }
     if let Some(cp) = &control.checkpoint {
         if cancelled {
             if dirty {
-                save_checkpoint(cp, fingerprint, label, groups, group_trials, seed, &done)?;
+                save_checkpoint(
+                    cp,
+                    ckpt_fingerprint,
+                    label,
+                    groups,
+                    group_trials,
+                    seed,
+                    shard,
+                    &done,
+                )?;
             }
         } else if cp.keep_on_success {
             // Leave a complete snapshot behind: resuming it reproduces
             // the finished result without rerunning anything.
-            save_checkpoint(cp, fingerprint, label, groups, group_trials, seed, &done)?;
+            save_checkpoint(
+                cp,
+                ckpt_fingerprint,
+                label,
+                groups,
+                group_trials,
+                seed,
+                shard,
+                &done,
+            )?;
         } else {
             // A finished campaign must not be accidentally "resumed".
             let _ = cp.store.remove(&cp.path);
@@ -442,6 +557,7 @@ fn drive_trials(
         .collect())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn save_checkpoint(
     cp: &CheckpointConfig,
     fingerprint: u64,
@@ -449,9 +565,11 @@ fn save_checkpoint(
     groups: usize,
     trials: usize,
     seed: u64,
+    shard: ShardSpec,
     done: &[BTreeMap<usize, TrialOutcome>],
 ) -> Result<(), EngineError> {
-    let mut snapshot = CampaignCheckpoint::new(fingerprint, label, groups, trials, seed);
+    let mut snapshot = CampaignCheckpoint::new(fingerprint, label, groups, trials, seed)
+        .with_shard(shard.index, shard.count);
     for (g, group) in done.iter().enumerate() {
         for (t, outcome) in group {
             snapshot.record(g, *t, outcome.clone());
@@ -695,9 +813,16 @@ impl EvalContext {
         let fault_for = self.fault_for();
         // Clean decodes and level partitions are trial-invariant: prepare
         // them once so every trial costs O(expected faults), not O(cells).
-        let prepared: Vec<PreparedLayer> = self
-            .pool
-            .scope_map(stored.len(), |i| PreparedLayer::prepare(&stored[i]));
+        // A control-supplied encode cache shares the clean decodes across
+        // runs (and, disk-backed, across shard processes).
+        let prepared: Vec<PreparedLayer> = match &control.encode_cache {
+            Some(cache) => self.pool.scope_map(stored.len(), |i| {
+                PreparedLayer::new(&stored[i], cache.clean_decode(i, &stored[i]))
+            }),
+            None => self
+                .pool
+                .scope_map(stored.len(), |i| PreparedLayer::prepare(&stored[i])),
+        };
         let expected: f64 = prepared
             .iter()
             .map(|p| p.expected_faults(target, &fault_for))
@@ -766,7 +891,8 @@ impl EvalContext {
         Ok(CampaignResult::from_outcomes(trials, group.outcomes)
             .with_termination(group.stopped_early, group.cancelled)
             .with_expected_faults(expected)
-            .with_density(model.layer_nnz(), model.density()))
+            .with_density(model.layer_nnz(), model.density())
+            .with_encode_cache(control.cache_stats()))
     }
 
     /// Runs a campaign with the paper's exact chip semantics: each
@@ -865,7 +991,8 @@ impl EvalContext {
         Ok(CampaignResult::from_outcomes(trials, group.outcomes)
             .with_termination(group.stopped_early, group.cancelled)
             .with_expected_faults(expected)
-            .with_density(model.layer_nnz(), model.density()))
+            .with_density(model.layer_nnz(), model.density())
+            .with_encode_cache(control.cache_stats()))
     }
 
     /// Concrete design-space exploration on the engine: every candidate
@@ -916,7 +1043,17 @@ impl EvalContext {
             });
         }
         let schemes = candidate_schemes(self.tech);
-        let cache = EncodeCache::new();
+        // A control-supplied cache (possibly disk-backed and shared
+        // between shard processes) takes precedence over the sweep's
+        // own in-memory one.
+        let owned_cache;
+        let cache: &EncodeCache = match &control.encode_cache {
+            Some(shared) => shared.as_ref(),
+            None => {
+                owned_cache = EncodeCache::new();
+                &owned_cache
+            }
+        };
         let stored: Vec<(Vec<StoredLayer>, u64)> = self.pool.scope_map(schemes.len(), |s| {
             let layers: Vec<StoredLayer> = layers
                 .iter()
@@ -938,9 +1075,13 @@ impl EvalContext {
                 .0
                 .iter()
                 .enumerate()
-                .map(|(i, l)| PreparedLayer::new(l, cache.clean_decode(i, l)))
+                .map(|(i, l)| PreparedLayer::new(l, cache.clean_decode_cached(i, &layers[i], l)))
                 .collect()
         });
+        // All encode/decode work is done; snapshot the disk-layer
+        // counters once so every point of the sweep reports the same
+        // observation.
+        let cache_stats = cache.stats();
         // Per-scheme clean matrices for the sparse-delta trial path,
         // plus their compute-side sparse twins.
         let clean: Vec<Vec<LayerMatrix>> = prepared
@@ -1045,6 +1186,7 @@ impl EvalContext {
                     trials_run: result.completed_trials,
                     layer_nnz: model.layer_nnz(),
                     density: model.density(),
+                    encode_cache: cache_stats,
                 }
             })
             .collect())

@@ -32,10 +32,10 @@ pub mod vulnerability;
 pub use campaign::{wilson_interval, Campaign, CampaignResult, FailedTrial, TrialOutcome};
 pub use cancel::CancelToken;
 pub use checkpoint::{
-    CampaignCheckpoint, CheckpointConfig, CheckpointStore, FaultPlan, FaultyStore, Fingerprint,
-    FsStore, RetryPolicy,
+    CampaignCheckpoint, CheckpointArtifactStore, CheckpointConfig, CheckpointStore, FaultPlan,
+    FaultyStore, Fingerprint, FsStore, RetryPolicy,
 };
 pub use dse::{minimal_cells, DseConfig, DsePoint};
-pub use engine::{EarlyStop, EngineError, EvalContext, RunControl};
+pub use engine::{EarlyStop, EngineError, EvalContext, RunControl, ShardSpec};
 pub use evaluate::{AccuracyEval, NetworkEval, ProxyEval};
 pub use vulnerability::{VulnerabilityRow, VulnerabilityStudy};

@@ -1278,6 +1278,9 @@ mod tests {
             .collect();
         for rel in [
             "crates/faultsim/src/checkpoint.rs",
+            "crates/faultsim/src/engine/shard.rs",
+            "crates/encoding/src/storage/cache.rs",
+            "crates/encoding/src/storage/diskcache.rs",
             "crates/server/src/supervisor.rs",
             "crates/server/src/config.rs",
             "crates/server/src/job.rs",
@@ -1288,6 +1291,13 @@ mod tests {
             );
         }
         assert!(is_result_affecting("crates/faultsim/src/checkpoint.rs"));
+        // Shard assignment decides which RNG streams execute where, and
+        // the disk cache feeds decoded artifacts straight into trials —
+        // both stay under the full D1 determinism scan.
+        assert!(is_result_affecting("crates/faultsim/src/engine/shard.rs"));
+        assert!(is_result_affecting(
+            "crates/encoding/src/storage/diskcache.rs"
+        ));
         assert!(!is_result_affecting("crates/server/src/supervisor.rs"));
         // D2 holds for the server crate even though it is D1-exempt.
         let r = lint_str(

@@ -56,6 +56,7 @@ pub const SEMANTICS_CRITICAL: &[&str] = &[
     "crates/envm/src/level.rs",
     "crates/envm/src/math.rs",
     "crates/faultsim/src/checkpoint.rs",
+    "crates/faultsim/src/engine/shard.rs",
 ];
 
 /// Parsed `semantics.lock`.
@@ -546,10 +547,12 @@ mod tests {
             "crates/dnn/src/sparse.rs",
             "crates/ecc/src/lib.rs",
             "crates/encoding/src/storage/prepared.rs",
+            "crates/encoding/src/storage/diskcache.rs",
             "crates/envm/src/fault.rs",
             "crates/envm/src/level.rs",
             "crates/envm/src/math.rs",
             "crates/faultsim/src/checkpoint.rs",
+            "crates/faultsim/src/engine/shard.rs",
         ] {
             assert!(
                 modules.iter().any(|(p, _)| p == expected),
